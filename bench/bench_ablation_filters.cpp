@@ -1,0 +1,105 @@
+// Ablation: the §3.1 hop filter. What do the three usability conditions and
+// the "stop filtering after the first usable hop" rule actually buy?
+//
+// Variants: paper filter / strict (filter whole route) / no identity filter
+// (only private/unresponsive dropped). Reported per variant: usable hops
+// per route, ECS queries spent, valleys found, and the fraction of usable
+// hops whose assimilation was pointless (same answers as the client).
+#include <iostream>
+#include <set>
+
+#include "analysis/prevalence.hpp"
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+namespace {
+
+struct VariantOutcome {
+  std::string name;
+  double usable_per_route = 0.0;
+  double ecs_queries_per_trial = 0.0;
+  double valley_percent = 0.0;
+  double pointless_percent = 0.0;  ///< usable hops whose HR-set == CR-set
+};
+
+VariantOutcome run_variant(const std::string& name, const measure::HopFilterConfig& filter,
+                           int clients, int trials) {
+  measure::TestbedConfig config = measure::TestbedConfig::planetlab();
+  config.client_count = clients;
+  measure::Testbed testbed(config);
+  measure::TrialConfig trial_config;
+  trial_config.filter = filter;
+  measure::TrialRunner runner(&testbed, 0x8A7, trial_config);
+  const auto records = runner.run_campaign(trials, 1.5);
+
+  VariantOutcome out;
+  out.name = name;
+  std::size_t usable = 0;
+  std::size_t hrms = 0;
+  std::size_t valleys = 0;
+  std::size_t pointless = 0;
+  std::size_t ecs_queries = 0;
+  for (const auto& trial : records) {
+    const double crm = trial.min_crm();
+    for (const auto* hop : trial.usable()) {
+      ++usable;
+      ++ecs_queries;
+      std::set<net::Ipv4Addr> hr_set;
+      for (const auto& m : hop->hr) {
+        ++hrms;
+        if (m.rtt_ms < crm) ++valleys;
+        hr_set.insert(m.replica);
+      }
+      std::set<net::Ipv4Addr> cr_set;
+      for (const auto& m : trial.cr) cr_set.insert(m.replica);
+      if (hr_set == cr_set) ++pointless;
+    }
+  }
+  out.usable_per_route = static_cast<double>(usable) / static_cast<double>(records.size());
+  out.ecs_queries_per_trial =
+      static_cast<double>(ecs_queries) / static_cast<double>(records.size());
+  if (hrms > 0) out.valley_percent = 100.0 * static_cast<double>(valleys) / static_cast<double>(hrms);
+  if (usable > 0) {
+    out.pointless_percent = 100.0 * static_cast<double>(pointless) / static_cast<double>(usable);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int clients = bench::scaled(60, 24);
+  const int trials = bench::scaled(20, 8);
+  std::cout << "Hop-filter ablation: " << clients << " clients, " << trials
+            << " trials per pair\n\n";
+
+  measure::HopFilterConfig paper;  // defaults = the paper's filter
+  measure::HopFilterConfig strict = paper;
+  strict.stop_after_first_usable = false;
+  measure::HopFilterConfig none;
+  none.require_different_slash16 = false;
+  none.require_different_asn = false;
+  none.require_different_domain = false;
+
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& outcome :
+       {run_variant("paper filter", paper, clients, trials),
+        run_variant("strict (no prefix rule)", strict, clients, trials),
+        run_variant("no identity filter", none, clients, trials)}) {
+    cells.push_back({outcome.name, analysis::fmt(outcome.usable_per_route),
+                     analysis::fmt(outcome.ecs_queries_per_trial),
+                     analysis::fmt(outcome.valley_percent) + "%",
+                     analysis::fmt(outcome.pointless_percent) + "%"});
+  }
+  std::cout << analysis::render_table(
+      "Filter variants",
+      {"Variant", "usable hops/route", "ECS queries/trial", "% valleys", "% pointless"},
+      cells);
+  std::cout << "\nReading guide: dropping the identity conditions admits near-client\n"
+               "hops whose HR-set simply repeats the CR-set (pointless ECS spend);\n"
+               "the strict variant loses some real candidates for little savings —\n"
+               "the paper's prefix rule is the sensible middle.\n";
+  return 0;
+}

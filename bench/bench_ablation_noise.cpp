@@ -1,0 +1,47 @@
+// Ablation: measurement-noise sensitivity.
+//
+// RTT jitter is the calibration knob that decides whether single-trial
+// valleys are trustworthy. This sweep varies the world's lognormal RTT
+// sigma and reports, at each level, the (vf, vt) optimum and how the
+// loosest setting (vf >= 0.2 at vt = 1.0) behaves relative to it.
+#include <iostream>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+int main() {
+  const int clients = bench::scaled(200, 90);
+  std::cout << "Noise-sensitivity ablation: " << clients << " clients per point\n\n";
+
+  std::vector<std::vector<std::string>> cells;
+  for (double sigma : {0.02, 0.05, 0.08, 0.15}) {
+    measure::TestbedConfig config = measure::TestbedConfig::ripe_atlas();
+    config.client_count = clients;
+    config.world_config.rtt_noise_sigma = sigma;
+    measure::Testbed testbed(config);
+    analysis::Evaluation evaluation(&testbed, 0xA01);
+    const auto sweep = analysis::parameter_sweep(
+        evaluation, bench::sweep_vf_values(), {0.7, 0.8, 0.9, 0.95, 1.0});
+    const auto best = analysis::best_point(sweep);
+    double loose_at_1 = 1.0;
+    for (const auto& point : sweep) {
+      if (point.vf == 0.2 && point.vt == 1.0) loose_at_1 = point.overall_ratio;
+    }
+    cells.push_back({analysis::fmt(sigma, 2), analysis::fmt(best.vf, 1),
+                     analysis::fmt(best.vt, 2), analysis::fmt(best.overall_ratio, 4),
+                     analysis::fmt(loose_at_1, 4)});
+  }
+  std::cout << analysis::render_table(
+      "optimum and loose-parameter behaviour vs RTT noise",
+      {"rtt sigma", "best vf", "best vt", "best ratio", "vf>=0.2 @ vt=1.0"}, cells);
+  std::cout << "\nReading guide: the optimum is stable at strict-ish vf across noise\n"
+               "levels, while the loosest setting is consistently the worst column\n"
+               "and drifts further behind as jitter rises — selectivity is what\n"
+               "protects Drongo from acting on unreliable single observations. (At\n"
+               "full paper scale the loose setting crosses above 1.0 at vt = 1.0:\n"
+               "see bench_fig7_param_sweep.)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+namespace drongo::bench {
+
+PlanetLabDataset planetlab_campaign(int trials_per_client, bool measure_downloads,
+                                    std::uint64_t seed, int client_count) {
+  measure::TestbedConfig config = measure::TestbedConfig::planetlab();
+  config.seed = seed;
+  config.client_count = client_count;
+  PlanetLabDataset dataset;
+  dataset.testbed = std::make_unique<measure::Testbed>(config);
+
+  measure::TrialConfig trial_config;
+  trial_config.measure_downloads = measure_downloads;
+  measure::TrialRunner runner(dataset.testbed.get(), seed ^ 0x7124A1, trial_config);
+  dataset.records = runner.run_campaign(trials_per_client, /*spacing_hours=*/1.5);
+  return dataset;
+}
+
+RipeEvaluation ripe_campaign(std::uint64_t seed, int client_count) {
+  measure::TestbedConfig config = measure::TestbedConfig::ripe_atlas();
+  config.seed = seed;
+  config.client_count = client_count;
+  RipeEvaluation out;
+  out.testbed = std::make_unique<measure::Testbed>(config);
+  out.evaluation = std::make_unique<analysis::Evaluation>(out.testbed.get(), seed ^ 0x219E);
+  return out;
+}
+
+const std::vector<double>& sweep_vf_values() {
+  static const std::vector<double> values = {0.2, 0.4, 0.6, 0.8, 1.0};
+  return values;
+}
+
+const std::vector<double>& sweep_vt_values() {
+  static const std::vector<double> values = {0.1,  0.2,  0.3, 0.4,  0.5,  0.6, 0.7,
+                                             0.75, 0.8,  0.85, 0.9, 0.95, 1.0};
+  return values;
+}
+
+bool full_scale() {
+  const char* env = std::getenv("DRONGO_FULL_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+int scaled(int full_value, int quick_value) {
+  return full_scale() ? full_value : quick_value;
+}
+
+}  // namespace drongo::bench

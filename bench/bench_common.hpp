@@ -1,0 +1,45 @@
+// Shared campaign builders for the experiment benches.
+//
+// Every bench binary regenerates one paper artifact from scratch:
+// deterministic seeds make all binaries agree on the underlying dataset.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/evaluation.hpp"
+#include "measure/testbed.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::bench {
+
+/// The PlanetLab-style dataset of §3: `trials_per_client` trials (default
+/// 45, 1-2 h apart) for every client-provider pair on the 95-client
+/// testbed. `measure_downloads` additionally produces the Fig. 4b/4c
+/// download measurements.
+struct PlanetLabDataset {
+  std::unique_ptr<measure::Testbed> testbed;
+  std::vector<measure::TrialRecord> records;
+};
+PlanetLabDataset planetlab_campaign(int trials_per_client = 45,
+                                    bool measure_downloads = false,
+                                    std::uint64_t seed = 42, int client_count = 95);
+
+/// The RIPE-Atlas-style §5 campaign: 10 trials (5 training + 5 test) for
+/// every client-provider pair, evaluated offline for any (vf, vt).
+struct RipeEvaluation {
+  std::unique_ptr<measure::Testbed> testbed;
+  std::unique_ptr<analysis::Evaluation> evaluation;
+};
+RipeEvaluation ripe_campaign(std::uint64_t seed = 1729, int client_count = 429);
+
+/// The (vf, vt) grids the paper sweeps in §5.1.
+const std::vector<double>& sweep_vf_values();
+const std::vector<double>& sweep_vt_values();
+
+/// Scale factors so benches stay fast by default but can run at full paper
+/// scale: DRONGO_FULL_SCALE=1 in the environment lifts the reductions.
+bool full_scale();
+int scaled(int full_value, int quick_value);
+
+}  // namespace drongo::bench

@@ -1,0 +1,60 @@
+// Regenerates Figure 4: CDFs of hop-client pairs by valley frequency under
+// three subnet-response measurements — ping (4a), first-attempt download
+// time (4b), post-caching download time (4c) (§3.2.1).
+//
+// Paper checks: roughly 5%-20% of hop-client pairs are valleys 100% of the
+// time; the download-based CDFs closely track the ping-based one.
+#include <iostream>
+
+#include "analysis/prevalence.hpp"
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+namespace {
+
+void print_mode(const std::vector<measure::TrialRecord>& records,
+                analysis::MeasureMode mode, const std::string& label) {
+  std::cout << "== Figure 4" << label << " ==\n";
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& series : analysis::figure4(records, mode)) {
+    // Summarize the CDF at fixed valley-frequency points.
+    std::vector<double> fractions;
+    for (double vf : {0.0, 0.25, 0.5, 0.75, 0.99}) {
+      double fraction = 0.0;
+      for (const auto& point : series.cdf) {
+        if (point.value <= vf) fraction = point.fraction;
+      }
+      fractions.push_back(fraction);
+    }
+    cells.push_back({series.provider, analysis::fmt(fractions[0]), analysis::fmt(fractions[1]),
+                     analysis::fmt(fractions[2]), analysis::fmt(fractions[3]),
+                     analysis::fmt(series.fraction_always_valley)});
+  }
+  std::cout << analysis::render_table(
+      "CDF of hop-client pairs by valley frequency",
+      {"Provider", "P(vf=0)", "P(vf<=.25)", "P(vf<=.5)", "P(vf<=.75)", "P(vf=1)"}, cells);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const int trials = bench::scaled(45, 10);
+  const int clients = bench::scaled(95, 32);
+  std::cout << "Running PlanetLab-style campaign with download measurements: " << clients
+            << " clients, " << trials << " trials per pair...\n\n";
+  auto dataset = bench::planetlab_campaign(trials, /*measure_downloads=*/true, 42, clients);
+
+  print_mode(dataset.records, analysis::MeasureMode::kPing, "a: ping (3-burst average)");
+  print_mode(dataset.records, analysis::MeasureMode::kDownloadFirst,
+             "b: total download time (first attempt)");
+  print_mode(dataset.records, analysis::MeasureMode::kDownloadCached,
+             "c: total download time (cache primed)");
+
+  std::cout << "Paper check: P(vf=1) — pairs that are valleys in every trial — around\n"
+               "5-20% per provider, and the download-based tables closely follow the\n"
+               "ping-based one.\n";
+  return 0;
+}

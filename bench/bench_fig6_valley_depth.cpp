@@ -1,0 +1,32 @@
+// Regenerates Figure 6: distribution of the lower-bound latency ratio over
+// all valley occurrences, per provider (§3.2.3).
+//
+// Paper shape: most providers' 25th percentiles near or below 0.8 (>= 20%
+// gain available); CloudFront and ChinaNetCenter deepest; CDNetworks'
+// interquartile range tightly pinned just under 1 (anycast); Google's
+// median near 1 with promise in the lower quartiles.
+#include <iostream>
+
+#include "analysis/prevalence.hpp"
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+int main() {
+  const int trials = bench::scaled(45, 12);
+  const int clients = bench::scaled(95, 40);
+  std::cout << "Running PlanetLab-style campaign: " << clients << " clients, " << trials
+            << " trials per client-provider pair...\n\n";
+  auto dataset = bench::planetlab_campaign(trials, false, 42, clients);
+
+  std::cout << "== Figure 6: latency ratio of valley occurrences (lower bound) ==\n";
+  std::cout << "axis: ratio 0.0 .. 1.0\n";
+  for (const auto& row : analysis::figure6(dataset.records)) {
+    std::cout << analysis::render_box(row.provider, row.box, 0.0, 1.0);
+  }
+  std::cout << "\nPaper check: 25th percentiles near/below 0.8 for most providers;\n"
+               "CDNetworks tightly bounded near 1.0 (anycast leaves little on the\n"
+               "table); deep tails (big gains) for the Asia-centred providers.\n";
+  return 0;
+}

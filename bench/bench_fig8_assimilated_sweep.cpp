@@ -1,0 +1,40 @@
+// Regenerates Figure 8: average latency ratio restricted to queries where
+// Drongo applied subnet assimilation, vs vt per vf (§5.1).
+//
+// Paper checks: low vf degrades performance; as vt decreases the surviving
+// valleys get more potent (ratio improves) until the valley supply gets so
+// thin that outliers dominate (spike at very low vt).
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+int main() {
+  const int clients = bench::scaled(429, 140);
+  std::cout << "Running RIPE-style campaign: " << clients
+            << " clients x 6 providers x 10 trials...\n\n";
+  auto ripe = bench::ripe_campaign(1729, clients);
+
+  const auto sweep = analysis::parameter_sweep(*ripe.evaluation, bench::sweep_vf_values(),
+                                               bench::sweep_vt_values());
+
+  std::cout << "== Figure 8: average latency ratio, assimilated queries only ==\n";
+  std::vector<std::string> headers{"vt"};
+  for (double vf : bench::sweep_vf_values()) headers.push_back("vf>=" + analysis::fmt(vf, 1));
+  std::vector<std::vector<std::string>> cells;
+  for (double vt : bench::sweep_vt_values()) {
+    std::vector<std::string> row{analysis::fmt(vt, 2)};
+    for (double vf : bench::sweep_vf_values()) {
+      for (const auto& p : sweep) {
+        if (p.vf == vf && p.vt == vt) row.push_back(analysis::fmt(p.assimilated_ratio, 4));
+      }
+    }
+    cells.push_back(std::move(row));
+  }
+  std::cout << analysis::render_table("", headers, cells);
+  std::cout << "\nPaper check: higher vf curves lower (better); ratios improve as vt\n"
+               "shrinks until sparsity flips the trend at the very low end.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Figure 9: fraction of clients for which Drongo performed
+// subnet assimilation at least once, vs vt per vf (§5.1).
+//
+// Paper checks: looser vf affects more clients; at the peak-performance
+// parameters (vf = 1.0, vt = 0.95) 69.93% of clients are affected.
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+int main() {
+  const int clients = bench::scaled(429, 140);
+  std::cout << "Running RIPE-style campaign: " << clients
+            << " clients x 6 providers x 10 trials...\n\n";
+  auto ripe = bench::ripe_campaign(1729, clients);
+
+  const auto sweep = analysis::parameter_sweep(*ripe.evaluation, bench::sweep_vf_values(),
+                                               bench::sweep_vt_values());
+
+  std::cout << "== Figure 9: fraction of clients affected ==\n";
+  std::vector<std::string> headers{"vt"};
+  for (double vf : bench::sweep_vf_values()) headers.push_back("vf>=" + analysis::fmt(vf, 1));
+  std::vector<std::vector<std::string>> cells;
+  for (double vt : bench::sweep_vt_values()) {
+    std::vector<std::string> row{analysis::fmt(vt, 2)};
+    for (double vf : bench::sweep_vf_values()) {
+      for (const auto& p : sweep) {
+        if (p.vf == vf && p.vt == vt) row.push_back(analysis::fmt(p.clients_affected, 3));
+      }
+    }
+    cells.push_back(std::move(row));
+  }
+  std::cout << analysis::render_table("", headers, cells);
+
+  for (const auto& p : sweep) {
+    if (p.vf == 1.0 && p.vt == 0.95) {
+      std::cout << "\nclients affected at (vf=1.0, vt=0.95): "
+                << analysis::fmt(p.clients_affected * 100.0) << "% (paper: 69.93%)\n";
+    }
+  }
+  std::cout << "Paper check: affected fraction rises with vt and falls with stricter vf.\n";
+  return 0;
+}

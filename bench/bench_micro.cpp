@@ -1,0 +1,180 @@
+// Micro-benchmarks (google-benchmark): the hot paths of every layer.
+//
+// These quantify the per-query costs a deployed Drongo adds: DNS wire
+// codec, ECS rewriting, resolution through the full chain, decision-engine
+// updates and choices, and the simulator's own primitives (routing, RTT).
+#include <benchmark/benchmark.h>
+
+#include "core/decision.hpp"
+#include "core/drongo.hpp"
+#include "dns/message.hpp"
+#include "measure/testbed.hpp"
+#include "measure/trial.hpp"
+#include "topology/as_gen.hpp"
+
+using namespace drongo;
+
+namespace {
+
+dns::Message sample_response() {
+  auto query = dns::Message::make_query(42, dns::DnsName::must_parse("img.googlecdn.sim"),
+                                        net::Prefix::must_parse("198.51.100.0/24"));
+  auto response = dns::Message::make_response(query, dns::Rcode::kNoError, 24);
+  for (int i = 0; i < 3; ++i) {
+    response.answers.push_back(dns::ResourceRecord::a(
+        query.questions[0].name, net::Ipv4Addr(21, 8, static_cast<std::uint8_t>(84 + i), 10), 30));
+  }
+  return response;
+}
+
+void BM_DnsEncodeQuery(benchmark::State& state) {
+  const auto query = dns::Message::make_query(
+      42, dns::DnsName::must_parse("img.googlecdn.sim"),
+      net::Prefix::must_parse("198.51.100.0/24"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.encode());
+  }
+}
+BENCHMARK(BM_DnsEncodeQuery);
+
+void BM_DnsDecodeResponse(benchmark::State& state) {
+  const auto wire = sample_response().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecodeResponse);
+
+void BM_EcsRewrite(benchmark::State& state) {
+  // The proxy's core operation: decode, swap the ECS subnet, re-encode.
+  auto query = dns::Message::make_query(7, dns::DnsName::must_parse("img.googlecdn.sim"),
+                                        net::Prefix::must_parse("198.51.100.0/24"));
+  const auto wire = query.encode();
+  const auto subnet = net::Prefix::must_parse("20.7.2.0/24");
+  for (auto _ : state) {
+    auto m = dns::Message::decode(wire);
+    m.set_client_subnet(dns::ClientSubnet::for_subnet(subnet));
+    benchmark::DoNotOptimize(m.encode());
+  }
+}
+BENCHMARK(BM_EcsRewrite);
+
+void BM_NameCompressionEncode(benchmark::State& state) {
+  auto response = sample_response();
+  response.authority.push_back(dns::ResourceRecord::ns(
+      dns::DnsName::must_parse("googlecdn.sim"), dns::DnsName::must_parse("ns1.googlecdn.sim")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(response.encode());
+  }
+}
+BENCHMARK(BM_NameCompressionEncode);
+
+void BM_BgpRouteComputation(benchmark::State& state) {
+  topology::AsGenConfig config;
+  config.stub_count = static_cast<int>(state.range(0));
+  const auto graph = topology::generate_as_graph(config);
+  std::size_t dst = 0;
+  for (auto _ : state) {
+    // Fresh router each time: measures full destination-tree computation.
+    topology::BgpRouting routing(&graph);
+    benchmark::DoNotOptimize(routing.table_for(dst % graph.node_count()));
+    ++dst;
+  }
+  state.SetLabel(std::to_string(graph.node_count()) + " ASes");
+}
+BENCHMARK(BM_BgpRouteComputation)->Arg(100)->Arg(240)->Arg(480);
+
+struct MicroWorld {
+  MicroWorld() {
+    measure::TestbedConfig config = measure::TestbedConfig::planetlab();
+    config.client_count = 8;
+    testbed = std::make_unique<measure::Testbed>(config);
+  }
+  std::unique_ptr<measure::Testbed> testbed;
+};
+
+MicroWorld& micro_world() {
+  static MicroWorld world;
+  return world;
+}
+
+void BM_RttColdCache(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  auto& world = testbed.world();
+  const auto clients = testbed.clients();
+  const auto& clusters = testbed.provider(0).clusters();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Rotating pairs: mostly cache misses across the cross product.
+    const auto client = clients[i % clients.size()];
+    const auto replica = clusters[i % clusters.size()].replicas[i % 3];
+    benchmark::DoNotOptimize(world.rtt_base_ms(client, replica));
+    ++i;
+  }
+}
+BENCHMARK(BM_RttColdCache);
+
+void BM_FullResolutionChain(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  auto stub = testbed.make_stub(testbed.clients()[0], 1);
+  const auto domain = testbed.content_names(0)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.resolve_with_own_subnet(domain));
+  }
+}
+BENCHMARK(BM_FullResolutionChain);
+
+void BM_TrialExecution(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  measure::TrialRunner runner(&testbed, 0xB33F);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(0, 0, t));
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_TrialExecution);
+
+void BM_DecisionObserve(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  measure::TrialRunner runner(&testbed, 0xB340);
+  const auto trial = runner.run(0, 0, 0.0);
+  core::DecisionEngine engine;
+  for (auto _ : state) {
+    engine.observe(trial);
+  }
+}
+BENCHMARK(BM_DecisionObserve);
+
+void BM_DecisionChoose(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  measure::TrialRunner runner(&testbed, 0xB341);
+  core::DrongoParams params;
+  params.min_valley_frequency = 0.2;
+  params.valley_threshold = 1.0;
+  core::DecisionEngine engine(params);
+  std::string domain;
+  for (int t = 0; t < 5; ++t) {
+    const auto trial = runner.run(0, 0, t * 1.0, 0);
+    domain = trial.domain;
+    engine.observe(trial);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.choose(domain));
+  }
+}
+BENCHMARK(BM_DecisionChoose);
+
+void BM_ProviderSelectReplicas(benchmark::State& state) {
+  auto& testbed = *micro_world().testbed;
+  auto& provider = testbed.provider(0);
+  const net::Prefix subnet(testbed.clients()[0], 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.select_replicas(subnet));
+  }
+}
+BENCHMARK(BM_ProviderSelectReplicas);
+
+}  // namespace
+
+BENCHMARK_MAIN();

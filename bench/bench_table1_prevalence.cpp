@@ -1,0 +1,44 @@
+// Regenerates Table 1: valley prevalence per provider (§3.2).
+//
+// Paper values (PlanetLab, real Internet) for shape comparison:
+//   provider      %valleys  avg%/route  %routes  %pairs vf>0.5
+//   Google          20.24      16.41     53.30      10.98
+//   CloudFront      14.02       8.72     25.82      10.00
+//   Alibaba         33.68      35.94     75.83      30.97
+//   CDNetworks      15.61      24.41     73.08      14.09
+//   ChinaNetCtr     27.42      14.26     38.10      16.74
+//   CubeCDN         38.58      17.95     25.49      26.32
+#include <iostream>
+
+#include "analysis/prevalence.hpp"
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace drongo;
+
+int main() {
+  const int trials = bench::scaled(45, 12);
+  const int clients = bench::scaled(95, 40);
+  std::cout << "Running PlanetLab-style campaign: " << clients << " clients, " << trials
+            << " trials per client-provider pair...\n\n";
+  auto dataset = bench::planetlab_campaign(trials, /*measure_downloads=*/false,
+                                           /*seed=*/42, clients);
+
+  const auto rows = analysis::table1(dataset.records);
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    cells.push_back({r.provider, analysis::fmt(r.pct_valleys_overall),
+                     analysis::fmt(r.avg_pct_valleys_per_route),
+                     analysis::fmt(r.pct_routes_with_valley),
+                     analysis::fmt(r.pct_pairs_vf_above_half)});
+  }
+  std::cout << analysis::render_table(
+      "Table 1: valley prevalence per provider",
+      {"Provider", "% Valleys Overall", "Avg % Valleys/Route", "% Routes w/ Valley",
+       "% Pairs vf>0.5"},
+      cells);
+  std::cout << "\nPaper check: valleys exist for every provider; 26-76% of routes see\n"
+               "at least one valley; Alibaba/CDNetworks route-valley rates highest,\n"
+               "CloudFront lowest.\n";
+  return 0;
+}

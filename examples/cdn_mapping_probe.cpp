@@ -1,0 +1,96 @@
+// CDN mapping probe: provider selection and footprint reverse-engineering
+// via ECS (§2.2, §3.1.1 — and the reason Akamai restricts ECS).
+//
+//   $ ./cdn_mapping_probe [seed]
+//
+// First, probes every deployed provider (including an Akamai-like,
+// ECS-restricted control) for UNRESTRICTED ECS support, replicating the
+// paper's provider-selection step. Then, for one open provider, performs a
+// Streibelt-style footprint scan: announce every /24 in the world and count
+// the distinct replica /24s observed — measuring a CDN's scale "without
+// significant infrastructural resources".
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "analysis/render.hpp"
+#include "core/probe.hpp"
+#include "measure/testbed.hpp"
+
+using namespace drongo;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  measure::TestbedConfig config = measure::TestbedConfig::planetlab();
+  config.client_count = 4;
+  config.seed = seed;
+  auto profiles = cdn::paper_providers();
+  profiles.push_back(cdn::akamai_like_restricted());  // the negative control
+  config.profiles = profiles;
+  measure::Testbed testbed(config);
+  auto& world = testbed.world();
+
+  // --- Step 1: which providers implement unrestricted ECS? ---------------
+  std::vector<net::Prefix> probe_subnets;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto block = world.block_of(i * 13 % world.graph().node_count());
+    probe_subnets.emplace_back(net::Ipv4Addr(block.network().to_uint() | (40u << 8)), 24);
+  }
+  core::EcsProber prober(probe_subnets);
+  auto stub = testbed.make_stub(testbed.clients()[0], seed ^ 0x21);
+
+  std::cout << "== Provider selection: unrestricted ECS probe (paper §3.1.1) ==\n";
+  std::vector<std::vector<std::string>> cells;
+  for (std::size_t p = 0; p < testbed.provider_count(); ++p) {
+    const auto result = prober.probe(stub, testbed.content_names(p)[0]);
+    cells.push_back({testbed.profile(p).name,
+                     result.resolvable ? "yes" : "no",
+                     result.ecs_unrestricted ? "UNRESTRICTED" : "restricted",
+                     std::to_string(result.distinct_answers)});
+  }
+  std::cout << analysis::render_table(
+      "", {"Provider", "resolvable", "ECS mode", "distinct answers"}, cells);
+  std::cout << "Expected: the six paper providers unrestricted; Akamai restricted\n"
+               "(it keys on the resolver address, so assimilation cannot steer it).\n\n";
+
+  // --- Step 2: footprint scan of one open provider -----------------------
+  const std::size_t target = 0;  // Google-like
+  std::cout << "== Footprint scan of " << testbed.profile(target).name
+            << " via exhaustive ECS announcements ==\n";
+  const auto domain = testbed.content_names(target)[0];
+  std::set<net::Prefix> replica_subnets;
+  std::set<net::Ipv4Addr> replicas;
+  std::map<int, int> scope_histogram;
+  int queries = 0;
+  for (std::size_t as = 0; as < world.graph().node_count(); ++as) {
+    // Announce one host /24 per AS (an attacker scans coarsely first).
+    const auto block = world.block_of(as);
+    const net::Prefix announce(net::Ipv4Addr(block.network().to_uint() | (40u << 8)), 24);
+    const auto result = stub.resolve(domain, announce);
+    ++queries;
+    if (!result.ok()) continue;
+    if (result.ecs_scope) ++scope_histogram[result.ecs_scope->length()];
+    for (auto addr : result.addresses) {
+      replicas.insert(addr);
+      replica_subnets.insert(net::Prefix(addr, 24));
+    }
+  }
+  const auto& provider = testbed.provider(target);
+  std::size_t true_replicas = 0;
+  for (const auto& cluster : provider.clusters()) true_replicas += cluster.replicas.size();
+
+  std::cout << queries << " ECS queries -> " << replicas.size()
+            << " distinct replica addresses in " << replica_subnets.size()
+            << " /24s (ground truth: " << true_replicas << " replicas in "
+            << provider.clusters().size() << " clusters)\n";
+  std::cout << "ECS scopes returned:";
+  for (const auto& [scope, count] : scope_histogram) {
+    std::cout << " /" << scope << " x" << count;
+  }
+  std::cout << "\n\nThis is why a CDN might restrict ECS (§2.2): a weekend of queries\n"
+               "maps a footprint. The paper argues the client-performance upside of\n"
+               "unrestricted ECS outweighs this exposure.\n";
+  return 0;
+}

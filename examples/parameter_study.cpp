@@ -1,0 +1,81 @@
+// Parameter study: how (vf, vt) shape Drongo's gains on a chosen provider
+// mix — the §5.1 methodology as a reusable tool.
+//
+//   $ ./parameter_study [clients] [seed] [provider-name ...]
+//
+// With provider names (Google CloudFront Alibaba CDNetworks ChinaNetCtr
+// CubeCDN), only those are deployed; default is all six.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/render.hpp"
+#include "measure/testbed.hpp"
+
+using namespace drongo;
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1729;
+
+  std::vector<cdn::CdnProfile> profiles;
+  for (int i = 3; i < argc; ++i) {
+    for (const auto& profile : cdn::paper_providers()) {
+      if (profile.name == argv[i]) profiles.push_back(profile);
+    }
+  }
+  if (profiles.empty()) profiles = cdn::paper_providers();
+
+  measure::TestbedConfig config = measure::TestbedConfig::ripe_atlas();
+  config.client_count = clients;
+  config.seed = seed;
+  config.profiles = profiles;
+  measure::Testbed testbed(config);
+  std::cout << "Deployed providers:";
+  for (const auto& p : profiles) std::cout << " " << p.name;
+  std::cout << "; " << clients << " clients\n\n";
+
+  analysis::Evaluation evaluation(&testbed, seed ^ 0x90);
+  const std::vector<double> vf_values{0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> vt_values{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
+  const auto sweep = analysis::parameter_sweep(evaluation, vf_values, vt_values);
+
+  std::vector<std::string> headers{"vt"};
+  for (double vf : vf_values) headers.push_back("vf>=" + analysis::fmt(vf, 1));
+  std::vector<std::vector<std::string>> overall_cells;
+  std::vector<std::vector<std::string>> affected_cells;
+  for (double vt : vt_values) {
+    std::vector<std::string> overall_row{analysis::fmt(vt, 2)};
+    std::vector<std::string> affected_row{analysis::fmt(vt, 2)};
+    for (double vf : vf_values) {
+      for (const auto& p : sweep) {
+        if (p.vf == vf && p.vt == vt) {
+          overall_row.push_back(analysis::fmt(p.overall_ratio, 4));
+          affected_row.push_back(analysis::fmt(p.clients_affected, 2));
+        }
+      }
+    }
+    overall_cells.push_back(std::move(overall_row));
+    affected_cells.push_back(std::move(affected_row));
+  }
+  std::cout << analysis::render_table("Overall latency ratio (lower is better)", headers,
+                                      overall_cells);
+  std::cout << "\n"
+            << analysis::render_table("Fraction of clients affected", headers,
+                                      affected_cells);
+
+  const auto best = analysis::best_point(sweep);
+  std::cout << "\noptimum: vf=" << analysis::fmt(best.vf, 1) << " vt="
+            << analysis::fmt(best.vt, 2) << " -> ratio "
+            << analysis::fmt(best.overall_ratio, 4) << " ("
+            << analysis::fmt((1.0 - best.overall_ratio) * 100.0) << "% gain), affecting "
+            << analysis::fmt(best.clients_affected * 100.0) << "% of clients\n";
+
+  std::cout << "\nPer-provider optima:\n";
+  for (const auto& opt : analysis::per_provider_optimum(evaluation, vf_values, vt_values)) {
+    std::cout << "  " << opt.provider << ": vf=" << analysis::fmt(opt.best_vf, 1)
+              << " vt=" << analysis::fmt(opt.best_vt, 2) << " ratio "
+              << analysis::fmt(opt.best_ratio, 4) << "\n";
+  }
+  return 0;
+}

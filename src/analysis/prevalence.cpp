@@ -1,0 +1,259 @@
+#include "analysis/prevalence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace drongo::analysis {
+
+namespace {
+
+/// Stable provider ordering: first appearance in the record stream.
+std::vector<std::string> provider_order(const std::vector<measure::TrialRecord>& records) {
+  std::vector<std::string> order;
+  for (const auto& r : records) {
+    if (std::find(order.begin(), order.end(), r.provider) == order.end()) {
+      order.push_back(r.provider);
+    }
+  }
+  return order;
+}
+
+/// The measurement value of one replica under a Figure-4 mode.
+double value_of(const measure::ReplicaMeasurement& m, MeasureMode mode) {
+  switch (mode) {
+    case MeasureMode::kPing: return m.rtt_ms;
+    case MeasureMode::kDownloadFirst: return m.download_first_ms;
+    case MeasureMode::kDownloadCached: return m.download_cached_ms;
+  }
+  return m.rtt_ms;
+}
+
+/// min CRM under a mode.
+double min_cr(const measure::TrialRecord& trial, MeasureMode mode) {
+  double best = 1e300;
+  for (const auto& m : trial.cr) best = std::min(best, value_of(m, mode));
+  return best;
+}
+
+/// median HRM under a mode.
+double median_hr(const measure::HopRecord& hop, MeasureMode mode) {
+  std::vector<double> values;
+  values.reserve(hop.hr.size());
+  for (const auto& m : hop.hr) values.push_back(value_of(m, mode));
+  return measure::median(std::move(values));
+}
+
+}  // namespace
+
+std::vector<DivergenceRow> figure2(const std::vector<measure::TrialRecord>& records) {
+  struct Acc {
+    double usable_hops = 0.0;
+    double divergence = 0.0;
+    std::size_t routes = 0;
+  };
+  std::map<std::string, Acc> acc;
+
+  for (const auto& trial : records) {
+    std::set<net::Ipv4Addr> client_replicas;
+    for (const auto& m : trial.cr) client_replicas.insert(m.replica);
+    const auto usable = trial.usable();
+    std::size_t divergent = 0;
+    for (const auto* hop : usable) {
+      const bool has_new = std::any_of(
+          hop->hr.begin(), hop->hr.end(), [&](const measure::ReplicaMeasurement& m) {
+            return !client_replicas.contains(m.replica);
+          });
+      if (has_new) ++divergent;
+    }
+    Acc& a = acc[trial.provider];
+    a.usable_hops += static_cast<double>(usable.size());
+    if (!usable.empty()) {
+      a.divergence += static_cast<double>(divergent) / static_cast<double>(usable.size());
+    }
+    ++a.routes;
+  }
+
+  std::vector<DivergenceRow> rows;
+  for (const auto& provider : provider_order(records)) {
+    const Acc& a = acc[provider];
+    DivergenceRow row;
+    row.provider = provider;
+    row.routes = a.routes;
+    if (a.routes > 0) {
+      row.mean_usable_route_length = a.usable_hops / static_cast<double>(a.routes);
+      row.mean_divergence = a.divergence / static_cast<double>(a.routes);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Figure3 figure3(const std::vector<measure::TrialRecord>& records) {
+  Figure3 fig;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> counts;  // valleys, total
+  for (const auto& trial : records) {
+    if (trial.cr.empty()) continue;
+    const double crm = trial.min_crm();
+    for (const auto* hop : trial.usable()) {
+      for (const auto& m : hop->hr) {
+        fig.points.push_back({trial.provider, crm, m.rtt_ms});
+        auto& [valleys, total] = counts[trial.provider];
+        ++total;
+        if (m.rtt_ms < crm) ++valleys;
+      }
+    }
+  }
+  double sum = 0.0;
+  for (const auto& provider : provider_order(records)) {
+    const auto& [valleys, total] = counts[provider];
+    ValleyShare share;
+    share.provider = provider;
+    share.points = total;
+    share.valley_percent =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(valleys) / static_cast<double>(total);
+    sum += share.valley_percent;
+    fig.shares.push_back(share);
+  }
+  if (!fig.shares.empty()) {
+    fig.average_valley_percent = sum / static_cast<double>(fig.shares.size());
+  }
+  return fig;
+}
+
+std::vector<Table1Row> table1(const std::vector<measure::TrialRecord>& records,
+                              double valley_threshold) {
+  const core::RatioConvention convention = core::RatioConvention::planetlab();
+  struct Acc {
+    std::size_t hrm_valleys = 0;      // per-HRM basis (col 2)
+    std::size_t hrm_total = 0;
+    double route_valley_fraction = 0.0;  // col 3 accumulator
+    std::size_t routes_with_usable = 0;
+    std::size_t routes_with_valley = 0;  // col 4
+    std::size_t routes = 0;
+    // col 5: per hop-client pair valley counts.
+    std::map<std::pair<std::size_t, net::Prefix>, std::pair<std::size_t, std::size_t>>
+        pair_counts;  // (client, subnet) -> (valleys, trials)
+  };
+  std::map<std::string, Acc> acc;
+
+  for (const auto& trial : records) {
+    if (trial.cr.empty()) continue;
+    Acc& a = acc[trial.provider];
+    ++a.routes;
+    const double min_crm = trial.min_crm();
+    const auto usable = trial.usable();
+    std::size_t hop_valleys = 0;
+    for (const auto* hop : usable) {
+      for (const auto& m : hop->hr) {
+        ++a.hrm_total;
+        if (m.rtt_ms < min_crm * valley_threshold) ++a.hrm_valleys;
+      }
+      const auto ratio = core::latency_ratio(trial, *hop, convention);
+      if (!ratio) continue;
+      const bool valley = core::is_valley(*ratio, valley_threshold);
+      if (valley) ++hop_valleys;
+      auto& [v, n] = a.pair_counts[{trial.client_index, hop->subnet}];
+      ++n;
+      if (valley) ++v;
+    }
+    if (!usable.empty()) {
+      ++a.routes_with_usable;
+      a.route_valley_fraction +=
+          static_cast<double>(hop_valleys) / static_cast<double>(usable.size());
+      if (hop_valleys > 0) ++a.routes_with_valley;
+    }
+  }
+
+  std::vector<Table1Row> rows;
+  for (const auto& provider : provider_order(records)) {
+    const Acc& a = acc[provider];
+    Table1Row row;
+    row.provider = provider;
+    if (a.hrm_total > 0) {
+      row.pct_valleys_overall =
+          100.0 * static_cast<double>(a.hrm_valleys) / static_cast<double>(a.hrm_total);
+    }
+    if (a.routes_with_usable > 0) {
+      row.avg_pct_valleys_per_route =
+          100.0 * a.route_valley_fraction / static_cast<double>(a.routes_with_usable);
+    }
+    if (a.routes > 0) {
+      row.pct_routes_with_valley = 100.0 * static_cast<double>(a.routes_with_valley) /
+                                   static_cast<double>(a.routes);
+    }
+    std::size_t persistent = 0;
+    for (const auto& [key, vn] : a.pair_counts) {
+      const auto& [v, n] = vn;
+      if (n > 0 && static_cast<double>(v) / static_cast<double>(n) > 0.5) ++persistent;
+    }
+    if (!a.pair_counts.empty()) {
+      row.pct_pairs_vf_above_half = 100.0 * static_cast<double>(persistent) /
+                                    static_cast<double>(a.pair_counts.size());
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Figure4Series> figure4(const std::vector<measure::TrialRecord>& records,
+                                   MeasureMode mode, double valley_threshold) {
+  // (provider, client, subnet) -> (valleys, trials)
+  std::map<std::string,
+           std::map<std::pair<std::size_t, net::Prefix>, std::pair<std::size_t, std::size_t>>>
+      pair_counts;
+  for (const auto& trial : records) {
+    if (trial.cr.empty()) continue;
+    const double crm = min_cr(trial, mode);
+    if (crm <= 0.0) continue;  // mode not measured in this dataset
+    for (const auto* hop : trial.usable()) {
+      if (hop->hr.empty()) continue;
+      const double hrm = median_hr(*hop, mode);
+      auto& [v, n] = pair_counts[trial.provider][{trial.client_index, hop->subnet}];
+      ++n;
+      if (hrm / crm < valley_threshold) ++v;
+    }
+  }
+
+  std::vector<Figure4Series> series;
+  for (const auto& provider : provider_order(records)) {
+    Figure4Series s;
+    s.provider = provider;
+    std::vector<double> frequencies;
+    std::size_t always = 0;
+    for (const auto& [key, vn] : pair_counts[provider]) {
+      const auto& [v, n] = vn;
+      const double vf = static_cast<double>(v) / static_cast<double>(n);
+      frequencies.push_back(vf);
+      if (v == n) ++always;
+    }
+    if (!frequencies.empty()) {
+      s.fraction_always_valley =
+          static_cast<double>(always) / static_cast<double>(frequencies.size());
+    }
+    s.cdf = measure::cdf(std::move(frequencies));
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+std::vector<Figure6Row> figure6(const std::vector<measure::TrialRecord>& records,
+                                double valley_threshold) {
+  const core::RatioConvention convention = core::RatioConvention::planetlab();
+  std::map<std::string, std::vector<double>> ratios;
+  for (const auto& trial : records) {
+    for (const auto* hop : trial.usable()) {
+      const auto ratio = core::latency_ratio(trial, *hop, convention);
+      if (ratio && core::is_valley(*ratio, valley_threshold)) {
+        ratios[trial.provider].push_back(*ratio);
+      }
+    }
+  }
+  std::vector<Figure6Row> rows;
+  for (const auto& provider : provider_order(records)) {
+    rows.push_back({provider, measure::box_stats(ratios[provider])});
+  }
+  return rows;
+}
+
+}  // namespace drongo::analysis

@@ -1,0 +1,80 @@
+// Valley prevalence analyses: Figure 2, Figure 3, Table 1, Figure 6 (§3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/valley.hpp"
+#include "measure/stats.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::analysis {
+
+/// Figure 2: mean divergence and mean usable route length per CDN.
+/// Divergence = fraction of usable hops recommended at least one replica
+/// not recommended to the client in the same trial.
+struct DivergenceRow {
+  std::string provider;
+  double mean_usable_route_length = 0.0;
+  double mean_divergence = 0.0;
+  std::size_t routes = 0;
+};
+std::vector<DivergenceRow> figure2(const std::vector<measure::TrialRecord>& records);
+
+/// Figure 3: every HRM against the minimum CRM of its trial. Points below
+/// the diagonal are valley occurrences; the share of such points is the
+/// "% Valleys Overall" column of Table 1.
+struct ScatterPoint {
+  std::string provider;
+  double min_crm_ms = 0.0;
+  double hrm_ms = 0.0;
+};
+struct ValleyShare {
+  std::string provider;
+  double valley_percent = 0.0;
+  std::size_t points = 0;
+};
+struct Figure3 {
+  std::vector<ScatterPoint> points;
+  std::vector<ValleyShare> shares;
+  double average_valley_percent = 0.0;
+};
+Figure3 figure3(const std::vector<measure::TrialRecord>& records);
+
+/// Table 1, per provider. Columns 3-5 use the paper's conservative
+/// convention: minimum CRM of the trial, MEDIAN HRM per hop.
+struct Table1Row {
+  std::string provider;
+  double pct_valleys_overall = 0.0;        ///< per-HRM basis (Fig. 3)
+  double avg_pct_valleys_per_route = 0.0;  ///< among usable hops of a route
+  double pct_routes_with_valley = 0.0;
+  double pct_pairs_vf_above_half = 0.0;    ///< hop-client pairs, vf > 0.5
+};
+std::vector<Table1Row> table1(const std::vector<measure::TrialRecord>& records,
+                              double valley_threshold = 1.0);
+
+/// Figure 4: CDF over hop-client pairs of valley frequency, under one of
+/// the three subnet-response measurements.
+enum class MeasureMode : std::uint8_t {
+  kPing,            ///< Fig. 4a: 3-ping average
+  kDownloadFirst,   ///< Fig. 4b: first-attempt total download time
+  kDownloadCached,  ///< Fig. 4c: repeat (cache-primed) download time
+};
+struct Figure4Series {
+  std::string provider;
+  std::vector<measure::CdfPoint> cdf;  ///< CDF of per-pair valley frequency
+  double fraction_always_valley = 0.0; ///< pairs with vf == 1.0
+};
+std::vector<Figure4Series> figure4(const std::vector<measure::TrialRecord>& records,
+                                   MeasureMode mode, double valley_threshold = 1.0);
+
+/// Figure 6: distribution (box stats) of the lower-bound latency ratio over
+/// all valley occurrences, per provider.
+struct Figure6Row {
+  std::string provider;
+  measure::BoxStats box;
+};
+std::vector<Figure6Row> figure6(const std::vector<measure::TrialRecord>& records,
+                                double valley_threshold = 1.0);
+
+}  // namespace drongo::analysis

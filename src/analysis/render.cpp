@@ -1,0 +1,81 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace drongo::analysis {
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string render_table(const std::string& title,
+                         const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += cell;
+      line.append(widths[i] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title.empty()) out += "== " + title + " ==\n";
+  out += render_row(headers);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+std::string render_series(const std::string& title, const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<std::pair<double, double>>& points,
+                          int precision) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& [x, y] : points) {
+    rows.push_back({fmt(x, precision), fmt(y, precision)});
+  }
+  return render_table(title, {x_label, y_label}, rows);
+}
+
+std::string render_box(const std::string& label, const measure::BoxStats& box,
+                       double axis_low, double axis_high, int width) {
+  std::string axis(static_cast<std::size_t>(width), ' ');
+  auto col = [&](double v) {
+    const double t = (v - axis_low) / (axis_high - axis_low);
+    const int c = static_cast<int>(t * (width - 1));
+    return std::clamp(c, 0, width - 1);
+  };
+  const int wl = col(box.whisker_low);
+  const int p25 = col(box.p25);
+  const int med = col(box.median);
+  const int p75 = col(box.p75);
+  const int wh = col(box.whisker_high);
+  for (int i = wl; i <= wh; ++i) axis[static_cast<std::size_t>(i)] = '-';
+  for (int i = p25; i <= p75; ++i) axis[static_cast<std::size_t>(i)] = '=';
+  axis[static_cast<std::size_t>(wl)] = '|';
+  axis[static_cast<std::size_t>(wh)] = '|';
+  axis[static_cast<std::size_t>(med)] = 'M';
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%-14s", label.c_str());
+  return std::string(buffer) + "[" + axis + "]  med=" + fmt(box.median) + " iqr=[" +
+         fmt(box.p25) + "," + fmt(box.p75) + "] n=" + std::to_string(box.count) + "\n";
+}
+
+}  // namespace drongo::analysis

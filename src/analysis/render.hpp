@@ -1,0 +1,29 @@
+// Plain-text rendering of tables and curves for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/stats.hpp"
+
+namespace drongo::analysis {
+
+/// Fixed-precision number formatting ("12.34").
+std::string fmt(double value, int precision = 2);
+
+/// Renders an aligned text table with a header row.
+std::string render_table(const std::string& title,
+                         const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Renders an (x, y) series as two aligned columns.
+std::string render_series(const std::string& title, const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<std::pair<double, double>>& points,
+                          int precision = 3);
+
+/// Renders a horizontal ASCII box-and-whisker on a [lo, hi] axis.
+std::string render_box(const std::string& label, const measure::BoxStats& box,
+                       double axis_low, double axis_high, int width = 60);
+
+}  // namespace drongo::analysis

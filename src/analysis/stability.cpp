@@ -1,0 +1,107 @@
+#include "analysis/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "measure/stats.hpp"
+
+namespace drongo::analysis {
+
+namespace {
+
+/// The trial-ordered ratio series of one hop-client pair.
+struct PairSeries {
+  std::vector<double> times_hours;
+  std::vector<double> ratios;
+  bool has_valley = false;
+};
+
+using PairKey = std::tuple<std::string, std::size_t, net::Prefix>;  // provider, client, subnet
+
+std::map<PairKey, PairSeries> build_series(const std::vector<measure::TrialRecord>& records,
+                                           const StabilityConfig& config) {
+  std::map<PairKey, PairSeries> series;
+  for (const auto& trial : records) {
+    for (const auto* hop : trial.usable()) {
+      const auto ratio = core::latency_ratio(trial, *hop, config.convention);
+      if (!ratio) continue;
+      PairSeries& s = series[{trial.provider, trial.client_index, hop->subnet}];
+      s.times_hours.push_back(trial.time_hours);
+      s.ratios.push_back(*ratio);
+      if (core::is_valley(*ratio, config.valley_threshold)) s.has_valley = true;
+    }
+  }
+  // Order each pair's samples by time (campaigns already emit in time
+  // order, but don't rely on it).
+  for (auto& [key, s] : series) {
+    std::vector<std::size_t> index(s.ratios.size());
+    for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+    std::sort(index.begin(), index.end(),
+              [&](std::size_t a, std::size_t b) { return s.times_hours[a] < s.times_hours[b]; });
+    PairSeries sorted;
+    sorted.has_valley = s.has_valley;
+    for (std::size_t i : index) {
+      sorted.times_hours.push_back(s.times_hours[i]);
+      sorted.ratios.push_back(s.ratios[i]);
+    }
+    s = std::move(sorted);
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<StabilitySeries> figure5(const std::vector<measure::TrialRecord>& records,
+                                     const StabilityConfig& config) {
+  const auto series = build_series(records, config);
+
+  std::vector<StabilitySeries> out;
+  for (int window : config.window_sizes) {
+    // bin index -> (sum of diffs, count)
+    std::map<std::size_t, std::pair<double, std::size_t>> bins;
+    for (const auto& [key, s] : series) {
+      if (config.valley_pairs_only && !s.has_valley) continue;
+      const std::size_t n = s.ratios.size();
+      if (n < static_cast<std::size_t>(window)) continue;
+      const std::size_t windows = n - static_cast<std::size_t>(window) + 1;
+      // Window medians and centre times.
+      std::vector<double> med(windows);
+      std::vector<double> centre(windows);
+      for (std::size_t w = 0; w < windows; ++w) {
+        std::vector<double> slice(s.ratios.begin() + static_cast<std::ptrdiff_t>(w),
+                                  s.ratios.begin() + static_cast<std::ptrdiff_t>(w + static_cast<std::size_t>(window)));
+        med[w] = measure::median(std::move(slice));
+        double t = 0.0;
+        for (std::size_t k = w; k < w + static_cast<std::size_t>(window); ++k) {
+          t += s.times_hours[k];
+        }
+        centre[w] = t / window;
+      }
+      for (std::size_t i = 0; i < windows; ++i) {
+        for (std::size_t j = i + 1; j < windows; ++j) {
+          const double distance = centre[j] - centre[i];
+          if (distance <= 0.0) continue;
+          const auto bin = static_cast<std::size_t>(distance / config.bin_hours);
+          auto& [sum, count] = bins[bin];
+          sum += std::abs(med[j] - med[i]);
+          ++count;
+        }
+      }
+    }
+    StabilitySeries result;
+    result.window_size = window;
+    for (const auto& [bin, sum_count] : bins) {
+      const auto& [sum, count] = sum_count;
+      StabilityPoint p;
+      p.distance_hours = (static_cast<double>(bin) + 0.5) * config.bin_hours;
+      p.mean_ratio_difference = sum / static_cast<double>(count);
+      p.samples = count;
+      result.points.push_back(p);
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace drongo::analysis

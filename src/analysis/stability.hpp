@@ -1,0 +1,43 @@
+// Valley predictability over time: Figure 5 (§3.2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/valley.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::analysis {
+
+/// One binned point of a Figure-5 curve.
+struct StabilityPoint {
+  double distance_hours = 0.0;          ///< bin centre
+  double mean_ratio_difference = 0.0;   ///< mean |median ratio(w1) - median ratio(w2)|
+  std::size_t samples = 0;
+};
+
+/// One curve: a window size, its drift-vs-distance points.
+struct StabilitySeries {
+  int window_size = 1;
+  std::vector<StabilityPoint> points;
+};
+
+struct StabilityConfig {
+  std::vector<int> window_sizes = {1, 5, 10, 15};
+  /// Restrict to hop-client pairs with at least one valley across all
+  /// trials (Figure 5b). False reproduces Figure 5a.
+  bool valley_pairs_only = false;
+  double valley_threshold = 1.0;
+  double bin_hours = 4.0;
+  core::RatioConvention convention = core::RatioConvention::planetlab();
+};
+
+/// Computes the Figure-5 analysis: for every hop-client pair, slide windows
+/// of each size over its trial-ordered latency ratios, take each window's
+/// MEDIAN ratio, and compare every pair of windows; the |difference| is
+/// plotted against the time distance between window centres, averaged in
+/// bins. A flat curve = past windows predict future ones.
+std::vector<StabilitySeries> figure5(const std::vector<measure::TrialRecord>& records,
+                                     const StabilityConfig& config = {});
+
+}  // namespace drongo::analysis

@@ -1,0 +1,64 @@
+#include "cdn/authoritative.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+
+CdnAuthoritative::CdnAuthoritative(CdnProvider* provider, std::uint32_t ttl_seconds)
+    : provider_(provider), ttl_(ttl_seconds) {
+  if (provider_ == nullptr) throw net::InvalidArgument("null CdnProvider");
+}
+
+dns::DnsName CdnAuthoritative::zone() const {
+  return dns::DnsName::must_parse(provider_->profile().zone);
+}
+
+std::vector<dns::DnsName> CdnAuthoritative::content_names() const {
+  std::vector<dns::DnsName> names;
+  for (const auto& label : provider_->profile().content_labels) {
+    names.push_back(dns::DnsName::must_parse(label + "." + provider_->profile().zone));
+  }
+  return names;
+}
+
+dns::Message CdnAuthoritative::handle(const dns::Message& query, net::Ipv4Addr source) {
+  if (query.questions.size() != 1) {
+    return dns::Message::make_response(query, dns::Rcode::kFormErr);
+  }
+  const dns::Question& q = query.questions[0];
+  if (!q.name.is_subdomain_of(zone())) {
+    return dns::Message::make_response(query, dns::Rcode::kRefused);
+  }
+
+  const auto& profile = provider_->profile();
+  bool known_label = false;
+  for (const auto& name : content_names()) {
+    if (q.name == name) known_label = true;
+  }
+  if (!known_label) {
+    return dns::Message::make_response(query, dns::Rcode::kNxDomain);
+  }
+  if (q.type != dns::RrType::kA) {
+    // Valid name, no records of this type: NOERROR with empty answer.
+    return dns::Message::make_response(query, dns::Rcode::kNoError,
+                                       profile.mapping_granularity);
+  }
+
+  // Tailoring subnet: the ECS option, unless this provider restricts ECS
+  // (Akamai-like, §2.2), in which case the resolver's own address is used —
+  // which is exactly why such providers are unusable for assimilation.
+  net::Prefix subnet(source, 24);
+  if (!profile.ecs_restricted && query.edns && query.edns->client_subnet &&
+      query.edns->client_subnet->family == 1) {
+    subnet = query.edns->client_subnet->source_prefix();
+  }
+
+  dns::Message response = dns::Message::make_response(
+      query, dns::Rcode::kNoError, profile.mapping_granularity);
+  for (net::Ipv4Addr replica : provider_->select_replicas(subnet)) {
+    response.answers.push_back(dns::ResourceRecord::a(q.name, replica, ttl_));
+  }
+  return response;
+}
+
+}  // namespace drongo::cdn

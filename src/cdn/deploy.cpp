@@ -1,0 +1,200 @@
+#include "cdn/deploy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "net/error.hpp"
+#include "net/strings.hpp"
+
+namespace drongo::cdn {
+
+namespace {
+
+/// Metro sampling weight for this profile.
+double metro_weight(const CdnProfile& profile, int metro_index) {
+  double w = topology::world_metros()[static_cast<std::size_t>(metro_index)].weight;
+  for (const auto& [index, multiplier] : profile.metro_bias) {
+    if (index == metro_index) w *= multiplier;
+  }
+  return w;
+}
+
+int sample_metro(const CdnProfile& profile, net::Rng& rng) {
+  const auto& metros = topology::world_metros();
+  double total = 0.0;
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    total += metro_weight(profile, static_cast<int>(i));
+  }
+  double x = rng.uniform_real(0.0, total);
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    x -= metro_weight(profile, static_cast<int>(i));
+    if (x <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(metros.size()) - 1;
+}
+
+}  // namespace
+
+CdnPlan plan_cdn(topology::AsGraph& graph, const CdnProfile& profile, net::Rng& rng) {
+  CdnPlan plan;
+  plan.profile = profile;
+
+  // Cluster metros: sampled with replacement (big metros host several
+  // clusters), but the AS gets one PoP per distinct metro.
+  std::map<int, int> metro_to_pop;
+  topology::AsNode node;
+  node.asn = net::Asn(20000 + static_cast<std::uint32_t>(profile.seed % 1000));
+  node.tier = topology::AsTier::kTier2;
+  node.domain = net::to_lower(profile.name) + "-cdn.net";
+  // The address plan allows at most 16 PoPs per AS (two router /24s each);
+  // once full, later clusters land at the nearest existing PoP's metro.
+  constexpr std::size_t kMaxPops = 16;
+  for (int c = 0; c < profile.cluster_count; ++c) {
+    int metro = sample_metro(profile, rng);
+    if (!metro_to_pop.contains(metro) && node.pops.size() >= kMaxPops) {
+      const auto& wanted = topology::world_metros()[static_cast<std::size_t>(metro)];
+      double best_km = 1e18;
+      for (const auto& [m, pop] : metro_to_pop) {
+        const double km = topology::distance_km(
+            wanted.location, topology::world_metros()[static_cast<std::size_t>(m)].location);
+        if (km < best_km) {
+          best_km = km;
+          metro = m;
+        }
+      }
+    }
+    auto [it, inserted] = metro_to_pop.try_emplace(metro, static_cast<int>(node.pops.size()));
+    if (inserted) {
+      topology::Pop pop;
+      pop.metro_index = metro;
+      const auto& m = topology::world_metros()[static_cast<std::size_t>(metro)];
+      pop.location = {m.location.lat_deg + rng.uniform_real(-0.1, 0.1),
+                      m.location.lon_deg + rng.uniform_real(-0.1, 0.1)};
+      node.pops.push_back(pop);
+    }
+    plan.cluster_pops.push_back(it->second);
+    plan.cluster_metros.push_back(metro);
+    plan.cluster_weights.push_back(rng.uniform_real(1.0, 4.0));
+  }
+  plan.as_index = graph.add_node(std::move(node));
+
+  // Interconnection: settlement-free peering with every tier-1 (content
+  // networks peer openly), peering with tier-2s that share a metro, and two
+  // transit uplinks for corners of the graph peering can't reach
+  // valley-free.
+  const auto& cdn_node = graph.node(plan.as_index);
+  std::vector<std::size_t> tier1s;
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    if (v == plan.as_index) continue;
+    const auto& other = graph.node(v);
+    if (other.tier == topology::AsTier::kTier1) tier1s.push_back(v);
+  }
+  // One link per shared metro (content networks interconnect at every IX
+  // they share with a carrier), falling back to the closest PoP pair.
+  auto interconnect = [&](topology::LinkKind kind, std::size_t customer,
+                          std::size_t provider_or_peer) {
+    const auto& a = graph.node(customer);
+    const auto& b = graph.node(provider_or_peer);
+    bool any = false;
+    int best_pa = 0;
+    int best_pb = 0;
+    double best_km = 1e18;
+    for (std::size_t i = 0; i < a.pops.size(); ++i) {
+      for (std::size_t j = 0; j < b.pops.size(); ++j) {
+        const double km = topology::distance_km(a.pops[i].location, b.pops[j].location);
+        if (km < best_km) {
+          best_km = km;
+          best_pa = static_cast<int>(i);
+          best_pb = static_cast<int>(j);
+        }
+        if (a.pops[i].metro_index != b.pops[j].metro_index) continue;
+        topology::AsLink link;
+        link.a = customer;
+        link.b = provider_or_peer;
+        link.pop_a = static_cast<int>(i);
+        link.pop_b = static_cast<int>(j);
+        link.kind = kind;
+        link.latency_ms =
+            topology::propagation_ms(a.pops[i].location, b.pops[j].location) +
+            rng.uniform_real(0.1, 0.5);
+        graph.add_link(link);
+        any = true;
+      }
+    }
+    if (!any) {
+      topology::AsLink link;
+      link.a = customer;
+      link.b = provider_or_peer;
+      link.pop_a = best_pa;
+      link.pop_b = best_pb;
+      link.kind = kind;
+      link.latency_ms =
+          topology::propagation_ms(a.pops[static_cast<std::size_t>(best_pa)].location,
+                                   b.pops[static_cast<std::size_t>(best_pb)].location) +
+          rng.uniform_real(0.1, 0.5);
+      graph.add_link(link);
+    }
+  };
+
+  for (std::size_t t1 : tier1s) {
+    interconnect(topology::LinkKind::kPeering, plan.as_index, t1);
+  }
+  std::vector<std::size_t> shuffled_t1 = tier1s;
+  rng.shuffle(shuffled_t1);
+  for (std::size_t k = 0; k < std::min<std::size_t>(2, shuffled_t1.size()); ++k) {
+    interconnect(topology::LinkKind::kTransit, plan.as_index, shuffled_t1[k]);
+  }
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    if (v == plan.as_index) continue;
+    const auto& other = graph.node(v);
+    if (other.tier != topology::AsTier::kTier2) continue;
+    bool shared = false;
+    for (const auto& pa : cdn_node.pops) {
+      for (const auto& pb : other.pops) {
+        if (pa.metro_index == pb.metro_index) shared = true;
+      }
+    }
+    if (shared && rng.chance(0.85)) {
+      interconnect(topology::LinkKind::kPeering, plan.as_index, v);
+    }
+  }
+  return plan;
+}
+
+CdnProvider deploy_cdn(topology::World& world, const CdnPlan& plan) {
+  std::vector<CdnCluster> clusters;
+  clusters.reserve(plan.cluster_pops.size());
+  const auto& node = world.graph().node(plan.as_index);
+  for (std::size_t c = 0; c < plan.cluster_pops.size(); ++c) {
+    CdnCluster cluster;
+    cluster.pop_index = plan.cluster_pops[c];
+    cluster.metro_index = plan.cluster_metros[c];
+    cluster.location = node.pops[static_cast<std::size_t>(cluster.pop_index)].location;
+    cluster.weight = plan.cluster_weights[c];
+    for (int r = 0; r < plan.profile.replicas_per_cluster; ++r) {
+      cluster.replicas.push_back(world.add_host(
+          plan.as_index, topology::HostKind::kServer, cluster.pop_index));
+    }
+    clusters.push_back(std::move(cluster));
+  }
+
+  std::vector<net::Ipv4Addr> vips;
+  if (plan.profile.anycast) {
+    // Each VIP fronts one replica per cluster; measured latency is the
+    // nearest front's.
+    for (int v = 0; v < plan.profile.anycast_vips; ++v) {
+      std::vector<net::Ipv4Addr> instances;
+      for (const auto& cluster : clusters) {
+        instances.push_back(
+            cluster.replicas[static_cast<std::size_t>(v) % cluster.replicas.size()]);
+      }
+      vips.push_back(world.add_anycast(std::move(instances)));
+    }
+  }
+
+  return CdnProvider(plan.profile, &world, plan.as_index, std::move(clusters),
+                     std::move(vips));
+}
+
+}  // namespace drongo::cdn

@@ -1,0 +1,38 @@
+// Two-phase CDN deployment into a simulated world.
+//
+// Phase 1 (plan_cdn) runs BEFORE World construction: it adds the CDN's AS
+// node — one PoP per cluster metro — and its interconnection (peering with
+// tier-1s, regional peering with tier-2s, plus a transit uplink) to the AS
+// graph. Phase 2 (deploy_cdn) runs after: it allocates replica hosts and
+// builds the CdnProvider (and anycast VIPs when the profile asks for them).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cdn/provider.hpp"
+#include "net/rng.hpp"
+#include "topology/as_gen.hpp"
+
+namespace drongo::cdn {
+
+/// Output of phase 1, input to phase 2.
+struct CdnPlan {
+  CdnProfile profile;
+  std::size_t as_index = 0;
+  /// Per cluster: the PoP of the CDN AS it lives at, and metro.
+  std::vector<int> cluster_pops;
+  std::vector<int> cluster_metros;
+  std::vector<double> cluster_weights;
+};
+
+/// Adds the CDN's AS to the graph and plans cluster placement. Placement
+/// samples metros by population weight times the profile's metro bias, so
+/// regional CDNs (Alibaba, ChinaNetCenter, CubeCDN) concentrate where their
+/// real counterparts do.
+CdnPlan plan_cdn(topology::AsGraph& graph, const CdnProfile& profile, net::Rng& rng);
+
+/// Allocates replica hosts at the planned PoPs and builds the provider.
+CdnProvider deploy_cdn(topology::World& world, const CdnPlan& plan);
+
+}  // namespace drongo::cdn

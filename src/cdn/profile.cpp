@@ -1,0 +1,154 @@
+#include "cdn/profile.hpp"
+
+namespace drongo::cdn {
+
+namespace {
+/// Metro indices (see topology::world_metros()).
+constexpr int kMumbai = 18;
+constexpr int kSingapore = 19;
+constexpr int kHongKong = 20;
+constexpr int kTokyo = 21;
+constexpr int kSeoul = 22;
+constexpr int kIstanbul = 16;
+constexpr int kFrankfurt = 10;
+constexpr int kMadrid = 13;
+}  // namespace
+
+CdnProfile google_like() {
+  CdnProfile p;
+  p.name = "Google";
+  p.zone = "googlecdn.sim";
+  p.cluster_count = 42;
+  p.replicas_per_cluster = 5;
+  p.replica_set_size = 4;
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.15;
+  p.routing_awareness = 0.85;
+  p.mapping_error_rate = 0.05;
+  p.mapped_fraction = 0.85;
+  p.mapped_fraction_eyeball = 0.99;
+  p.lb_spill_prob = 0.06;
+  p.seed = 101;
+  return p;
+}
+
+CdnProfile cloudfront_like() {
+  CdnProfile p;
+  p.name = "CloudFront";
+  p.zone = "cloudfront.sim";
+  p.cluster_count = 16;
+  p.replicas_per_cluster = 4;
+  p.replica_set_size = 3;
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.08;
+  p.routing_awareness = 0.92;
+  p.mapping_error_rate = 0.02;
+  p.mapped_fraction = 0.92;
+  p.mapped_fraction_eyeball = 0.995;
+  p.lb_spill_prob = 0.03;
+  p.seed = 102;
+  return p;
+}
+
+CdnProfile alibaba_like() {
+  CdnProfile p;
+  p.name = "Alibaba";
+  p.zone = "alicdn.sim";
+  p.cluster_count = 26;
+  p.replicas_per_cluster = 3;
+  p.replica_set_size = 2;
+  p.metro_bias = {{kMumbai, 3.0}, {kSingapore, 5.0}, {kHongKong, 8.0},
+                  {kTokyo, 4.0}, {kSeoul, 4.0}};
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.6;
+  p.routing_awareness = 0.3;
+  p.mapping_error_rate = 0.16;
+  p.mapped_fraction = 0.6;
+  p.mapped_fraction_eyeball = 0.75;
+  p.lb_spill_prob = 0.10;
+  p.seed = 103;
+  return p;
+}
+
+CdnProfile cdnetworks_like() {
+  CdnProfile p;
+  p.name = "CDNetworks";
+  p.zone = "cdnetworks.sim";
+  p.cluster_count = 24;
+  p.replicas_per_cluster = 3;
+  p.replica_set_size = 2;
+  p.anycast = true;
+  p.anycast_vips = 6;
+  p.mapping_granularity = 20;
+  p.mapping_noise_sigma = 0.5;
+  p.routing_awareness = 0.4;
+  p.mapping_error_rate = 0.10;
+  p.mapped_fraction = 0.7;
+  p.mapped_fraction_eyeball = 0.9;
+  p.lb_spill_prob = 0.08;
+  p.seed = 104;
+  return p;
+}
+
+CdnProfile chinanetcenter_like() {
+  CdnProfile p;
+  p.name = "ChinaNetCtr";
+  p.zone = "chinanetctr.sim";
+  p.cluster_count = 22;
+  p.replicas_per_cluster = 3;
+  p.replica_set_size = 2;
+  p.metro_bias = {{kMumbai, 2.0}, {kSingapore, 6.0}, {kHongKong, 9.0},
+                  {kTokyo, 5.0}, {kSeoul, 5.0}};
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.6;
+  p.routing_awareness = 0.35;
+  p.mapping_error_rate = 0.12;
+  p.mapped_fraction = 0.55;
+  p.mapped_fraction_eyeball = 0.78;
+  p.lb_spill_prob = 0.12;
+  p.seed = 105;
+  return p;
+}
+
+CdnProfile cubecdn_like() {
+  CdnProfile p;
+  p.name = "CubeCDN";
+  p.zone = "cubecdn.sim";
+  p.cluster_count = 7;
+  p.replicas_per_cluster = 2;
+  p.replica_set_size = 2;
+  p.metro_bias = {{kIstanbul, 12.0}, {kFrankfurt, 2.0}, {kMadrid, 1.5}};
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.55;
+  p.routing_awareness = 0.3;
+  p.mapping_error_rate = 0.15;
+  p.mapped_fraction = 0.5;
+  p.mapped_fraction_eyeball = 0.75;
+  p.lb_spill_prob = 0.08;
+  p.seed = 106;
+  return p;
+}
+
+CdnProfile akamai_like_restricted() {
+  CdnProfile p;
+  p.name = "Akamai";
+  p.zone = "akamaicdn.sim";
+  p.cluster_count = 40;
+  p.replicas_per_cluster = 4;
+  p.replica_set_size = 2;
+  p.mapping_granularity = 24;
+  p.mapping_noise_sigma = 0.3;
+  p.routing_awareness = 0.7;
+  p.mapping_error_rate = 0.05;
+  p.mapped_fraction = 0.9;
+  p.ecs_restricted = true;
+  p.seed = 107;
+  return p;
+}
+
+std::vector<CdnProfile> paper_providers() {
+  return {google_like(),     cloudfront_like(),     alibaba_like(),
+          cdnetworks_like(), chinanetcenter_like(), cubecdn_like()};
+}
+
+}  // namespace drongo::cdn

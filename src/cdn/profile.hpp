@@ -1,0 +1,111 @@
+// Per-provider CDN profiles modelling the six CDNs from the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drongo::cdn {
+
+/// Static description of a CDN provider: footprint, mapping quality, and
+/// serving policy. Values are chosen so each simulated provider reproduces
+/// the qualitative behaviour the paper reports for its real counterpart
+/// (§3.1.1, §3.2, §5.2); see DESIGN.md for the mapping rationale.
+struct CdnProfile {
+  std::string name;
+  /// DNS zone apex, e.g. "googlecdn.sim"; content is served from
+  /// subdomains (img.<zone>, static.<zone>, ...).
+  std::string zone;
+  /// Hostnames (labels under the zone) that carry content.
+  std::vector<std::string> content_labels = {"img", "static", "media"};
+
+  /// Number of replica clusters to deploy.
+  int cluster_count = 20;
+  /// Replica hosts per cluster.
+  int replicas_per_cluster = 3;
+  /// Addresses returned per DNS response (the CR-set / HR-set size).
+  int replica_set_size = 2;
+
+  /// Per-metro placement weight multipliers; empty = uniform by metro
+  /// weight. Keys are metro indices into topology::world_metros().
+  std::vector<std::pair<int, double>> metro_bias;
+
+  /// ECS mapping granularity in prefix bits (24 = fine, 16 = coarse). Also
+  /// returned as the ECS SCOPE.
+  int mapping_granularity = 24;
+  /// Lognormal sigma on the CDN's internal latency estimates: how wrong its
+  /// measurements of the Internet are. Larger -> more (and deeper) valleys.
+  double mapping_noise_sigma = 0.35;
+  /// How much of the estimate comes from real routed-latency measurement
+  /// (1.0) versus geographic/IP-geolocation inference (0.0). Geography is
+  /// blind to routing inflation — low awareness is the paper's "CDNs'
+  /// mapping of the Internet isn't perfect" failure mode.
+  double routing_awareness = 0.5;
+  /// Probability a subnet is mapped to a random nearby cluster instead of
+  /// the estimated-best one (stale measurements, traffic engineering).
+  double mapping_error_rate = 0.08;
+  /// Fraction of INFRASTRUCTURE (router) subnet space the CDN has measured;
+  /// unmapped subnets receive rotating generic answers (per [47], as cited
+  /// in §3.2.2). Hop subnets live here, which is why some hops are
+  /// unpredictable (Fig. 5a).
+  double mapped_fraction = 0.8;
+  /// Fraction of EYEBALL (end-host) subnet space measured. CDNs map the
+  /// space their clients actually query from far more completely, so this
+  /// is high for every provider.
+  double mapped_fraction_eyeball = 0.97;
+  /// Probability a query is diverted to the second-best cluster for load
+  /// balancing (transient, per-query).
+  double lb_spill_prob = 0.08;
+
+  /// Anycast serving (CDNetworks): replica addresses are anycast VIPs whose
+  /// effective latency is that of the nearest front, making DNS-level
+  /// subnet choice nearly irrelevant.
+  bool anycast = false;
+  /// Number of anycast VIP groups when anycast is true.
+  int anycast_vips = 4;
+
+  /// Restricted ECS (Akamai-like): the authoritative ignores the ECS option
+  /// entirely and maps by resolver source address. Such providers are
+  /// filtered out by provider selection (§3.1.1) and serve as a negative
+  /// control in tests.
+  bool ecs_restricted = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// Index ranges in topology::world_metros(): [18,22] = Asia, 16 = Istanbul.
+/// The factories below use them to shape footprints.
+
+/// Google-like: huge, globally dispersed, fine-grained /24 mapping, modest
+/// estimate noise but a large mapped space — deep valleys where estimates
+/// go wrong (paper: 20.24% valleys, biggest per-query gains).
+CdnProfile google_like();
+
+/// Amazon CloudFront-like: ~50 PoPs, conservative and accurate mapping —
+/// fewest valleys (14.02%).
+CdnProfile cloudfront_like();
+
+/// Alibaba-like: Asia-concentrated footprint; mapping outside the core
+/// region is noisy — most prevalent valleys (33.68%, 75.83% of routes).
+CdnProfile alibaba_like();
+
+/// CDNetworks-like: global footprint served via anycast — valleys are
+/// frequent but shallow (latency ratio near 1).
+CdnProfile cdnetworks_like();
+
+/// ChinaNetCenter-like: Asia-centred, high estimate noise — deep valleys
+/// (27.42%).
+CdnProfile chinanetcenter_like();
+
+/// CubeCDN-like: small regional CDN centred on Turkey — high valley rate
+/// within its region (38.58%).
+CdnProfile cubecdn_like();
+
+/// Akamai-like negative control with restricted ECS (§2.2): not usable by
+/// Drongo; exercised by provider-selection tests.
+CdnProfile akamai_like_restricted();
+
+/// The paper's six-provider set, in Table 1 order.
+std::vector<CdnProfile> paper_providers();
+
+}  // namespace drongo::cdn

@@ -1,0 +1,218 @@
+#include "cdn/provider.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+
+namespace {
+
+/// SplitMix64-style stateless mixer for deterministic per-key randomness.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix(a * 0x9E3779B97F4A7C15ULL ^ mix(b) ^ mix(c * 0xFF51AFD7ED558CCDULL + 1));
+}
+
+/// Uniform double in [0,1) from a hash.
+double hash01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal from two hash halves (Box-Muller).
+double hash_normal(std::uint64_t h) {
+  const double u1 = hash01(mix(h)) + 1e-12;
+  const double u2 = hash01(mix(h ^ 0xDEADBEEFCAFEF00DULL));
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+CdnProvider::CdnProvider(CdnProfile profile, topology::World* world,
+                         std::size_t as_index, std::vector<CdnCluster> clusters,
+                         std::vector<net::Ipv4Addr> vips)
+    : profile_(std::move(profile)),
+      world_(world),
+      as_index_(as_index),
+      clusters_(std::move(clusters)),
+      vips_(std::move(vips)) {
+  if (world_ == nullptr) throw net::InvalidArgument("null World");
+  if (clusters_.empty()) throw net::InvalidArgument("CDN needs at least one cluster");
+  if (profile_.anycast && vips_.empty()) {
+    throw net::InvalidArgument("anycast profile requires VIPs");
+  }
+  by_weight_.resize(clusters_.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) by_weight_[i] = i;
+  std::stable_sort(by_weight_.begin(), by_weight_.end(), [this](std::size_t a, std::size_t b) {
+    return clusters_[a].weight > clusters_[b].weight;
+  });
+}
+
+net::Prefix CdnProvider::mapping_key(const net::Prefix& subnet) const {
+  const int g = std::min(profile_.mapping_granularity, subnet.length());
+  return subnet.truncated(g);
+}
+
+bool CdnProvider::is_mapped(const net::Prefix& subnet) const {
+  const net::Prefix key = mapping_key(subnet);
+  const net::Prefix probe(key.network(), 24);
+  const auto location = world_->subnet_location(probe);
+  if (!location) return false;  // space the CDN cannot even geolocate
+
+  // Eyeball space is what clients query from; CDNs map it near-completely.
+  // Infrastructure space (where traceroute hops live) gets best-effort
+  // coverage biased toward the CDN's build-out regions.
+  const bool eyeball = world_->subnet_kind(probe) == topology::SubnetKind::kHost;
+  double base = eyeball ? profile_.mapped_fraction_eyeball : profile_.mapped_fraction;
+
+  double nearest_ms = 1e18;
+  for (const auto& c : clusters_) {
+    nearest_ms = std::min(nearest_ms, topology::propagation_ms(*location, c.location));
+  }
+  double factor = 1.0;
+  if (nearest_ms > 40.0) factor = eyeball ? 0.97 : 0.7;
+  if (nearest_ms > 90.0) factor = eyeball ? 0.93 : 0.45;
+  const double u = hash01(hash3(profile_.seed, key.network().to_uint(), 0xA11CE));
+  return u < base * factor;
+}
+
+double CdnProvider::estimate_ms(const topology::GeoPoint& subnet_location,
+                                std::size_t cluster_index, const net::Prefix& key) const {
+  const CdnCluster& c = clusters_[cluster_index];
+  // Geographic inference: distance-derived RTT, blind to routing.
+  const double geo_rtt = 2.0 * topology::propagation_ms(subnet_location, c.location) + 2.0;
+  // Measurement: true routed RTT from the cluster to a representative
+  // address of the subnet (routers answer pings; hosts are pinged directly).
+  double blended = geo_rtt;
+  if (profile_.routing_awareness > 0.0 && !c.replicas.empty()) {
+    const net::Prefix probe(key.network(), 24);
+    const std::uint32_t rep_suffix =
+        world_->subnet_kind(probe) == topology::SubnetKind::kHost ? 10u : 1u;
+    const net::Ipv4Addr representative(probe.network().to_uint() | rep_suffix);
+    try {
+      const double measured = world_->rtt_base_ms(c.replicas.front(), representative);
+      blended = profile_.routing_awareness * measured +
+                (1.0 - profile_.routing_awareness) * geo_rtt;
+    } catch (const net::Error&) {
+      // Unmeasurable subnet: fall back to pure geography.
+    }
+  }
+  const double noise = std::exp(profile_.mapping_noise_sigma *
+                                hash_normal(hash3(profile_.seed, key.network().to_uint(),
+                                                  cluster_index + 17)));
+  return blended * noise;
+}
+
+std::vector<std::size_t> CdnProvider::ranked_clusters(
+    const topology::GeoPoint& subnet_location, const net::Prefix& key) const {
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(clusters_.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    scored.emplace_back(estimate_ms(subnet_location, i, key), i);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::size_t> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [ms, i] : scored) ranked.push_back(i);
+  return ranked;
+}
+
+int CdnProvider::mapped_cluster(const net::Prefix& subnet) const {
+  if (!is_mapped(subnet)) return -1;
+  const net::Prefix key = mapping_key(subnet);
+  const auto location = world_->subnet_location(net::Prefix(key.network(), 24));
+  if (!location) return -1;
+  const auto ranked = ranked_clusters(*location, key);
+  std::size_t choice = 0;
+  // Persistent mapping error: with probability error_rate the key is stuck
+  // on a lower-ranked cluster (geometrically distributed displacement).
+  const std::uint64_t h = hash3(profile_.seed, key.network().to_uint(), 0xE44);
+  if (hash01(h) < profile_.mapping_error_rate) {
+    std::size_t displacement = 1;
+    std::uint64_t g = mix(h);
+    while (hash01(g) < 0.5 && displacement + 1 < ranked.size()) {
+      ++displacement;
+      g = mix(g);
+    }
+    choice = std::min(displacement, ranked.size() - 1);
+  }
+  return static_cast<int>(ranked[choice]);
+}
+
+std::vector<net::Ipv4Addr> CdnProvider::replica_set_from(const CdnCluster& cluster,
+                                                         std::uint64_t rotation) const {
+  const std::size_t n = cluster.replicas.size();
+  const auto want = static_cast<std::size_t>(
+      std::min<int>(profile_.replica_set_size, static_cast<int>(n)));
+  std::vector<net::Ipv4Addr> out;
+  out.reserve(want);
+  for (std::size_t k = 0; k < want; ++k) {
+    out.push_back(cluster.replicas[(rotation + k) % n]);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Addr> CdnProvider::select_replicas(const net::Prefix& ecs_subnet) {
+  const std::uint64_t rotation = query_counter_++;
+  const net::Prefix key = mapping_key(ecs_subnet);
+
+  if (profile_.anycast) {
+    // Subnets are assigned a stable starting VIP; the set still rotates a
+    // little per query (divergence without latency consequence).
+    const std::size_t n = vips_.size();
+    const std::size_t start =
+        static_cast<std::size_t>(hash3(profile_.seed, key.network().to_uint(), 0xCA)) % n;
+    const auto want = static_cast<std::size_t>(
+        std::min<int>(profile_.replica_set_size, static_cast<int>(n)));
+    std::vector<net::Ipv4Addr> out;
+    for (std::size_t k = 0; k < want; ++k) {
+      out.push_back(vips_[(start + k + rotation % 2) % n]);
+    }
+    return out;
+  }
+
+  const int persistent = mapped_cluster(ecs_subnet);
+  if (persistent < 0) {
+    // Generic answer for unmapped space: any cluster, weighted by capacity,
+    // different per query. This is the instability [47] observed — and the
+    // risk a client takes when it assimilates a subnet the CDN never
+    // measured: the next answer can come from the wrong continent.
+    const std::uint64_t h = hash3(profile_.seed, key.network().to_uint(), rotation);
+    double total = 0.0;
+    for (const auto& c : clusters_) total += c.weight;
+    double x = hash01(h) * total;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      x -= clusters_[i].weight;
+      if (x <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    return replica_set_from(clusters_[pick], rotation);
+  }
+
+  std::size_t serve = static_cast<std::size_t>(persistent);
+  // Transient load-balancing spill to the runner-up.
+  const std::uint64_t spill_h =
+      hash3(profile_.seed ^ 0x5B1LL, key.network().to_uint(), rotation);
+  if (hash01(spill_h) < profile_.lb_spill_prob && clusters_.size() > 1) {
+    const auto location = world_->subnet_location(net::Prefix(key.network(), 24));
+    if (location) {
+      const auto ranked = ranked_clusters(*location, key);
+      serve = ranked[0] == serve ? ranked[1] : ranked[0];
+    }
+  }
+  return replica_set_from(clusters_[serve], rotation);
+}
+
+}  // namespace drongo::cdn

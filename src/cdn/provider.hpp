@@ -1,0 +1,101 @@
+// CdnProvider: the ECS-driven replica mapping service of one CDN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/profile.hpp"
+#include "net/prefix.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::cdn {
+
+/// One replica cluster: a PoP of the CDN's AS plus the replica hosts there.
+struct CdnCluster {
+  int pop_index = 0;
+  int metro_index = 0;
+  topology::GeoPoint location;
+  std::vector<net::Ipv4Addr> replicas;
+  /// Relative capacity; generic (unmapped) answers rotate over the
+  /// highest-capacity clusters.
+  double weight = 1.0;
+};
+
+/// The replica-selection brain of one simulated CDN.
+///
+/// Mapping model (the mechanisms §2.1/§3.2 of the paper attribute bad
+/// choices to):
+///  - Subnets are keyed at `mapping_granularity` bits: everything inside
+///    one key shares a mapping (coarse measurement).
+///  - Each mapped key has a PERSISTENT cluster choice: the cluster with the
+///    lowest CDN-estimated latency, where the estimate is geographic
+///    distance distorted by deterministic per-(key,cluster) lognormal noise
+///    (imperfect measurement), and with probability `mapping_error_rate`
+///    the choice is displaced down the ranking (stale data / traffic
+///    engineering). Persistence is what makes valley-prone subnets stable
+///    over days (Fig. 5b).
+///  - Keys the CDN never measured (`mapped_fraction`, biased toward the
+///    provider's build-out regions) receive GENERIC answers rotating over
+///    the largest clusters — unstable across queries (Fig. 5a).
+///  - Per query, load balancing spills to the runner-up cluster with
+///    probability `lb_spill_prob`, and the returned replica list is
+///    rotated so the first replica varies (why Drongo must respect the
+///    given order rather than cherry-pick).
+///  - In anycast mode every returned address is a VIP whose measured
+///    latency is that of the nearest front, so DNS-level choice barely
+///    matters (CDNetworks' shallow valleys, Fig. 6).
+class CdnProvider {
+ public:
+  /// `world` is borrowed. `vips` must be non-empty iff profile.anycast.
+  CdnProvider(CdnProfile profile, topology::World* world, std::size_t as_index,
+              std::vector<CdnCluster> clusters, std::vector<net::Ipv4Addr> vips);
+
+  [[nodiscard]] const CdnProfile& profile() const { return profile_; }
+  [[nodiscard]] const std::vector<CdnCluster>& clusters() const { return clusters_; }
+  [[nodiscard]] std::size_t as_index() const { return as_index_; }
+  [[nodiscard]] const std::vector<net::Ipv4Addr>& vips() const { return vips_; }
+
+  /// The replica set the CDN recommends to `ecs_subnet`, in serving order.
+  /// Advances the load-balancing rotation (deliberately stateful, like a
+  /// real authoritative).
+  std::vector<net::Ipv4Addr> select_replicas(const net::Prefix& ecs_subnet);
+
+  /// The mapping key for a subnet (truncated to granularity).
+  [[nodiscard]] net::Prefix mapping_key(const net::Prefix& subnet) const;
+
+  /// Whether the CDN has measured (mapped) this subnet.
+  [[nodiscard]] bool is_mapped(const net::Prefix& subnet) const;
+
+  /// The persistent cluster index for a mapped subnet, pre-load-balancing;
+  /// -1 for unmapped subnets. Exposed for tests and analysis.
+  [[nodiscard]] int mapped_cluster(const net::Prefix& subnet) const;
+
+  /// Queries served (load-balancing rotation position).
+  [[nodiscard]] std::uint64_t query_count() const { return query_counter_; }
+
+ private:
+  /// CDN-internal latency estimate from a subnet location to a cluster:
+  /// geography distorted by persistent noise. Ignores routing inflation —
+  /// the gap between this estimate and real routed RTT is one of the two
+  /// valley sources.
+  [[nodiscard]] double estimate_ms(const topology::GeoPoint& subnet_location,
+                                   std::size_t cluster_index,
+                                   const net::Prefix& key) const;
+
+  /// Clusters ranked by estimate for this key (mapped subnets only).
+  [[nodiscard]] std::vector<std::size_t> ranked_clusters(
+      const topology::GeoPoint& subnet_location, const net::Prefix& key) const;
+
+  std::vector<net::Ipv4Addr> replica_set_from(const CdnCluster& cluster,
+                                              std::uint64_t rotation) const;
+
+  CdnProfile profile_;
+  topology::World* world_;
+  std::size_t as_index_;
+  std::vector<CdnCluster> clusters_;
+  std::vector<net::Ipv4Addr> vips_;
+  std::vector<std::size_t> by_weight_;  ///< cluster indices, heaviest first
+  std::uint64_t query_counter_ = 0;
+};
+
+}  // namespace drongo::cdn

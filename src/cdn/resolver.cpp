@@ -1,0 +1,132 @@
+#include "cdn/resolver.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+
+PublicResolver::PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
+                               bool enable_cache)
+    : transport_(transport), address_(own_address), caching_(enable_cache) {
+  if (transport_ == nullptr) throw net::InvalidArgument("null transport");
+}
+
+void PublicResolver::register_zone(const dns::DnsName& zone, net::Ipv4Addr authoritative) {
+  zones_[zone] = authoritative;
+}
+
+std::optional<net::Ipv4Addr> PublicResolver::authoritative_for(
+    const dns::DnsName& name) const {
+  // Longest-suffix match across registered zones.
+  std::optional<net::Ipv4Addr> best;
+  std::size_t best_labels = 0;
+  for (const auto& [zone, server] : zones_) {
+    if (name.is_subdomain_of(zone) && zone.label_count() >= best_labels) {
+      best = server;
+      best_labels = zone.label_count();
+    }
+  }
+  return best;
+}
+
+dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr source) {
+  if (query.questions.size() != 1) {
+    return dns::Message::make_response(query, dns::Rcode::kFormErr);
+  }
+  const dns::Question& q = query.questions[0];
+
+  // Determine the ECS subnet to forward: the client's option if present,
+  // else the client's /24 (Google Public DNS behaviour).
+  net::Prefix ecs = net::Prefix(source, 24);
+  bool client_sent_ecs = false;
+  if (query.edns && query.edns->client_subnet && query.edns->client_subnet->family == 1) {
+    ecs = query.edns->client_subnet->source_prefix();
+    client_sent_ecs = true;
+  }
+
+  if (caching_ && q.type == dns::RrType::kA) {
+    if (auto hit = cache_.lookup(q.name, ecs, now_ms_)) {
+      // Cached entries hold final addresses only; intermediate CNAME chain
+      // records are not replayed (stubs consume addresses).
+      dns::Message response =
+          dns::Message::make_response(query, dns::Rcode::kNoError, hit->scope.length());
+      for (net::Ipv4Addr addr : hit->addresses) {
+        response.answers.push_back(dns::ResourceRecord::a(q.name, addr, 30));
+      }
+      if (!client_sent_ecs) response.clear_client_subnet();
+      return response;
+    }
+  }
+
+  // Iterative resolution with CNAME chasing (bounded depth, as real
+  // recursives do): each step queries the authoritative for the current
+  // name; a CNAME without accompanying A records restarts at the target.
+  dns::DnsName current = q.name;
+  std::vector<dns::ResourceRecord> chain;
+  dns::Message upstream_reply;
+  bool resolved = false;
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto authoritative = authoritative_for(current);
+    if (!authoritative) {
+      // A dangling chain (or unknown name) is SERVFAIL when mid-chase,
+      // REFUSED when we never had anywhere to go.
+      return dns::Message::make_response(
+          query, depth == 0 ? dns::Rcode::kRefused : dns::Rcode::kServFail);
+    }
+    dns::Message upstream = dns::Message::make_query(query.header.id, current, ecs, q.type);
+    ++upstream_queries_;
+    upstream_reply =
+        dns::Message::decode(transport_->exchange(address_, *authoritative, upstream.encode()));
+    if (upstream_reply.header.rcode != dns::Rcode::kNoError) break;
+
+    std::optional<dns::DnsName> target;
+    for (const auto& rr : upstream_reply.answers) {
+      if (rr.name == current) {
+        if (const auto* cname = std::get_if<dns::CnameRdata>(&rr.rdata)) {
+          target = cname->target;
+        }
+      }
+    }
+    if (!upstream_reply.answer_addresses().empty() || !target) {
+      resolved = true;
+      break;
+    }
+    // Chase: keep the chain for the client, restart at the target.
+    for (const auto& rr : upstream_reply.answers) chain.push_back(rr);
+    current = *target;
+  }
+  if (!resolved && upstream_reply.header.rcode == dns::Rcode::kNoError &&
+      upstream_reply.answer_addresses().empty() && !chain.empty()) {
+    // Chase depth exhausted: a CNAME loop.
+    return dns::Message::make_response(query, dns::Rcode::kServFail);
+  }
+
+  std::optional<int> scope;
+  if (upstream_reply.edns && upstream_reply.edns->client_subnet) {
+    scope = upstream_reply.edns->client_subnet->scope_prefix_length;
+  }
+  dns::Message response =
+      dns::Message::make_response(query, upstream_reply.header.rcode, scope);
+  response.header.ra = true;
+  response.answers = std::move(chain);
+  for (const auto& rr : upstream_reply.answers) response.answers.push_back(rr);
+
+  if (caching_ && q.type == dns::RrType::kA &&
+      response.header.rcode == dns::Rcode::kNoError && !response.answers.empty()) {
+    net::Prefix cache_scope = scope ? net::Prefix(ecs.network(), *scope) : ecs;
+    std::uint32_t ttl = UINT32_MAX;
+    for (const auto& rr : response.answers) ttl = std::min(ttl, rr.ttl);
+    const auto addresses = response.answer_addresses();
+    if (!addresses.empty()) {
+      cache_.insert(q.name, cache_scope, addresses, ttl, now_ms_);
+    }
+  }
+
+  // When the client sent no ECS, strip the option we added on its behalf
+  // (the client never asked to see it).
+  if (!client_sent_ecs) {
+    response.clear_client_subnet();
+  }
+  return response;
+}
+
+}  // namespace drongo::cdn

@@ -1,0 +1,47 @@
+// Public recursive resolver (the simulated 8.8.8.8).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dns/cache.hpp"
+#include "dns/server.hpp"
+
+namespace drongo::cdn {
+
+/// An ECS-forwarding public recursive resolver, modelled on Google Public
+/// DNS: queries are routed to the authoritative for the longest matching
+/// zone suffix; if the client supplied no ECS option, the resolver inserts
+/// one with the client's /24 (the "A Faster Internet" behaviour the paper
+/// builds on). Positive answers are cached per RFC 7871 scope rules with a
+/// caller-advanced simulated clock.
+class PublicResolver : public dns::DnsServer {
+ public:
+  /// `transport` carries queries to authoritatives; borrowed.
+  PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
+                 bool enable_cache = false);
+
+  /// Registers the authoritative server address for a zone.
+  void register_zone(const dns::DnsName& zone, net::Ipv4Addr authoritative);
+
+  dns::Message handle(const dns::Message& query, net::Ipv4Addr source) override;
+
+  /// Advances the simulated clock used for cache TTLs.
+  void set_time_ms(std::uint64_t now_ms) { now_ms_ = now_ms; }
+
+  [[nodiscard]] const dns::DnsCache& cache() const { return cache_; }
+  [[nodiscard]] std::uint64_t upstream_queries() const { return upstream_queries_; }
+
+ private:
+  std::optional<net::Ipv4Addr> authoritative_for(const dns::DnsName& name) const;
+
+  dns::DnsTransport* transport_;
+  net::Ipv4Addr address_;
+  bool caching_;
+  std::uint64_t now_ms_ = 0;
+  std::map<dns::DnsName, net::Ipv4Addr> zones_;
+  dns::DnsCache cache_;
+  std::uint64_t upstream_queries_ = 0;
+};
+
+}  // namespace drongo::cdn

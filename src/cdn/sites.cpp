@@ -1,0 +1,56 @@
+#include "cdn/sites.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+
+void SiteAuthoritative::add_site(Site site) {
+  sites_.push_back(std::move(site));
+}
+
+dns::Message SiteAuthoritative::handle(const dns::Message& query, net::Ipv4Addr /*source*/) {
+  if (query.questions.size() != 1) {
+    return dns::Message::make_response(query, dns::Rcode::kFormErr);
+  }
+  const dns::Question& q = query.questions[0];
+  const Site* in_zone = nullptr;
+  for (const auto& site : sites_) {
+    if (q.name.is_subdomain_of(site.zone)) in_zone = &site;
+    if (q.name == site.host) {
+      // Site content is not ECS-tailored at this level — scope 0 means the
+      // CNAME may be cached for everyone; tailoring happens at the CDN.
+      dns::Message response = dns::Message::make_response(query, dns::Rcode::kNoError,
+                                                          /*ecs_scope=*/0);
+      response.answers.push_back(
+          dns::ResourceRecord::cname(q.name, site.cdn_target, 300));
+      return response;
+    }
+  }
+  return dns::Message::make_response(
+      query, in_zone != nullptr ? dns::Rcode::kNxDomain : dns::Rcode::kRefused);
+}
+
+std::vector<Site> make_sites(int count,
+                             const std::vector<std::vector<dns::DnsName>>& cdn_content_names,
+                             net::Rng& rng) {
+  if (cdn_content_names.empty()) {
+    throw net::InvalidArgument("make_sites needs at least one provider");
+  }
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto& provider_names =
+        cdn_content_names[rng.index(cdn_content_names.size())];
+    if (provider_names.empty()) {
+      throw net::InvalidArgument("provider without content names");
+    }
+    Site site;
+    site.zone = dns::DnsName::must_parse("shop" + std::to_string(i) + ".sim");
+    site.host = dns::DnsName::must_parse("www.shop" + std::to_string(i) + ".sim");
+    site.cdn_target = provider_names[rng.index(provider_names.size())];
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+}  // namespace drongo::cdn

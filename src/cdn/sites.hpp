@@ -1,0 +1,45 @@
+// Content-provider sites fronted by CDNs via CNAME (paper §3.1.1).
+//
+// The paper scrapes URLs from Alexa-ranked sites and "when applicable,
+// resolved CNAME domains to their respective CDN domains". This module is
+// that layer: site hostnames whose DNS answers are CNAMEs into a CDN zone,
+// served by a site authoritative, chased by the public resolver.
+#pragma once
+
+#include <vector>
+
+#include "dns/server.hpp"
+#include "net/rng.hpp"
+
+namespace drongo::cdn {
+
+/// One CDN-fronted web property.
+struct Site {
+  dns::DnsName host;        ///< e.g. www.shop7.sim
+  dns::DnsName zone;        ///< e.g. shop7.sim
+  dns::DnsName cdn_target;  ///< e.g. img.googlecdn.sim
+};
+
+/// Authoritative server for many small site zones: answers the site host
+/// with a CNAME into the CDN, NXDOMAIN for other names in its zones, and
+/// REFUSED outside them.
+class SiteAuthoritative : public dns::DnsServer {
+ public:
+  void add_site(Site site);
+
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+
+  dns::Message handle(const dns::Message& query, net::Ipv4Addr source) override;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+/// Builds `count` sites named shop<i>.sim, each CNAMEd to a CDN content
+/// name drawn round-robin (deterministically shuffled) from
+/// `cdn_content_names` (one inner vector per provider).
+std::vector<Site> make_sites(int count,
+                             const std::vector<std::vector<dns::DnsName>>& cdn_content_names,
+                             net::Rng& rng);
+
+}  // namespace drongo::cdn

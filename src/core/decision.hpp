@@ -1,0 +1,83 @@
+// Drongo's decision engine (§4.3).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/valley.hpp"
+#include "core/window.hpp"
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+
+namespace drongo::core {
+
+/// The two tunables the paper sweeps in §5.1 plus the window size of §4.1.
+/// Defaults are the experimentally optimal values (vf = 1.0, vt = 0.95,
+/// window 5) under which Drongo reaches its peak aggregate gain.
+struct DrongoParams {
+  double valley_threshold = 0.95;     ///< vt: ratio must be below this to count
+  double min_valley_frequency = 1.0;  ///< vf: required fraction of window trials
+  std::size_t window_size = 5;
+  RatioConvention convention = RatioConvention::deployment();
+};
+
+/// Decides, per domain, whether — and with which hop subnet — to perform
+/// subnet assimilation.
+///
+/// Feed it trial records (collected during idle time); ask it for a subnet
+/// at resolution time. Rules, per §4.3:
+///  - only subnets with a FULL training window qualify ("sufficient data");
+///  - a subnet qualifies when its window valley frequency (at vt) is at
+///    least the vf parameter;
+///  - among qualified subnets the highest valley frequency wins; ties are
+///    broken uniformly at random;
+///  - no qualified subnet -> resolve with the client's own subnet.
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(DrongoParams params = {}, std::uint64_t seed = 99);
+
+  [[nodiscard]] const DrongoParams& params() const { return params_; }
+
+  /// Ingests one trial: updates the (domain, hop-subnet) windows with the
+  /// trial's latency ratios under the configured convention.
+  void observe(const measure::TrialRecord& trial);
+
+  /// The assimilation choice for `domain` right now, or nullopt for "use
+  /// the client's own subnet".
+  std::optional<net::Prefix> choose(const std::string& domain);
+
+  /// A qualified or candidate subnet's state, for introspection.
+  struct Candidate {
+    net::Prefix subnet;
+    double valley_frequency = 0.0;
+    std::size_t observations = 0;
+    bool qualified = false;
+  };
+
+  /// All tracked subnets for a domain with their current standing.
+  [[nodiscard]] std::vector<Candidate> candidates(const std::string& domain) const;
+
+  /// Number of (domain, subnet) windows currently tracked.
+  [[nodiscard]] std::size_t tracked_windows() const;
+
+  /// Persists the training state (all windows) in a line-oriented text
+  /// format. A deployed Drongo survives restarts without re-measuring: the
+  /// paper's 5-trial windows span days, far longer than a process lifetime.
+  void save(std::ostream& out) const;
+
+  /// Restores state written by save(), REPLACING current windows. Ratios
+  /// beyond the configured window size are truncated to the most recent.
+  /// Throws net::ParseError on malformed input.
+  void load(std::istream& in);
+
+ private:
+  DrongoParams params_;
+  net::Rng rng_;
+  /// domain (canonical) -> subnet -> window.
+  std::map<std::string, std::map<net::Prefix, TrainingWindow>> windows_;
+};
+
+}  // namespace drongo::core

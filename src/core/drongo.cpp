@@ -1,0 +1,42 @@
+#include "core/drongo.hpp"
+
+namespace drongo::core {
+
+DrongoClient::DrongoClient(DrongoParams params, std::uint64_t seed)
+    : engine_(params, seed) {}
+
+std::vector<measure::TrialRecord> DrongoClient::train(measure::TrialRunner& runner,
+                                                      std::size_t client_index,
+                                                      std::size_t provider_index,
+                                                      int trials, double spacing_hours,
+                                                      double start_time_hours,
+                                                      std::size_t label_index) {
+  std::vector<measure::TrialRecord> records;
+  records.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    records.push_back(runner.run(client_index, provider_index,
+                                 start_time_hours + t * spacing_hours, label_index));
+    engine_.observe(records.back());
+  }
+  return records;
+}
+
+dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
+                                            const dns::DnsName& domain) {
+  ++total_;
+  if (const auto subnet = engine_.choose(domain.to_string())) {
+    ++assimilated_;
+    return stub.resolve(domain, *subnet);
+  }
+  return stub.resolve_with_own_subnet(domain);
+}
+
+std::optional<net::Prefix> DrongoClient::select_subnet(const dns::DnsName& domain,
+                                                       const net::Prefix& /*client*/) {
+  ++total_;
+  auto choice = engine_.choose(domain.to_string());
+  if (choice) ++assimilated_;
+  return choice;
+}
+
+}  // namespace drongo::core

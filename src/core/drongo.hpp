@@ -1,0 +1,66 @@
+// DrongoClient: the complete client-side system (§4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/decision.hpp"
+#include "dns/proxy.hpp"
+#include "dns/stub_resolver.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::core {
+
+/// The deployable Drongo system for one client machine.
+///
+/// Drongo sits on top of the client's DNS path: it collects trials during
+/// idle time (train/observe), and at resolution time reshapes the outgoing
+/// ECS option toward a qualified valley-prone subnet — never touching the
+/// CDN's answer, never reordering replicas, never measuring on the fly
+/// (§2.4: past measurements predictively choose the assimilation subnet).
+///
+/// It implements dns::SubnetSelector, so it plugs directly into an
+/// LdnsProxy to become the machine's default resolver.
+class DrongoClient : public dns::SubnetSelector {
+ public:
+  explicit DrongoClient(DrongoParams params = {}, std::uint64_t seed = 7);
+
+  /// Idle-time data collection: runs `trials` trials against (client,
+  /// provider) spaced `spacing_hours` apart and feeds them to the decision
+  /// engine. The domain is pinned (`label_index` into the provider's
+  /// content names) so the window accumulates on one name, as a deployed
+  /// Drongo does per domain. Returns the trial records.
+  std::vector<measure::TrialRecord> train(measure::TrialRunner& runner,
+                                          std::size_t client_index,
+                                          std::size_t provider_index, int trials,
+                                          double spacing_hours,
+                                          double start_time_hours = 0.0,
+                                          std::size_t label_index = 0);
+
+  /// Feeds one externally collected trial.
+  void observe(const measure::TrialRecord& trial) { engine_.observe(trial); }
+
+  /// Resolution with assimilation: uses the qualified subnet when one
+  /// exists, else the client's own /24. Takes the FIRST replica of the
+  /// answer — always respecting the CDN's serving order.
+  dns::ResolutionResult resolve(dns::StubResolver& stub, const dns::DnsName& domain);
+
+  /// SubnetSelector hook for LdnsProxy deployment.
+  std::optional<net::Prefix> select_subnet(const dns::DnsName& domain,
+                                           const net::Prefix& client_subnet) override;
+
+  [[nodiscard]] DecisionEngine& engine() { return engine_; }
+  [[nodiscard]] const DecisionEngine& engine() const { return engine_; }
+
+  /// How many resolutions used an assimilated subnet vs the client's own.
+  [[nodiscard]] std::uint64_t assimilated_queries() const { return assimilated_; }
+  [[nodiscard]] std::uint64_t total_queries() const { return total_; }
+
+ private:
+  DecisionEngine engine_;
+  std::uint64_t assimilated_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace drongo::core

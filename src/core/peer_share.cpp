@@ -1,0 +1,48 @@
+#include "core/peer_share.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace drongo::core {
+
+std::string share_group_key(const topology::World& world, net::Ipv4Addr client,
+                            ShareScope scope) {
+  switch (scope) {
+    case ShareScope::kSlash24:
+      return net::Prefix(client, 24).to_string();
+    case ShareScope::kSlash16:
+      return net::Prefix(client, 16).to_string();
+    case ShareScope::kAsn:
+      return world.asn_of(client).to_string();
+  }
+  throw net::InvalidArgument("unknown share scope");
+}
+
+void PeerSharePool::join(const std::string& group, DecisionEngine* engine) {
+  if (engine == nullptr) throw net::InvalidArgument("null engine");
+  // Remove from any previous group (an engine sits in one group).
+  for (auto& [key, members] : groups_) {
+    members.erase(std::remove(members.begin(), members.end(), engine), members.end());
+  }
+  groups_[group].push_back(engine);
+}
+
+std::size_t PeerSharePool::publish(const std::string& group,
+                                   const measure::TrialRecord& trial) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  for (DecisionEngine* engine : it->second) {
+    engine->observe(trial);
+    ++deliveries_;
+  }
+  ++published_;
+  return it->second.size();
+}
+
+std::size_t PeerSharePool::group_size(const std::string& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+}  // namespace drongo::core

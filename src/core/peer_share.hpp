@@ -1,0 +1,69 @@
+// Peer-to-peer trial sharing (the paper's §7 future-work extension).
+//
+// "To keep the number of measurements small while ensuring their freshness,
+// a distributed, peer-to-peer component, where clients in the same subnet
+// share trial data, could be incorporated into Drongo's design."
+//
+// This module implements that component for the simulated deployment: a
+// process-local sharing pool where clients join a group (same /24, same
+// /16, or same AS — the scope controls how congruent the members' network
+// paths are) and every published trial trains every member's decision
+// engine. Each member then needs only window_size / group_size trials of
+// its own to fill a window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::core {
+
+/// How widely trials are shared. Narrower scopes share less but guarantee
+/// the peers see (nearly) the same routes; wider scopes save more
+/// measurements at the cost of path congruence.
+enum class ShareScope : std::uint8_t {
+  kSlash24,  ///< same /24: practically the same vantage point
+  kSlash16,  ///< same /16: same access network
+  kAsn,      ///< same AS: same operator, possibly different metros
+};
+
+/// The group key a client belongs to under a scope.
+std::string share_group_key(const topology::World& world, net::Ipv4Addr client,
+                            ShareScope scope);
+
+/// A sharing pool: members join groups; published trials train every member
+/// engine in the publisher's group (including the publisher).
+class PeerSharePool {
+ public:
+  /// Adds a member engine to `group`. Engines are borrowed and must outlive
+  /// the pool. An engine may belong to one group only (re-joining moves it).
+  void join(const std::string& group, DecisionEngine* engine);
+
+  /// Publishes a trial into the publisher's group: all member engines
+  /// observe it. Returns the number of engines trained.
+  std::size_t publish(const std::string& group, const measure::TrialRecord& trial);
+
+  [[nodiscard]] std::size_t group_size(const std::string& group) const;
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  /// Total (trial, engine) deliveries — each delivery beyond the publisher
+  /// is one full trial's worth of measurement a peer did not have to make.
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+  /// Measurements saved: deliveries to engines other than publishers.
+  [[nodiscard]] std::uint64_t trials_saved() const {
+    return deliveries_ - published_;
+  }
+
+ private:
+  std::map<std::string, std::vector<DecisionEngine*>> groups_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace drongo::core

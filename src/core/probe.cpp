@@ -1,0 +1,83 @@
+#include "core/probe.hpp"
+
+#include <map>
+#include <set>
+
+#include "net/error.hpp"
+
+namespace drongo::core {
+
+EcsProber::EcsProber(std::vector<net::Prefix> probe_subnets, int queries_per_subnet)
+    : probe_subnets_(std::move(probe_subnets)), queries_per_subnet_(queries_per_subnet) {
+  if (probe_subnets_.size() < 2) {
+    throw net::InvalidArgument("ECS probing needs at least two subnets");
+  }
+  if (queries_per_subnet_ < 1) {
+    throw net::InvalidArgument("queries_per_subnet must be positive");
+  }
+}
+
+EcsProbeResult EcsProber::probe(dns::StubResolver& stub, const dns::DnsName& domain) const {
+  EcsProbeResult result;
+  result.domain = domain;
+
+  // Per announced subnet, the set of replicas ever returned. Load balancing
+  // rotates within a serving cluster, so sets (not sequences) are compared.
+  std::map<net::Prefix, std::set<net::Ipv4Addr>> answers;
+  bool any_scope = false;
+  for (const auto& subnet : probe_subnets_) {
+    for (int q = 0; q < queries_per_subnet_; ++q) {
+      dns::ResolutionResult r;
+      try {
+        r = stub.resolve(domain, subnet);
+      } catch (const net::Error&) {
+        continue;  // unreachable server: treated as unresolvable below
+      }
+      if (!r.ok()) continue;
+      result.resolvable = true;
+      if (r.ecs_scope && r.ecs_scope->length() > 0) any_scope = true;
+      for (auto addr : r.addresses) answers[subnet].insert(addr);
+    }
+  }
+  if (!result.resolvable) return result;
+  result.ecs_honored = any_scope;
+
+  std::set<std::set<net::Ipv4Addr>> distinct;
+  for (const auto& [subnet, replicas] : answers) {
+    distinct.insert(replicas);
+  }
+  result.distinct_answers = distinct.size();
+
+  // Unrestricted ECS: some pair of announced subnets received fully
+  // DISJOINT replica sets. Mere set inequality is not enough — a restricted
+  // provider keyed on the resolver source still varies its answers through
+  // load balancing, but everything it returns comes from one serving pool,
+  // so all subnets' sets overlap. Distinct subnets steered to distinct
+  // clusters share nothing.
+  bool disjoint_pair = false;
+  for (auto a = answers.begin(); a != answers.end() && !disjoint_pair; ++a) {
+    for (auto b = std::next(a); b != answers.end() && !disjoint_pair; ++b) {
+      bool overlap = false;
+      for (auto addr : a->second) {
+        if (b->second.contains(addr)) overlap = true;
+      }
+      if (!overlap && !a->second.empty() && !b->second.empty()) disjoint_pair = true;
+    }
+  }
+  result.ecs_unrestricted = disjoint_pair;
+  return result;
+}
+
+std::vector<dns::DnsName> EcsProber::usable_domains(
+    dns::StubResolver& stub, const std::vector<dns::DnsName>& domains) const {
+  std::vector<dns::DnsName> usable;
+  for (const auto& domain : domains) {
+    const auto result = probe(stub, domain);
+    if (result.resolvable && result.ecs_unrestricted) {
+      usable.push_back(domain);
+    }
+  }
+  return usable;
+}
+
+}  // namespace drongo::core

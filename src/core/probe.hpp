@@ -1,0 +1,55 @@
+// Provider selection (§3.1.1): detecting unrestricted ECS support.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/stub_resolver.hpp"
+#include "net/prefix.hpp"
+
+namespace drongo::core {
+
+/// Verdict for one probed domain.
+struct EcsProbeResult {
+  dns::DnsName domain;
+  bool resolvable = false;
+  /// The server echoed an ECS option with a non-zero scope: it understands
+  /// and uses ECS.
+  bool ecs_honored = false;
+  /// Announcing different foreign subnets changed the answer: the provider
+  /// implements ECS in its UNRESTRICTED form (usable for assimilation).
+  /// Akamai-style providers that only accept ECS from whitelisted resolvers
+  /// fail this even when ecs_honored appears true.
+  bool ecs_unrestricted = false;
+  /// Distinct replica sets observed across the probe subnets.
+  std::size_t distinct_answers = 0;
+};
+
+/// Probes domains for unrestricted ECS the way the paper selects its six
+/// providers: resolve each domain repeatedly while announcing a spread of
+/// foreign subnets, and call ECS unrestricted when the answers actually
+/// track the announced subnet.
+///
+/// `probe_subnets` should be geographically spread /24s (the caller knows
+/// its world); at least two are required. `queries_per_subnet` must be
+/// large enough to exhaust one cluster's load-balancing rotation (default
+/// 4), or a restricted provider's rotating pool could masquerade as
+/// subnet-dependent answers.
+class EcsProber {
+ public:
+  explicit EcsProber(std::vector<net::Prefix> probe_subnets, int queries_per_subnet = 4);
+
+  EcsProbeResult probe(dns::StubResolver& stub, const dns::DnsName& domain) const;
+
+  /// Probes many domains and returns only those usable by Drongo
+  /// (resolvable + unrestricted ECS), in input order — the paper's
+  /// "remaining URLs" after the §3.1.1 filter.
+  std::vector<dns::DnsName> usable_domains(dns::StubResolver& stub,
+                                           const std::vector<dns::DnsName>& domains) const;
+
+ private:
+  std::vector<net::Prefix> probe_subnets_;
+  int queries_per_subnet_;
+};
+
+}  // namespace drongo::core

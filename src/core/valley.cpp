@@ -1,0 +1,49 @@
+#include "core/valley.hpp"
+
+#include <algorithm>
+
+#include "measure/stats.hpp"
+
+namespace drongo::core {
+
+std::optional<double> crm_value(const measure::TrialRecord& trial, CrmPick pick) {
+  if (trial.cr.empty()) return std::nullopt;
+  switch (pick) {
+    case CrmPick::kMin:
+      return trial.min_crm();
+    case CrmPick::kFirst:
+      return trial.cr.front().rtt_ms;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> hrm_value(const measure::HopRecord& hop, HrmPick pick) {
+  if (hop.hr.empty()) return std::nullopt;
+  switch (pick) {
+    case HrmPick::kFirst:
+      return hop.hr.front().rtt_ms;
+    case HrmPick::kMin: {
+      double best = hop.hr.front().rtt_ms;
+      for (const auto& m : hop.hr) best = std::min(best, m.rtt_ms);
+      return best;
+    }
+    case HrmPick::kMedian: {
+      std::vector<double> values;
+      values.reserve(hop.hr.size());
+      for (const auto& m : hop.hr) values.push_back(m.rtt_ms);
+      return measure::median(std::move(values));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> latency_ratio(const measure::TrialRecord& trial,
+                                    const measure::HopRecord& hop,
+                                    RatioConvention convention) {
+  const auto crm = crm_value(trial, convention.crm);
+  const auto hrm = hrm_value(hop, convention.hrm);
+  if (!crm || !hrm || *crm <= 0.0) return std::nullopt;
+  return *hrm / *crm;
+}
+
+}  // namespace drongo::core

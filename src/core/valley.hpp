@@ -1,0 +1,49 @@
+// Latency valleys: the paper's central observable (§2.3).
+#pragma once
+
+#include <optional>
+
+#include "measure/trial.hpp"
+
+namespace drongo::core {
+
+/// How to collapse a replica set to one latency number.
+///
+/// The paper uses two conventions:
+///  - PlanetLab analysis (§3.2): CRM = MINIMUM over the CR-set (best case
+///    for the baseline), HRM = MEDIAN over the HR-set (conservative for
+///    Drongo) — a deliberate lower bound on the gains.
+///  - RIPE/system evaluation (§5): FIRST replica of each set, mirroring
+///    what a real client does and respecting CDN serving order.
+enum class CrmPick : std::uint8_t { kMin, kFirst };
+enum class HrmPick : std::uint8_t { kMedian, kFirst, kMin };
+
+struct RatioConvention {
+  CrmPick crm = CrmPick::kFirst;
+  HrmPick hrm = HrmPick::kFirst;
+
+  /// §3.2 lower-bound convention.
+  static RatioConvention planetlab() { return {CrmPick::kMin, HrmPick::kMedian}; }
+  /// §5 deployment convention.
+  static RatioConvention deployment() { return {CrmPick::kFirst, HrmPick::kFirst}; }
+};
+
+/// The client-replica measurement under a convention; nullopt when the
+/// trial has no CR measurements.
+std::optional<double> crm_value(const measure::TrialRecord& trial, CrmPick pick);
+
+/// The hop-replica measurement under a convention; nullopt when the hop has
+/// no HR measurements.
+std::optional<double> hrm_value(const measure::HopRecord& hop, HrmPick pick);
+
+/// HRM/CRM for one hop of one trial; nullopt when either side is missing.
+std::optional<double> latency_ratio(const measure::TrialRecord& trial,
+                                    const measure::HopRecord& hop,
+                                    RatioConvention convention);
+
+/// The valley predicate: HRM/CRM < vt <= 1 (§2.3).
+constexpr bool is_valley(double ratio, double valley_threshold) {
+  return ratio < valley_threshold;
+}
+
+}  // namespace drongo::core

@@ -1,0 +1,32 @@
+#include "core/window.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::core {
+
+TrainingWindow::TrainingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw net::InvalidArgument("window capacity must be positive");
+}
+
+void TrainingWindow::add(double ratio) {
+  ratios_.push_back(ratio);
+  while (ratios_.size() > capacity_) ratios_.pop_front();
+}
+
+double TrainingWindow::valley_frequency(double valley_threshold) const {
+  if (ratios_.empty()) return 0.0;
+  std::size_t valleys = 0;
+  for (double r : ratios_) {
+    if (r < valley_threshold) ++valleys;
+  }
+  return static_cast<double>(valleys) / static_cast<double>(ratios_.size());
+}
+
+bool TrainingWindow::any_valley(double valley_threshold) const {
+  for (double r : ratios_) {
+    if (r < valley_threshold) return true;
+  }
+  return false;
+}
+
+}  // namespace drongo::core

@@ -1,0 +1,40 @@
+// Training windows: bounded per-subnet measurement history (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace drongo::core {
+
+/// A sliding window of latency ratios observed for one (domain, subnet)
+/// pair. Drongo keeps storage tiny: the paper finds a window of 5 captures
+/// nearly all the predictive power (Fig. 5b), so that is the default.
+class TrainingWindow {
+ public:
+  explicit TrainingWindow(std::size_t capacity = 5);
+
+  /// Records the latency ratio from one trial.
+  void add(double ratio);
+
+  [[nodiscard]] std::size_t size() const { return ratios_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Drongo only acts on full windows ("sufficient data", §4).
+  [[nodiscard]] bool full() const { return ratios_.size() >= capacity_; }
+
+  /// Valley frequency at threshold vt: fraction of window trials whose
+  /// ratio is a valley (ratio < vt). Zero for an empty window.
+  [[nodiscard]] double valley_frequency(double valley_threshold) const;
+
+  /// True when at least one window trial is a valley at vt — the Fig. 5b
+  /// stability precondition.
+  [[nodiscard]] bool any_valley(double valley_threshold) const;
+
+  [[nodiscard]] const std::deque<double>& ratios() const { return ratios_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> ratios_;
+};
+
+}  // namespace drongo::core

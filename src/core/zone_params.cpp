@@ -1,0 +1,35 @@
+#include "core/zone_params.hpp"
+
+namespace drongo::core {
+
+ZoneParamsSelector::ZoneParamsSelector(DrongoParams default_params, std::uint64_t seed)
+    : default_engine_(default_params, seed), next_seed_(seed + 1) {}
+
+void ZoneParamsSelector::set_zone_params(const dns::DnsName& zone, DrongoParams params) {
+  zones_[zone] = std::make_unique<DecisionEngine>(params, next_seed_++);
+}
+
+DecisionEngine& ZoneParamsSelector::engine_for(const dns::DnsName& domain) {
+  DecisionEngine* best = &default_engine_;
+  std::size_t best_labels = 0;
+  for (auto& [zone, engine] : zones_) {
+    if (domain.is_subdomain_of(zone) && zone.label_count() >= best_labels) {
+      best = engine.get();
+      best_labels = zone.label_count();
+    }
+  }
+  return *best;
+}
+
+void ZoneParamsSelector::observe(const measure::TrialRecord& trial) {
+  const auto domain = dns::DnsName::parse(trial.domain);
+  if (!domain) return;
+  engine_for(*domain).observe(trial);
+}
+
+std::optional<net::Prefix> ZoneParamsSelector::select_subnet(
+    const dns::DnsName& domain, const net::Prefix& /*client_subnet*/) {
+  return engine_for(domain).choose(domain.to_string());
+}
+
+}  // namespace drongo::core

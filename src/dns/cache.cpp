@@ -1,0 +1,51 @@
+#include "dns/cache.hpp"
+
+namespace drongo::dns {
+
+std::optional<DnsCache::Entry> DnsCache::lookup(const DnsName& name,
+                                                const net::Prefix& client_subnet,
+                                                std::uint64_t now_ms) {
+  const std::string canonical = name.canonical();
+  // Scan entries for this name; usable when the client subnet falls within
+  // the cached scope. Names have few scopes in practice so the range scan is
+  // short.
+  auto it = entries_.lower_bound({canonical, net::Prefix()});
+  for (; it != entries_.end() && it->first.first == canonical; ++it) {
+    const Entry& e = it->second;
+    if (e.expiry_ms <= now_ms) continue;
+    if (e.scope.contains(client_subnet.network())) {
+      ++hits_;
+      return e;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void DnsCache::insert(const DnsName& name, const net::Prefix& scope,
+                      std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
+                      std::uint64_t now_ms) {
+  if (entries_.size() >= max_entries_) purge(now_ms);
+  if (entries_.size() >= max_entries_ && !entries_.empty()) {
+    // Still full after purge: evict an arbitrary (first) entry. A production
+    // resolver would use LRU; for simulation fairness any victim works.
+    entries_.erase(entries_.begin());
+  }
+  Entry e;
+  e.addresses = std::move(addresses);
+  e.scope = scope;
+  e.expiry_ms = now_ms + std::uint64_t{ttl_seconds} * 1000;
+  entries_[{name.canonical(), scope}] = std::move(e);
+}
+
+void DnsCache::purge(std::uint64_t now_ms) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expiry_ms <= now_ms) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace drongo::dns

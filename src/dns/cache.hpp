@@ -1,0 +1,57 @@
+// ECS-aware DNS answer cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+
+namespace drongo::dns {
+
+/// A positive-answer cache keyed by (qname, ECS scope network), per the
+/// RFC 7871 §7.3.1 rule that answers tailored to a subnet may only be reused
+/// for queries whose address falls inside the returned SCOPE prefix.
+///
+/// Time is injected by the caller (simulated milliseconds) so cache behaviour
+/// is deterministic and testable.
+class DnsCache {
+ public:
+  struct Entry {
+    std::vector<net::Ipv4Addr> addresses;
+    net::Prefix scope;       ///< scope prefix the server returned.
+    std::uint64_t expiry_ms = 0;
+  };
+
+  explicit DnsCache(std::size_t max_entries = 4096) : max_entries_(max_entries) {}
+
+  /// Looks up an answer usable for `client_subnet` at time `now_ms`.
+  std::optional<Entry> lookup(const DnsName& name, const net::Prefix& client_subnet,
+                              std::uint64_t now_ms);
+
+  /// Inserts an answer with the server-provided scope and TTL.
+  void insert(const DnsName& name, const net::Prefix& scope,
+              std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
+              std::uint64_t now_ms);
+
+  /// Drops expired entries (also invoked opportunistically on insert).
+  void purge(std::uint64_t now_ms);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<std::string, net::Prefix>;  // canonical name + scope net
+
+  std::map<Key, Entry> entries_;
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace drongo::dns

@@ -1,0 +1,73 @@
+#include "dns/edns.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+
+ClientSubnet ClientSubnet::for_subnet(const net::Prefix& subnet) {
+  ClientSubnet ecs;
+  ecs.family = 1;
+  ecs.source_prefix_length = static_cast<std::uint8_t>(subnet.length());
+  ecs.scope_prefix_length = 0;
+  ecs.address = subnet.network();
+  return ecs;
+}
+
+void ClientSubnet::encode(net::ByteWriter& writer) const {
+  writer.write_u16(family);
+  writer.write_u8(source_prefix_length);
+  writer.write_u8(scope_prefix_length);
+  // RFC 7871 §6: address is truncated to the minimum bytes covering
+  // source_prefix_length bits, with trailing bits zeroed.
+  const int bytes = (source_prefix_length + 7) / 8;
+  const std::uint32_t masked =
+      source_prefix_length == 0
+          ? 0
+          : address.to_uint() & (~std::uint32_t{0} << (32 - source_prefix_length));
+  for (int i = 0; i < bytes; ++i) {
+    writer.write_u8(static_cast<std::uint8_t>(masked >> (8 * (3 - i))));
+  }
+}
+
+ClientSubnet ClientSubnet::decode(net::ByteReader& reader, std::size_t length) {
+  if (length < 4) throw net::ParseError("ECS option shorter than fixed header");
+  ClientSubnet ecs;
+  ecs.family = reader.read_u16();
+  ecs.source_prefix_length = reader.read_u8();
+  ecs.scope_prefix_length = reader.read_u8();
+  const std::size_t addr_bytes = length - 4;
+  if (ecs.family == 1) {
+    if (ecs.source_prefix_length > 32) {
+      throw net::ParseError("ECS IPv4 source prefix length > 32");
+    }
+    const std::size_t expected = (ecs.source_prefix_length + 7u) / 8u;
+    if (addr_bytes != expected) {
+      throw net::ParseError("ECS IPv4 address has " + std::to_string(addr_bytes) +
+                            " bytes, expected " + std::to_string(expected));
+    }
+    std::uint32_t bits = 0;
+    for (std::size_t i = 0; i < addr_bytes; ++i) {
+      bits |= std::uint32_t{reader.read_u8()} << (8 * (3 - i));
+    }
+    // Mask any non-zero trailing bits rather than rejecting: be liberal in
+    // what we accept (the prefix semantics are unchanged).
+    if (ecs.source_prefix_length < 32) {
+      bits &= ecs.source_prefix_length == 0
+                  ? 0
+                  : ~std::uint32_t{0} << (32 - ecs.source_prefix_length);
+    }
+    ecs.address = net::Ipv4Addr(bits);
+  } else {
+    // Unknown family: consume the bytes so the reader stays aligned. The
+    // address is not representable; leave it unspecified.
+    reader.skip(addr_bytes);
+    ecs.address = net::Ipv4Addr{};
+  }
+  return ecs;
+}
+
+std::string ClientSubnet::to_string() const {
+  return source_prefix().to_string() + "/scope" + std::to_string(scope_prefix_length);
+}
+
+}  // namespace drongo::dns

@@ -1,0 +1,39 @@
+// In-memory DNS "network": routes encoded queries to registered servers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "dns/server.hpp"
+
+namespace drongo::dns {
+
+/// A process-local DNS fabric. Servers register under an IPv4 address;
+/// exchanges serialize the query to wire bytes, decode them on the "server
+/// side", and serialize/decode the response symmetrically — so the full
+/// RFC 1035/7871 codec is on the hot path of every simulated lookup exactly
+/// as it would be over a socket.
+class InMemoryDnsNetwork : public DnsTransport {
+ public:
+  /// Registers (or replaces) the server reachable at `address`. The network
+  /// keeps a non-owning reference; the server must outlive the network's use.
+  void register_server(net::Ipv4Addr address, DnsServer* server);
+
+  /// Removes a server.
+  void unregister_server(net::Ipv4Addr address);
+
+  [[nodiscard]] bool has_server(net::Ipv4Addr address) const;
+
+  /// Number of exchanges performed (for measurement-overhead accounting).
+  [[nodiscard]] std::uint64_t exchange_count() const { return exchanges_; }
+
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
+                                     std::span<const std::uint8_t> query) override;
+
+ private:
+  std::unordered_map<net::Ipv4Addr, DnsServer*> servers_;
+  std::uint64_t exchanges_ = 0;
+};
+
+}  // namespace drongo::dns

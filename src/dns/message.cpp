@@ -1,0 +1,222 @@
+#include "dns/message.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+
+namespace {
+
+constexpr std::uint16_t kFlagQr = 0x8000;
+constexpr std::uint16_t kFlagAa = 0x0400;
+constexpr std::uint16_t kFlagTc = 0x0200;
+constexpr std::uint16_t kFlagRd = 0x0100;
+constexpr std::uint16_t kFlagRa = 0x0080;
+
+std::uint16_t pack_flags(const Header& h) {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= kFlagQr;
+  flags |= static_cast<std::uint16_t>((static_cast<std::uint16_t>(h.opcode) & 0xF) << 11);
+  if (h.aa) flags |= kFlagAa;
+  if (h.tc) flags |= kFlagTc;
+  if (h.rd) flags |= kFlagRd;
+  if (h.ra) flags |= kFlagRa;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.rcode) & 0xF);
+  return flags;
+}
+
+Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = (flags & kFlagQr) != 0;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
+  h.aa = (flags & kFlagAa) != 0;
+  h.tc = (flags & kFlagTc) != 0;
+  h.rd = (flags & kFlagRd) != 0;
+  h.ra = (flags & kFlagRa) != 0;
+  h.rcode = static_cast<Rcode>(flags & 0xF);
+  return h;
+}
+
+/// Synthesizes the OPT pseudo-record from parsed EDNS state.
+ResourceRecord opt_record(const Edns& edns) {
+  net::ByteWriter rdata;
+  if (edns.client_subnet) {
+    rdata.write_u16(kOptionCodeClientSubnet);
+    const std::size_t len_at = rdata.size();
+    rdata.write_u16(0);
+    const std::size_t start = rdata.size();
+    edns.client_subnet->encode(rdata);
+    rdata.patch_u16(len_at, static_cast<std::uint16_t>(rdata.size() - start));
+  }
+  for (const auto& opt : edns.other_options) {
+    rdata.write_u16(opt.code);
+    rdata.write_u16(static_cast<std::uint16_t>(opt.payload.size()));
+    rdata.write_bytes(opt.payload);
+  }
+
+  ResourceRecord rr;
+  rr.name = DnsName();  // root
+  rr.type = RrType::kOpt;
+  rr.klass = static_cast<RrClass>(edns.udp_payload_size);
+  rr.ttl = (std::uint32_t{edns.extended_rcode} << 24) |
+           (std::uint32_t{edns.version} << 16) | edns.flags;
+  rr.rdata = RawRdata{rdata.take()};
+  return rr;
+}
+
+Edns parse_opt(const ResourceRecord& rr) {
+  Edns edns;
+  edns.udp_payload_size = static_cast<std::uint16_t>(rr.klass);
+  edns.extended_rcode = static_cast<std::uint8_t>(rr.ttl >> 24);
+  edns.version = static_cast<std::uint8_t>(rr.ttl >> 16);
+  edns.flags = static_cast<std::uint16_t>(rr.ttl);
+  const auto& raw = std::get<RawRdata>(rr.rdata).bytes;
+  net::ByteReader r(raw);
+  while (r.remaining() > 0) {
+    const std::uint16_t code = r.read_u16();
+    const std::uint16_t len = r.read_u16();
+    if (code == kOptionCodeClientSubnet) {
+      edns.client_subnet = ClientSubnet::decode(r, len);
+    } else {
+      edns.other_options.push_back({code, r.read_bytes(len)});
+    }
+  }
+  return edns;
+}
+
+}  // namespace
+
+Message Message::make_query(std::uint16_t id, const DnsName& name,
+                            std::optional<net::Prefix> ecs_subnet, RrType type) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.rd = true;
+  m.questions.push_back({name, type, RrClass::kIn});
+  m.edns = Edns{};
+  if (ecs_subnet) {
+    m.edns->client_subnet = ClientSubnet::for_subnet(*ecs_subnet);
+  }
+  return m;
+}
+
+Message Message::make_response(const Message& query, Rcode rcode,
+                               std::optional<int> ecs_scope) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.ra = true;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  if (query.edns) {
+    m.edns = Edns{};
+    m.edns->udp_payload_size = 4096;
+    if (query.edns->client_subnet) {
+      ClientSubnet ecs = *query.edns->client_subnet;
+      ecs.scope_prefix_length = static_cast<std::uint8_t>(
+          ecs_scope.value_or(ecs.source_prefix_length));
+      m.edns->client_subnet = ecs;
+    }
+  }
+  return m;
+}
+
+const std::optional<ClientSubnet>& Message::client_subnet() const {
+  static const std::optional<ClientSubnet> kNone;
+  return edns ? edns->client_subnet : kNone;
+}
+
+void Message::set_client_subnet(const ClientSubnet& ecs) {
+  if (!edns) edns = Edns{};
+  edns->client_subnet = ecs;
+}
+
+void Message::clear_client_subnet() {
+  if (edns) edns->client_subnet.reset();
+}
+
+std::vector<net::Ipv4Addr> Message::answer_addresses() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARdata>(&rr.rdata)) {
+      out.push_back(a->address);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  net::ByteWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+
+  const std::size_t additional_count = additional.size() + (edns ? 1 : 0);
+  w.write_u16(header.id);
+  w.write_u16(pack_flags(header));
+  w.write_u16(static_cast<std::uint16_t>(questions.size()));
+  w.write_u16(static_cast<std::uint16_t>(answers.size()));
+  w.write_u16(static_cast<std::uint16_t>(authority.size()));
+  w.write_u16(static_cast<std::uint16_t>(additional_count));
+
+  for (const auto& q : questions) {
+    q.name.encode(w, &offsets);
+    w.write_u16(static_cast<std::uint16_t>(q.type));
+    w.write_u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rr : answers) rr.encode(w, &offsets);
+  for (const auto& rr : authority) rr.encode(w, &offsets);
+  for (const auto& rr : additional) rr.encode(w, &offsets);
+  if (edns) opt_record(*edns).encode(w, &offsets);
+  return w.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> wire) {
+  net::ByteReader r(wire);
+  Message m;
+  const std::uint16_t id = r.read_u16();
+  const std::uint16_t flags = r.read_u16();
+  m.header = unpack_flags(id, flags);
+  const std::uint16_t qdcount = r.read_u16();
+  const std::uint16_t ancount = r.read_u16();
+  const std::uint16_t nscount = r.read_u16();
+  const std::uint16_t arcount = r.read_u16();
+
+  for (int i = 0; i < qdcount; ++i) {
+    Question q;
+    q.name = DnsName::decode(r);
+    q.type = static_cast<RrType>(r.read_u16());
+    q.klass = static_cast<RrClass>(r.read_u16());
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < ancount; ++i) m.answers.push_back(ResourceRecord::decode(r));
+  for (int i = 0; i < nscount; ++i) m.authority.push_back(ResourceRecord::decode(r));
+  for (int i = 0; i < arcount; ++i) {
+    ResourceRecord rr = ResourceRecord::decode(r);
+    if (rr.type == RrType::kOpt) {
+      if (m.edns) throw net::ParseError("message carries more than one OPT record");
+      if (!rr.name.is_root()) throw net::ParseError("OPT record owner must be root");
+      m.edns = parse_opt(rr);
+    } else {
+      m.additional.push_back(std::move(rr));
+    }
+  }
+  return m;
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  out += ";; id " + std::to_string(header.id) + " " + (header.qr ? "response" : "query") +
+         " rcode " + dns::to_string(header.rcode) + "\n";
+  if (edns && edns->client_subnet) {
+    out += ";; ECS " + edns->client_subnet->to_string() + "\n";
+  }
+  for (const auto& q : questions) {
+    out += ";" + q.name.to_string() + " IN " + dns::to_string(q.type) + "\n";
+  }
+  for (const auto& rr : answers) out += rr.to_string() + "\n";
+  for (const auto& rr : authority) out += rr.to_string() + "\n";
+  for (const auto& rr : additional) out += rr.to_string() + "\n";
+  return out;
+}
+
+}  // namespace drongo::dns

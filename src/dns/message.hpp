@@ -1,0 +1,86 @@
+// DNS message: header, sections, full wire codec, EDNS integration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/edns.hpp"
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+#include "dns/types.hpp"
+
+namespace drongo::dns {
+
+/// The 12-byte DNS header (RFC 1035 §4.1.1), flags broken out.
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;                  ///< false = query, true = response.
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;                  ///< authoritative answer.
+  bool tc = false;                  ///< truncated.
+  bool rd = true;                   ///< recursion desired.
+  bool ra = false;                  ///< recursion available.
+  Rcode rcode = Rcode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+/// A question-section entry.
+struct Question {
+  DnsName name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// A full DNS message.
+///
+/// The OPT pseudo-record is lifted out of the additional section into `edns`
+/// on decode and re-synthesized on encode, so callers manipulate ECS through
+/// `Message::edns->client_subnet` and never touch OPT wire details.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+  std::optional<Edns> edns;
+
+  /// Builds an A-record query for `name`, optionally carrying an ECS subnet.
+  /// This is the only query shape Drongo sends.
+  static Message make_query(std::uint16_t id, const DnsName& name,
+                            std::optional<net::Prefix> ecs_subnet = std::nullopt,
+                            RrType type = RrType::kA);
+
+  /// Builds a response skeleton echoing the query's id, question, and (per
+  /// RFC 7871) its ECS option with `scope_prefix_length` set to `ecs_scope`.
+  static Message make_response(const Message& query, Rcode rcode = Rcode::kNoError,
+                               std::optional<int> ecs_scope = std::nullopt);
+
+  /// The ECS option if present.
+  [[nodiscard]] const std::optional<ClientSubnet>& client_subnet() const;
+
+  /// Sets (or replaces) the ECS option, creating the EDNS block if needed.
+  void set_client_subnet(const ClientSubnet& ecs);
+
+  /// Removes the ECS option, leaving other EDNS state intact.
+  void clear_client_subnet();
+
+  /// All A-record addresses from the answer section, in order. Order matters:
+  /// Drongo always takes the FIRST address, respecting CDN load balancing.
+  [[nodiscard]] std::vector<net::Ipv4Addr> answer_addresses() const;
+
+  /// Serializes to wire format with name compression.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire format. Throws ParseError on malformed input.
+  static Message decode(std::span<const std::uint8_t> wire);
+
+  /// Multi-line human-readable dump (dig-like).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace drongo::dns

@@ -1,0 +1,42 @@
+#include "dns/reverse.hpp"
+
+#include <charconv>
+
+namespace drongo::dns {
+
+DnsName reverse_pointer_name(net::Ipv4Addr address) {
+  std::vector<std::string> labels;
+  labels.reserve(6);
+  for (int i = 3; i >= 0; --i) {
+    labels.push_back(std::to_string(address.octet(i)));
+  }
+  labels.emplace_back("in-addr");
+  labels.emplace_back("arpa");
+  return DnsName(std::move(labels));
+}
+
+std::optional<net::Ipv4Addr> parse_reverse_pointer(const DnsName& name) {
+  const auto& labels = name.labels();
+  if (labels.size() != 6 || !name.is_subdomain_of(reverse_zone())) {
+    return std::nullopt;
+  }
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string& label = labels[static_cast<std::size_t>(i)];
+    unsigned octet = 0;
+    auto [ptr, ec] = std::from_chars(label.data(), label.data() + label.size(), octet);
+    if (ec != std::errc{} || ptr != label.data() + label.size() || octet > 255) {
+      return std::nullopt;
+    }
+    // Labels are least-significant octet first.
+    bits |= octet << (8 * i);
+  }
+  return net::Ipv4Addr(bits);
+}
+
+const DnsName& reverse_zone() {
+  static const DnsName zone = DnsName::must_parse("in-addr.arpa");
+  return zone;
+}
+
+}  // namespace drongo::dns

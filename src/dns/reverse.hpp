@@ -1,0 +1,21 @@
+// Reverse-DNS (in-addr.arpa) name helpers.
+#pragma once
+
+#include <optional>
+
+#include "dns/name.hpp"
+#include "net/ip.hpp"
+
+namespace drongo::dns {
+
+/// The PTR owner name for an IPv4 address: 20.1.0.1 -> 1.0.1.20.in-addr.arpa.
+DnsName reverse_pointer_name(net::Ipv4Addr address);
+
+/// Parses a PTR owner name back to its address; nullopt when the name is
+/// not a full 4-octet in-addr.arpa name.
+std::optional<net::Ipv4Addr> parse_reverse_pointer(const DnsName& name);
+
+/// The in-addr.arpa zone apex.
+const DnsName& reverse_zone();
+
+}  // namespace drongo::dns

@@ -1,0 +1,165 @@
+#include "dns/rr.hpp"
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+
+ResourceRecord ResourceRecord::a(DnsName name, net::Ipv4Addr address, std::uint32_t ttl) {
+  return {std::move(name), RrType::kA, RrClass::kIn, ttl, ARdata{address}};
+}
+
+ResourceRecord ResourceRecord::cname(DnsName name, DnsName target, std::uint32_t ttl) {
+  return {std::move(name), RrType::kCname, RrClass::kIn, ttl, CnameRdata{std::move(target)}};
+}
+
+ResourceRecord ResourceRecord::ns(DnsName zone, DnsName nameserver, std::uint32_t ttl) {
+  return {std::move(zone), RrType::kNs, RrClass::kIn, ttl, NsRdata{std::move(nameserver)}};
+}
+
+ResourceRecord ResourceRecord::ptr(DnsName name, DnsName target, std::uint32_t ttl) {
+  return {std::move(name), RrType::kPtr, RrClass::kIn, ttl, PtrRdata{std::move(target)}};
+}
+
+ResourceRecord ResourceRecord::txt(DnsName name, std::vector<std::string> strings,
+                                   std::uint32_t ttl) {
+  return {std::move(name), RrType::kTxt, RrClass::kIn, ttl, TxtRdata{std::move(strings)}};
+}
+
+ResourceRecord ResourceRecord::soa(DnsName zone, SoaRdata soa, std::uint32_t ttl) {
+  return {std::move(zone), RrType::kSoa, RrClass::kIn, ttl, std::move(soa)};
+}
+
+void ResourceRecord::encode(net::ByteWriter& writer,
+                            std::map<std::string, std::uint16_t>* offsets) const {
+  name.encode(writer, offsets);
+  writer.write_u16(static_cast<std::uint16_t>(type));
+  writer.write_u16(static_cast<std::uint16_t>(klass));
+  writer.write_u32(ttl);
+  const std::size_t rdlength_at = writer.size();
+  writer.write_u16(0);  // patched below
+  const std::size_t rdata_start = writer.size();
+
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          writer.write_u32(data.address.to_uint());
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          data.target.encode(writer, offsets);
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          data.nameserver.encode(writer, offsets);
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          data.name.encode(writer, offsets);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : data.strings) {
+            if (s.size() > 255) throw net::InvalidArgument("TXT string exceeds 255 bytes");
+            writer.write_u8(static_cast<std::uint8_t>(s.size()));
+            writer.write_string(s);
+          }
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          data.mname.encode(writer, offsets);
+          data.rname.encode(writer, offsets);
+          writer.write_u32(data.serial);
+          writer.write_u32(data.refresh);
+          writer.write_u32(data.retry);
+          writer.write_u32(data.expire);
+          writer.write_u32(data.minimum);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          writer.write_bytes(data.bytes);
+        }
+      },
+      rdata);
+
+  const std::size_t rdata_len = writer.size() - rdata_start;
+  if (rdata_len > 0xFFFF) throw net::InvalidArgument("RDATA exceeds 65535 bytes");
+  writer.patch_u16(rdlength_at, static_cast<std::uint16_t>(rdata_len));
+}
+
+ResourceRecord ResourceRecord::decode(net::ByteReader& reader) {
+  ResourceRecord rr;
+  rr.name = DnsName::decode(reader);
+  rr.type = static_cast<RrType>(reader.read_u16());
+  rr.klass = static_cast<RrClass>(reader.read_u16());
+  rr.ttl = reader.read_u32();
+  const std::uint16_t rdlength = reader.read_u16();
+  const std::size_t rdata_end = reader.position() + rdlength;
+  if (rdata_end > reader.buffer().size()) {
+    throw net::ParseError("RDATA length overruns message");
+  }
+
+  switch (rr.type) {
+    case RrType::kA: {
+      if (rdlength != 4) throw net::ParseError("A RDATA must be 4 bytes");
+      rr.rdata = ARdata{net::Ipv4Addr(reader.read_u32())};
+      break;
+    }
+    case RrType::kCname:
+      rr.rdata = CnameRdata{DnsName::decode(reader)};
+      break;
+    case RrType::kNs:
+      rr.rdata = NsRdata{DnsName::decode(reader)};
+      break;
+    case RrType::kPtr:
+      rr.rdata = PtrRdata{DnsName::decode(reader)};
+      break;
+    case RrType::kTxt: {
+      TxtRdata txt;
+      while (reader.position() < rdata_end) {
+        const std::uint8_t len = reader.read_u8();
+        txt.strings.push_back(reader.read_string(len));
+      }
+      rr.rdata = std::move(txt);
+      break;
+    }
+    case RrType::kSoa: {
+      SoaRdata soa;
+      soa.mname = DnsName::decode(reader);
+      soa.rname = DnsName::decode(reader);
+      soa.serial = reader.read_u32();
+      soa.refresh = reader.read_u32();
+      soa.retry = reader.read_u32();
+      soa.expire = reader.read_u32();
+      soa.minimum = reader.read_u32();
+      rr.rdata = std::move(soa);
+      break;
+    }
+    default:
+      rr.rdata = RawRdata{reader.read_bytes(rdlength)};
+      break;
+  }
+
+  if (reader.position() != rdata_end) {
+    throw net::ParseError("RDATA decode consumed " +
+                          std::to_string(reader.position() - (rdata_end - rdlength)) +
+                          " bytes, expected " + std::to_string(rdlength));
+  }
+  return rr;
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string() + " " + std::to_string(ttl) + " IN " + dns::to_string(type) + " ";
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          out += data.address.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          out += data.target.to_string();
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          out += data.nameserver.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          out += data.name.to_string();
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : data.strings) out += "\"" + s + "\" ";
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          out += data.mname.to_string() + " " + data.rname.to_string() + " " +
+                 std::to_string(data.serial);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          out += "\\# " + std::to_string(data.bytes.size());
+        }
+      },
+      rdata);
+  return out;
+}
+
+}  // namespace drongo::dns

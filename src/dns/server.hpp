@@ -1,0 +1,42 @@
+// Abstract DNS server and transport interfaces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "net/ip.hpp"
+
+namespace drongo::dns {
+
+/// Anything that answers DNS queries: authoritative servers, recursives,
+/// proxies. Implementations must be prepared for arbitrary (decoded) queries
+/// and must not throw for merely unsupported ones — return REFUSED/NOTIMP.
+class DnsServer {
+ public:
+  virtual ~DnsServer() = default;
+
+  /// Produces a response for `query`. `source` is the transport-level source
+  /// address of the query (what a resolver would fall back to without ECS).
+  virtual Message handle(const Message& query, net::Ipv4Addr source) = 0;
+};
+
+/// A byte-level query/response channel to a named server address. Both the
+/// in-memory network and the UDP client implement this, so everything above
+/// (stub resolver, Drongo) is transport-agnostic and always exercises the
+/// full wire codec.
+class DnsTransport {
+ public:
+  virtual ~DnsTransport() = default;
+
+  /// Sends encoded query bytes originating at `source` to the server at
+  /// `destination`; returns the encoded response. Throws net::Error on
+  /// unreachable servers or timeouts.
+  virtual std::vector<std::uint8_t> exchange(net::Ipv4Addr source,
+                                             net::Ipv4Addr destination,
+                                             std::span<const std::uint8_t> query) = 0;
+};
+
+}  // namespace drongo::dns

@@ -1,0 +1,105 @@
+#include "dns/stub_resolver.hpp"
+
+#include "dns/reverse.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+
+StubResolver::StubResolver(DnsTransport* transport, net::Ipv4Addr client_address,
+                           net::Ipv4Addr server_address, std::uint64_t seed)
+    : transport_(transport), client_(client_address), server_(server_address), rng_(seed) {
+  if (transport_ == nullptr) throw net::InvalidArgument("null DnsTransport");
+}
+
+namespace {
+
+/// DNS 0x20: randomize the case of every letter in the name. Servers echo
+/// the question byte-for-byte, so an off-path spoofer must guess the casing
+/// along with the id.
+DnsName randomize_name_case(const DnsName& name, net::Rng& rng) {
+  std::vector<std::string> labels = name.labels();
+  for (auto& label : labels) {
+    for (char& c : label) {
+      if (c >= 'a' && c <= 'z' && rng.chance(0.5)) {
+        c = static_cast<char>(c - 'a' + 'A');
+      } else if (c >= 'A' && c <= 'Z' && rng.chance(0.5)) {
+        c = static_cast<char>(c - 'A' + 'a');
+      }
+    }
+  }
+  return DnsName(std::move(labels));
+}
+
+/// Byte-exact name comparison (DnsName::operator== is case-insensitive).
+bool same_bytes(const DnsName& a, const DnsName& b) {
+  return a.labels() == b.labels();
+}
+
+}  // namespace
+
+ResolutionResult StubResolver::resolve(const DnsName& name,
+                                       std::optional<net::Prefix> ecs_subnet) {
+  const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
+  const DnsName sent_name =
+      randomize_case_ ? randomize_name_case(name, rng_) : name;
+  const Message query = Message::make_query(id, sent_name, ecs_subnet);
+  ++queries_;
+
+  const std::vector<std::uint8_t> wire = query.encode();
+  const std::vector<std::uint8_t> reply_wire = transport_->exchange(client_, server_, wire);
+  const Message reply = Message::decode(reply_wire);
+
+  if (reply.header.id != id) {
+    throw net::Error("DNS response id mismatch: sent " + std::to_string(id) + ", got " +
+                     std::to_string(reply.header.id));
+  }
+  if (!reply.header.qr) {
+    throw net::Error("DNS response QR bit not set");
+  }
+  if (reply.questions.size() != 1 || !(reply.questions[0].name == name)) {
+    throw net::Error("DNS response question does not echo query");
+  }
+  if (randomize_case_ && !same_bytes(reply.questions[0].name, sent_name)) {
+    throw net::Error("DNS response failed 0x20 case check (possible spoofing)");
+  }
+
+  ResolutionResult result;
+  result.rcode = reply.header.rcode;
+  result.addresses = reply.answer_addresses();
+  std::uint32_t min_ttl = UINT32_MAX;
+  for (const auto& rr : reply.answers) min_ttl = std::min(min_ttl, rr.ttl);
+  result.ttl = reply.answers.empty() ? 0 : min_ttl;
+  if (reply.edns && reply.edns->client_subnet) {
+    result.ecs_scope = reply.edns->client_subnet->scope_prefix();
+  }
+  return result;
+}
+
+ResolutionResult StubResolver::resolve(const std::string& name,
+                                       std::optional<net::Prefix> ecs_subnet) {
+  return resolve(DnsName::must_parse(name), ecs_subnet);
+}
+
+ResolutionResult StubResolver::resolve_with_own_subnet(const DnsName& name) {
+  return resolve(name, net::Prefix(client_, 24));
+}
+
+std::string StubResolver::resolve_ptr(net::Ipv4Addr address) {
+  const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
+  const Message query =
+      Message::make_query(id, reverse_pointer_name(address), std::nullopt, RrType::kPtr);
+  ++queries_;
+  const auto reply_wire = transport_->exchange(client_, server_, query.encode());
+  const Message reply = Message::decode(reply_wire);
+  for (const auto& rr : reply.answers) {
+    if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
+      return ptr->name.to_string();
+    }
+  }
+  return "";
+}
+
+}  // namespace drongo::dns

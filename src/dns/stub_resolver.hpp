@@ -1,0 +1,81 @@
+// Stub resolver: the client-side query API used by Drongo and the examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/server.hpp"
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+
+namespace drongo::dns {
+
+/// Outcome of a resolution.
+struct ResolutionResult {
+  Rcode rcode = Rcode::kNoError;
+  /// A-record addresses in server-given order. Callers that respect CDN load
+  /// balancing (as Drongo does) must use addresses.front().
+  std::vector<net::Ipv4Addr> addresses;
+  /// Minimum TTL across answer records (0 when there are none).
+  std::uint32_t ttl = 0;
+  /// ECS scope returned by the server, when it echoed the option.
+  std::optional<net::Prefix> ecs_scope;
+
+  [[nodiscard]] bool ok() const { return rcode == Rcode::kNoError && !addresses.empty(); }
+};
+
+/// A minimal client resolver that speaks to one recursive/authoritative
+/// server address over a DnsTransport.
+///
+/// The distinguishing feature is first-class ECS control: `resolve` takes an
+/// optional subnet to announce. Passing the client's own /24 models ordinary
+/// ECS resolution; passing a hop's /24 is subnet assimilation.
+class StubResolver {
+ public:
+  /// `transport` is borrowed and must outlive the resolver.
+  StubResolver(DnsTransport* transport, net::Ipv4Addr client_address,
+               net::Ipv4Addr server_address, std::uint64_t seed = 1);
+
+  /// Enables/disables DNS 0x20 case randomization (on by default): query
+  /// names are sent with random letter casing and the response's echoed
+  /// question must match byte-for-byte, hardening against off-path
+  /// spoofing (draft-vixie-dnsext-dns0x20).
+  void set_case_randomization(bool enabled) { randomize_case_ = enabled; }
+
+  /// Resolves `name` to A records. `ecs_subnet` is announced verbatim when
+  /// present; otherwise no ECS option is attached (the server then falls back
+  /// to the transport source address).
+  ResolutionResult resolve(const DnsName& name,
+                           std::optional<net::Prefix> ecs_subnet = std::nullopt);
+
+  /// Convenience overload for string names.
+  ResolutionResult resolve(const std::string& name,
+                           std::optional<net::Prefix> ecs_subnet = std::nullopt);
+
+  /// Resolves announcing the client's own subnet truncated to /24, the
+  /// default privacy-preserving behaviour of ECS (RFC 7871 §11.1).
+  ResolutionResult resolve_with_own_subnet(const DnsName& name);
+
+  /// Reverse lookup: the PTR name of `address`, or empty when no PTR
+  /// record exists (private or unknown space).
+  std::string resolve_ptr(net::Ipv4Addr address);
+
+  [[nodiscard]] net::Ipv4Addr client_address() const { return client_; }
+  [[nodiscard]] net::Ipv4Addr server_address() const { return server_; }
+
+  /// Number of queries issued (measurement-overhead accounting).
+  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+
+ private:
+  DnsTransport* transport_;
+  net::Ipv4Addr client_;
+  net::Ipv4Addr server_;
+  net::Rng rng_;
+  bool randomize_case_ = true;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace drongo::dns

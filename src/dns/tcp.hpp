@@ -1,0 +1,95 @@
+// DNS over TCP (RFC 1035 §4.2.2) and UDP-truncation fallback.
+//
+// UDP answers that exceed the client's advertised payload size come back
+// truncated (TC=1); real stubs then retry the query over TCP, where
+// messages are 2-byte-length-prefixed. This module provides the TCP server
+// and client plus a transport that performs the fallback transparently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+
+#include "dns/server.hpp"
+
+namespace drongo::dns {
+
+/// Serves a DnsServer over loopback TCP in a background thread. Each
+/// connection may carry multiple length-prefixed queries; connections are
+/// handled sequentially (ample for a test/demo server).
+class TcpDnsServer {
+ public:
+  /// Starts listening on `port` (0 = ephemeral). `server` is borrowed.
+  TcpDnsServer(DnsServer* server, std::uint16_t port = 0,
+               net::Ipv4Addr server_identity = net::Ipv4Addr(127, 0, 0, 1));
+  ~TcpDnsServer();
+
+  TcpDnsServer(const TcpDnsServer&) = delete;
+  TcpDnsServer& operator=(const TcpDnsServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t served() const { return served_.load(); }
+
+  void stop();
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  DnsServer* handler_;
+  net::Ipv4Addr identity_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// DnsTransport over loopback TCP: connects per exchange, writes the
+/// length-prefixed query, reads the length-prefixed response.
+class TcpDnsClient : public DnsTransport {
+ public:
+  explicit TcpDnsClient(int timeout_ms = 2000);
+
+  void register_endpoint(net::Ipv4Addr server, std::uint16_t port);
+
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
+                                     std::span<const std::uint8_t> query) override;
+
+ private:
+  int timeout_ms_;
+  std::unordered_map<net::Ipv4Addr, std::uint16_t> endpoints_;
+};
+
+/// UDP-first transport with automatic TCP retry on truncation: the stub
+/// behaviour RFC 1035 prescribes. Wraps any two transports, so it also
+/// composes with the in-memory fabric in tests.
+class TruncationFallbackTransport : public DnsTransport {
+ public:
+  /// Both transports are borrowed and must outlive this object.
+  TruncationFallbackTransport(DnsTransport* udp, DnsTransport* tcp);
+
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
+                                     std::span<const std::uint8_t> query) override;
+
+  /// How many exchanges fell back to TCP.
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  DnsTransport* udp_;
+  DnsTransport* tcp_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+/// Truncates `response` to fit `max_bytes` when necessary: drops answer/
+/// authority/additional records and sets TC, as a UDP server must. Returns
+/// true when truncation occurred. EDNS (with the ECS echo) is preserved if
+/// it fits.
+bool truncate_to_fit(Message& response, std::size_t max_bytes);
+
+/// The maximum UDP payload a query permits: its EDNS advertisement, or the
+/// classic 512 bytes without EDNS.
+std::size_t max_udp_payload(const Message& query);
+
+}  // namespace drongo::dns

@@ -1,0 +1,31 @@
+#include "dns/types.hpp"
+
+namespace drongo::dns {
+
+std::string to_string(RrType type) {
+  switch (type) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kPtr: return "PTR";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kOpt: return "OPT";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(rcode));
+}
+
+}  // namespace drongo::dns

@@ -1,0 +1,49 @@
+// DNS enumerations: record types, classes, opcodes, response codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drongo::dns {
+
+/// Resource record types (RFC 1035 plus EDNS0 OPT and AAAA).
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,
+};
+
+/// Record classes. Only IN is used by drongo; the OPT pseudo-record reuses
+/// the class field for the advertised UDP payload size.
+enum class RrClass : std::uint16_t {
+  kIn = 1,
+  kCh = 3,
+  kAny = 255,
+};
+
+/// Query opcodes.
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kStatus = 2,
+};
+
+/// Response codes (RFC 1035 §4.1.1, plus RFC 6891 extended values that fit
+/// in 4 bits).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string to_string(RrType type);
+std::string to_string(Rcode rcode);
+
+}  // namespace drongo::dns

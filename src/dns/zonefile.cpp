@@ -1,0 +1,207 @@
+#include "dns/zonefile.hpp"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+
+#include "net/error.hpp"
+#include "net/strings.hpp"
+
+namespace drongo::dns {
+
+namespace {
+
+/// Tokenizes one zone-file line: whitespace-separated fields, `;` comment
+/// stripping. Double-quoted strings (TXT data) become single tokens tagged
+/// with a leading \x01 so empty strings and embedded spaces survive.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ';') break;  // comment to end of line
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string quoted(1, '\x01');
+      ++i;
+      while (i < line.size() && line[i] != '"') quoted.push_back(line[i++]);
+      if (i >= line.size()) throw net::ParseError("unterminated quoted string");
+      ++i;  // closing quote
+      tokens.push_back(std::move(quoted));
+      continue;
+    }
+    std::string token;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != ';' &&
+           line[i] != '\r') {
+      token.push_back(line[i++]);
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t& out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Resolves a zone-file name: "@" = origin; trailing dot = absolute;
+/// otherwise relative to origin.
+DnsName resolve_name(const std::string& token, const DnsName& origin) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') {
+    return DnsName::must_parse(token);
+  }
+  return DnsName::must_parse(token + "." + origin.to_string());
+}
+
+}  // namespace
+
+Zone parse_zone(std::istream& in, const DnsName& default_origin) {
+  Zone zone;
+  zone.origin = default_origin;
+  DnsName origin = default_origin;
+  std::uint32_t default_ttl = 3600;
+  std::optional<DnsName> previous_owner;
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const bool continuation = !line.empty() && (line[0] == ' ' || line[0] == '\t');
+    std::vector<std::string> tokens;
+    try {
+      tokens = tokenize(line);
+    } catch (const net::ParseError& error) {
+      throw net::ParseError("line " + std::to_string(line_number) + ": " + error.what());
+    }
+    if (tokens.empty()) continue;
+
+    auto fail = [&](const std::string& what) -> void {
+      throw net::ParseError("line " + std::to_string(line_number) + ": " + what);
+    };
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) fail("$ORIGIN needs exactly one name");
+      origin = DnsName::must_parse(tokens[1]);
+      if (zone.records.empty()) zone.origin = origin;
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2 || !parse_u32(tokens[1], default_ttl)) {
+        fail("$TTL needs one integer");
+      }
+      continue;
+    }
+
+    // Owner name: from the line, or carried over on a continuation line.
+    std::size_t i = 0;
+    DnsName owner;
+    if (continuation) {
+      if (!previous_owner) fail("continuation line before any record");
+      owner = *previous_owner;
+    } else {
+      owner = resolve_name(tokens[i++], origin);
+    }
+
+    // Optional TTL and optional class.
+    std::uint32_t ttl = default_ttl;
+    if (i < tokens.size() && parse_u32(tokens[i], ttl)) ++i;
+    if (i < tokens.size() && (tokens[i] == "IN" || tokens[i] == "in")) ++i;
+    if (i >= tokens.size()) fail("record missing TYPE");
+    const std::string type = net::to_lower(tokens[i++]);
+    const std::vector<std::string> rdata(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                                         tokens.end());
+
+    try {
+      if (type == "a") {
+        if (rdata.size() != 1) fail("A needs one address");
+        zone.records.push_back(
+            ResourceRecord::a(owner, net::Ipv4Addr::must_parse(rdata[0]), ttl));
+      } else if (type == "cname") {
+        if (rdata.size() != 1) fail("CNAME needs one target");
+        zone.records.push_back(
+            ResourceRecord::cname(owner, resolve_name(rdata[0], origin), ttl));
+      } else if (type == "ns") {
+        if (rdata.size() != 1) fail("NS needs one nameserver");
+        zone.records.push_back(
+            ResourceRecord::ns(owner, resolve_name(rdata[0], origin), ttl));
+      } else if (type == "ptr") {
+        if (rdata.size() != 1) fail("PTR needs one target");
+        zone.records.push_back(
+            ResourceRecord::ptr(owner, resolve_name(rdata[0], origin), ttl));
+      } else if (type == "txt") {
+        if (rdata.empty()) fail("TXT needs at least one string");
+        std::vector<std::string> strings;
+        for (const auto& token : rdata) {
+          // Quoted strings carry a \x01 marker prefix from the tokenizer.
+          strings.push_back(!token.empty() && token[0] == '\x01' ? token.substr(1)
+                                                                 : token);
+        }
+        zone.records.push_back(ResourceRecord::txt(owner, std::move(strings), ttl));
+      } else if (type == "soa") {
+        if (rdata.size() != 7) fail("SOA needs mname rname serial refresh retry expire minimum");
+        SoaRdata soa;
+        soa.mname = resolve_name(rdata[0], origin);
+        soa.rname = resolve_name(rdata[1], origin);
+        if (!parse_u32(rdata[2], soa.serial) || !parse_u32(rdata[3], soa.refresh) ||
+            !parse_u32(rdata[4], soa.retry) || !parse_u32(rdata[5], soa.expire) ||
+            !parse_u32(rdata[6], soa.minimum)) {
+          fail("SOA numeric fields malformed");
+        }
+        zone.records.push_back(ResourceRecord::soa(owner, std::move(soa), ttl));
+      } else {
+        fail("unsupported record type '" + type + "'");
+      }
+    } catch (const net::ParseError& error) {
+      const std::string what = error.what();
+      if (what.find("line ") == std::string::npos) {
+        fail(what);
+      }
+      throw;
+    }
+    previous_owner = owner;
+  }
+  return zone;
+}
+
+Zone parse_zone_text(const std::string& text, const DnsName& default_origin) {
+  std::istringstream in(text);
+  return parse_zone(in, default_origin);
+}
+
+StaticZoneServer::StaticZoneServer(Zone zone) : zone_(std::move(zone)) {
+  for (std::size_t i = 0; i < zone_.records.size(); ++i) {
+    by_name_.emplace(zone_.records[i].name, i);
+  }
+}
+
+Message StaticZoneServer::handle(const Message& query, net::Ipv4Addr /*source*/) {
+  if (query.questions.size() != 1) {
+    return Message::make_response(query, Rcode::kFormErr);
+  }
+  const Question& q = query.questions[0];
+  if (!q.name.is_subdomain_of(zone_.origin)) {
+    return Message::make_response(query, Rcode::kRefused);
+  }
+  auto [begin, end] = by_name_.equal_range(q.name);
+  if (begin == end) {
+    return Message::make_response(query, Rcode::kNxDomain);
+  }
+  Message response = Message::make_response(query, Rcode::kNoError);
+  for (auto it = begin; it != end; ++it) {
+    const ResourceRecord& record = zone_.records[it->second];
+    // Matching type answers directly; a CNAME at the name answers any type
+    // (the resolver chases it).
+    if (record.type == q.type || record.type == RrType::kCname) {
+      response.answers.push_back(record);
+    }
+  }
+  // Name exists but no data of this type: NOERROR with empty answers.
+  return response;
+}
+
+}  // namespace drongo::dns

@@ -1,0 +1,48 @@
+// RFC 1035 §5 master-file (zone file) parsing and a static authoritative.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/server.hpp"
+
+namespace drongo::dns {
+
+/// A parsed zone: its apex and all records.
+struct Zone {
+  DnsName origin;
+  std::vector<ResourceRecord> records;
+};
+
+/// Parses a master-file subset:
+///   - `$ORIGIN name.` and `$TTL n` directives;
+///   - records `name [ttl] [IN] TYPE rdata` for A, NS, CNAME, PTR, TXT, SOA;
+///   - `@` for the origin, relative names (no trailing dot) under it;
+///   - a bare leading space re-uses the previous owner name;
+///   - `;` comments and blank lines.
+/// Unsupported types or malformed lines throw net::ParseError with the line
+/// number. `default_origin` seeds `@` until a $ORIGIN appears.
+Zone parse_zone(std::istream& in, const DnsName& default_origin);
+Zone parse_zone_text(const std::string& text, const DnsName& default_origin);
+
+/// Serves a parsed zone: exact-name matches answer with every record of the
+/// queried type (CNAMEs answer any type, as resolvers expect), other names
+/// under the apex get NXDOMAIN, names outside get REFUSED. No ECS tailoring
+/// — this is a plain static authoritative (useful for site zones, test
+/// fixtures, and drongo_sim demos).
+class StaticZoneServer : public DnsServer {
+ public:
+  explicit StaticZoneServer(Zone zone);
+
+  [[nodiscard]] const Zone& zone() const { return zone_; }
+
+  Message handle(const Message& query, net::Ipv4Addr source) override;
+
+ private:
+  Zone zone_;
+  std::multimap<DnsName, std::size_t> by_name_;  // name -> record index
+};
+
+}  // namespace drongo::dns

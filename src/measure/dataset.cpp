@@ -1,0 +1,127 @@
+#include "measure/dataset.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "net/error.hpp"
+#include "net/strings.hpp"
+
+namespace drongo::measure {
+
+namespace {
+
+constexpr const char* kMagic = "drongo-dataset-v1";
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw net::ParseError("bad number '" + s + "' in dataset");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw net::ParseError("bad integer '" + s + "' in dataset");
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
+  // Full round-trip precision for the measurement values.
+  out.precision(17);
+  out << kMagic << "\n";
+  for (const auto& r : records) {
+    out << "trial|" << r.provider << "|" << r.domain << "|" << r.client_index << "|"
+        << r.client.to_string() << "|" << r.time_hours << "\n";
+    for (const auto& m : r.cr) {
+      out << "cr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
+          << m.download_first_ms << "|" << m.download_cached_ms << "\n";
+    }
+    for (const auto& h : r.hops) {
+      out << "hop|" << h.ip.to_string() << "|" << h.subnet.to_string() << "|" << h.rdns
+          << "|" << h.asn.value() << "|" << (h.usable ? 1 : 0) << "\n";
+      for (const auto& m : h.hr) {
+        out << "hr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
+            << m.download_first_ms << "|" << m.download_cached_ms << "\n";
+      }
+    }
+  }
+}
+
+void save_dataset_file(const std::string& path, const std::vector<TrialRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw net::Error("cannot open '" + path + "' for writing");
+  save_dataset(out, records);
+}
+
+std::vector<TrialRecord> load_dataset(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw net::ParseError("dataset missing magic header");
+  }
+  std::vector<TrialRecord> records;
+  HopRecord* current_hop = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = net::split(line, '|');
+    const std::string& kind = fields[0];
+    if (kind == "trial") {
+      if (fields.size() != 6) throw net::ParseError("bad trial line: " + line);
+      TrialRecord r;
+      r.provider = fields[1];
+      r.domain = fields[2];
+      r.client_index = parse_u64(fields[3]);
+      r.client = net::Ipv4Addr::must_parse(fields[4]);
+      r.time_hours = parse_double(fields[5]);
+      records.push_back(std::move(r));
+      current_hop = nullptr;
+    } else if (kind == "cr") {
+      if (fields.size() != 5 || records.empty()) {
+        throw net::ParseError("bad cr line: " + line);
+      }
+      records.back().cr.push_back({net::Ipv4Addr::must_parse(fields[1]),
+                                   parse_double(fields[2]), parse_double(fields[3]),
+                                   parse_double(fields[4])});
+    } else if (kind == "hop") {
+      if (fields.size() != 6 || records.empty()) {
+        throw net::ParseError("bad hop line: " + line);
+      }
+      HopRecord h;
+      h.ip = net::Ipv4Addr::must_parse(fields[1]);
+      h.subnet = net::Prefix::must_parse(fields[2]);
+      h.rdns = fields[3];
+      h.asn = net::Asn(static_cast<std::uint32_t>(parse_u64(fields[4])));
+      h.usable = fields[5] == "1";
+      records.back().hops.push_back(std::move(h));
+      current_hop = &records.back().hops.back();
+    } else if (kind == "hr") {
+      if (fields.size() != 5 || current_hop == nullptr) {
+        throw net::ParseError("bad hr line: " + line);
+      }
+      current_hop->hr.push_back({net::Ipv4Addr::must_parse(fields[1]),
+                                 parse_double(fields[2]), parse_double(fields[3]),
+                                 parse_double(fields[4])});
+    } else {
+      throw net::ParseError("unknown dataset line kind: " + kind);
+    }
+  }
+  return records;
+}
+
+std::vector<TrialRecord> load_dataset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw net::Error("cannot open '" + path + "' for reading");
+  return load_dataset(in);
+}
+
+}  // namespace drongo::measure

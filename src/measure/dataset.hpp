@@ -1,0 +1,24 @@
+// Trial dataset persistence: save and reload measurement campaigns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "measure/trial.hpp"
+
+namespace drongo::measure {
+
+/// Writes records in a line-oriented text format (one `trial` line followed
+/// by its `cr` and `hop`/`hr` lines; '|'-separated fields). The format is
+/// versioned and self-describing enough to survive tooling: a real Drongo
+/// deployment stores exactly this — past trials consulted at decision time.
+void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records);
+void save_dataset_file(const std::string& path, const std::vector<TrialRecord>& records);
+
+/// Parses a dataset written by save_dataset. Throws net::ParseError on
+/// malformed input.
+std::vector<TrialRecord> load_dataset(std::istream& in);
+std::vector<TrialRecord> load_dataset_file(const std::string& path);
+
+}  // namespace drongo::measure

@@ -1,0 +1,46 @@
+#include "measure/hop_filter.hpp"
+
+#include "net/strings.hpp"
+
+namespace drongo::measure {
+
+std::vector<bool> usable_hops(const topology::World& world, net::Ipv4Addr client,
+                              const std::vector<topology::TracerouteHop>& hops,
+                              const HopFilterConfig& config) {
+  const net::Prefix client_slash16(client, 16);
+  const net::Asn client_asn = world.asn_of(client);
+  const std::string client_domain = net::registrable_domain(world.rdns_of(client));
+
+  std::vector<bool> usable(hops.size(), false);
+  bool past_filter = false;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& hop = hops[i];
+    // Hard conditions that hold everywhere on the route: the hop must be a
+    // responding, globally routable address, or ECS for it is meaningless.
+    if (!hop.responded || hop.is_private || !hop.ip.is_global_unicast()) {
+      continue;
+    }
+    if (past_filter && config.stop_after_first_usable) {
+      usable[i] = true;
+      continue;
+    }
+    bool passes = true;
+    if (config.require_different_slash16 && client_slash16.contains(hop.ip)) {
+      passes = false;
+    }
+    if (passes && config.require_different_asn && hop.asn == client_asn) {
+      passes = false;
+    }
+    if (passes && config.require_different_domain) {
+      const std::string hop_domain = net::registrable_domain(hop.rdns);
+      if (!hop_domain.empty() && hop_domain == client_domain) passes = false;
+    }
+    if (passes) {
+      usable[i] = true;
+      past_filter = true;
+    }
+  }
+  return usable;
+}
+
+}  // namespace drongo::measure

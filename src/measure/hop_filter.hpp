@@ -1,0 +1,32 @@
+// Usable-hop filtering (paper §3.1).
+#pragma once
+
+#include <vector>
+
+#include "topology/world.hpp"
+
+namespace drongo::measure {
+
+/// The three usability conditions of §3.1 — a hop must
+///  (i)   belong to a different /16 than the client,
+///  (ii)  have a different (registrable) domain than the client,
+///  (iii) belong to a different ASN than the client —
+/// applied with the paper's prefix rule: hops failing the conditions are
+/// filtered only at the BEGINNING of the route; once one hop passes, the
+/// remainder of the route is kept. Private, unresponsive, and otherwise
+/// unidentifiable hops are never usable (their ECS answers are generic).
+struct HopFilterConfig {
+  bool require_different_slash16 = true;
+  bool require_different_domain = true;
+  bool require_different_asn = true;
+  /// Apply the "stop filtering after the first usable hop" rule. Disabling
+  /// it (filter every hop) is the stricter ablation variant.
+  bool stop_after_first_usable = true;
+};
+
+/// Per-hop usability flags for a traceroute, relative to the client.
+std::vector<bool> usable_hops(const topology::World& world, net::Ipv4Addr client,
+                              const std::vector<topology::TracerouteHop>& hops,
+                              const HopFilterConfig& config = {});
+
+}  // namespace drongo::measure

@@ -1,0 +1,42 @@
+// Active measurement primitives: ping bursts and model-based downloads.
+#pragma once
+
+#include "net/rng.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::measure {
+
+/// Ping measurement configuration. The paper computes every latency as the
+/// average of three back-to-back pings (§2.4).
+struct PingConfig {
+  int burst = 3;
+};
+
+/// Average RTT of a burst of pings from `src` to `dst`, milliseconds.
+double ping_ms(topology::World& world, net::Ipv4Addr src, net::Ipv4Addr dst,
+               net::Rng& rng, const PingConfig& config = {});
+
+/// TCP-flavoured download-time model, used for Figures 4b/4c. Captures what
+/// the experiment needs: total time is monotone in RTT (handshake plus
+/// slow-start rounds), plus a transfer term and a server term that shrinks
+/// dramatically when the object is already cached at the replica.
+struct DownloadModel {
+  double client_bandwidth_mbps = 25.0;
+  int initial_cwnd_segments = 10;
+  double mss_bytes = 1460.0;
+  /// Server time on a cache miss (origin fetch) vs a primed cache.
+  double server_first_ms_mean = 35.0;
+  double server_cached_ms_mean = 2.0;
+  /// Probability the first request already finds the object cached at the
+  /// edge (popular objects).
+  double first_request_hit_prob = 0.35;
+};
+
+/// Total time to fetch `object_bytes` from `replica`, milliseconds.
+/// `repeat_request` models the paper's back-to-back second download
+/// (Fig. 4c): the edge cache is then primed.
+double download_ms(topology::World& world, net::Ipv4Addr client, net::Ipv4Addr replica,
+                   std::uint64_t object_bytes, bool repeat_request, net::Rng& rng,
+                   const DownloadModel& model = {});
+
+}  // namespace drongo::measure

@@ -1,0 +1,29 @@
+#include "measure/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/error.hpp"
+
+namespace drongo::measure {
+
+std::vector<double> sporadic_trial_times(int count, net::Rng& rng, double start_hours,
+                                         const SporadicScheduleConfig& config) {
+  if (count < 0) throw net::InvalidArgument("negative trial count");
+  if (config.min_gap_hours <= 0.0 || config.max_gap_hours < config.min_gap_hours) {
+    throw net::InvalidArgument("bad sporadic gap bounds");
+  }
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(count));
+  double t = start_hours;
+  for (int i = 0; i < count; ++i) {
+    times.push_back(t);
+    const double gap = std::clamp(
+        config.median_gap_hours * rng.lognormal(0.0, config.sigma),
+        config.min_gap_hours, config.max_gap_hours);
+    t += gap;
+  }
+  return times;
+}
+
+}  // namespace drongo::measure

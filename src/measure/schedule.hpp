@@ -1,0 +1,30 @@
+// Sporadic trial scheduling (§4.2).
+//
+// "We perform our trials at randomly sampled intervals; our trial spacing
+// varies from minutes to days, with a tendency toward being near an hour
+// apart. This sporadic spacing parallels the variety of timings we expect
+// to happen on a real client."
+#pragma once
+
+#include <vector>
+
+#include "net/rng.hpp"
+
+namespace drongo::measure {
+
+/// Spacing distribution knobs: lognormal inter-trial gaps whose median is
+/// `median_gap_hours`, clamped to [min, max].
+struct SporadicScheduleConfig {
+  double median_gap_hours = 1.0;
+  /// Lognormal sigma; 1.2 spans "minutes to days" around an hour median.
+  double sigma = 1.2;
+  double min_gap_hours = 2.0 / 60.0;
+  double max_gap_hours = 72.0;
+};
+
+/// `count` strictly increasing trial times starting at `start_hours`.
+std::vector<double> sporadic_trial_times(int count, net::Rng& rng,
+                                         double start_hours = 0.0,
+                                         const SporadicScheduleConfig& config = {});
+
+}  // namespace drongo::measure

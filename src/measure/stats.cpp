@@ -1,0 +1,108 @@
+#include "measure/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rng.hpp"
+
+namespace drongo::measure {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+BoxStats box_stats(std::vector<double> values) {
+  BoxStats box;
+  box.count = values.size();
+  if (values.empty()) return box;
+  std::sort(values.begin(), values.end());
+  box.p25 = percentile(values, 25.0);
+  box.median = percentile(values, 50.0);
+  box.p75 = percentile(values, 75.0);
+  const double iqr = box.p75 - box.p25;
+  const double lo_fence = box.p25 - 1.5 * iqr;
+  const double hi_fence = box.p75 + 1.5 * iqr;
+  box.whisker_low = box.p25;
+  box.whisker_high = box.p75;
+  for (double v : values) {
+    if (v >= lo_fence) {
+      box.whisker_low = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      box.whisker_high = *it;
+      break;
+    }
+  }
+  return box;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& values, double confidence,
+                           int resamples, std::uint64_t seed) {
+  if (values.size() < 2) {
+    const double m = mean(values);
+    return {m, m};
+  }
+  net::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += values[rng.index(values.size())];
+    }
+    means.push_back(sum / static_cast<double>(values.size()));
+  }
+  const double tail = (1.0 - confidence) / 2.0 * 100.0;
+  return {percentile(means, tail), percentile(means, 100.0 - tail)};
+}
+
+std::vector<CdfPoint> cdf(std::vector<double> values) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse runs of equal values to their final (highest) fraction.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+double cdf_at(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace drongo::measure

@@ -1,0 +1,61 @@
+// Summary statistics used by the experiment analyses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace drongo::measure {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0,100]. Sorts a copy. 0 for empty.
+double percentile(std::vector<double> values, double p);
+
+/// Median (50th percentile).
+double median(std::vector<double> values);
+
+/// Five-number summary for a box-and-whisker plot, matching the paper's
+/// Fig. 6/11 convention: box at the quartiles, whiskers at the last data
+/// point within 1.5 IQR of the box.
+struct BoxStats {
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::size_t count = 0;
+};
+
+BoxStats box_stats(std::vector<double> values);
+
+/// A two-sided confidence interval.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the mean: resample with
+/// replacement `resamples` times and take the (1-confidence)/2 tails.
+/// Deterministic for a given seed. Degenerates to [mean, mean] for fewer
+/// than two values.
+Interval bootstrap_mean_ci(const std::vector<double>& values, double confidence = 0.95,
+                           int resamples = 1000, std::uint64_t seed = 1);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF evaluated at every distinct data value.
+std::vector<CdfPoint> cdf(std::vector<double> values);
+
+/// Fraction of X <= threshold.
+double cdf_at(const std::vector<double>& values, double threshold);
+
+}  // namespace drongo::measure

@@ -1,0 +1,93 @@
+// Testbed: one self-contained simulated Internet with CDNs, DNS, clients.
+//
+// This is the experiment stage: it wires together the AS graph, the world,
+// the six CDN deployments, their authoritative servers, a public ECS
+// resolver, and a population of clients, all behind the in-memory DNS
+// fabric. PlanetLab-style (95 clients) and RIPE-style (429 clients) setups
+// differ only in TestbedConfig.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cdn/authoritative.hpp"
+#include "cdn/deploy.hpp"
+#include "cdn/resolver.hpp"
+#include "cdn/reverse_dns.hpp"
+#include "cdn/sites.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/stub_resolver.hpp"
+#include "measure/probes.hpp"
+#include "topology/as_gen.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::measure {
+
+struct TestbedConfig {
+  topology::AsGenConfig as_config;
+  topology::WorldConfig world_config;
+  /// Providers to deploy; defaults to the paper's six.
+  std::vector<cdn::CdnProfile> profiles;
+  int client_count = 95;
+  /// CDN-fronted web sites (CNAME into the CDNs); 0 disables the layer.
+  int site_count = 12;
+  std::uint64_t seed = 42;
+
+  /// PlanetLab-scale setup (95 nodes, §3.1).
+  static TestbedConfig planetlab();
+  /// RIPE-Atlas-scale setup (429 probes, §5) — more stubs, more clients.
+  static TestbedConfig ripe_atlas();
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] topology::World& world() { return world_; }
+  [[nodiscard]] dns::InMemoryDnsNetwork& dns_network() { return network_; }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t provider_count() const { return providers_.size(); }
+  [[nodiscard]] cdn::CdnProvider& provider(std::size_t index) {
+    return *providers_.at(index);
+  }
+  [[nodiscard]] const cdn::CdnProfile& profile(std::size_t index) const {
+    return providers_.at(index)->profile();
+  }
+
+  /// Content hostnames served by provider `index`.
+  [[nodiscard]] std::vector<dns::DnsName> content_names(std::size_t index) const;
+
+  /// CDN-fronted sites (resolve their `host` through the resolver and the
+  /// CNAME chase lands on CDN replicas).
+  [[nodiscard]] const std::vector<cdn::Site>& sites() const { return site_auth_->sites(); }
+
+  [[nodiscard]] const std::vector<net::Ipv4Addr>& clients() const { return clients_; }
+  [[nodiscard]] net::Ipv4Addr resolver_address() const { return resolver_address_; }
+  [[nodiscard]] cdn::PublicResolver& resolver() { return *resolver_; }
+
+  /// A stub resolver for one client, pointed at the public resolver.
+  dns::StubResolver make_stub(net::Ipv4Addr client, std::uint64_t seed = 1);
+
+ private:
+  static topology::AsGraph build_graph(TestbedConfig& config,
+                                       std::vector<cdn::CdnPlan>& plans_out);
+
+  TestbedConfig config_;
+  std::vector<cdn::CdnPlan> plans_;
+  topology::World world_;
+  dns::InMemoryDnsNetwork network_;
+  std::vector<std::unique_ptr<cdn::CdnProvider>> providers_;
+  std::vector<std::unique_ptr<cdn::CdnAuthoritative>> authoritatives_;
+  std::vector<net::Ipv4Addr> auth_addresses_;
+  std::unique_ptr<cdn::PublicResolver> resolver_;
+  std::unique_ptr<cdn::SiteAuthoritative> site_auth_;
+  std::unique_ptr<cdn::ReverseDnsAuthoritative> reverse_dns_;
+  net::Ipv4Addr resolver_address_;
+  std::vector<net::Ipv4Addr> clients_;
+};
+
+}  // namespace drongo::measure

@@ -1,0 +1,179 @@
+#include "measure/trial.hpp"
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "net/error.hpp"
+
+namespace drongo::measure {
+
+double TrialRecord::min_crm() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& m : cr) best = std::min(best, m.rtt_ms);
+  return best;
+}
+
+double TrialRecord::first_crm() const {
+  return cr.empty() ? std::numeric_limits<double>::infinity() : cr.front().rtt_ms;
+}
+
+std::vector<const HopRecord*> TrialRecord::usable() const {
+  std::vector<const HopRecord*> out;
+  for (const auto& hop : hops) {
+    if (hop.usable) out.push_back(&hop);
+  }
+  return out;
+}
+
+TrialRunner::TrialRunner(Testbed* testbed, std::uint64_t seed, TrialConfig config)
+    : testbed_(testbed), rng_(seed), config_(config) {
+  if (testbed_ == nullptr) throw net::InvalidArgument("null Testbed");
+}
+
+TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_index,
+                             double time_hours, std::optional<std::size_t> label_index) {
+  auto& world = testbed_->world();
+  const net::Ipv4Addr client = testbed_->clients().at(client_index);
+
+  TrialRecord record;
+  record.provider = testbed_->profile(provider_index).name;
+  record.client_index = client_index;
+  record.client = client;
+  record.time_hours = time_hours;
+
+  // Step 1: a URL of this provider (random unless pinned).
+  const auto names = testbed_->content_names(provider_index);
+  const dns::DnsName domain =
+      names[label_index ? *label_index % names.size() : rng_.index(names.size())];
+  record.domain = domain.to_string();
+
+  // Step 2: CR-set via an ordinary ECS resolution (client's own /24).
+  dns::StubResolver stub = testbed_->make_stub(client, rng_.next_u64());
+  const auto cr_result = stub.resolve_with_own_subnet(domain);
+  if (!cr_result.ok()) {
+    // An unreachable CDN is a configuration error in the testbed, not a
+    // measurable condition.
+    throw net::Error("CR resolution failed for " + domain.to_string());
+  }
+
+  // Step 3: traceroute toward each CR; collect hops (dedupe by /24). Hop
+  // names come from PTR lookups over the DNS path when configured, exactly
+  // as traceroute tooling obtains them.
+  std::set<net::Prefix> seen_subnets;
+  std::map<net::Ipv4Addr, std::string> ptr_cache;
+  for (net::Ipv4Addr cr_addr : cr_result.addresses) {
+    auto hops = world.traceroute(client, cr_addr, rng_);
+    if (config_.resolve_hop_names_via_dns) {
+      for (auto& hop : hops) {
+        if (hop.is_private || !hop.responded) {
+          hop.rdns.clear();
+          continue;
+        }
+        auto it = ptr_cache.find(hop.ip);
+        if (it == ptr_cache.end()) {
+          it = ptr_cache.emplace(hop.ip, stub.resolve_ptr(hop.ip)).first;
+        }
+        hop.rdns = it->second;
+      }
+    }
+    const auto usable = usable_hops(world, client, hops, config_.filter);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      // The destination replica itself is the last hop; it is not an
+      // upstream router, so skip it as an assimilation candidate.
+      if (hops[i].ip == cr_addr || world.is_host(hops[i].ip)) continue;
+      const net::Prefix subnet(hops[i].ip, 24);
+      if (config_.dedupe_hop_subnets && !seen_subnets.insert(subnet).second) continue;
+      HopRecord hop;
+      hop.ip = hops[i].ip;
+      hop.subnet = subnet;
+      hop.rdns = hops[i].rdns;
+      hop.asn = hops[i].asn;
+      hop.usable = usable[i];
+      record.hops.push_back(std::move(hop));
+    }
+  }
+
+  // Step 4: HR-set per usable hop via subnet assimilation.
+  for (auto& hop : record.hops) {
+    if (!hop.usable) continue;
+    const auto hr_result = stub.resolve(domain, hop.subnet);
+    if (!hr_result.ok()) continue;
+    for (net::Ipv4Addr hr_addr : hr_result.addresses) {
+      hop.hr.push_back({hr_addr, 0.0});
+    }
+  }
+
+  // Step 5: measure CRMs and HRMs — all from the client (footnote 1: no
+  // measurements are ever performed from upstream nodes). A replica seen
+  // several times in the trial is measured once and the value reused.
+  const std::uint64_t object_bytes =
+      config_.object_bytes_min +
+      rng_.uniform(config_.object_bytes_max - config_.object_bytes_min + 1);
+  std::map<net::Ipv4Addr, ReplicaMeasurement> measured;
+  auto measure = [&](net::Ipv4Addr replica) {
+    auto it = measured.find(replica);
+    if (it != measured.end()) return it->second;
+    ReplicaMeasurement m;
+    m.replica = replica;
+    m.rtt_ms = ping_ms(world, client, replica, rng_, config_.ping);
+    if (config_.measure_downloads) {
+      // Back-to-back downloads (Fig. 4b/4c): the second finds a warm cache.
+      m.download_first_ms = download_ms(world, client, replica, object_bytes,
+                                        /*repeat_request=*/false, rng_,
+                                        config_.download_model);
+      m.download_cached_ms = download_ms(world, client, replica, object_bytes,
+                                         /*repeat_request=*/true, rng_,
+                                         config_.download_model);
+    }
+    measured[replica] = m;
+    return m;
+  };
+  for (net::Ipv4Addr cr_addr : cr_result.addresses) {
+    record.cr.push_back(measure(cr_addr));
+  }
+  for (auto& hop : record.hops) {
+    for (auto& hr : hop.hr) {
+      hr = measure(hr.replica);
+    }
+  }
+  return record;
+}
+
+std::vector<TrialRecord> TrialRunner::run_campaign(int trials_per_client,
+                                                   double spacing_hours) {
+  std::vector<TrialRecord> records;
+  const std::size_t clients = testbed_->clients().size();
+  const std::size_t providers = testbed_->provider_count();
+  records.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
+  for (int t = 0; t < trials_per_client; ++t) {
+    // Trials are spaced 1-2 hours apart (paper §3.1.2) with jitter.
+    const double when = t * spacing_hours + rng_.uniform_real(0.0, spacing_hours / 2);
+    for (std::size_t c = 0; c < clients; ++c) {
+      for (std::size_t p = 0; p < providers; ++p) {
+        records.push_back(run(c, p, when));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<TrialRecord> TrialRunner::run_campaign_sporadic(
+    int trials_per_client, const SporadicScheduleConfig& schedule) {
+  std::vector<TrialRecord> records;
+  const std::size_t clients = testbed_->clients().size();
+  const std::size_t providers = testbed_->provider_count();
+  records.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
+  for (std::size_t c = 0; c < clients; ++c) {
+    // Each client is online at its own unpredictable times.
+    const auto times = sporadic_trial_times(trials_per_client, rng_, 0.0, schedule);
+    for (std::size_t p = 0; p < providers; ++p) {
+      for (double when : times) {
+        records.push_back(run(c, p, when));
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace drongo::measure

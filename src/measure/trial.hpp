@@ -1,0 +1,113 @@
+// Trials: the measurement unit of the whole paper (§3.1.2).
+//
+// One trial = resolve the client replica set, traceroute toward each client
+// replica, retrieve the hop replica set for every usable hop via subnet
+// assimilation, and ping every replica seen. TrialRecord is the data model
+// every analysis (Figures 2-11, Table 1) and Drongo's decision engine
+// consume.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/hop_filter.hpp"
+#include "measure/probes.hpp"
+#include "measure/schedule.hpp"
+#include "measure/testbed.hpp"
+#include "net/prefix.hpp"
+
+namespace drongo::measure {
+
+/// One replica and its measured latency from the client. Download fields
+/// are filled only when TrialConfig::measure_downloads is set (Fig. 4b/4c):
+/// a first-attempt fetch and an immediate repeat against a primed cache.
+struct ReplicaMeasurement {
+  net::Ipv4Addr replica;
+  double rtt_ms = 0.0;
+  double download_first_ms = 0.0;
+  double download_cached_ms = 0.0;
+};
+
+/// One traceroute hop with its assimilation results.
+struct HopRecord {
+  net::Ipv4Addr ip;
+  net::Prefix subnet;   ///< the hop's /24, the assimilation candidate
+  std::string rdns;
+  net::Asn asn;
+  bool usable = false;  ///< passed the §3.1 filter
+  /// HR-set (server order) with HRMs, populated for usable hops only.
+  std::vector<ReplicaMeasurement> hr;
+};
+
+/// One complete trial.
+struct TrialRecord {
+  std::string provider;
+  std::string domain;
+  std::size_t client_index = 0;
+  net::Ipv4Addr client;
+  double time_hours = 0.0;  ///< simulated wall-clock of the trial
+  /// CR-set (server order) with CRMs.
+  std::vector<ReplicaMeasurement> cr;
+  std::vector<HopRecord> hops;
+
+  /// Lowest CRM (the "best client replica" of §3.2); +inf when empty.
+  [[nodiscard]] double min_crm() const;
+  /// CRM of the FIRST replica (the §5 real-world convention).
+  [[nodiscard]] double first_crm() const;
+  /// Usable hops only.
+  [[nodiscard]] std::vector<const HopRecord*> usable() const;
+};
+
+/// Trial execution knobs.
+struct TrialConfig {
+  PingConfig ping;
+  HopFilterConfig filter;
+  /// Deduplicate hops by /24 across the traceroutes of one trial (a subnet
+  /// appearing on several routes is assimilated once).
+  bool dedupe_hop_subnets = true;
+  /// Resolve hop reverse-DNS names through real PTR queries (the tooling
+  /// path a real traceroute takes) instead of reading the simulator's
+  /// registry. The hop filter's "different domain" condition then operates
+  /// on genuinely looked-up names.
+  bool resolve_hop_names_via_dns = true;
+  /// Also measure curl-style downloads per replica (first + repeat), as in
+  /// Figures 4b/4c. Off by default — the paper reverts to pings too.
+  bool measure_downloads = false;
+  DownloadModel download_model;
+  /// Object size range for download measurements (paper: 1 kB - 1 MB).
+  std::uint64_t object_bytes_min = 1024;
+  std::uint64_t object_bytes_max = 1024 * 1024;
+};
+
+/// Executes trials against a testbed.
+class TrialRunner {
+ public:
+  TrialRunner(Testbed* testbed, std::uint64_t seed, TrialConfig config = {});
+
+  /// Runs one §3.1.2 trial for (client, provider) at simulated time
+  /// `time_hours`. The content URL is chosen at random unless `label_index`
+  /// pins one of the provider's content names (evaluation campaigns pin the
+  /// domain so training windows accumulate on it).
+  TrialRecord run(std::size_t client_index, std::size_t provider_index,
+                  double time_hours,
+                  std::optional<std::size_t> label_index = std::nullopt);
+
+  /// Runs `trials_per_client` trials for every (client, provider) pair,
+  /// spaced `spacing_hours` apart (paper: 45 trials, 1-2h apart). Returns
+  /// records grouped in execution order.
+  std::vector<TrialRecord> run_campaign(int trials_per_client, double spacing_hours);
+
+  /// Like run_campaign but with the §4.2 sporadic spacing: every client
+  /// follows its own randomly sampled schedule ("minutes to days, with a
+  /// tendency toward being near an hour apart").
+  std::vector<TrialRecord> run_campaign_sporadic(
+      int trials_per_client, const SporadicScheduleConfig& schedule = {});
+
+ private:
+  Testbed* testbed_;
+  net::Rng rng_;
+  TrialConfig config_;
+};
+
+}  // namespace drongo::measure

@@ -1,0 +1,79 @@
+// Bounds-checked big-endian byte buffer reader/writer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drongo::net {
+
+/// Sequential bounds-checked reader over a byte span (network byte order).
+///
+/// All multi-byte reads are big-endian, matching DNS wire format. Reads past
+/// the end throw `BoundsError` — malformed network input must never become
+/// out-of-bounds memory access.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Bytes remaining from the cursor to the end.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Current cursor position from the start of the buffer.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  /// Whole underlying buffer (used by DNS name decompression, which must
+  /// follow pointers to earlier offsets).
+  [[nodiscard]] std::span<const std::uint8_t> buffer() const { return data_; }
+
+  /// Moves the cursor to an absolute offset. Throws BoundsError if outside
+  /// the buffer.
+  void seek(std::size_t offset);
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n);
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+
+  /// Reads `n` raw bytes.
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
+
+  /// Reads `n` bytes as a string.
+  std::string read_string(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian writer backed by a growable vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_bytes(std::span<const std::uint8_t> data);
+  void write_string(std::string_view s);
+
+  /// Overwrites a previously written u16 at `offset` (e.g. to patch an RDATA
+  /// length after writing the RDATA). Throws BoundsError if out of range.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+}  // namespace drongo::net

@@ -1,0 +1,37 @@
+// Error types shared by all drongo libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace drongo::net {
+
+/// Base class for all errors raised by the drongo libraries.
+///
+/// Every library-specific error derives from this so callers can catch one
+/// type at an API boundary. Errors are exceptional: malformed wire data, bad
+/// configuration, violated preconditions — not ordinary control flow.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing text or wire-format data fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when a bounds-checked read or write would overrun a buffer.
+class BoundsError : public Error {
+ public:
+  explicit BoundsError(const std::string& what) : Error("bounds error: " + what) {}
+};
+
+/// Raised when an API is used with arguments that violate its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+}  // namespace drongo::net

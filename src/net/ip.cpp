@@ -1,0 +1,49 @@
+#include "net/ip.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    // std::from_chars rejects leading '+', whitespace, and empty input, which
+    // gives us strict dotted-quad parsing for free.
+    auto [ptr, ec] = std::from_chars(begin, end, octets[static_cast<std::size_t>(i)]);
+    if (ec != std::errc{} || ptr == begin) return std::nullopt;
+    if (octets[static_cast<std::size_t>(i)] > 255) return std::nullopt;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr(static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3]));
+}
+
+Ipv4Addr Ipv4Addr::must_parse(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) throw ParseError("bad IPv4 address '" + std::string(text) + "'");
+  return *addr;
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+}  // namespace drongo::net

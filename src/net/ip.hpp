@@ -1,0 +1,92 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace drongo::net {
+
+/// An IPv4 address held in host byte order.
+///
+/// This is a regular value type: cheap to copy, totally ordered, hashable.
+/// All drongo libraries address hosts with `Ipv4Addr`; conversion to and from
+/// dotted-quad text and to network-order wire bytes happens at the edges.
+class Ipv4Addr {
+ public:
+  /// The unspecified address 0.0.0.0.
+  constexpr Ipv4Addr() = default;
+
+  /// Constructs from a host-byte-order 32-bit value.
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+
+  /// Constructs from four octets, most significant first (a.b.c.d).
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad text ("192.0.2.1"). Returns nullopt on any deviation
+  /// from strict dotted-quad form (no leading '+', no octet > 255, exactly
+  /// four parts).
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  /// Like parse() but throws ParseError, for call sites where a bad address
+  /// is a programming or configuration error.
+  static Ipv4Addr must_parse(std::string_view text);
+
+  /// Host-byte-order value.
+  [[nodiscard]] constexpr std::uint32_t to_uint() const { return bits_; }
+
+  /// Octet `i` (0 = most significant, i.e. the "a" in a.b.c.d).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for 10/8, 172.16/12, 192.168/16 (RFC 1918).
+  [[nodiscard]] constexpr bool is_private() const {
+    return (bits_ >> 24) == 10 || (bits_ >> 20) == 0xAC1 ||
+           (bits_ >> 16) == 0xC0A8;
+  }
+
+  /// True for 127/8.
+  [[nodiscard]] constexpr bool is_loopback() const { return (bits_ >> 24) == 127; }
+
+  /// True for 0.0.0.0.
+  [[nodiscard]] constexpr bool is_unspecified() const { return bits_ == 0; }
+
+  /// True for 224/4 (multicast) or 240/4 (reserved).
+  [[nodiscard]] constexpr bool is_multicast_or_reserved() const {
+    return (bits_ >> 28) >= 0xE;
+  }
+
+  /// True for 169.254/16 (link local).
+  [[nodiscard]] constexpr bool is_link_local() const { return (bits_ >> 16) == 0xA9FE; }
+
+  /// True when the address is usable as a public unicast host address in the
+  /// simulated Internet (not private, loopback, link-local, multicast,
+  /// reserved, or unspecified).
+  [[nodiscard]] constexpr bool is_global_unicast() const {
+    return !is_private() && !is_loopback() && !is_unspecified() &&
+           !is_multicast_or_reserved() && !is_link_local();
+  }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace drongo::net
+
+template <>
+struct std::hash<drongo::net::Ipv4Addr> {
+  std::size_t operator()(drongo::net::Ipv4Addr a) const noexcept {
+    // Fibonacci hashing spreads sequential addresses across buckets.
+    return static_cast<std::size_t>(a.to_uint()) * 0x9E3779B97F4A7C15ULL;
+  }
+};

@@ -1,0 +1,54 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+
+Prefix::Prefix(Ipv4Addr addr, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw InvalidArgument("prefix length " + std::to_string(length) + " out of [0,32]");
+  }
+  network_ = Ipv4Addr(addr.to_uint() & mask(length));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  int length = 0;
+  auto [ptr, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+  if (length < 0 || length > 32) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw ParseError("bad prefix '" + std::string(text) + "'");
+  return *p;
+}
+
+std::uint64_t Prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+Prefix Prefix::truncated(int new_length) const {
+  return Prefix(network_, new_length);
+}
+
+Ipv4Addr Prefix::at(std::uint64_t offset) const {
+  if (offset >= size()) {
+    throw BoundsError("offset " + std::to_string(offset) + " outside " + to_string());
+  }
+  return Ipv4Addr(network_.to_uint() + static_cast<std::uint32_t>(offset));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace drongo::net

@@ -1,0 +1,88 @@
+// IPv4 CIDR prefix value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+
+namespace drongo::net {
+
+/// An IPv4 CIDR prefix: a network address plus a prefix length (0..32).
+///
+/// The stored address is always canonical — host bits are cleared on
+/// construction — so two prefixes covering the same network compare equal.
+/// This is the unit of "subnet" throughout drongo: ECS scopes, hop subnets,
+/// CDN mapping granularity, and assimilation targets are all `Prefix`es.
+class Prefix {
+ public:
+  /// The default prefix 0.0.0.0/0 (covers everything).
+  constexpr Prefix() = default;
+
+  /// Builds a canonical prefix from any address inside the network.
+  /// Throws InvalidArgument if `length > 32` (checked in the .cpp).
+  Prefix(Ipv4Addr addr, int length);
+
+  /// Parses "a.b.c.d/len" text. Returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// Like parse() but throws ParseError.
+  static Prefix must_parse(std::string_view text);
+
+  /// Network (lowest) address of the prefix.
+  [[nodiscard]] constexpr Ipv4Addr network() const { return network_; }
+
+  /// Prefix length in bits.
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// Netmask as an address (e.g. /24 -> 255.255.255.0).
+  [[nodiscard]] constexpr Ipv4Addr netmask() const { return Ipv4Addr(mask(length_)); }
+
+  /// Number of addresses covered (2^(32-length)), saturating at 2^32-1 for /0.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// True when `addr` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.to_uint() & mask(length_)) == network_.to_uint();
+  }
+
+  /// True when `other` is fully contained in this prefix.
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// The /`new_length` prefix containing this one's network address.
+  /// Truncation to a shorter length widens the prefix (this is the RFC 7871
+  /// source-prefix truncation operation: a client /32 becomes a /24).
+  [[nodiscard]] Prefix truncated(int new_length) const;
+
+  /// The address at `offset` from the network address. Throws BoundsError if
+  /// the offset runs past the prefix.
+  [[nodiscard]] Ipv4Addr at(std::uint64_t offset) const;
+
+  /// "a.b.c.d/len" form.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Addr network_{};
+  int length_ = 0;
+};
+
+}  // namespace drongo::net
+
+template <>
+struct std::hash<drongo::net::Prefix> {
+  std::size_t operator()(const drongo::net::Prefix& p) const noexcept {
+    std::size_t h = std::hash<drongo::net::Ipv4Addr>{}(p.network());
+    return h ^ (static_cast<std::size_t>(p.length()) * 0xFF51AFD7ED558CCDULL);
+  }
+};

@@ -1,0 +1,44 @@
+#include "net/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace drongo::net {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool domain_has_suffix(std::string_view name, std::string_view suffix) {
+  if (suffix.empty()) return true;
+  std::string n = to_lower(name);
+  std::string s = to_lower(suffix);
+  if (n == s) return true;
+  if (n.size() <= s.size()) return false;
+  return n.ends_with(s) && n[n.size() - s.size() - 1] == '.';
+}
+
+std::string registrable_domain(std::string_view name) {
+  auto labels = split(name, '.');
+  // Drop a trailing empty label from a fully-qualified "name." form.
+  if (!labels.empty() && labels.back().empty()) labels.pop_back();
+  if (labels.size() <= 2) return to_lower(name);
+  return to_lower(labels[labels.size() - 2] + "." + labels[labels.size() - 1]);
+}
+
+}  // namespace drongo::net

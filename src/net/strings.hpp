@@ -1,0 +1,27 @@
+// Small string helpers shared across libraries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drongo::net {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// ASCII lowercase copy (DNS names compare case-insensitively).
+std::string to_lower(std::string_view text);
+
+/// True when `name` equals `suffix` or ends with "." + suffix, compared
+/// case-insensitively. This is the "same domain" test used by the hop filter:
+/// e.g. "r1.isp.example" is under suffix "isp.example".
+bool domain_has_suffix(std::string_view name, std::string_view suffix);
+
+/// Registrable-domain heuristic: last two labels of a dotted name
+/// ("r7.core.att.net" -> "att.net"). Used to compare hop vs client "domain"
+/// per the paper's hop filter; our simulated reverse-DNS names have
+/// two-label operator domains, so the heuristic is exact here.
+std::string registrable_domain(std::string_view name);
+
+}  // namespace drongo::net

@@ -1,0 +1,34 @@
+// Small shared identifier types used across the drongo libraries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace drongo::net {
+
+/// An autonomous system number. Strongly typed so ASNs can't be confused
+/// with router ids, client ids, or port numbers at call sites.
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace drongo::net
+
+template <>
+struct std::hash<drongo::net::Asn> {
+  std::size_t operator()(drongo::net::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

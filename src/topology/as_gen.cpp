@@ -1,0 +1,241 @@
+#include "topology/as_gen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "net/error.hpp"
+
+namespace drongo::topology {
+
+namespace {
+
+/// Places a PoP near a metro with a few km of positional jitter.
+Pop make_pop(int metro_index, net::Rng& rng) {
+  const Metro& metro = world_metros()[static_cast<std::size_t>(metro_index)];
+  Pop pop;
+  pop.metro_index = metro_index;
+  pop.location = {metro.location.lat_deg + rng.uniform_real(-0.2, 0.2),
+                  metro.location.lon_deg + rng.uniform_real(-0.2, 0.2)};
+  return pop;
+}
+
+/// Weighted metro pick (by population weight).
+int pick_metro(net::Rng& rng) {
+  const auto& metros = world_metros();
+  double total = 0.0;
+  for (const auto& m : metros) total += m.weight;
+  double x = rng.uniform_real(0.0, total);
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    x -= metros[i].weight;
+    if (x <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(metros.size()) - 1;
+}
+
+/// Distinct metros for an AS's PoP footprint.
+std::vector<int> pick_metros(int count, net::Rng& rng) {
+  std::set<int> chosen;
+  // Bounded retries; fall back to sequential fill for large counts.
+  for (int tries = 0; static_cast<int>(chosen.size()) < count && tries < count * 20; ++tries) {
+    chosen.insert(pick_metro(rng));
+  }
+  int next = 0;
+  while (static_cast<int>(chosen.size()) < count &&
+         next < static_cast<int>(world_metros().size())) {
+    chosen.insert(next++);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+/// Connects nodes `a` (customer/peer) and `b` at their closest PoP pair.
+AsLink make_link(const AsGraph& g, std::size_t a, std::size_t b, LinkKind kind,
+                 const AsGenConfig& cfg, net::Rng& rng) {
+  const AsNode& na = g.node(a);
+  const AsNode& nb = g.node(b);
+  // Choose the geographically closest PoP pair — realistic interconnects
+  // happen where both networks are present.
+  int best_pa = 0;
+  int best_pb = 0;
+  double best_km = 1e18;
+  for (std::size_t i = 0; i < na.pops.size(); ++i) {
+    for (std::size_t j = 0; j < nb.pops.size(); ++j) {
+      const double km = distance_km(na.pops[i].location, nb.pops[j].location);
+      if (km < best_km) {
+        best_km = km;
+        best_pa = static_cast<int>(i);
+        best_pb = static_cast<int>(j);
+      }
+    }
+  }
+  AsLink link;
+  link.a = a;
+  link.b = b;
+  link.pop_a = best_pa;
+  link.pop_b = best_pb;
+  link.kind = kind;
+  link.latency_ms =
+      propagation_ms(na.pops[static_cast<std::size_t>(best_pa)].location,
+                     nb.pops[static_cast<std::size_t>(best_pb)].location) +
+      rng.uniform_real(cfg.link_overhead_ms_min, cfg.link_overhead_ms_max);
+  return link;
+}
+
+bool shares_metro(const AsNode& a, const AsNode& b) {
+  for (const auto& pa : a.pops) {
+    for (const auto& pb : b.pops) {
+      if (pa.metro_index == pb.metro_index) return true;
+    }
+  }
+  return false;
+}
+
+/// Interconnects two ASes the way real networks do: one link per shared
+/// metro (both present at the same IX location), falling back to the single
+/// closest PoP pair when footprints don't overlap. Multiple interconnection
+/// points are what keep intra-AS hauls short; a single global choke point
+/// per AS pair would inflate every path by continental detours.
+void add_interconnects(AsGraph& g, std::size_t a, std::size_t b, LinkKind kind,
+                       const AsGenConfig& cfg, net::Rng& rng) {
+  const AsNode& na = g.node(a);
+  const AsNode& nb = g.node(b);
+  bool any = false;
+  for (std::size_t i = 0; i < na.pops.size(); ++i) {
+    for (std::size_t j = 0; j < nb.pops.size(); ++j) {
+      if (na.pops[i].metro_index != nb.pops[j].metro_index) continue;
+      AsLink link;
+      link.a = a;
+      link.b = b;
+      link.pop_a = static_cast<int>(i);
+      link.pop_b = static_cast<int>(j);
+      link.kind = kind;
+      link.latency_ms =
+          propagation_ms(na.pops[i].location, nb.pops[j].location) +
+          rng.uniform_real(cfg.link_overhead_ms_min, cfg.link_overhead_ms_max);
+      g.add_link(link);
+      any = true;
+    }
+  }
+  if (!any) {
+    g.add_link(make_link(g, a, b, kind, cfg, rng));
+  }
+}
+
+}  // namespace
+
+AsGraph generate_as_graph(const AsGenConfig& cfg) {
+  if (cfg.tier1_count < 2) throw net::InvalidArgument("need at least two tier-1 ASes");
+  net::Rng rng(cfg.seed);
+  AsGraph g;
+  std::uint32_t next_asn = 100;
+
+  std::vector<std::size_t> tier1s;
+  std::vector<std::size_t> tier2s;
+  std::vector<std::size_t> stubs;
+
+  // --- Tier-1 backbones: global footprints.
+  for (int i = 0; i < cfg.tier1_count; ++i) {
+    AsNode node;
+    node.asn = net::Asn(next_asn++);
+    node.tier = AsTier::kTier1;
+    node.domain = "bbone" + std::to_string(i) + ".net";
+    for (int metro : pick_metros(cfg.t1_pops, rng)) {
+      node.pops.push_back(make_pop(metro, rng));
+    }
+    tier1s.push_back(g.add_node(std::move(node)));
+  }
+  // Full settlement-free mesh between tier-1s (the defining property).
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      add_interconnects(g, tier1s[i], tier1s[j], LinkKind::kPeering, cfg, rng);
+    }
+  }
+
+  // --- Tier-2 regionals.
+  for (int i = 0; i < cfg.tier2_count; ++i) {
+    AsNode node;
+    node.asn = net::Asn(next_asn++);
+    node.tier = AsTier::kTier2;
+    node.domain = "regional" + std::to_string(i) + ".net";
+    const int pops = static_cast<int>(
+        rng.uniform_range(cfg.t2_pops_min, cfg.t2_pops_max));
+    for (int metro : pick_metros(pops, rng)) {
+      node.pops.push_back(make_pop(metro, rng));
+    }
+    tier2s.push_back(g.add_node(std::move(node)));
+  }
+  for (std::size_t t2 : tier2s) {
+    const int providers = static_cast<int>(
+        rng.uniform_range(cfg.t2_providers_min, cfg.t2_providers_max));
+    std::vector<std::size_t> shuffled = tier1s;
+    rng.shuffle(shuffled);
+    for (int k = 0; k < providers && k < static_cast<int>(shuffled.size()); ++k) {
+      add_interconnects(g, t2, shuffled[static_cast<std::size_t>(k)],
+                        LinkKind::kTransit, cfg, rng);
+    }
+  }
+  // Lateral tier-2 peering where footprints overlap; the *absence* of such
+  // peerings elsewhere is what produces long valley-free detours.
+  for (std::size_t i = 0; i < tier2s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2s.size(); ++j) {
+      if (shares_metro(g.node(tier2s[i]), g.node(tier2s[j])) &&
+          rng.chance(cfg.t2_peering_prob)) {
+        add_interconnects(g, tier2s[i], tier2s[j], LinkKind::kPeering, cfg, rng);
+      }
+    }
+  }
+
+  // --- Stubs (eyeballs): one PoP, transit from nearby tier-2s (or a tier-1
+  // with small probability, modelling direct enterprise transit).
+  for (int i = 0; i < cfg.stub_count; ++i) {
+    AsNode node;
+    node.asn = net::Asn(next_asn++);
+    node.tier = AsTier::kStub;
+    node.domain = "eyeball" + std::to_string(i) + ".example";
+    node.pops.push_back(make_pop(pick_metro(rng), rng));
+    stubs.push_back(g.add_node(std::move(node)));
+  }
+  for (std::size_t stub : stubs) {
+    const GeoPoint& here = g.node(stub).pops[0].location;
+    // Rank candidate providers by distance; pick among the closest few so
+    // access topology is geographically sensible but not deterministic.
+    std::vector<std::pair<double, std::size_t>> candidates;
+    for (std::size_t t2 : tier2s) {
+      const AsNode& n = g.node(t2);
+      candidates.emplace_back(
+          distance_km(here, n.pops[static_cast<std::size_t>(n.closest_pop(here))].location),
+          t2);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    const int providers = static_cast<int>(
+        rng.uniform_range(cfg.stub_providers_min, cfg.stub_providers_max));
+    std::set<std::size_t> picked;
+    for (int k = 0; k < providers; ++k) {
+      if (rng.chance(0.08) && !tier1s.empty()) {
+        picked.insert(tier1s[rng.index(tier1s.size())]);
+      } else if (!candidates.empty()) {
+        // Bias toward nearby tier-2s: geometric over the sorted ranks.
+        std::size_t rank = 0;
+        while (rank + 1 < candidates.size() && rng.chance(0.45)) ++rank;
+        picked.insert(candidates[rank].second);
+      }
+    }
+    if (picked.empty() && !tier1s.empty()) picked.insert(tier1s[0]);
+    for (std::size_t provider : picked) {
+      add_interconnects(g, stub, provider, LinkKind::kTransit, cfg, rng);
+    }
+  }
+  // Occasional stub-stub IXP peering in shared metros.
+  for (std::size_t i = 0; i < stubs.size(); ++i) {
+    for (std::size_t j = i + 1; j < stubs.size(); ++j) {
+      if (g.node(stubs[i]).pops[0].metro_index == g.node(stubs[j]).pops[0].metro_index &&
+          rng.chance(cfg.stub_peering_prob)) {
+        add_interconnects(g, stubs[i], stubs[j], LinkKind::kPeering, cfg, rng);
+      }
+    }
+  }
+
+  return g;
+}
+
+}  // namespace drongo::topology

@@ -1,0 +1,50 @@
+// Synthetic AS-graph generator with a realistic tiered structure.
+#pragma once
+
+#include "net/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace drongo::topology {
+
+/// Parameters for the generator. Defaults produce an Internet small enough
+/// to sweep quickly but rich enough to exhibit routing inflation: missing
+/// peerings force geographically long valley-free detours, which is one of
+/// the two root causes of latency valleys (the other is CDN mapping error).
+struct AsGenConfig {
+  int tier1_count = 8;
+  int tier2_count = 36;
+  int stub_count = 240;
+
+  /// Providers per tier-2 AS (drawn in [min,max]).
+  int t2_providers_min = 1;
+  int t2_providers_max = 3;
+  /// Probability that any two tier-2 ASes sharing a metro peer directly.
+  double t2_peering_prob = 0.55;
+  /// Providers per stub AS.
+  int stub_providers_min = 1;
+  int stub_providers_max = 2;
+  /// Probability a stub pair in the same metro peers (IXP-style).
+  double stub_peering_prob = 0.04;
+
+  /// PoP counts per tier.
+  int t1_pops = 12;
+  int t2_pops_min = 2;
+  int t2_pops_max = 6;
+
+  /// Per-link extra latency beyond propagation (equipment, queuing), ms.
+  double link_overhead_ms_min = 0.1;
+  double link_overhead_ms_max = 0.8;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generates a tiered AS graph:
+///  - tier-1 backbones with global PoPs and a full settlement-free mesh;
+///  - tier-2 regionals buying transit from 1-3 tier-1s, peering laterally
+///    where they share a metro;
+///  - stubs (eyeball ISPs, campuses) buying from nearby tier-2s/tier-1s.
+/// ASNs are assigned sequentially from 100. Operator domains are synthetic
+/// ("bbone<i>.net", "regional<i>.net", "eyeball<i>.example").
+AsGraph generate_as_graph(const AsGenConfig& config);
+
+}  // namespace drongo::topology

@@ -1,0 +1,69 @@
+#include "topology/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace drongo::topology {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+/// Light in fiber covers ~200 km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+
+double radians(double deg) { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = radians(a.lat_deg);
+  const double lat2 = radians(b.lat_deg);
+  const double dlat = radians(b.lat_deg - a.lat_deg);
+  const double dlon = radians(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_ms(const GeoPoint& a, const GeoPoint& b, double stretch) {
+  const double km = distance_km(a, b);
+  if (km <= 0.0) return 0.05;
+  return std::max(0.05, km * stretch / kFiberKmPerMs);
+}
+
+const std::vector<Metro>& world_metros() {
+  static const std::vector<Metro> metros = {
+      // North America
+      {"new-york", {40.71, -74.01}, 3.0},
+      {"ashburn", {39.04, -77.49}, 2.5},
+      {"chicago", {41.88, -87.63}, 2.0},
+      {"dallas", {32.78, -96.80}, 1.8},
+      {"los-angeles", {34.05, -118.24}, 2.5},
+      {"seattle", {47.61, -122.33}, 1.5},
+      {"toronto", {43.65, -79.38}, 1.2},
+      // South America
+      {"sao-paulo", {-23.55, -46.63}, 1.5},
+      {"buenos-aires", {-34.60, -58.38}, 0.8},
+      // Europe
+      {"london", {51.51, -0.13}, 3.0},
+      {"frankfurt", {50.11, 8.68}, 2.8},
+      {"amsterdam", {52.37, 4.90}, 2.2},
+      {"paris", {48.86, 2.35}, 2.0},
+      {"madrid", {40.42, -3.70}, 1.2},
+      {"stockholm", {59.33, 18.07}, 1.0},
+      {"warsaw", {52.23, 21.01}, 0.9},
+      // Middle East / Africa
+      {"istanbul", {41.01, 28.98}, 1.2},
+      {"johannesburg", {-26.20, 28.05}, 0.8},
+      // Asia
+      {"mumbai", {19.08, 72.88}, 1.8},
+      {"singapore", {1.35, 103.82}, 2.2},
+      {"hong-kong", {22.32, 114.17}, 2.0},
+      {"tokyo", {35.68, 139.65}, 2.5},
+      {"seoul", {37.57, 126.98}, 1.5},
+      // Oceania
+      {"sydney", {-33.87, 151.21}, 1.2},
+  };
+  return metros;
+}
+
+}  // namespace drongo::topology

@@ -1,0 +1,38 @@
+// Geographic embedding: coordinates, distances, propagation delay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drongo::topology {
+
+/// A point on the globe in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometres (haversine).
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay in milliseconds over fiber along the great
+/// circle, using the standard 2/3-c propagation speed plus a path-stretch
+/// factor for non-geodesic fiber routes (default 1.4, a common empirical
+/// figure). Never returns less than 0.05 ms for distinct points.
+double propagation_ms(const GeoPoint& a, const GeoPoint& b, double stretch = 1.4);
+
+/// A named metropolitan area used to place PoPs, clients, and replicas.
+struct Metro {
+  std::string name;
+  GeoPoint location;
+  /// Relative weight for client population and CDN build-out decisions.
+  double weight = 1.0;
+};
+
+/// A fixed catalogue of 24 metros across six continents. Ordering is stable;
+/// generators index into it deterministically.
+const std::vector<Metro>& world_metros();
+
+}  // namespace drongo::topology

@@ -1,0 +1,193 @@
+// Evaluation (§5 machinery) on a small testbed, plus render helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/render.hpp"
+#include "net/error.hpp"
+
+namespace drongo::analysis {
+namespace {
+
+measure::TestbedConfig tiny_config() {
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 10;
+  config.as_config.stub_count = 40;
+  config.client_count = 10;
+  config.seed = 81;
+  return config;
+}
+
+class EvaluationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    testbed_ = new measure::Testbed(tiny_config());
+    evaluation_ = new Evaluation(testbed_, 82);
+  }
+  static void TearDownTestSuite() {
+    delete evaluation_;
+    delete testbed_;
+    evaluation_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static measure::Testbed* testbed_;
+  static Evaluation* evaluation_;
+};
+
+measure::Testbed* EvaluationFixture::testbed_ = nullptr;
+Evaluation* EvaluationFixture::evaluation_ = nullptr;
+
+TEST_F(EvaluationFixture, CampaignShape) {
+  EXPECT_EQ(evaluation_->client_count(), 10u);
+  EXPECT_EQ(evaluation_->providers().size(), 6u);
+  const auto& trials = evaluation_->records(0, 0);
+  EXPECT_EQ(trials.size(), 10u);  // 5 training + 5 test
+  // Pinned domain across the campaign of one pair.
+  for (const auto& t : trials) {
+    EXPECT_EQ(t.domain, trials[0].domain);
+  }
+  // Time-ordered.
+  for (std::size_t i = 1; i < trials.size(); ++i) {
+    EXPECT_GT(trials[i].time_hours, trials[i - 1].time_hours);
+  }
+}
+
+TEST_F(EvaluationFixture, EvaluateProducesOneSamplePerTestTrial) {
+  const auto samples = evaluation_->evaluate(1.0, 0.95);
+  EXPECT_EQ(samples.size(), 10u * 6u * 5u);
+  for (const auto& s : samples) {
+    if (!s.assimilated) {
+      EXPECT_DOUBLE_EQ(s.ratio, 1.0);
+    } else {
+      EXPECT_GT(s.ratio, 0.0);
+    }
+  }
+}
+
+TEST_F(EvaluationFixture, EvaluateIsDeterministic) {
+  const auto a = evaluation_->evaluate(0.6, 0.9);
+  const auto b = evaluation_->evaluate(0.6, 0.9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].assimilated, b[i].assimilated);
+    EXPECT_DOUBLE_EQ(a[i].ratio, b[i].ratio);
+  }
+}
+
+TEST_F(EvaluationFixture, StricterFrequencyAffectsFewerClients) {
+  const double loose = evaluation_->fraction_clients_affected(0.2, 1.0);
+  const double strict = evaluation_->fraction_clients_affected(1.0, 1.0);
+  EXPECT_GE(loose, strict);
+  EXPECT_GT(loose, 0.0);
+}
+
+TEST_F(EvaluationFixture, LowerThresholdAffectsFewerClients) {
+  const double high_vt = evaluation_->fraction_clients_affected(0.2, 1.0);
+  const double low_vt = evaluation_->fraction_clients_affected(0.2, 0.3);
+  EXPECT_GE(high_vt, low_vt);
+}
+
+TEST_F(EvaluationFixture, DrongoHelpsOverall) {
+  // At the paper's optimal parameters the aggregate ratio is <= 1 (Drongo
+  // never hurts on average in this world).
+  EXPECT_LE(evaluation_->overall_mean_ratio(1.0, 0.95), 1.001);
+  EXPECT_LE(evaluation_->assimilated_mean_ratio(1.0, 0.95), 1.0);
+}
+
+TEST_F(EvaluationFixture, SweepCoversGridAndBestPointIsMinimal) {
+  const std::vector<double> vfs{0.2, 1.0};
+  const std::vector<double> vts{0.5, 0.95};
+  const auto sweep = parameter_sweep(*evaluation_, vfs, vts);
+  EXPECT_EQ(sweep.size(), 4u);
+  const auto best = best_point(sweep);
+  for (const auto& p : sweep) {
+    EXPECT_GE(p.overall_ratio, best.overall_ratio);
+  }
+  EXPECT_THROW(best_point({}), net::InvalidArgument);
+}
+
+TEST_F(EvaluationFixture, PerProviderBreakdownsCoverAllProviders) {
+  const auto ratios = evaluation_->per_provider_mean_ratio(1.0, 0.95);
+  EXPECT_EQ(ratios.size(), 6u);
+  const auto optima = per_provider_optimum(*evaluation_, {0.6, 1.0}, {0.9, 0.95});
+  EXPECT_EQ(optima.size(), 6u);
+  for (const auto& opt : optima) {
+    EXPECT_FALSE(opt.curve.empty());
+    EXPECT_GT(opt.best_ratio, 0.0);
+    EXPECT_LE(opt.best_ratio, 1.001);
+  }
+}
+
+TEST_F(EvaluationFixture, PerClientOutcomesAggregateCorrectly) {
+  const auto samples = evaluation_->evaluate(0.6, 0.95);
+  const auto outcomes = per_client_outcomes(samples, evaluation_->client_count());
+  ASSERT_EQ(outcomes.size(), evaluation_->client_count());
+  std::size_t total_queries = 0;
+  std::size_t total_assimilated = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    total_queries += outcomes[i].queries;
+    total_assimilated += outcomes[i].assimilated;
+    if (i > 0) {
+      EXPECT_GE(outcomes[i].mean_ratio, outcomes[i - 1].mean_ratio);  // sorted
+    }
+  }
+  EXPECT_EQ(total_queries, samples.size());
+  std::size_t expected_assimilated = 0;
+  for (const auto& s : samples) expected_assimilated += s.assimilated ? 1 : 0;
+  EXPECT_EQ(total_assimilated, expected_assimilated);
+}
+
+TEST(PerClientOutcomesTest, EmptyAndOutOfRangeSamples) {
+  const auto empty = per_client_outcomes({}, 3);
+  ASSERT_EQ(empty.size(), 3u);
+  for (const auto& o : empty) {
+    EXPECT_DOUBLE_EQ(o.mean_ratio, 1.0);
+    EXPECT_EQ(o.queries, 0u);
+  }
+  std::vector<EvalSample> weird(1);
+  weird[0].client_index = 99;  // outside the population: ignored
+  const auto outcomes = per_client_outcomes(weird, 2);
+  EXPECT_EQ(outcomes[0].queries + outcomes[1].queries, 0u);
+}
+
+// ---- render helpers ---------------------------------------------------------
+
+TEST(RenderTest, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(5.0, 0), "5");
+  EXPECT_EQ(fmt(-0.125, 3), "-0.125");
+}
+
+TEST(RenderTest, TableAlignsColumns) {
+  const auto table = render_table("T", {"a", "long-header"},
+                                  {{"xxxxxx", "1"}, {"y", "2"}});
+  EXPECT_NE(table.find("== T =="), std::string::npos);
+  EXPECT_NE(table.find("long-header"), std::string::npos);
+  // Each data row present.
+  EXPECT_NE(table.find("xxxxxx"), std::string::npos);
+  EXPECT_NE(table.find("y"), std::string::npos);
+}
+
+TEST(RenderTest, SeriesRendersPairs) {
+  const auto text = render_series("S", "x", "y", {{1.0, 2.0}, {3.0, 4.0}}, 1);
+  EXPECT_NE(text.find("1.0"), std::string::npos);
+  EXPECT_NE(text.find("4.0"), std::string::npos);
+}
+
+TEST(RenderTest, BoxRendersWithinAxis) {
+  measure::BoxStats box;
+  box.p25 = 0.4;
+  box.median = 0.5;
+  box.p75 = 0.6;
+  box.whisker_low = 0.2;
+  box.whisker_high = 0.9;
+  box.count = 10;
+  const auto line = render_box("label", box, 0.0, 1.0, 40);
+  EXPECT_NE(line.find('M'), std::string::npos);
+  EXPECT_NE(line.find("med=0.50"), std::string::npos);
+  EXPECT_NE(line.find("n=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drongo::analysis

@@ -1,0 +1,163 @@
+// Analysis metrics on hand-crafted records (exact expectations).
+#include <gtest/gtest.h>
+
+#include "analysis/prevalence.hpp"
+
+namespace drongo::analysis {
+namespace {
+
+measure::HopRecord hop(const char* subnet, bool usable, std::vector<double> hrms,
+                       std::uint8_t replica_seed = 1) {
+  measure::HopRecord h;
+  h.subnet = net::Prefix::must_parse(subnet);
+  h.usable = usable;
+  std::uint8_t i = replica_seed;
+  for (double ms : hrms) {
+    measure::ReplicaMeasurement m;
+    m.replica = net::Ipv4Addr(22, 0, 0, i++);
+    m.rtt_ms = ms;
+    m.download_first_ms = ms * 3;
+    m.download_cached_ms = ms * 2;
+    h.hr.push_back(m);
+  }
+  return h;
+}
+
+measure::TrialRecord trial(const std::string& provider, std::size_t client,
+                           double time_hours, std::vector<double> crms,
+                           std::vector<measure::HopRecord> hops) {
+  measure::TrialRecord t;
+  t.provider = provider;
+  t.domain = "img." + provider + ".sim";
+  t.client_index = client;
+  t.client = net::Ipv4Addr(20, 0, static_cast<std::uint8_t>(40 + client), 10);
+  t.time_hours = time_hours;
+  std::uint8_t i = 1;
+  for (double ms : crms) {
+    measure::ReplicaMeasurement m;
+    m.replica = net::Ipv4Addr(21, 0, 0, i++);
+    m.rtt_ms = ms;
+    m.download_first_ms = ms * 3;
+    m.download_cached_ms = ms * 2;
+    t.cr.push_back(m);
+  }
+  t.hops = std::move(hops);
+  return t;
+}
+
+TEST(Figure2Test, DivergenceAndRouteLength) {
+  // Trial 1: two usable hops; one offers a replica outside the CR-set
+  // (hop replicas use the 22.x space, CRs 21.x -> always divergent here).
+  std::vector<measure::TrialRecord> records;
+  records.push_back(trial("P", 0, 0.0, {100}, {hop("20.1.0.0/24", true, {50}),
+                                               hop("20.2.0.0/24", true, {60}),
+                                               hop("20.3.0.0/24", false, {})}));
+  records.push_back(trial("P", 0, 1.0, {100}, {hop("20.1.0.0/24", true, {120})}));
+
+  const auto rows = figure2(records);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].provider, "P");
+  EXPECT_EQ(rows[0].routes, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_usable_route_length, (2.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean_divergence, 1.0);
+}
+
+TEST(Figure2Test, NonDivergentHopDetected) {
+  // The hop's replica set equals the client's -> divergence 0.
+  auto t = trial("P", 0, 0.0, {100}, {});
+  measure::HopRecord h = hop("20.1.0.0/24", true, {});
+  h.hr.push_back(t.cr[0]);  // same replica as the client's
+  t.hops.push_back(h);
+  const auto rows = figure2({t});
+  EXPECT_DOUBLE_EQ(rows[0].mean_divergence, 0.0);
+}
+
+TEST(Figure3Test, ValleySharePerHrm) {
+  // min CRM = 80. HRMs: 70 (valley), 90 (not), 79.9 (valley), 80 (not).
+  std::vector<measure::TrialRecord> records;
+  records.push_back(trial("P", 0, 0.0, {80, 120},
+                          {hop("20.1.0.0/24", true, {70, 90}),
+                           hop("20.2.0.0/24", true, {79.9, 80})}));
+  const auto fig = figure3(records);
+  ASSERT_EQ(fig.shares.size(), 1u);
+  EXPECT_EQ(fig.shares[0].points, 4u);
+  EXPECT_DOUBLE_EQ(fig.shares[0].valley_percent, 50.0);
+  EXPECT_EQ(fig.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(fig.average_valley_percent, 50.0);
+}
+
+TEST(Table1Test, AllFourColumns) {
+  std::vector<measure::TrialRecord> records;
+  // Client 0, three trials. Hop A (20.1) valleys in 2/3 trials (median HRM
+  // vs min CRM); hop B (20.2) never valleys.
+  records.push_back(trial("P", 0, 0.0, {100},
+                          {hop("20.1.0.0/24", true, {50}), hop("20.2.0.0/24", true, {150})}));
+  records.push_back(trial("P", 0, 1.0, {100},
+                          {hop("20.1.0.0/24", true, {60}), hop("20.2.0.0/24", true, {150})}));
+  records.push_back(trial("P", 0, 2.0, {100},
+                          {hop("20.1.0.0/24", true, {140}), hop("20.2.0.0/24", true, {150})}));
+  const auto rows = table1(records);
+  ASSERT_EQ(rows.size(), 1u);
+  // Col 2: 2 valley HRMs of 6 total.
+  EXPECT_NEAR(rows[0].pct_valleys_overall, 100.0 * 2 / 6, 1e-9);
+  // Col 3: route fractions 1/2, 1/2, 0/2 -> avg 1/3.
+  EXPECT_NEAR(rows[0].avg_pct_valleys_per_route, 100.0 / 3.0, 1e-9);
+  // Col 4: 2 of 3 routes had a valley.
+  EXPECT_NEAR(rows[0].pct_routes_with_valley, 100.0 * 2 / 3, 1e-9);
+  // Col 5: hop A vf = 2/3 > 0.5; hop B vf = 0 -> 1 of 2 pairs.
+  EXPECT_NEAR(rows[0].pct_pairs_vf_above_half, 50.0, 1e-9);
+}
+
+TEST(Figure4Test, ModesUseTheirMeasurements) {
+  // rtt ratio < 1 but download ratios are scaled identically, so all three
+  // modes agree here; a pair with 1 valley in 1 trial -> vf = 1.
+  std::vector<measure::TrialRecord> records;
+  records.push_back(trial("P", 0, 0.0, {100}, {hop("20.1.0.0/24", true, {50})}));
+  for (auto mode : {MeasureMode::kPing, MeasureMode::kDownloadFirst,
+                    MeasureMode::kDownloadCached}) {
+    const auto series = figure4(records, mode);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].fraction_always_valley, 1.0);
+  }
+}
+
+TEST(Figure4Test, CdfCountsPairsNotTrials) {
+  std::vector<measure::TrialRecord> records;
+  // Pair A: valley 1/2 trials (vf 0.5). Pair B: 0/1 (vf 0).
+  records.push_back(trial("P", 0, 0.0, {100}, {hop("20.1.0.0/24", true, {50})}));
+  records.push_back(trial("P", 0, 1.0, {100}, {hop("20.1.0.0/24", true, {150}),
+                                               hop("20.2.0.0/24", true, {150})}));
+  const auto series = figure4(records, MeasureMode::kPing);
+  ASSERT_EQ(series.size(), 1u);
+  // CDF over {0.5, 0.0}: at 0 -> 0.5 of pairs; at 0.5 -> all pairs.
+  EXPECT_DOUBLE_EQ(measure::cdf_at({0.5, 0.0}, 0.0), 0.5);
+  ASSERT_EQ(series[0].cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].fraction_always_valley, 0.0);
+}
+
+TEST(Figure6Test, OnlyValleyOccurrencesCounted) {
+  std::vector<measure::TrialRecord> records;
+  records.push_back(trial("P", 0, 0.0, {100},
+                          {hop("20.1.0.0/24", true, {50}),     // ratio 0.5
+                           hop("20.2.0.0/24", true, {80}),     // ratio 0.8
+                           hop("20.3.0.0/24", true, {150})})); // not a valley
+  const auto rows = figure6(records);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].box.count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].box.median, 0.65);
+}
+
+TEST(ProviderOrderTest, FirstAppearanceOrderIsStable) {
+  std::vector<measure::TrialRecord> records;
+  records.push_back(trial("Zeta", 0, 0.0, {100}, {hop("20.1.0.0/24", true, {50})}));
+  records.push_back(trial("Alpha", 0, 0.0, {100}, {hop("20.1.0.0/24", true, {50})}));
+  records.push_back(trial("Zeta", 0, 1.0, {100}, {hop("20.1.0.0/24", true, {50})}));
+  const auto rows = table1(records);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].provider, "Zeta");
+  EXPECT_EQ(rows[1].provider, "Alpha");
+}
+
+}  // namespace
+}  // namespace drongo::analysis

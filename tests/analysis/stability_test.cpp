@@ -1,0 +1,119 @@
+// Figure-5 stability analysis on synthetic ratio series.
+#include <gtest/gtest.h>
+
+#include "analysis/stability.hpp"
+
+namespace drongo::analysis {
+namespace {
+
+/// A record stream where one hop-client pair's ratio follows `ratios[t]` at
+/// hourly spacing.
+std::vector<measure::TrialRecord> series_records(const std::vector<double>& ratios,
+                                                 const char* subnet = "20.1.0.0/24") {
+  std::vector<measure::TrialRecord> records;
+  for (std::size_t t = 0; t < ratios.size(); ++t) {
+    measure::TrialRecord r;
+    r.provider = "P";
+    r.domain = "img.p.sim";
+    r.client_index = 0;
+    r.time_hours = static_cast<double>(t);
+    r.cr.push_back({net::Ipv4Addr(21, 0, 0, 1), 100.0});
+    measure::HopRecord hop;
+    hop.subnet = net::Prefix::must_parse(subnet);
+    hop.usable = true;
+    hop.hr.push_back({net::Ipv4Addr(22, 0, 0, 1), ratios[t] * 100.0});
+    records.push_back(std::move(r));
+    records.back().hops.push_back(std::move(hop));
+  }
+  return records;
+}
+
+TEST(Figure5Test, ConstantSeriesHasZeroDrift) {
+  const auto records = series_records(std::vector<double>(20, 0.8));
+  StabilityConfig config;
+  config.window_sizes = {1, 5};
+  config.bin_hours = 2.0;
+  const auto series = figure5(records, config);
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& s : series) {
+    EXPECT_FALSE(s.points.empty());
+    for (const auto& p : s.points) {
+      EXPECT_DOUBLE_EQ(p.mean_ratio_difference, 0.0);
+    }
+  }
+}
+
+TEST(Figure5Test, AlternatingSeriesSmoothedByLargerWindows) {
+  // 0.5 / 1.5 alternation: window-1 comparisons see |diff| = 1 half the
+  // time; window-4 medians are all 1.0 -> zero drift.
+  std::vector<double> ratios;
+  for (int i = 0; i < 24; ++i) ratios.push_back(i % 2 == 0 ? 0.5 : 1.5);
+  StabilityConfig config;
+  config.window_sizes = {1, 4};
+  config.bin_hours = 4.0;
+  const auto series = figure5(series_records(ratios), config);
+  double drift_w1 = 0.0;
+  double drift_w4 = 0.0;
+  for (const auto& p : series[0].points) drift_w1 += p.mean_ratio_difference;
+  for (const auto& p : series[1].points) drift_w4 += p.mean_ratio_difference;
+  EXPECT_GT(drift_w1, 0.1);
+  EXPECT_NEAR(drift_w4, 0.0, 1e-9);
+}
+
+TEST(Figure5Test, TrendingSeriesDriftGrowsWithDistance) {
+  std::vector<double> ratios;
+  for (int i = 0; i < 30; ++i) ratios.push_back(0.5 + 0.05 * i);
+  StabilityConfig config;
+  config.window_sizes = {1};
+  config.bin_hours = 4.0;
+  const auto series = figure5(series_records(ratios), config);
+  ASSERT_GE(series[0].points.size(), 3u);
+  EXPECT_GT(series[0].points.back().mean_ratio_difference,
+            series[0].points.front().mean_ratio_difference);
+}
+
+TEST(Figure5Test, ValleyOnlyFilterDropsValleyFreePairs) {
+  // Pair A always above 1 (never a valley); pair B dips below 1 once.
+  auto records = series_records(std::vector<double>(10, 1.2), "20.1.0.0/24");
+  auto valley_pair = series_records(
+      {1.1, 0.9, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1}, "20.2.0.0/24");
+  records.insert(records.end(), valley_pair.begin(), valley_pair.end());
+
+  StabilityConfig all;
+  all.window_sizes = {1};
+  StabilityConfig valleys_only = all;
+  valleys_only.valley_pairs_only = true;
+
+  const auto s_all = figure5(records, all);
+  const auto s_valley = figure5(records, valleys_only);
+  std::size_t samples_all = 0;
+  std::size_t samples_valley = 0;
+  for (const auto& p : s_all[0].points) samples_all += p.samples;
+  for (const auto& p : s_valley[0].points) samples_valley += p.samples;
+  // Both pairs have 45 window-pairs each; the filter keeps only pair B.
+  EXPECT_EQ(samples_all, 90u);
+  EXPECT_EQ(samples_valley, 45u);
+}
+
+TEST(Figure5Test, ShortSeriesSkippedForLargeWindows) {
+  const auto records = series_records({0.8, 0.9, 1.0});
+  StabilityConfig config;
+  config.window_sizes = {5};
+  const auto series = figure5(records, config);
+  EXPECT_TRUE(series[0].points.empty());
+}
+
+TEST(Figure5Test, UnsortedInputIsSortedByTime) {
+  auto records = series_records({0.5, 0.6, 0.7, 0.8});
+  std::swap(records[0], records[3]);  // scramble time order
+  StabilityConfig config;
+  config.window_sizes = {1};
+  config.bin_hours = 1.0;
+  const auto series = figure5(records, config);
+  // Adjacent-in-time comparisons land in bin 0 with diff 0.1.
+  ASSERT_FALSE(series[0].points.empty());
+  EXPECT_NEAR(series[0].points[0].mean_ratio_difference, 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace drongo::analysis

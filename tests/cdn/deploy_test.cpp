@@ -1,0 +1,128 @@
+// plan_cdn / deploy_cdn: the two-phase CDN installation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cdn/deploy.hpp"
+#include "topology/as_gen.hpp"
+
+namespace drongo::cdn {
+namespace {
+
+topology::AsGraph base_graph(std::uint64_t seed = 141) {
+  topology::AsGenConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 8;
+  config.stub_count = 20;
+  config.seed = seed;
+  return topology::generate_as_graph(config);
+}
+
+TEST(DeployTest, PlanAddsTheCdnAsWithBoundedPops) {
+  auto graph = base_graph();
+  const auto nodes_before = graph.node_count();
+  const auto links_before = graph.link_count();
+  net::Rng rng(7);
+  const auto plan = plan_cdn(graph, google_like(), rng);
+
+  EXPECT_EQ(graph.node_count(), nodes_before + 1);
+  EXPECT_GT(graph.link_count(), links_before);
+  const auto& node = graph.node(plan.as_index);
+  EXPECT_EQ(node.tier, topology::AsTier::kTier2);
+  EXPECT_LE(node.pops.size(), 16u);  // address-plan limit
+  // Every cluster references a valid PoP whose metro matches the plan.
+  ASSERT_EQ(plan.cluster_pops.size(),
+            static_cast<std::size_t>(google_like().cluster_count));
+  for (std::size_t c = 0; c < plan.cluster_pops.size(); ++c) {
+    ASSERT_LT(static_cast<std::size_t>(plan.cluster_pops[c]), node.pops.size());
+  }
+}
+
+TEST(DeployTest, CdnPeersWithEveryTier1) {
+  auto graph = base_graph();
+  net::Rng rng(7);
+  const auto plan = plan_cdn(graph, cloudfront_like(), rng);
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    if (v == plan.as_index) continue;
+    if (graph.node(v).tier != topology::AsTier::kTier1) continue;
+    bool connected = !graph.links_between(plan.as_index, v).empty();
+    EXPECT_TRUE(connected) << graph.node(v).asn.to_string();
+  }
+}
+
+TEST(DeployTest, RegionalBiasShapesPlacement) {
+  // CubeCDN is Istanbul-centred: the modal cluster metro must be Istanbul
+  // (index 16 in the metro catalogue).
+  auto graph = base_graph();
+  net::Rng rng(7);
+  const auto plan = plan_cdn(graph, cubecdn_like(), rng);
+  std::map<int, int> counts;
+  for (int metro : plan.cluster_metros) ++counts[metro];
+  int modal_metro = -1;
+  int modal = 0;
+  for (const auto& [metro, count] : counts) {
+    if (count > modal) {
+      modal = count;
+      modal_metro = metro;
+    }
+  }
+  EXPECT_EQ(modal_metro, 16);
+}
+
+TEST(DeployTest, DeployAllocatesReplicasAtPlannedPops) {
+  auto graph = base_graph();
+  net::Rng rng(7);
+  const auto plan = plan_cdn(graph, chinanetcenter_like(), rng);
+  topology::World world(std::move(graph));
+  const auto provider = deploy_cdn(world, plan);
+  ASSERT_EQ(provider.clusters().size(), plan.cluster_pops.size());
+  for (std::size_t c = 0; c < provider.clusters().size(); ++c) {
+    const auto& cluster = provider.clusters()[c];
+    EXPECT_EQ(cluster.pop_index, plan.cluster_pops[c]);
+    for (auto replica : cluster.replicas) {
+      const auto& host = world.host(replica);
+      EXPECT_EQ(host.as_index, plan.as_index);
+      EXPECT_EQ(host.pop_index, cluster.pop_index);
+      EXPECT_EQ(host.kind, topology::HostKind::kServer);
+    }
+  }
+  EXPECT_TRUE(provider.vips().empty());
+}
+
+TEST(DeployTest, AnycastDeploymentCreatesVips) {
+  auto graph = base_graph();
+  net::Rng rng(7);
+  const auto plan = plan_cdn(graph, cdnetworks_like(), rng);
+  topology::World world(std::move(graph));
+  const auto provider = deploy_cdn(world, plan);
+  ASSERT_EQ(provider.vips().size(),
+            static_cast<std::size_t>(cdnetworks_like().anycast_vips));
+  for (auto vip : provider.vips()) {
+    EXPECT_TRUE(world.is_anycast(vip));
+  }
+}
+
+TEST(DeployTest, TwoPlansCoexistInOneGraph) {
+  auto graph = base_graph();
+  net::Rng rng(7);
+  const auto a = plan_cdn(graph, google_like(), rng);
+  const auto b = plan_cdn(graph, alibaba_like(), rng);
+  EXPECT_NE(a.as_index, b.as_index);
+  EXPECT_NE(graph.node(a.as_index).asn, graph.node(b.as_index).asn);
+  topology::World world(std::move(graph));
+  const auto provider_a = deploy_cdn(world, a);
+  const auto provider_b = deploy_cdn(world, b);
+  // Disjoint replica address space (separate /16 blocks per AS).
+  std::set<net::Ipv4Addr> replicas_a;
+  for (const auto& cluster : provider_a.clusters()) {
+    for (auto r : cluster.replicas) replicas_a.insert(r);
+  }
+  for (const auto& cluster : provider_b.clusters()) {
+    for (auto r : cluster.replicas) {
+      EXPECT_FALSE(replicas_a.contains(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drongo::cdn

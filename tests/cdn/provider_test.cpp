@@ -1,0 +1,187 @@
+// CdnProvider mapping semantics: persistence, granularity, generics,
+// load balancing, anycast.
+#include <gtest/gtest.h>
+
+#include "cdn/deploy.hpp"
+#include "net/error.hpp"
+#include "topology/as_gen.hpp"
+
+namespace drongo::cdn {
+namespace {
+
+class ProviderFixture : public ::testing::Test {
+ protected:
+  ProviderFixture() {
+    topology::AsGenConfig as_config;
+    as_config.tier1_count = 4;
+    as_config.tier2_count = 8;
+    as_config.stub_count = 30;
+    as_config.seed = 11;
+    auto graph = topology::generate_as_graph(as_config);
+    net::Rng rng(12);
+    plan_ = plan_cdn(graph, google_like(), rng);
+    anycast_plan_ = plan_cdn(graph, cdnetworks_like(), rng);
+    world_ = std::make_unique<topology::World>(std::move(graph));
+    provider_ = std::make_unique<CdnProvider>(deploy_cdn(*world_, plan_));
+    anycast_ = std::make_unique<CdnProvider>(deploy_cdn(*world_, anycast_plan_));
+    for (std::size_t v = 0; v < world_->graph().node_count(); ++v) {
+      if (world_->graph().node(v).tier == topology::AsTier::kStub) {
+        client_ = world_->add_host(v, topology::HostKind::kClient);
+        break;
+      }
+    }
+  }
+
+  CdnPlan plan_;
+  CdnPlan anycast_plan_;
+  std::unique_ptr<topology::World> world_;
+  std::unique_ptr<CdnProvider> provider_;
+  std::unique_ptr<CdnProvider> anycast_;
+  net::Ipv4Addr client_;
+};
+
+TEST_F(ProviderFixture, DeploymentMatchesProfile) {
+  EXPECT_EQ(provider_->clusters().size(),
+            static_cast<std::size_t>(provider_->profile().cluster_count));
+  for (const auto& cluster : provider_->clusters()) {
+    EXPECT_EQ(cluster.replicas.size(),
+              static_cast<std::size_t>(provider_->profile().replicas_per_cluster));
+    for (auto replica : cluster.replicas) {
+      EXPECT_TRUE(world_->is_host(replica));
+      EXPECT_EQ(world_->host(replica).as_index, provider_->as_index());
+    }
+  }
+  EXPECT_TRUE(provider_->vips().empty());
+  EXPECT_EQ(anycast_->vips().size(),
+            static_cast<std::size_t>(anycast_->profile().anycast_vips));
+}
+
+TEST_F(ProviderFixture, SelectReturnsRequestedSetSize) {
+  const net::Prefix subnet(client_, 24);
+  const auto set = provider_->select_replicas(subnet);
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(provider_->profile().replica_set_size));
+}
+
+TEST_F(ProviderFixture, MappingIsPersistentAcrossQueries) {
+  const net::Prefix subnet(client_, 24);
+  const int first = provider_->mapped_cluster(subnet);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(provider_->mapped_cluster(subnet), first);
+  }
+}
+
+TEST_F(ProviderFixture, MappingKeyHonorsGranularity) {
+  CdnProfile coarse = provider_->profile();
+  EXPECT_EQ(provider_->mapping_key(net::Prefix::must_parse("20.1.36.0/24")).length(),
+            coarse.mapping_granularity);
+  // A /16 query subnet is not narrowed.
+  EXPECT_EQ(provider_->mapping_key(net::Prefix::must_parse("20.1.0.0/16")).length(), 16);
+}
+
+TEST_F(ProviderFixture, EyeballSubnetsAreMappedMoreOftenThanRouterSubnets) {
+  int eyeball_mapped = 0;
+  int eyeball_total = 0;
+  int router_mapped = 0;
+  int router_total = 0;
+  for (std::size_t v = 0; v < world_->graph().node_count(); ++v) {
+    const auto block = world_->block_of(v);
+    const net::Prefix router24(block.network(), 24);  // pop 0 core router /24
+    if (world_->subnet_kind(router24) == topology::SubnetKind::kRouter) {
+      ++router_total;
+      if (provider_->is_mapped(router24)) ++router_mapped;
+    }
+    const net::Prefix host24(net::Ipv4Addr(block.network().to_uint() | (40u << 8)), 24);
+    if (world_->subnet_kind(host24) == topology::SubnetKind::kHost) {
+      ++eyeball_total;
+      if (provider_->is_mapped(host24)) ++eyeball_mapped;
+    }
+  }
+  ASSERT_GT(router_total, 10);
+  ASSERT_GT(eyeball_total, 10);
+  const double eyeball_rate = double(eyeball_mapped) / eyeball_total;
+  const double router_rate = double(router_mapped) / router_total;
+  EXPECT_GT(eyeball_rate, 0.85);
+  EXPECT_GT(eyeball_rate, router_rate);
+}
+
+TEST_F(ProviderFixture, UnknownSpaceGetsGenericAnswers) {
+  const auto subnet = net::Prefix::must_parse("192.168.1.0/24");
+  EXPECT_FALSE(provider_->is_mapped(subnet));
+  EXPECT_EQ(provider_->mapped_cluster(subnet), -1);
+  // Generic answers still return replicas (never an error)...
+  const auto set = provider_->select_replicas(subnet);
+  EXPECT_FALSE(set.empty());
+  // ...and rotate across queries (unstable, per the paper's [47] citation).
+  std::set<net::Ipv4Addr> seen;
+  for (int i = 0; i < 30; ++i) {
+    for (auto addr : provider_->select_replicas(subnet)) seen.insert(addr);
+  }
+  EXPECT_GT(seen.size(), provider_->profile().replica_set_size * 2u);
+}
+
+TEST_F(ProviderFixture, LoadBalancingRotatesFirstReplica) {
+  const net::Prefix subnet(client_, 24);
+  std::set<net::Ipv4Addr> firsts;
+  for (int i = 0; i < 30; ++i) {
+    firsts.insert(provider_->select_replicas(subnet).front());
+  }
+  // The first replica varies across queries (rotation), so a client that
+  // cherry-picked could beat the CDN's balancing — Drongo must not.
+  EXPECT_GT(firsts.size(), 1u);
+}
+
+TEST_F(ProviderFixture, AnycastReturnsVips) {
+  const net::Prefix subnet(client_, 24);
+  const auto set = anycast_->select_replicas(subnet);
+  ASSERT_FALSE(set.empty());
+  for (auto addr : set) {
+    EXPECT_TRUE(world_->is_anycast(addr));
+  }
+}
+
+TEST_F(ProviderFixture, AnycastLatencyIsSubnetInsensitive) {
+  // Whatever VIP any subnet is given, the measured latency from the client
+  // is near the best front: max/min across many subnets stays small
+  // relative to unicast spread.
+  std::vector<double> rtts;
+  for (int i = 0; i < 8; ++i) {
+    const net::Prefix subnet(net::Ipv4Addr(world_->block_of(5).network().to_uint() |
+                                           ((40u + i) << 8)),
+                             24);
+    const auto set = anycast_->select_replicas(subnet);
+    rtts.push_back(world_->rtt_base_ms(client_, set.front()));
+  }
+  const auto [lo, hi] = std::minmax_element(rtts.begin(), rtts.end());
+  EXPECT_LT(*hi / *lo, 3.0);
+}
+
+TEST_F(ProviderFixture, ConstructorValidation) {
+  EXPECT_THROW(CdnProvider(google_like(), nullptr, 0, {CdnCluster{}}, {}),
+               net::InvalidArgument);
+  EXPECT_THROW(CdnProvider(google_like(), world_.get(), 0, {}, {}),
+               net::InvalidArgument);
+  CdnProfile anycast_profile = cdnetworks_like();
+  EXPECT_THROW(CdnProvider(anycast_profile, world_.get(), 0, {CdnCluster{}}, {}),
+               net::InvalidArgument);
+}
+
+TEST(ProfileTest, PaperProvidersAreTheSix) {
+  const auto profiles = paper_providers();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "Google");
+  EXPECT_EQ(profiles[1].name, "CloudFront");
+  EXPECT_EQ(profiles[2].name, "Alibaba");
+  EXPECT_EQ(profiles[3].name, "CDNetworks");
+  EXPECT_EQ(profiles[4].name, "ChinaNetCtr");
+  EXPECT_EQ(profiles[5].name, "CubeCDN");
+  EXPECT_TRUE(profiles[3].anycast);
+  for (const auto& p : profiles) {
+    EXPECT_FALSE(p.zone.empty());
+    EXPECT_GT(p.cluster_count, 0);
+    EXPECT_FALSE(p.ecs_restricted) << p.name << " must support unrestricted ECS";
+  }
+  EXPECT_TRUE(akamai_like_restricted().ecs_restricted);
+}
+
+}  // namespace
+}  // namespace drongo::cdn

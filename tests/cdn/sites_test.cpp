@@ -1,0 +1,168 @@
+// Site zones + CNAME chasing through the public resolver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "measure/testbed.hpp"
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+namespace {
+
+measure::TestbedConfig site_config() {
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 8;
+  config.as_config.stub_count = 30;
+  config.client_count = 4;
+  config.site_count = 10;
+  config.seed = 77;
+  return config;
+}
+
+class SitesFixture : public ::testing::Test {
+ protected:
+  SitesFixture() : testbed_(site_config()) {}
+  measure::Testbed testbed_;
+};
+
+TEST_F(SitesFixture, CatalogIsBuilt) {
+  ASSERT_EQ(testbed_.sites().size(), 10u);
+  std::set<std::string> zones;
+  for (const auto& site : testbed_.sites()) {
+    EXPECT_TRUE(site.host.is_subdomain_of(site.zone));
+    EXPECT_TRUE(zones.insert(site.zone.to_string()).second);
+    // The CNAME target belongs to one of the deployed CDN zones.
+    bool known = false;
+    for (std::size_t p = 0; p < testbed_.provider_count(); ++p) {
+      if (site.cdn_target.is_subdomain_of(
+              dns::DnsName::must_parse(testbed_.profile(p).zone))) {
+        known = true;
+      }
+    }
+    EXPECT_TRUE(known) << site.cdn_target.to_string();
+  }
+}
+
+TEST_F(SitesFixture, SiteResolutionChasesCnameToReplicas) {
+  auto stub = testbed_.make_stub(testbed_.clients()[0], 3);
+  for (const auto& site : testbed_.sites()) {
+    const auto result = stub.resolve_with_own_subnet(site.host);
+    ASSERT_TRUE(result.ok()) << site.host.to_string();
+    // The final addresses are real replicas of the target CDN.
+    std::size_t provider_index = testbed_.provider_count();
+    for (std::size_t p = 0; p < testbed_.provider_count(); ++p) {
+      if (site.cdn_target.is_subdomain_of(
+              dns::DnsName::must_parse(testbed_.profile(p).zone))) {
+        provider_index = p;
+      }
+    }
+    ASSERT_LT(provider_index, testbed_.provider_count());
+    std::set<net::Ipv4Addr> replicas;
+    for (const auto& cluster : testbed_.provider(provider_index).clusters()) {
+      for (auto r : cluster.replicas) replicas.insert(r);
+    }
+    for (auto vip : testbed_.provider(provider_index).vips()) replicas.insert(vip);
+    EXPECT_TRUE(replicas.contains(result.addresses.front()))
+        << site.host.to_string() << " -> " << result.addresses.front().to_string();
+  }
+}
+
+TEST_F(SitesFixture, SiteResolutionHonorsEcs) {
+  // Assimilating a foreign subnet through the CNAME chain changes the final
+  // replicas: ECS travels with the chase into the CDN authoritative.
+  auto stub = testbed_.make_stub(testbed_.clients()[0], 3);
+  const auto& site = testbed_.sites()[0];
+  std::set<net::Ipv4Addr> own;
+  std::set<net::Ipv4Addr> foreign;
+  const net::Prefix foreign_subnet(
+      net::Ipv4Addr(testbed_.world().block_of(2).network().to_uint() | (40u << 8)), 24);
+  for (int i = 0; i < 8; ++i) {
+    for (auto a : stub.resolve_with_own_subnet(site.host).addresses) own.insert(a);
+    for (auto a : stub.resolve(site.host, foreign_subnet).addresses) foreign.insert(a);
+  }
+  EXPECT_NE(own, foreign);
+}
+
+TEST_F(SitesFixture, UnknownSiteNamesAreNxdomain) {
+  auto stub = testbed_.make_stub(testbed_.clients()[0], 3);
+  const auto result = stub.resolve(dns::DnsName::must_parse("ftp.shop0.sim"));
+  EXPECT_EQ(result.rcode, dns::Rcode::kNxDomain);
+}
+
+TEST(SiteAuthoritativeTest, HandlesDirectQueries) {
+  SiteAuthoritative auth;
+  Site site;
+  site.zone = dns::DnsName::must_parse("shop0.sim");
+  site.host = dns::DnsName::must_parse("www.shop0.sim");
+  site.cdn_target = dns::DnsName::must_parse("img.cdn.sim");
+  auth.add_site(site);
+
+  const auto query = dns::Message::make_query(1, site.host);
+  const auto response = auth.handle(query, net::Ipv4Addr(1, 2, 3, 4));
+  ASSERT_EQ(response.answers.size(), 1u);
+  const auto* cname = std::get_if<dns::CnameRdata>(&response.answers[0].rdata);
+  ASSERT_NE(cname, nullptr);
+  EXPECT_EQ(cname->target, site.cdn_target);
+
+  const auto refused =
+      auth.handle(dns::Message::make_query(2, dns::DnsName::must_parse("www.other.sim")),
+                  net::Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(refused.header.rcode, dns::Rcode::kRefused);
+}
+
+TEST(SiteAuthoritativeTest, CnameLoopIsServfailAtResolver) {
+  // Two sites CNAMEing to each other: the resolver's chase depth bound
+  // must convert the loop into SERVFAIL, not an infinite loop.
+  dns::InMemoryDnsNetwork network;
+  SiteAuthoritative auth;
+  Site a;
+  a.zone = dns::DnsName::must_parse("a.sim");
+  a.host = dns::DnsName::must_parse("www.a.sim");
+  a.cdn_target = dns::DnsName::must_parse("www.b.sim");
+  Site b;
+  b.zone = dns::DnsName::must_parse("b.sim");
+  b.host = dns::DnsName::must_parse("www.b.sim");
+  b.cdn_target = dns::DnsName::must_parse("www.a.sim");
+  auth.add_site(a);
+  auth.add_site(b);
+  const net::Ipv4Addr auth_addr(9, 9, 9, 9);
+  network.register_server(auth_addr, &auth);
+  PublicResolver resolver(&network, net::Ipv4Addr(8, 8, 8, 8));
+  resolver.register_zone(a.zone, auth_addr);
+  resolver.register_zone(b.zone, auth_addr);
+
+  const auto response =
+      resolver.handle(dns::Message::make_query(3, a.host), net::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kServFail);
+}
+
+TEST(SiteAuthoritativeTest, DanglingCnameIsServfail) {
+  dns::InMemoryDnsNetwork network;
+  SiteAuthoritative auth;
+  Site site;
+  site.zone = dns::DnsName::must_parse("shop.sim");
+  site.host = dns::DnsName::must_parse("www.shop.sim");
+  site.cdn_target = dns::DnsName::must_parse("img.gone.sim");  // no such zone
+  auth.add_site(site);
+  const net::Ipv4Addr auth_addr(9, 9, 9, 9);
+  network.register_server(auth_addr, &auth);
+  PublicResolver resolver(&network, net::Ipv4Addr(8, 8, 8, 8));
+  resolver.register_zone(site.zone, auth_addr);
+
+  const auto response =
+      resolver.handle(dns::Message::make_query(4, site.host), net::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kServFail);
+}
+
+TEST(SiteCatalogTest, MakeSitesValidation) {
+  net::Rng rng(1);
+  EXPECT_THROW(make_sites(3, {}, rng), net::InvalidArgument);
+  EXPECT_THROW(make_sites(3, {{}}, rng), net::InvalidArgument);
+  const auto sites =
+      make_sites(3, {{dns::DnsName::must_parse("img.cdn.sim")}}, rng);
+  EXPECT_EQ(sites.size(), 3u);
+}
+
+}  // namespace
+}  // namespace drongo::cdn

@@ -1,0 +1,118 @@
+#include "core/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "measure/testbed.hpp"
+#include "net/error.hpp"
+
+namespace drongo::core {
+namespace {
+
+class DaemonFixture : public ::testing::Test {
+ protected:
+  DaemonFixture() : testbed_(config()), runner_(&testbed_, 131) {}
+
+  static measure::TestbedConfig config() {
+    measure::TestbedConfig c;
+    c.as_config.tier1_count = 4;
+    c.as_config.tier2_count = 8;
+    c.as_config.stub_count = 30;
+    c.client_count = 3;
+    c.seed = 131;
+    return c;
+  }
+
+  measure::Testbed testbed_;
+  measure::TrialRunner runner_;
+};
+
+TEST_F(DaemonFixture, RunsScheduledTrialsAsClockAdvances) {
+  DrongoDaemon daemon(&runner_, 0, {}, 7);
+  daemon.watch({0, 0});
+  EXPECT_TRUE(std::isfinite(daemon.next_wakeup_hours()));
+  EXPECT_EQ(daemon.trials_run(), 0u);
+
+  const int ran = daemon.advance_to(24.0);
+  EXPECT_GT(ran, 0);
+  EXPECT_EQ(daemon.trials_run(), static_cast<std::uint64_t>(ran));
+  EXPECT_GT(daemon.engine().tracked_windows(), 0u);
+}
+
+TEST_F(DaemonFixture, HorizonIsToppedUpIndefinitely) {
+  DaemonConfig config;
+  config.horizon_trials = 4;
+  DrongoDaemon daemon(&runner_, 0, config, 7);
+  daemon.watch({0, 0});
+  // Far beyond the initial horizon: the daemon must keep rescheduling.
+  daemon.advance_to(24.0 * 30);
+  EXPECT_GT(daemon.trials_run(), 8u);
+  EXPECT_TRUE(std::isfinite(daemon.next_wakeup_hours()));
+  EXPECT_GT(daemon.next_wakeup_hours(), 24.0 * 30 - 72.0);
+}
+
+TEST_F(DaemonFixture, MultipleWatchedDomainsInterleave) {
+  DrongoDaemon daemon(&runner_, 0, {}, 7);
+  daemon.watch({0, 0});
+  daemon.watch({1, 0});
+  daemon.advance_to(24.0 * 7);
+  // Both providers' domains end up with windows.
+  const auto d0 = testbed_.content_names(0)[0].to_string();
+  const auto d1 = testbed_.content_names(1)[0].to_string();
+  EXPECT_FALSE(daemon.engine().candidates(d0).empty());
+  EXPECT_FALSE(daemon.engine().candidates(d1).empty());
+}
+
+TEST_F(DaemonFixture, SelectorAnswersFromLearnedState) {
+  DaemonConfig config;
+  config.params.min_valley_frequency = 0.2;
+  config.params.valley_threshold = 1.0;
+  DrongoDaemon daemon(&runner_, 0, config, 7);
+  daemon.watch({0, 0});
+  daemon.advance_to(24.0 * 7);
+  const auto domain = testbed_.content_names(0)[0];
+  // With a week of trials and lenient parameters, some candidate usually
+  // qualifies; either way the call must be well-formed (no throw).
+  EXPECT_NO_THROW(daemon.select_subnet(domain, net::Prefix(testbed_.clients()[0], 24)));
+}
+
+TEST_F(DaemonFixture, ClockCannotMoveBackwards) {
+  DrongoDaemon daemon(&runner_, 0, {}, 7);
+  daemon.watch({0, 0});
+  daemon.advance_to(10.0);
+  EXPECT_THROW(daemon.advance_to(5.0), net::InvalidArgument);
+}
+
+TEST_F(DaemonFixture, StateSurvivesRestart) {
+  DaemonConfig config;
+  config.params.min_valley_frequency = 0.2;
+  config.params.valley_threshold = 1.0;
+  DrongoDaemon first(&runner_, 0, config, 7);
+  first.watch({0, 0});
+  first.advance_to(24.0 * 7);
+  std::stringstream state;
+  first.save(state);
+
+  DrongoDaemon second(&runner_, 0, config, 8);
+  second.load(state);
+  const auto domain = testbed_.content_names(0)[0].to_string();
+  const auto a = first.engine().candidates(domain);
+  const auto b = second.engine().candidates(domain);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subnet, b[i].subnet);
+    EXPECT_DOUBLE_EQ(a[i].valley_frequency, b[i].valley_frequency);
+  }
+}
+
+TEST_F(DaemonFixture, ConstructionValidation) {
+  EXPECT_THROW(DrongoDaemon(nullptr, 0), net::InvalidArgument);
+  DaemonConfig bad;
+  bad.horizon_trials = 0;
+  EXPECT_THROW(DrongoDaemon(&runner_, 0, bad), net::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace drongo::core

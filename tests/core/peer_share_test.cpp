@@ -1,0 +1,134 @@
+// PeerSharePool: the §7 trial-sharing extension.
+#include <gtest/gtest.h>
+
+#include "core/peer_share.hpp"
+#include "measure/testbed.hpp"
+#include "net/error.hpp"
+
+namespace drongo::core {
+namespace {
+
+measure::TrialRecord shared_trial(const std::string& domain, double ratio) {
+  measure::TrialRecord t;
+  t.provider = "P";
+  t.domain = domain;
+  t.cr.push_back({net::Ipv4Addr(21, 0, 0, 1), 100.0});
+  measure::HopRecord hop;
+  hop.subnet = net::Prefix::must_parse("20.9.0.0/24");
+  hop.usable = true;
+  hop.hr.push_back({net::Ipv4Addr(22, 0, 0, 1), ratio * 100.0});
+  t.hops.push_back(std::move(hop));
+  return t;
+}
+
+TEST(PeerShareTest, PublishTrainsEveryGroupMember) {
+  DecisionEngine alice;
+  DecisionEngine bob;
+  PeerSharePool pool;
+  pool.join("20.1.36.0/24", &alice);
+  pool.join("20.1.36.0/24", &bob);
+  EXPECT_EQ(pool.group_size("20.1.36.0/24"), 2u);
+
+  // Alice alone measures; Bob's window fills from her published trials.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pool.publish("20.1.36.0/24", shared_trial("img.p.sim", 0.5)), 2u);
+  }
+  EXPECT_TRUE(alice.choose("img.p.sim").has_value());
+  EXPECT_TRUE(bob.choose("img.p.sim").has_value());
+  EXPECT_EQ(pool.published(), 5u);
+  EXPECT_EQ(pool.deliveries(), 10u);
+  EXPECT_EQ(pool.trials_saved(), 5u);
+}
+
+TEST(PeerShareTest, GroupsAreIsolated) {
+  DecisionEngine alice;
+  DecisionEngine carol;
+  PeerSharePool pool;
+  pool.join("group-a", &alice);
+  pool.join("group-b", &carol);
+  for (int i = 0; i < 5; ++i) {
+    pool.publish("group-a", shared_trial("img.p.sim", 0.5));
+  }
+  EXPECT_TRUE(alice.choose("img.p.sim").has_value());
+  EXPECT_FALSE(carol.choose("img.p.sim").has_value());
+}
+
+TEST(PeerShareTest, PublishToUnknownGroupIsNoop) {
+  PeerSharePool pool;
+  EXPECT_EQ(pool.publish("nobody", shared_trial("img.p.sim", 0.5)), 0u);
+  EXPECT_EQ(pool.deliveries(), 0u);
+}
+
+TEST(PeerShareTest, RejoiningMovesTheEngine) {
+  DecisionEngine engine;
+  PeerSharePool pool;
+  pool.join("old", &engine);
+  pool.join("new", &engine);
+  EXPECT_EQ(pool.group_size("old"), 0u);
+  EXPECT_EQ(pool.group_size("new"), 1u);
+  EXPECT_THROW(pool.join("x", nullptr), net::InvalidArgument);
+}
+
+TEST(PeerShareTest, HouseholdSharingFillsTheIdleDeviceForFree) {
+  // Two devices behind one /24 (the paper's "clients in the same subnet"):
+  // device A runs the trials; device B's engine fills entirely from the
+  // shared pool and reaches the same decision without measuring once.
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 8;
+  config.as_config.stub_count = 30;
+  config.client_count = 2;
+  config.seed = 73;
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 74);
+  DecisionEngine device_a(DrongoParams{}, 1);
+  DecisionEngine device_b(DrongoParams{}, 1);
+  PeerSharePool pool;
+  const auto key =
+      share_group_key(testbed.world(), testbed.clients()[0], ShareScope::kSlash24);
+  pool.join(key, &device_a);
+  pool.join(key, &device_b);
+
+  std::string domain;
+  for (int t = 0; t < 5; ++t) {
+    auto trial = runner.run(/*client=*/0, /*provider=*/0, t * 12.0, /*label_index=*/0);
+    domain = trial.domain;
+    pool.publish(key, trial);
+  }
+  // Device B holds the same full windows as A despite running no trials.
+  const auto a_candidates = device_a.candidates(domain);
+  const auto b_candidates = device_b.candidates(domain);
+  ASSERT_FALSE(a_candidates.empty());
+  ASSERT_EQ(a_candidates.size(), b_candidates.size());
+  bool any_full = false;
+  for (std::size_t i = 0; i < a_candidates.size(); ++i) {
+    EXPECT_EQ(a_candidates[i].subnet, b_candidates[i].subnet);
+    EXPECT_DOUBLE_EQ(a_candidates[i].valley_frequency, b_candidates[i].valley_frequency);
+    any_full |= a_candidates[i].observations == 5;
+  }
+  EXPECT_TRUE(any_full);
+  EXPECT_EQ(pool.trials_saved(), 5u);
+}
+
+TEST(PeerShareTest, ScopeKeysAreDistinct) {
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 8;
+  config.as_config.stub_count = 30;
+  config.client_count = 2;
+  config.seed = 75;
+  measure::Testbed testbed(config);
+  const auto client = testbed.clients()[0];
+  const auto& world = testbed.world();
+  const auto k24 = share_group_key(world, client, ShareScope::kSlash24);
+  const auto k16 = share_group_key(world, client, ShareScope::kSlash16);
+  const auto kas = share_group_key(world, client, ShareScope::kAsn);
+  EXPECT_NE(k24, k16);
+  EXPECT_NE(k16, kas);
+  EXPECT_NE(k24, kas);
+  EXPECT_NE(k24.find("/24"), std::string::npos);
+  EXPECT_NE(kas.find("AS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drongo::core

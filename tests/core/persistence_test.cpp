@@ -1,0 +1,126 @@
+// DecisionEngine save/load: deployment persistence across restarts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/decision.hpp"
+#include "net/error.hpp"
+
+namespace drongo::core {
+namespace {
+
+measure::TrialRecord trial(const std::string& domain, const char* subnet, double ratio) {
+  measure::TrialRecord t;
+  t.provider = "P";
+  t.domain = domain;
+  t.cr.push_back({net::Ipv4Addr(21, 0, 0, 1), 100.0});
+  measure::HopRecord hop;
+  hop.subnet = net::Prefix::must_parse(subnet);
+  hop.usable = true;
+  hop.hr.push_back({net::Ipv4Addr(22, 0, 0, 1), ratio * 100.0});
+  t.hops.push_back(std::move(hop));
+  return t;
+}
+
+TEST(PersistenceTest, SaveLoadRoundTripPreservesDecisions) {
+  DecisionEngine original;
+  for (int i = 0; i < 5; ++i) {
+    original.observe(trial("img.p.sim", "20.1.0.0/24", 0.5));
+    original.observe(trial("img.p.sim", "20.2.0.0/24", 1.3));
+    original.observe(trial("other.p.sim", "20.3.0.0/24", 0.8));
+  }
+  std::stringstream buffer;
+  original.save(buffer);
+
+  DecisionEngine restored;
+  restored.load(buffer);
+  EXPECT_EQ(restored.tracked_windows(), original.tracked_windows());
+  EXPECT_EQ(restored.choose("img.p.sim"), original.choose("img.p.sim"));
+  // Candidate state identical in detail.
+  const auto a = original.candidates("img.p.sim");
+  const auto b = restored.candidates("img.p.sim");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subnet, b[i].subnet);
+    EXPECT_DOUBLE_EQ(a[i].valley_frequency, b[i].valley_frequency);
+    EXPECT_EQ(a[i].observations, b[i].observations);
+    EXPECT_EQ(a[i].qualified, b[i].qualified);
+  }
+}
+
+TEST(PersistenceTest, LoadReplacesExistingState) {
+  DecisionEngine donor;
+  for (int i = 0; i < 5; ++i) donor.observe(trial("a.sim", "20.1.0.0/24", 0.5));
+  std::stringstream buffer;
+  donor.save(buffer);
+
+  DecisionEngine target;
+  for (int i = 0; i < 5; ++i) target.observe(trial("b.sim", "20.2.0.0/24", 0.5));
+  target.load(buffer);
+  EXPECT_TRUE(target.choose("a.sim").has_value());
+  EXPECT_FALSE(target.choose("b.sim").has_value());
+}
+
+TEST(PersistenceTest, LoadTruncatesToWindowCapacity) {
+  // State written by an 8-window engine loads into a 5-window engine,
+  // keeping the most recent ratios.
+  DrongoParams wide;
+  wide.window_size = 8;
+  wide.min_valley_frequency = 0.2;
+  wide.valley_threshold = 1.0;
+  DecisionEngine donor(wide);
+  for (int i = 0; i < 8; ++i) {
+    // Oldest 3 are valleys; newest 5 are not.
+    donor.observe(trial("a.sim", "20.1.0.0/24", i < 3 ? 0.5 : 1.5));
+  }
+  std::stringstream buffer;
+  donor.save(buffer);
+
+  DrongoParams narrow;
+  narrow.window_size = 5;
+  narrow.min_valley_frequency = 0.2;
+  narrow.valley_threshold = 1.0;
+  DecisionEngine target(narrow);
+  target.load(buffer);
+  const auto candidates = target.candidates("a.sim");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].observations, 5u);
+  // Only the newest 5 survive: no valleys among them.
+  EXPECT_DOUBLE_EQ(candidates[0].valley_frequency, 0.0);
+}
+
+TEST(PersistenceTest, EmptyEngineRoundTrips) {
+  DecisionEngine empty;
+  std::stringstream buffer;
+  empty.save(buffer);
+  DecisionEngine restored;
+  restored.load(buffer);
+  EXPECT_EQ(restored.tracked_windows(), 0u);
+}
+
+TEST(PersistenceTest, MalformedStateRejected) {
+  DecisionEngine engine;
+  std::stringstream no_magic("w|a.sim|20.1.0.0/24|0.5\n");
+  EXPECT_THROW(engine.load(no_magic), net::ParseError);
+
+  std::stringstream bad_kind("drongo-engine-v1\nx|a.sim|20.1.0.0/24\n");
+  EXPECT_THROW(engine.load(bad_kind), net::ParseError);
+
+  std::stringstream bad_subnet("drongo-engine-v1\nw|a.sim|nonsense|0.5\n");
+  EXPECT_THROW(engine.load(bad_subnet), net::ParseError);
+
+  std::stringstream bad_ratio("drongo-engine-v1\nw|a.sim|20.1.0.0/24|abc\n");
+  EXPECT_THROW(engine.load(bad_ratio), net::ParseError);
+}
+
+TEST(PersistenceTest, WindowWithNoRatiosIsLegal) {
+  // A "w|domain|subnet" line with zero ratios restores an empty window.
+  std::stringstream state("drongo-engine-v1\nw|a.sim|20.1.0.0/24\n");
+  DecisionEngine engine;
+  engine.load(state);
+  EXPECT_EQ(engine.tracked_windows(), 1u);
+  EXPECT_FALSE(engine.choose("a.sim").has_value());
+}
+
+}  // namespace
+}  // namespace drongo::core

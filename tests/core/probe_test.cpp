@@ -1,0 +1,137 @@
+// EcsProber: §3.1.1 provider selection on restricted vs unrestricted CDNs.
+#include <gtest/gtest.h>
+
+#include "cdn/authoritative.hpp"
+#include "cdn/deploy.hpp"
+#include "cdn/resolver.hpp"
+#include "core/probe.hpp"
+#include "dns/inmemory.hpp"
+#include "net/error.hpp"
+#include "topology/as_gen.hpp"
+
+namespace drongo::core {
+namespace {
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  ProbeFixture() {
+    topology::AsGenConfig as_config;
+    as_config.tier1_count = 4;
+    as_config.tier2_count = 8;
+    as_config.stub_count = 20;
+    as_config.seed = 71;
+    auto graph = topology::generate_as_graph(as_config);
+    net::Rng rng(72);
+    open_plan_ = cdn::plan_cdn(graph, cdn::google_like(), rng);
+    cdn::CdnProfile restricted_profile = cdn::akamai_like_restricted();
+    restricted_profile.lb_spill_prob = 0.0;
+    restricted_plan_ = cdn::plan_cdn(graph, restricted_profile, rng);
+    world_ = std::make_unique<topology::World>(std::move(graph));
+    open_ = std::make_unique<cdn::CdnProvider>(cdn::deploy_cdn(*world_, open_plan_));
+    restricted_ =
+        std::make_unique<cdn::CdnProvider>(cdn::deploy_cdn(*world_, restricted_plan_));
+    open_auth_ = std::make_unique<cdn::CdnAuthoritative>(open_.get());
+    restricted_auth_ = std::make_unique<cdn::CdnAuthoritative>(restricted_.get());
+
+    const auto open_addr = world_->add_host(open_->as_index(), topology::HostKind::kServer, 0);
+    const auto restricted_addr =
+        world_->add_host(restricted_->as_index(), topology::HostKind::kServer, 0);
+    network_.register_server(open_addr, open_auth_.get());
+    network_.register_server(restricted_addr, restricted_auth_.get());
+
+    std::size_t t1 = 0;
+    for (std::size_t v = 0; v < world_->graph().node_count(); ++v) {
+      if (world_->graph().node(v).tier == topology::AsTier::kTier1) {
+        t1 = v;
+        break;
+      }
+    }
+    resolver_addr_ = world_->add_host(t1, topology::HostKind::kServer, 0);
+    resolver_ = std::make_unique<cdn::PublicResolver>(&network_, resolver_addr_);
+    resolver_->register_zone(dns::DnsName::must_parse(open_->profile().zone), open_addr);
+    resolver_->register_zone(dns::DnsName::must_parse(restricted_->profile().zone),
+                             restricted_addr);
+    network_.register_server(resolver_addr_, resolver_.get());
+
+    for (std::size_t v = 0; v < world_->graph().node_count(); ++v) {
+      if (world_->graph().node(v).tier == topology::AsTier::kStub) {
+        client_ = world_->add_host(v, topology::HostKind::kClient);
+        break;
+      }
+    }
+  }
+
+  /// Geographically spread probe subnets: host /24s in several AS blocks.
+  std::vector<net::Prefix> spread_subnets(int count) {
+    std::vector<net::Prefix> subnets;
+    for (int i = 0; i < count; ++i) {
+      const auto block = world_->block_of(static_cast<std::size_t>(i * 7 % 20));
+      subnets.emplace_back(net::Ipv4Addr(block.network().to_uint() | (40u << 8)), 24);
+    }
+    return subnets;
+  }
+
+  cdn::CdnPlan open_plan_;
+  cdn::CdnPlan restricted_plan_;
+  std::unique_ptr<topology::World> world_;
+  std::unique_ptr<cdn::CdnProvider> open_;
+  std::unique_ptr<cdn::CdnProvider> restricted_;
+  std::unique_ptr<cdn::CdnAuthoritative> open_auth_;
+  std::unique_ptr<cdn::CdnAuthoritative> restricted_auth_;
+  dns::InMemoryDnsNetwork network_;
+  std::unique_ptr<cdn::PublicResolver> resolver_;
+  net::Ipv4Addr resolver_addr_;
+  net::Ipv4Addr client_;
+};
+
+TEST_F(ProbeFixture, DetectsUnrestrictedEcs) {
+  EcsProber prober(spread_subnets(5));
+  dns::StubResolver stub(&network_, client_, resolver_addr_, 3);
+  const auto result =
+      prober.probe(stub, dns::DnsName::must_parse("img." + open_->profile().zone));
+  EXPECT_TRUE(result.resolvable);
+  EXPECT_TRUE(result.ecs_honored);
+  EXPECT_TRUE(result.ecs_unrestricted);
+  EXPECT_GT(result.distinct_answers, 1u);
+}
+
+TEST_F(ProbeFixture, DetectsRestrictedEcs) {
+  EcsProber prober(spread_subnets(5));
+  dns::StubResolver stub(&network_, client_, resolver_addr_, 3);
+  const auto result =
+      prober.probe(stub, dns::DnsName::must_parse("img." + restricted_->profile().zone));
+  EXPECT_TRUE(result.resolvable);
+  EXPECT_FALSE(result.ecs_unrestricted) << "Akamai-like provider must be rejected";
+}
+
+TEST_F(ProbeFixture, UnresolvableDomainReported) {
+  EcsProber prober(spread_subnets(3));
+  dns::StubResolver stub(&network_, client_, resolver_addr_, 3);
+  const auto result = prober.probe(stub, dns::DnsName::must_parse("img.nonexistent.sim"));
+  EXPECT_FALSE(result.resolvable);
+  EXPECT_FALSE(result.ecs_unrestricted);
+}
+
+TEST_F(ProbeFixture, UsableDomainsFiltersLikeThePaper) {
+  EcsProber prober(spread_subnets(5));
+  dns::StubResolver stub(&network_, client_, resolver_addr_, 3);
+  const std::vector<dns::DnsName> candidates = {
+      dns::DnsName::must_parse("img." + open_->profile().zone),
+      dns::DnsName::must_parse("img." + restricted_->profile().zone),
+      dns::DnsName::must_parse("img.unknown.sim"),
+  };
+  const auto usable = prober.usable_domains(stub, candidates);
+  ASSERT_EQ(usable.size(), 1u);
+  EXPECT_EQ(usable[0], candidates[0]);
+}
+
+TEST(ProbeValidationTest, RequiresTwoSubnetsAndPositiveQueries) {
+  EXPECT_THROW(EcsProber({net::Prefix::must_parse("20.0.40.0/24")}), net::InvalidArgument);
+  EXPECT_THROW(EcsProber({net::Prefix::must_parse("20.0.40.0/24"),
+                          net::Prefix::must_parse("20.1.40.0/24")},
+                         0),
+               net::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace drongo::core

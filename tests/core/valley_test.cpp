@@ -1,0 +1,71 @@
+#include "core/valley.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drongo::core {
+namespace {
+
+measure::TrialRecord trial_with_crms(std::vector<double> crms) {
+  measure::TrialRecord trial;
+  for (std::size_t i = 0; i < crms.size(); ++i) {
+    trial.cr.push_back({net::Ipv4Addr(21, 0, 0, static_cast<std::uint8_t>(i)), crms[i]});
+  }
+  return trial;
+}
+
+measure::HopRecord hop_with_hrms(std::vector<double> hrms) {
+  measure::HopRecord hop;
+  hop.usable = true;
+  for (std::size_t i = 0; i < hrms.size(); ++i) {
+    hop.hr.push_back({net::Ipv4Addr(22, 0, 0, static_cast<std::uint8_t>(i)), hrms[i]});
+  }
+  return hop;
+}
+
+TEST(ValleyTest, CrmConventions) {
+  const auto trial = trial_with_crms({120.0, 80.0, 100.0});
+  EXPECT_DOUBLE_EQ(*crm_value(trial, CrmPick::kMin), 80.0);
+  EXPECT_DOUBLE_EQ(*crm_value(trial, CrmPick::kFirst), 120.0);
+  EXPECT_FALSE(crm_value(measure::TrialRecord{}, CrmPick::kMin).has_value());
+}
+
+TEST(ValleyTest, HrmConventions) {
+  const auto hop = hop_with_hrms({50.0, 90.0, 70.0});
+  EXPECT_DOUBLE_EQ(*hrm_value(hop, HrmPick::kFirst), 50.0);
+  EXPECT_DOUBLE_EQ(*hrm_value(hop, HrmPick::kMin), 50.0);
+  EXPECT_DOUBLE_EQ(*hrm_value(hop, HrmPick::kMedian), 70.0);
+  EXPECT_FALSE(hrm_value(measure::HopRecord{}, HrmPick::kMedian).has_value());
+}
+
+TEST(ValleyTest, MedianOfEvenSetInterpolates) {
+  const auto hop = hop_with_hrms({40.0, 60.0});
+  EXPECT_DOUBLE_EQ(*hrm_value(hop, HrmPick::kMedian), 50.0);
+}
+
+TEST(ValleyTest, LatencyRatioCombinesConventions) {
+  const auto trial = trial_with_crms({120.0, 80.0});
+  const auto hop = hop_with_hrms({40.0, 60.0});
+  // PlanetLab: median HRM / min CRM = 50 / 80.
+  EXPECT_DOUBLE_EQ(*latency_ratio(trial, hop, RatioConvention::planetlab()), 50.0 / 80.0);
+  // Deployment: first HR / first CR = 40 / 120.
+  EXPECT_DOUBLE_EQ(*latency_ratio(trial, hop, RatioConvention::deployment()), 40.0 / 120.0);
+}
+
+TEST(ValleyTest, RatioMissingWhenEitherSideEmpty) {
+  const auto trial = trial_with_crms({100.0});
+  EXPECT_FALSE(latency_ratio(trial, measure::HopRecord{}, RatioConvention::deployment())
+                   .has_value());
+  EXPECT_FALSE(latency_ratio(measure::TrialRecord{}, hop_with_hrms({50.0}),
+                             RatioConvention::deployment())
+                   .has_value());
+}
+
+TEST(ValleyTest, ValleyPredicateIsStrict) {
+  EXPECT_TRUE(is_valley(0.94, 0.95));
+  EXPECT_FALSE(is_valley(0.95, 0.95));
+  EXPECT_FALSE(is_valley(1.0, 1.0));
+  EXPECT_TRUE(is_valley(0.999, 1.0));
+}
+
+}  // namespace
+}  // namespace drongo::core

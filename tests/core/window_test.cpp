@@ -1,0 +1,67 @@
+#include "core/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::core {
+namespace {
+
+TEST(TrainingWindowTest, FillsToCapacityThenSlides) {
+  TrainingWindow w(3);
+  EXPECT_FALSE(w.full());
+  w.add(0.5);
+  w.add(0.6);
+  EXPECT_FALSE(w.full());
+  w.add(0.7);
+  EXPECT_TRUE(w.full());
+  w.add(0.8);  // evicts 0.5
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.ratios().front(), 0.6);
+  EXPECT_DOUBLE_EQ(w.ratios().back(), 0.8);
+}
+
+TEST(TrainingWindowTest, ZeroCapacityRejected) {
+  EXPECT_THROW(TrainingWindow(0), net::InvalidArgument);
+}
+
+TEST(TrainingWindowTest, ValleyFrequencyCountsStrictlyBelowThreshold) {
+  TrainingWindow w(5);
+  w.add(0.5);   // valley at vt=1.0
+  w.add(0.94);  // valley at vt=0.95 too
+  w.add(0.95);  // NOT a valley at vt=0.95 (strict <)
+  w.add(1.0);   // never a valley
+  w.add(1.3);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(1.0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(0.95), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(0.5), 0.0);
+}
+
+TEST(TrainingWindowTest, EmptyWindowHasZeroFrequency) {
+  TrainingWindow w(5);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(1.0), 0.0);
+  EXPECT_FALSE(w.any_valley(1.0));
+}
+
+TEST(TrainingWindowTest, AnyValleyMatchesFrequency) {
+  TrainingWindow w(5);
+  w.add(1.1);
+  w.add(1.2);
+  EXPECT_FALSE(w.any_valley(1.0));
+  w.add(0.99);
+  EXPECT_TRUE(w.any_valley(1.0));
+  EXPECT_FALSE(w.any_valley(0.9));
+}
+
+TEST(TrainingWindowTest, FrequencyTracksSlidingContents) {
+  TrainingWindow w(2);
+  w.add(0.5);
+  w.add(0.5);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(1.0), 1.0);
+  w.add(1.5);
+  w.add(1.5);
+  EXPECT_DOUBLE_EQ(w.valley_frequency(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace drongo::core

@@ -1,0 +1,89 @@
+// DNS 0x20 case randomization in the stub resolver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dns/inmemory.hpp"
+#include "dns/stub_resolver.hpp"
+#include "net/strings.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+/// Records the exact casing of arriving questions; optionally answers with
+/// a LOWERCASED question echo to simulate a spoofer/broken middlebox.
+class CaseObservingServer : public DnsServer {
+ public:
+  Message handle(const Message& query, net::Ipv4Addr /*source*/) override {
+    last_seen = query.questions[0].name;
+    Message response = Message::make_response(query, Rcode::kNoError);
+    if (break_echo) {
+      response.questions[0].name = DnsName::must_parse(
+          net::to_lower(query.questions[0].name.to_string()));
+    }
+    response.answers.push_back(
+        ResourceRecord::a(response.questions[0].name, net::Ipv4Addr(21, 1, 1, 1), 30));
+    return response;
+  }
+
+  DnsName last_seen;
+  bool break_echo = false;
+};
+
+TEST(Dns0x20Test, QueriesCarryRandomizedCase) {
+  InMemoryDnsNetwork network;
+  CaseObservingServer server;
+  const net::Ipv4Addr addr(9, 9, 9, 9);
+  network.register_server(addr, &server);
+  StubResolver stub(&network, net::Ipv4Addr(20, 0, 40, 10), addr, 7);
+
+  const auto name = DnsName::must_parse("img.googlecdn.sim");
+  std::set<std::string> casings;
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(stub.resolve(name).ok());
+    // Case-insensitively the same name...
+    EXPECT_EQ(server.last_seen, name);
+    casings.insert(server.last_seen.to_string());
+  }
+  // ...but with many distinct casings over 24 queries (16 letters -> 2^16
+  // possibilities; collisions across all 24 draws are implausible).
+  EXPECT_GT(casings.size(), 16u);
+}
+
+TEST(Dns0x20Test, BrokenCaseEchoIsRejected) {
+  InMemoryDnsNetwork network;
+  CaseObservingServer server;
+  server.break_echo = true;
+  const net::Ipv4Addr addr(9, 9, 9, 9);
+  network.register_server(addr, &server);
+  StubResolver stub(&network, net::Ipv4Addr(20, 0, 40, 10), addr, 7);
+
+  // Virtually every randomized query contains at least one uppercase letter,
+  // so the lowercased echo must fail the 0x20 check.
+  bool rejected = false;
+  for (int i = 0; i < 16 && !rejected; ++i) {
+    try {
+      stub.resolve(DnsName::must_parse("img.googlecdn.sim"));
+    } catch (const net::Error& error) {
+      rejected = std::string(error.what()).find("0x20") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST(Dns0x20Test, CanBeDisabledForLegacyServers) {
+  InMemoryDnsNetwork network;
+  CaseObservingServer server;
+  server.break_echo = true;  // mangles case, but without 0x20 nobody cares
+  const net::Ipv4Addr addr(9, 9, 9, 9);
+  network.register_server(addr, &server);
+  StubResolver stub(&network, net::Ipv4Addr(20, 0, 40, 10), addr, 7);
+  stub.set_case_randomization(false);
+  const auto name = DnsName::must_parse("img.googlecdn.sim");
+  EXPECT_TRUE(stub.resolve(name).ok());
+  EXPECT_EQ(server.last_seen.to_string(), name.to_string());  // sent verbatim
+}
+
+}  // namespace
+}  // namespace drongo::dns

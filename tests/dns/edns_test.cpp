@@ -1,0 +1,112 @@
+#include "dns/edns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+ClientSubnet round_trip(const ClientSubnet& ecs) {
+  net::ByteWriter w;
+  ecs.encode(w);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  return ClientSubnet::decode(r, bytes.size());
+}
+
+TEST(ClientSubnetTest, ForSubnetBuildsQueryOption) {
+  const auto ecs = ClientSubnet::for_subnet(net::Prefix::must_parse("203.0.113.0/24"));
+  EXPECT_EQ(ecs.family, 1);
+  EXPECT_EQ(ecs.source_prefix_length, 24);
+  EXPECT_EQ(ecs.scope_prefix_length, 0);
+  EXPECT_EQ(ecs.address, net::Ipv4Addr(203, 0, 113, 0));
+  EXPECT_EQ(ecs.source_prefix().to_string(), "203.0.113.0/24");
+}
+
+class EcsPrefixLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcsPrefixLengths, RoundTripsAtEveryLength) {
+  const int length = GetParam();
+  ClientSubnet ecs;
+  ecs.family = 1;
+  ecs.source_prefix_length = static_cast<std::uint8_t>(length);
+  ecs.address = net::Prefix(net::Ipv4Addr(198, 51, 100, 201), length).network();
+  const auto back = round_trip(ecs);
+  EXPECT_EQ(back, ecs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, EcsPrefixLengths,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 17, 20, 24, 25, 31, 32));
+
+TEST(ClientSubnetTest, EncodingTruncatesAddressBytes) {
+  ClientSubnet ecs;
+  ecs.source_prefix_length = 24;
+  ecs.address = net::Ipv4Addr(10, 20, 30, 0);
+  net::ByteWriter w;
+  ecs.encode(w);
+  // family(2) + source(1) + scope(1) + 3 address bytes for /24.
+  EXPECT_EQ(w.size(), 7u);
+  EXPECT_EQ(w.bytes()[4], 10);
+  EXPECT_EQ(w.bytes()[5], 20);
+  EXPECT_EQ(w.bytes()[6], 30);
+}
+
+TEST(ClientSubnetTest, ZeroLengthEncodesNoAddress) {
+  ClientSubnet ecs;
+  ecs.source_prefix_length = 0;
+  ecs.address = net::Ipv4Addr(1, 2, 3, 4);
+  net::ByteWriter w;
+  ecs.encode(w);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(ClientSubnetTest, DecodeMasksStrayTrailingBits) {
+  // /20 with nonzero bits past bit 20 in the third byte: liberal decode
+  // masks them rather than rejecting.
+  const std::uint8_t wire[] = {0x00, 0x01, 20, 0, 0xC6, 0x33, 0xFF};
+  net::ByteReader r(wire);
+  const auto ecs = ClientSubnet::decode(r, sizeof(wire));
+  EXPECT_EQ(ecs.source_prefix_length, 20);
+  EXPECT_EQ(ecs.address, net::Ipv4Addr(0xC6, 0x33, 0xF0, 0));
+}
+
+TEST(ClientSubnetTest, DecodeRejectsShortOption) {
+  const std::uint8_t wire[] = {0x00, 0x01, 24};
+  net::ByteReader r(wire);
+  EXPECT_THROW(ClientSubnet::decode(r, 3), net::ParseError);
+}
+
+TEST(ClientSubnetTest, DecodeRejectsWrongAddressByteCount) {
+  // /24 requires exactly 3 address bytes; 4 supplied.
+  const std::uint8_t wire[] = {0x00, 0x01, 24, 0, 1, 2, 3, 4};
+  net::ByteReader r(wire);
+  EXPECT_THROW(ClientSubnet::decode(r, sizeof(wire)), net::ParseError);
+}
+
+TEST(ClientSubnetTest, DecodeRejectsOverlongPrefix) {
+  const std::uint8_t wire[] = {0x00, 0x01, 33, 0, 1, 2, 3, 4, 5};
+  net::ByteReader r(wire);
+  EXPECT_THROW(ClientSubnet::decode(r, sizeof(wire)), net::ParseError);
+}
+
+TEST(ClientSubnetTest, UnknownFamilyRoundTripsOpaquely) {
+  // IPv6 (family 2) option: bytes are consumed, address left unspecified.
+  const std::uint8_t wire[] = {0x00, 0x02, 16, 0, 0x20, 0x01};
+  net::ByteReader r(wire);
+  const auto ecs = ClientSubnet::decode(r, sizeof(wire));
+  EXPECT_EQ(ecs.family, 2);
+  EXPECT_EQ(ecs.source_prefix_length, 16);
+  EXPECT_TRUE(ecs.address.is_unspecified());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ClientSubnetTest, ScopePrefixReflectsResponse) {
+  ClientSubnet ecs = ClientSubnet::for_subnet(net::Prefix::must_parse("20.1.36.0/24"));
+  ecs.scope_prefix_length = 16;
+  EXPECT_EQ(ecs.scope_prefix().to_string(), "20.1.0.0/16");
+  EXPECT_EQ(round_trip(ecs).scope_prefix_length, 16);
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,116 @@
+// Robustness properties of the DNS codec: arbitrary bytes never crash the
+// decoder, and randomly generated valid messages always round-trip.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "net/error.hpp"
+#include "net/rng.hpp"
+
+namespace drongo::dns {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RandomBytesEitherDecodeOrThrowCleanly) {
+  net::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> bytes(rng.index(160));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(256));
+    try {
+      const Message m = Message::decode(bytes);
+      // Decoded: re-encoding must not throw either.
+      (void)m.encode();
+    } catch (const net::Error&) {
+      // Clean rejection is the expected outcome for garbage.
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, BitFlippedValidMessagesNeverCrash) {
+  net::Rng rng(GetParam() ^ 0xF11);
+  auto query = Message::make_query(1234, DnsName::must_parse("img.googlecdn.sim"),
+                                   net::Prefix::must_parse("203.0.113.0/24"));
+  auto response = Message::make_response(query, Rcode::kNoError, 24);
+  response.answers.push_back(
+      ResourceRecord::a(query.questions[0].name, net::Ipv4Addr(21, 1, 1, 1), 30));
+  response.answers.push_back(ResourceRecord::cname(
+      query.questions[0].name, DnsName::must_parse("alias.googlecdn.sim")));
+  const auto wire = response.encode();
+
+  for (int i = 0; i < 800; ++i) {
+    auto mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+    }
+    try {
+      (void)Message::decode(mutated);
+    } catch (const net::Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RandomValidMessagesRoundTrip) {
+  net::Rng rng(GetParam() ^ 0x600D);
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.header.id = static_cast<std::uint16_t>(rng.uniform(0x10000));
+    m.header.qr = rng.chance(0.5);
+    m.header.rd = rng.chance(0.5);
+    m.header.rcode = static_cast<Rcode>(rng.uniform(6));
+    const auto name = DnsName::must_parse(
+        "l" + std::to_string(rng.uniform(1000)) + ".zone" +
+        std::to_string(rng.uniform(100)) + ".sim");
+    m.questions.push_back({name, RrType::kA, RrClass::kIn});
+    const int answers = static_cast<int>(rng.uniform(5));
+    for (int a = 0; a < answers; ++a) {
+      switch (rng.uniform(4)) {
+        case 0:
+          m.answers.push_back(ResourceRecord::a(
+              name, net::Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+              static_cast<std::uint32_t>(rng.uniform(86400))));
+          break;
+        case 1:
+          m.answers.push_back(ResourceRecord::cname(
+              name, DnsName::must_parse("t" + std::to_string(rng.uniform(100)) + ".sim")));
+          break;
+        case 2:
+          m.answers.push_back(
+              ResourceRecord::txt(name, {std::string(rng.index(40), 'x')}));
+          break;
+        default:
+          m.answers.push_back(ResourceRecord::ptr(
+              name, DnsName::must_parse("p" + std::to_string(rng.uniform(100)) + ".sim")));
+          break;
+      }
+    }
+    if (rng.chance(0.7)) {
+      m.edns = Edns{};
+      if (rng.chance(0.8)) {
+        const int length = static_cast<int>(rng.uniform(33));
+        m.edns->client_subnet = ClientSubnet::for_subnet(
+            net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), length));
+        m.edns->client_subnet->scope_prefix_length =
+            static_cast<std::uint8_t>(rng.uniform(static_cast<std::uint64_t>(length) + 1));
+      }
+    }
+
+    const auto decoded = Message::decode(m.encode());
+    EXPECT_EQ(decoded.header, m.header);
+    EXPECT_EQ(decoded.questions, m.questions);
+    ASSERT_EQ(decoded.answers.size(), m.answers.size());
+    for (std::size_t a = 0; a < m.answers.size(); ++a) {
+      EXPECT_EQ(decoded.answers[a], m.answers[a]);
+    }
+    EXPECT_EQ(decoded.edns.has_value(), m.edns.has_value());
+    if (m.edns) {
+      EXPECT_EQ(decoded.edns->client_subnet, m.edns->client_subnet);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,159 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+TEST(DnsNameTest, ParsePresentation) {
+  auto name = DnsName::parse("www.example.com");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->to_string(), "www.example.com");
+}
+
+TEST(DnsNameTest, TrailingDotIsOptional) {
+  EXPECT_EQ(DnsName::must_parse("example.com."), DnsName::must_parse("example.com"));
+}
+
+TEST(DnsNameTest, RootName) {
+  auto root = DnsName::parse(".");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+  EXPECT_EQ(root->wire_length(), 1u);
+}
+
+TEST(DnsNameTest, RejectsMalformed) {
+  EXPECT_FALSE(DnsName::parse("").has_value());
+  EXPECT_FALSE(DnsName::parse("a..b").has_value());
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'x') + ".com").has_value());  // label > 63
+  // Total name > 255 bytes.
+  std::string long_name;
+  for (int i = 0; i < 50; ++i) long_name += "abcde.";
+  long_name += "com";
+  EXPECT_FALSE(DnsName::parse(long_name).has_value());
+}
+
+TEST(DnsNameTest, MaxLabelLengthAccepted) {
+  const std::string label(63, 'a');
+  EXPECT_TRUE(DnsName::parse(label + ".com").has_value());
+}
+
+TEST(DnsNameTest, CaseInsensitiveEqualityAndHash) {
+  const DnsName a = DnsName::must_parse("WWW.Example.COM");
+  const DnsName b = DnsName::must_parse("www.example.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<DnsName>{}(a), std::hash<DnsName>{}(b));
+  // Original case preserved for display.
+  EXPECT_EQ(a.to_string(), "WWW.Example.COM");
+}
+
+TEST(DnsNameTest, WireRoundTripWithoutCompression) {
+  const DnsName name = DnsName::must_parse("img.googlecdn.sim");
+  net::ByteWriter w;
+  name.encode(w, nullptr);
+  EXPECT_EQ(w.size(), name.wire_length());
+
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(DnsName::decode(r), name);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(DnsNameTest, CompressionReusesSuffixes) {
+  std::map<std::string, std::uint16_t> offsets;
+  net::ByteWriter w;
+  DnsName::must_parse("www.example.com").encode(w, &offsets);
+  const std::size_t first = w.size();
+  DnsName::must_parse("mail.example.com").encode(w, &offsets);
+  // The second name writes "mail" (5 bytes) plus a 2-byte pointer.
+  EXPECT_EQ(w.size() - first, 5u + 2u);
+
+  // Both decode correctly from the shared buffer.
+  const auto bytes = w.bytes();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(DnsName::decode(r).to_string(), "www.example.com");
+  EXPECT_EQ(DnsName::decode(r).to_string(), "mail.example.com");
+}
+
+TEST(DnsNameTest, CompressionIsCaseInsensitive) {
+  std::map<std::string, std::uint16_t> offsets;
+  net::ByteWriter w;
+  DnsName::must_parse("a.EXAMPLE.com").encode(w, &offsets);
+  const std::size_t first = w.size();
+  DnsName::must_parse("b.example.COM").encode(w, &offsets);
+  EXPECT_EQ(w.size() - first, 2u + 2u);  // "b" + pointer
+}
+
+TEST(DnsNameTest, DecodeRejectsForwardPointer) {
+  // Pointer to offset 4 from offset 0 — forward, must be rejected.
+  const std::uint8_t wire[] = {0xC0, 0x04, 0x00, 0x00, 0x01, 'x', 0x00};
+  net::ByteReader r(wire);
+  EXPECT_THROW(DnsName::decode(r), net::ParseError);
+}
+
+TEST(DnsNameTest, DecodeRejectsSelfPointerLoop) {
+  // Name at offset 2 pointing to itself.
+  const std::uint8_t wire[] = {0x00, 0x00, 0xC0, 0x02};
+  net::ByteReader r(wire);
+  r.seek(2);
+  EXPECT_THROW(DnsName::decode(r), net::ParseError);
+}
+
+TEST(DnsNameTest, DecodeRejectsTruncatedLabel) {
+  const std::uint8_t wire[] = {5, 'a', 'b'};  // label claims 5 bytes, has 2
+  net::ByteReader r(wire);
+  // Truncation surfaces as a bounds violation (both are net::Error).
+  EXPECT_THROW(DnsName::decode(r), net::Error);
+}
+
+TEST(DnsNameTest, DecodeRejectsReservedLabelType) {
+  const std::uint8_t wire[] = {0x80, 'a', 0x00};  // 10xxxxxx is reserved
+  net::ByteReader r(wire);
+  EXPECT_THROW(DnsName::decode(r), net::ParseError);
+}
+
+TEST(DnsNameTest, SubdomainRelation) {
+  const DnsName zone = DnsName::must_parse("cdn.example");
+  EXPECT_TRUE(DnsName::must_parse("img.cdn.example").is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(DnsName()));  // everything under root
+  EXPECT_FALSE(DnsName::must_parse("cdn.other").is_subdomain_of(zone));
+  EXPECT_FALSE(DnsName::must_parse("xcdn.example").is_subdomain_of(zone));
+  EXPECT_TRUE(DnsName::must_parse("IMG.CDN.Example").is_subdomain_of(zone));
+}
+
+TEST(DnsNameTest, ParentStripsFirstLabel) {
+  EXPECT_EQ(DnsName::must_parse("a.b.c").parent().to_string(), "b.c");
+  EXPECT_THROW(DnsName().parent(), net::InvalidArgument);
+}
+
+TEST(DnsNameTest, OrderingIsCaseInsensitiveLexicographic) {
+  EXPECT_LT(DnsName::must_parse("aaa.com"), DnsName::must_parse("bbb.com"));
+  EXPECT_EQ(DnsName::must_parse("AAA.com") <=> DnsName::must_parse("aaa.COM"),
+            std::strong_ordering::equal);
+  EXPECT_LT(DnsName::must_parse("a.com"), DnsName::must_parse("a.com.extra"));
+}
+
+class NameRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameRoundTrip, PresentationWireAndBack) {
+  const DnsName name = DnsName::must_parse(GetParam());
+  net::ByteWriter w;
+  name.encode(w);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(DnsName::decode(r), name);
+  EXPECT_EQ(DnsName::must_parse(name.to_string()), name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Various, NameRoundTrip,
+                         ::testing::Values("a", "a.b", "img.static.cdn.example.com",
+                                           "xn--idn.example", "123.456.test",
+                                           "UPPER.lower.MiXeD"));
+
+}  // namespace
+}  // namespace drongo::dns

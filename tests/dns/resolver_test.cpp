@@ -1,0 +1,223 @@
+// In-memory transport, stub resolver, cache, and LDNS proxy tests.
+#include <gtest/gtest.h>
+
+#include "dns/cache.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/proxy.hpp"
+#include "dns/stub_resolver.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+/// A scripted authoritative: answers A queries with addresses derived from
+/// the announced ECS subnet so tests can observe which subnet arrived.
+class EchoingServer : public DnsServer {
+ public:
+  Message handle(const Message& query, net::Ipv4Addr source) override {
+    last_source = source;
+    last_ecs.reset();
+    net::Prefix subnet(source, 24);
+    if (query.edns && query.edns->client_subnet) {
+      last_ecs = query.edns->client_subnet->source_prefix();
+      subnet = *last_ecs;
+    }
+    Message response = Message::make_response(query, Rcode::kNoError, 24);
+    // Answer encodes the subnet's first octet so callers can tell subnets
+    // apart: 21.x.0.10 for subnet x.*.
+    response.answers.push_back(ResourceRecord::a(
+        query.questions[0].name,
+        net::Ipv4Addr(21, subnet.network().octet(0), subnet.network().octet(1), 10), 30));
+    ++queries;
+    return response;
+  }
+
+  std::optional<net::Prefix> last_ecs;
+  net::Ipv4Addr last_source;
+  int queries = 0;
+};
+
+class ResolverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network.register_server(server_addr, &server);
+  }
+
+  InMemoryDnsNetwork network;
+  EchoingServer server;
+  const net::Ipv4Addr server_addr{net::Ipv4Addr(9, 9, 9, 9)};
+  const net::Ipv4Addr client_addr{net::Ipv4Addr(20, 1, 36, 10)};
+};
+
+TEST_F(ResolverFixture, ExchangeRoutesToRegisteredServer) {
+  StubResolver stub(&network, client_addr, server_addr);
+  const auto result = stub.resolve("img.cdn.sim");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(server.queries, 1);
+  EXPECT_EQ(network.exchange_count(), 1u);
+  EXPECT_EQ(server.last_source, client_addr);
+}
+
+TEST_F(ResolverFixture, UnknownServerThrows) {
+  StubResolver stub(&network, client_addr, net::Ipv4Addr(8, 8, 4, 4));
+  EXPECT_THROW(stub.resolve("img.cdn.sim"), net::Error);
+}
+
+TEST_F(ResolverFixture, ResolveWithOwnSubnetAnnouncesSlash24) {
+  StubResolver stub(&network, client_addr, server_addr);
+  const auto result = stub.resolve_with_own_subnet(DnsName::must_parse("img.cdn.sim"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(server.last_ecs.has_value());
+  EXPECT_EQ(server.last_ecs->to_string(), "20.1.36.0/24");
+}
+
+TEST_F(ResolverFixture, SubnetAssimilationAnnouncesForeignSubnet) {
+  StubResolver stub(&network, client_addr, server_addr);
+  const auto hop_subnet = net::Prefix::must_parse("20.7.2.0/24");
+  const auto result = stub.resolve(DnsName::must_parse("img.cdn.sim"), hop_subnet);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(server.last_ecs.has_value());
+  EXPECT_EQ(*server.last_ecs, hop_subnet);
+  // The answer depended on the assimilated subnet, not the client's.
+  EXPECT_EQ(result.addresses.front().octet(1), 20);
+  EXPECT_EQ(result.addresses.front().octet(2), 7);
+}
+
+TEST_F(ResolverFixture, ResolutionResultCarriesScopeAndTtl) {
+  StubResolver stub(&network, client_addr, server_addr);
+  const auto result = stub.resolve_with_own_subnet(DnsName::must_parse("img.cdn.sim"));
+  ASSERT_TRUE(result.ecs_scope.has_value());
+  EXPECT_EQ(result.ecs_scope->length(), 24);
+  EXPECT_EQ(result.ttl, 30u);
+}
+
+// ---- LdnsProxy ------------------------------------------------------------
+
+/// A selector scripted to assimilate one fixed subnet for one domain.
+class FixedSelector : public SubnetSelector {
+ public:
+  std::optional<net::Prefix> select_subnet(const DnsName& domain,
+                                           const net::Prefix& client_subnet) override {
+    last_client_subnet = client_subnet;
+    if (domain == DnsName::must_parse("img.cdn.sim")) {
+      return net::Prefix::must_parse("20.99.5.0/24");
+    }
+    return std::nullopt;
+  }
+  net::Prefix last_client_subnet;
+};
+
+TEST_F(ResolverFixture, ProxyForwardsAndRewritesEcs) {
+  FixedSelector selector;
+  LdnsProxy proxy(&network, server_addr, net::Ipv4Addr(127, 5, 5, 5), &selector);
+  const net::Ipv4Addr proxy_addr(10, 0, 0, 53);
+  network.register_server(proxy_addr, &proxy);
+
+  StubResolver stub(&network, client_addr, proxy_addr);
+  const auto result = stub.resolve_with_own_subnet(DnsName::must_parse("img.cdn.sim"));
+  ASSERT_TRUE(result.ok());
+  // Upstream saw the assimilated subnet...
+  ASSERT_TRUE(server.last_ecs.has_value());
+  EXPECT_EQ(server.last_ecs->to_string(), "20.99.5.0/24");
+  // ...the selector saw the client's own subnet...
+  EXPECT_EQ(selector.last_client_subnet.to_string(), "20.1.36.0/24");
+  // ...and the client's response shows its OWN subnet echoed (assimilation
+  // is invisible to applications).
+  EXPECT_EQ(proxy.assimilated(), 1u);
+  EXPECT_EQ(proxy.forwarded(), 1u);
+}
+
+TEST_F(ResolverFixture, ProxyPassesThroughWhenSelectorDeclines) {
+  FixedSelector selector;
+  LdnsProxy proxy(&network, server_addr, net::Ipv4Addr(127, 5, 5, 5), &selector);
+  const net::Ipv4Addr proxy_addr(10, 0, 0, 53);
+  network.register_server(proxy_addr, &proxy);
+
+  StubResolver stub(&network, client_addr, proxy_addr);
+  const auto result = stub.resolve_with_own_subnet(DnsName::must_parse("other.cdn.sim"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(server.last_ecs.has_value());
+  EXPECT_EQ(server.last_ecs->to_string(), "20.1.36.0/24");
+  EXPECT_EQ(proxy.assimilated(), 0u);
+}
+
+TEST_F(ResolverFixture, ProxyDerivesSubnetFromSourceWithoutEcs) {
+  LdnsProxy proxy(&network, server_addr, net::Ipv4Addr(127, 5, 5, 5), nullptr);
+  const net::Ipv4Addr proxy_addr(10, 0, 0, 53);
+  network.register_server(proxy_addr, &proxy);
+
+  StubResolver stub(&network, client_addr, proxy_addr);
+  const auto result = stub.resolve(DnsName::must_parse("img.cdn.sim"));  // no ECS
+  ASSERT_TRUE(result.ok());
+  // The proxy filled in the client's /24 on its behalf.
+  ASSERT_TRUE(server.last_ecs.has_value());
+  EXPECT_EQ(server.last_ecs->to_string(), "20.1.36.0/24");
+}
+
+TEST_F(ResolverFixture, ProxyRejectsEmptyQuestion) {
+  LdnsProxy proxy(&network, server_addr, net::Ipv4Addr(127, 5, 5, 5), nullptr);
+  Message empty;
+  const auto response = proxy.handle(empty, client_addr);
+  EXPECT_EQ(response.header.rcode, Rcode::kFormErr);
+}
+
+// ---- DnsCache ---------------------------------------------------------------
+
+TEST(DnsCacheTest, ScopeGatesReuse) {
+  DnsCache cache;
+  const auto name = DnsName::must_parse("img.cdn.sim");
+  cache.insert(name, net::Prefix::must_parse("20.1.0.0/16"),
+               {net::Ipv4Addr(21, 0, 0, 1)}, 60, /*now_ms=*/0);
+  // A client inside the scope hits...
+  EXPECT_TRUE(cache.lookup(name, net::Prefix::must_parse("20.1.36.0/24"), 10).has_value());
+  // ...one outside misses.
+  EXPECT_FALSE(cache.lookup(name, net::Prefix::must_parse("20.2.36.0/24"), 10).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DnsCacheTest, TtlExpires) {
+  DnsCache cache;
+  const auto name = DnsName::must_parse("img.cdn.sim");
+  cache.insert(name, net::Prefix::must_parse("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)},
+               30, /*now_ms=*/0);
+  EXPECT_TRUE(cache.lookup(name, net::Prefix::must_parse("9.9.9.0/24"), 29'999).has_value());
+  EXPECT_FALSE(cache.lookup(name, net::Prefix::must_parse("9.9.9.0/24"), 30'000).has_value());
+}
+
+TEST(DnsCacheTest, PurgeDropsExpiredOnly) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("a.b"), net::Prefix::must_parse("0.0.0.0/0"),
+               {net::Ipv4Addr(1, 1, 1, 1)}, 10, 0);
+  cache.insert(DnsName::must_parse("c.d"), net::Prefix::must_parse("0.0.0.0/0"),
+               {net::Ipv4Addr(2, 2, 2, 2)}, 100, 0);
+  cache.purge(50'000);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCacheTest, CapacityEvicts) {
+  DnsCache cache(/*max_entries=*/4);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(DnsName::must_parse("n" + std::to_string(i) + ".x"),
+                 net::Prefix::must_parse("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)},
+                 1000, 0);
+  }
+  EXPECT_LE(cache.size(), 5u);  // bounded, not growing without limit
+}
+
+TEST(DnsCacheTest, DistinctScopesCoexistPerName) {
+  DnsCache cache;
+  const auto name = DnsName::must_parse("img.cdn.sim");
+  cache.insert(name, net::Prefix::must_parse("20.1.0.0/16"), {net::Ipv4Addr(21, 1, 1, 1)},
+               60, 0);
+  cache.insert(name, net::Prefix::must_parse("20.2.0.0/16"), {net::Ipv4Addr(21, 2, 2, 2)},
+               60, 0);
+  const auto a = cache.lookup(name, net::Prefix::must_parse("20.1.5.0/24"), 1);
+  const auto b = cache.lookup(name, net::Prefix::must_parse("20.2.5.0/24"), 1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->addresses.front(), b->addresses.front());
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,135 @@
+#include "dns/rr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+ResourceRecord round_trip(const ResourceRecord& rr) {
+  net::ByteWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+  rr.encode(w, &offsets);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  return ResourceRecord::decode(r);
+}
+
+TEST(ResourceRecordTest, ARecordRoundTrip) {
+  const auto rr = ResourceRecord::a(DnsName::must_parse("img.cdn.sim"),
+                                    net::Ipv4Addr(21, 8, 84, 10), 30);
+  const auto back = round_trip(rr);
+  EXPECT_EQ(back, rr);
+  EXPECT_EQ(std::get<ARdata>(back.rdata).address.to_string(), "21.8.84.10");
+}
+
+TEST(ResourceRecordTest, CnameRoundTrip) {
+  const auto rr = ResourceRecord::cname(DnsName::must_parse("www.site.example"),
+                                        DnsName::must_parse("site.cdn.example"));
+  EXPECT_EQ(round_trip(rr), rr);
+}
+
+TEST(ResourceRecordTest, NsAndPtrRoundTrip) {
+  EXPECT_EQ(round_trip(ResourceRecord::ns(DnsName::must_parse("cdn.sim"),
+                                          DnsName::must_parse("ns1.cdn.sim"))),
+            ResourceRecord::ns(DnsName::must_parse("cdn.sim"),
+                               DnsName::must_parse("ns1.cdn.sim")));
+  const auto ptr = ResourceRecord::ptr(DnsName::must_parse("1.0.8.21.in-addr.arpa"),
+                                       DnsName::must_parse("edge1.istanbul.cdn.net"));
+  EXPECT_EQ(round_trip(ptr), ptr);
+}
+
+TEST(ResourceRecordTest, TxtRoundTripMultipleStrings) {
+  const auto rr = ResourceRecord::txt(DnsName::must_parse("meta.cdn.sim"),
+                                      {"first string", "", "third"});
+  const auto back = round_trip(rr);
+  const auto& txt = std::get<TxtRdata>(back.rdata);
+  ASSERT_EQ(txt.strings.size(), 3u);
+  EXPECT_EQ(txt.strings[0], "first string");
+  EXPECT_EQ(txt.strings[1], "");
+}
+
+TEST(ResourceRecordTest, TxtRejectsOverlongString) {
+  const auto rr =
+      ResourceRecord::txt(DnsName::must_parse("x.y"), {std::string(256, 'a')});
+  net::ByteWriter w;
+  EXPECT_THROW(rr.encode(w, nullptr), net::InvalidArgument);
+}
+
+TEST(ResourceRecordTest, SoaRoundTrip) {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.cdn.sim");
+  soa.rname = DnsName::must_parse("hostmaster.cdn.sim");
+  soa.serial = 2024010100;
+  const auto rr = ResourceRecord::soa(DnsName::must_parse("cdn.sim"), soa);
+  const auto back = round_trip(rr);
+  EXPECT_EQ(std::get<SoaRdata>(back.rdata).serial, 2024010100u);
+  EXPECT_EQ(back, rr);
+}
+
+TEST(ResourceRecordTest, UnknownTypeKeptRaw) {
+  ResourceRecord rr;
+  rr.name = DnsName::must_parse("odd.example");
+  rr.type = static_cast<RrType>(99);
+  rr.rdata = RawRdata{{1, 2, 3, 4, 5}};
+  const auto back = round_trip(rr);
+  EXPECT_EQ(std::get<RawRdata>(back.rdata).bytes.size(), 5u);
+  EXPECT_EQ(back, rr);
+}
+
+TEST(ResourceRecordTest, DecodeRejectsBadALength) {
+  // A record with RDLENGTH 3.
+  net::ByteWriter w;
+  DnsName::must_parse("x.y").encode(w);
+  w.write_u16(1);   // type A
+  w.write_u16(1);   // class IN
+  w.write_u32(60);  // ttl
+  w.write_u16(3);   // bad rdlength
+  w.write_u8(1);
+  w.write_u8(2);
+  w.write_u8(3);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_THROW(ResourceRecord::decode(r), net::ParseError);
+}
+
+TEST(ResourceRecordTest, DecodeRejectsRdataOverrunningMessage) {
+  net::ByteWriter w;
+  DnsName::must_parse("x.y").encode(w);
+  w.write_u16(16);    // TXT
+  w.write_u16(1);
+  w.write_u32(60);
+  w.write_u16(200);  // claims 200 bytes, buffer ends
+  w.write_u8(3);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_THROW(ResourceRecord::decode(r), net::ParseError);
+}
+
+TEST(ResourceRecordTest, ToStringIsHumanReadable) {
+  const auto rr = ResourceRecord::a(DnsName::must_parse("img.cdn.sim"),
+                                    net::Ipv4Addr(1, 2, 3, 4), 30);
+  const std::string text = rr.to_string();
+  EXPECT_NE(text.find("img.cdn.sim"), std::string::npos);
+  EXPECT_NE(text.find("IN A"), std::string::npos);
+  EXPECT_NE(text.find("1.2.3.4"), std::string::npos);
+}
+
+TEST(ResourceRecordTest, CompressionInsideRdata) {
+  // Owner and CNAME target share a suffix; RDATA should use a pointer.
+  net::ByteWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+  const auto rr = ResourceRecord::cname(DnsName::must_parse("a.example.com"),
+                                        DnsName::must_parse("b.example.com"));
+  rr.encode(w, &offsets);
+  // Without compression: owner 15 + fixed 10 + target 15 = 40.
+  // With: target is "b" + pointer = 4 -> total 29.
+  EXPECT_LT(w.size(), 40u);
+  const auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(ResourceRecord::decode(r), rr);
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,172 @@
+// DNS over TCP, truncation, and the UDP->TCP fallback path.
+#include <gtest/gtest.h>
+
+#include "dns/tcp.hpp"
+#include "dns/udp.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+/// Answers A queries normally and "big" queries with a response far larger
+/// than any UDP advertisement.
+class BigAnswerServer : public DnsServer {
+ public:
+  Message handle(const Message& query, net::Ipv4Addr /*source*/) override {
+    Message response = Message::make_response(query, Rcode::kNoError, 24);
+    const auto& name = query.questions[0].name;
+    response.answers.push_back(ResourceRecord::a(name, net::Ipv4Addr(21, 1, 1, 1), 30));
+    if (name.labels().front() == "big") {
+      for (int i = 0; i < 40; ++i) {
+        response.answers.push_back(
+            ResourceRecord::txt(name, {std::string(120, static_cast<char>('a' + i % 26))}));
+      }
+    }
+    return response;
+  }
+};
+
+TEST(TruncationTest, MaxPayloadRules) {
+  Message no_edns;
+  EXPECT_EQ(max_udp_payload(no_edns), 512u);
+  Message with_edns;
+  with_edns.edns = Edns{};
+  with_edns.edns->udp_payload_size = 4096;
+  EXPECT_EQ(max_udp_payload(with_edns), 4096u);
+  // Sub-512 advertisements are clamped up per RFC 6891.
+  with_edns.edns->udp_payload_size = 100;
+  EXPECT_EQ(max_udp_payload(with_edns), 512u);
+}
+
+TEST(TruncationTest, SmallMessagesUntouched) {
+  auto query = Message::make_query(1, DnsName::must_parse("a.b"));
+  auto response = Message::make_response(query, Rcode::kNoError);
+  response.answers.push_back(
+      ResourceRecord::a(DnsName::must_parse("a.b"), net::Ipv4Addr(1, 1, 1, 1)));
+  EXPECT_FALSE(truncate_to_fit(response, 512));
+  EXPECT_FALSE(response.header.tc);
+  EXPECT_EQ(response.answers.size(), 1u);
+}
+
+TEST(TruncationTest, OversizeMessagesTruncatedWithTc) {
+  auto query = Message::make_query(1, DnsName::must_parse("a.b"));
+  auto response = Message::make_response(query, Rcode::kNoError);
+  for (int i = 0; i < 40; ++i) {
+    response.answers.push_back(
+        ResourceRecord::txt(DnsName::must_parse("a.b"), {std::string(100, 'x')}));
+  }
+  EXPECT_TRUE(truncate_to_fit(response, 512));
+  EXPECT_TRUE(response.header.tc);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_LE(response.encode().size(), 512u);
+}
+
+TEST(TcpDnsTest, QueryOverTcp) {
+  BigAnswerServer handler;
+  TcpDnsServer server(&handler, 0);
+  ASSERT_NE(server.port(), 0);
+
+  TcpDnsClient client(2000);
+  const net::Ipv4Addr virtual_server(9, 9, 9, 9);
+  client.register_endpoint(virtual_server, server.port());
+
+  const auto query = Message::make_query(0x42, DnsName::must_parse("img.cdn.sim"));
+  const auto reply = Message::decode(
+      client.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, query.encode()));
+  EXPECT_EQ(reply.header.id, 0x42);
+  ASSERT_EQ(reply.answer_addresses().size(), 1u);
+  EXPECT_GE(server.served(), 1u);
+}
+
+TEST(TcpDnsTest, LargeAnswerIntactOverTcp) {
+  BigAnswerServer handler;
+  TcpDnsServer server(&handler, 0);
+  TcpDnsClient client(2000);
+  const net::Ipv4Addr virtual_server(9, 9, 9, 9);
+  client.register_endpoint(virtual_server, server.port());
+
+  const auto query = Message::make_query(7, DnsName::must_parse("big.cdn.sim"));
+  const auto reply = Message::decode(
+      client.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, query.encode()));
+  EXPECT_FALSE(reply.header.tc);
+  EXPECT_EQ(reply.answers.size(), 41u);  // A + 40 TXT
+  EXPECT_GT(reply.encode().size(), 4096u);
+}
+
+TEST(TcpDnsTest, UnknownEndpointThrows) {
+  TcpDnsClient client(100);
+  const auto query = Message::make_query(1, DnsName::must_parse("x.y"));
+  EXPECT_THROW(client.exchange(net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2),
+                               query.encode()),
+               net::Error);
+}
+
+TEST(TcpDnsTest, UdpTruncatesOversizeAnswers) {
+  BigAnswerServer handler;
+  UdpDnsServer udp_server(&handler, 0);
+  UdpDnsClient udp_client(2000);
+  const net::Ipv4Addr virtual_server(9, 9, 9, 9);
+  udp_client.register_endpoint(virtual_server, udp_server.port());
+
+  // EDNS advertisement of 1232 bytes: the ~5 kB answer cannot fit.
+  auto query = Message::make_query(9, DnsName::must_parse("big.cdn.sim"),
+                                   net::Prefix::must_parse("10.0.0.0/24"));
+  const auto reply = Message::decode(
+      udp_client.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, query.encode()));
+  EXPECT_TRUE(reply.header.tc);
+  EXPECT_TRUE(reply.answers.empty());
+}
+
+TEST(TcpDnsTest, FallbackTransportRetriesOverTcp) {
+  BigAnswerServer handler;
+  UdpDnsServer udp_server(&handler, 0);
+  TcpDnsServer tcp_server(&handler, 0);
+  UdpDnsClient udp_client(2000);
+  TcpDnsClient tcp_client(2000);
+  const net::Ipv4Addr virtual_server(9, 9, 9, 9);
+  udp_client.register_endpoint(virtual_server, udp_server.port());
+  tcp_client.register_endpoint(virtual_server, tcp_server.port());
+
+  TruncationFallbackTransport transport(&udp_client, &tcp_client);
+
+  // Small answer: stays on UDP.
+  auto small = Message::make_query(1, DnsName::must_parse("img.cdn.sim"),
+                                   net::Prefix::must_parse("10.0.0.0/24"));
+  auto small_reply = Message::decode(
+      transport.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, small.encode()));
+  EXPECT_FALSE(small_reply.header.tc);
+  EXPECT_EQ(transport.fallbacks(), 0u);
+
+  // Big answer: transparently completed over TCP.
+  auto big = Message::make_query(2, DnsName::must_parse("big.cdn.sim"),
+                                 net::Prefix::must_parse("10.0.0.0/24"));
+  auto big_reply = Message::decode(
+      transport.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, big.encode()));
+  EXPECT_FALSE(big_reply.header.tc);
+  EXPECT_EQ(big_reply.answers.size(), 41u);
+  EXPECT_EQ(transport.fallbacks(), 1u);
+}
+
+TEST(TcpDnsTest, GarbageConnectionDoesNotKillServer) {
+  BigAnswerServer handler;
+  TcpDnsServer server(&handler, 0);
+  // Open a raw connection, send garbage framing, close.
+  TcpDnsClient garbage(200);
+  const net::Ipv4Addr virtual_server(9, 9, 9, 9);
+  garbage.register_endpoint(virtual_server, server.port());
+  const std::uint8_t junk[] = {0xFF, 0xFE, 0xFD};
+  try {
+    garbage.exchange(net::Ipv4Addr(1, 1, 1, 1), virtual_server, junk);
+  } catch (const net::Error&) {
+  }
+  // Server still answers a valid query afterwards.
+  TcpDnsClient client(2000);
+  client.register_endpoint(virtual_server, server.port());
+  const auto query = Message::make_query(3, DnsName::must_parse("img.cdn.sim"));
+  const auto reply = Message::decode(
+      client.exchange(net::Ipv4Addr(10, 0, 0, 1), virtual_server, query.encode()));
+  EXPECT_EQ(reply.header.id, 3);
+}
+
+}  // namespace
+}  // namespace drongo::dns

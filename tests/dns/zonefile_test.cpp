@@ -1,0 +1,159 @@
+#include "dns/zonefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cdn/resolver.hpp"
+#include "dns/inmemory.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+const DnsName kOrigin = DnsName::must_parse("shop.sim");
+
+TEST(ZoneFileTest, ParsesBasicRecords) {
+  const auto zone = parse_zone_text(R"(
+$TTL 600
+@       IN SOA ns1 hostmaster 2024010101 3600 600 86400 60
+@       IN NS  ns1
+ns1     IN A   20.1.40.53
+www     300 IN CNAME cdn.example.
+img     IN A   20.1.40.80
+)",
+                                    kOrigin);
+  ASSERT_EQ(zone.records.size(), 5u);
+  EXPECT_EQ(zone.origin, kOrigin);
+
+  EXPECT_EQ(zone.records[0].type, RrType::kSoa);
+  EXPECT_EQ(std::get<SoaRdata>(zone.records[0].rdata).serial, 2024010101u);
+  EXPECT_EQ(zone.records[0].ttl, 600u);  // $TTL applied
+
+  EXPECT_EQ(zone.records[1].type, RrType::kNs);
+  EXPECT_EQ(std::get<NsRdata>(zone.records[1].rdata).nameserver.to_string(),
+            "ns1.shop.sim");
+
+  EXPECT_EQ(zone.records[2].name.to_string(), "ns1.shop.sim");
+  EXPECT_EQ(std::get<ARdata>(zone.records[2].rdata).address.to_string(), "20.1.40.53");
+
+  // Absolute target keeps its dot-resolved form; explicit TTL wins.
+  EXPECT_EQ(zone.records[3].ttl, 300u);
+  EXPECT_EQ(std::get<CnameRdata>(zone.records[3].rdata).target.to_string(),
+            "cdn.example");
+}
+
+TEST(ZoneFileTest, OriginDirectiveSwitchesContext) {
+  const auto zone = parse_zone_text(R"(
+$ORIGIN other.sim.
+www IN A 20.2.40.1
+)",
+                                    kOrigin);
+  ASSERT_EQ(zone.records.size(), 1u);
+  EXPECT_EQ(zone.origin.to_string(), "other.sim");
+  EXPECT_EQ(zone.records[0].name.to_string(), "www.other.sim");
+}
+
+TEST(ZoneFileTest, ContinuationLinesReuseOwner) {
+  const auto zone = parse_zone_text(
+      "www IN A 20.1.40.1\n"
+      "    IN A 20.1.40.2\n",
+      kOrigin);
+  ASSERT_EQ(zone.records.size(), 2u);
+  EXPECT_EQ(zone.records[0].name, zone.records[1].name);
+}
+
+TEST(ZoneFileTest, TxtQuotedStrings) {
+  const auto zone = parse_zone_text(
+      "meta IN TXT \"hello world\" \"\" token\n", kOrigin);
+  ASSERT_EQ(zone.records.size(), 1u);
+  const auto& txt = std::get<TxtRdata>(zone.records[0].rdata);
+  ASSERT_EQ(txt.strings.size(), 3u);
+  EXPECT_EQ(txt.strings[0], "hello world");
+  EXPECT_EQ(txt.strings[1], "");
+  EXPECT_EQ(txt.strings[2], "token");
+}
+
+TEST(ZoneFileTest, CommentsAndBlanksIgnored) {
+  const auto zone = parse_zone_text(R"(
+; a full-line comment
+
+www IN A 20.1.40.1 ; trailing comment
+)",
+                                    kOrigin);
+  EXPECT_EQ(zone.records.size(), 1u);
+}
+
+TEST(ZoneFileTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_zone_text("www IN A 20.1.40.1\nbad IN WAT x\n", kOrigin);
+    FAIL() << "expected ParseError";
+  } catch (const net::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_zone_text("www IN A\n", kOrigin), net::ParseError);
+  EXPECT_THROW(parse_zone_text("www IN A 999.1.1.1\n", kOrigin), net::ParseError);
+  EXPECT_THROW(parse_zone_text("www IN TXT \"unterminated\n", kOrigin), net::ParseError);
+  EXPECT_THROW(parse_zone_text("$TTL abc\n", kOrigin), net::ParseError);
+  EXPECT_THROW(parse_zone_text("    IN A 1.2.3.4\n", kOrigin), net::ParseError);
+}
+
+TEST(StaticZoneServerTest, ServesParsedZone) {
+  StaticZoneServer server(parse_zone_text(R"(
+www IN CNAME img
+img IN A 20.1.40.80
+img IN A 20.1.40.81
+meta IN TXT "v=1"
+)",
+                                          kOrigin));
+
+  // A query for img: both addresses.
+  auto response = server.handle(
+      Message::make_query(1, DnsName::must_parse("img.shop.sim")), net::Ipv4Addr());
+  EXPECT_EQ(response.header.rcode, Rcode::kNoError);
+  EXPECT_EQ(response.answer_addresses().size(), 2u);
+
+  // A query for www: the CNAME comes back for chasing.
+  response = server.handle(Message::make_query(2, DnsName::must_parse("www.shop.sim")),
+                           net::Ipv4Addr());
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].type, RrType::kCname);
+
+  // TXT name queried for A: NOERROR, empty.
+  response = server.handle(Message::make_query(3, DnsName::must_parse("meta.shop.sim")),
+                           net::Ipv4Addr());
+  EXPECT_EQ(response.header.rcode, Rcode::kNoError);
+  EXPECT_TRUE(response.answers.empty());
+
+  // Unknown name in zone / outside zone.
+  EXPECT_EQ(server
+                .handle(Message::make_query(4, DnsName::must_parse("nope.shop.sim")),
+                        net::Ipv4Addr())
+                .header.rcode,
+            Rcode::kNxDomain);
+  EXPECT_EQ(server
+                .handle(Message::make_query(5, DnsName::must_parse("www.example.com")),
+                        net::Ipv4Addr())
+                .header.rcode,
+            Rcode::kRefused);
+}
+
+TEST(StaticZoneServerTest, IntegratesWithResolverChase) {
+  // Static zone CNAMEs into itself; the resolver assembles the chain.
+  StaticZoneServer server(parse_zone_text(R"(
+www IN CNAME img
+img IN A 20.1.40.80
+)",
+                                          kOrigin));
+  InMemoryDnsNetwork network;
+  const net::Ipv4Addr addr(9, 9, 9, 9);
+  network.register_server(addr, &server);
+  cdn::PublicResolver resolver(&network, net::Ipv4Addr(8, 8, 8, 8));
+  resolver.register_zone(kOrigin, addr);
+  const auto response = resolver.handle(
+      Message::make_query(6, DnsName::must_parse("www.shop.sim")), net::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_EQ(response.header.rcode, Rcode::kNoError);
+  ASSERT_EQ(response.answer_addresses().size(), 1u);
+  EXPECT_EQ(response.answer_addresses()[0].to_string(), "20.1.40.80");
+}
+
+}  // namespace
+}  // namespace drongo::dns

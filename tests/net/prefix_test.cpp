@@ -1,0 +1,105 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+namespace {
+
+TEST(PrefixTest, CanonicalizesHostBits) {
+  Prefix p(Ipv4Addr(192, 0, 2, 77), 24);
+  EXPECT_EQ(p.network(), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+}
+
+TEST(PrefixTest, EqualNetworksCompareEqual) {
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 1, 2, 3), 16), Prefix(Ipv4Addr(10, 1, 200, 9), 16));
+  EXPECT_NE(Prefix(Ipv4Addr(10, 1, 0, 0), 16), Prefix(Ipv4Addr(10, 1, 0, 0), 17));
+}
+
+TEST(PrefixTest, RejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Addr(1, 2, 3, 4), 33), InvalidArgument);
+  EXPECT_THROW(Prefix(Ipv4Addr(1, 2, 3, 4), -1), InvalidArgument);
+}
+
+TEST(PrefixTest, DefaultCoversEverything) {
+  Prefix everything;
+  EXPECT_EQ(everything.length(), 0);
+  EXPECT_TRUE(everything.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(everything.contains(Ipv4Addr(0, 0, 0, 0)));
+}
+
+class PrefixLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthSweep, SizeAndMaskAreConsistent) {
+  const int length = GetParam();
+  Prefix p(Ipv4Addr(203, 0, 113, 129), length);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << (32 - length));
+  // The network address plus (size - 1) is the last covered address.
+  EXPECT_TRUE(p.contains(p.at(p.size() - 1)));
+  // One past the end is outside (when not the whole space).
+  if (length > 0) {
+    EXPECT_FALSE(p.contains(Ipv4Addr(p.network().to_uint() + static_cast<std::uint32_t>(p.size()))));
+  }
+  // The canonical network has all host bits cleared.
+  EXPECT_EQ(p.network().to_uint() & ~(length == 0 ? 0u : ~0u << (32 - length)), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep,
+                         ::testing::Values(1, 4, 8, 12, 16, 20, 24, 28, 30, 31, 32));
+
+TEST(PrefixTest, ContainsAddressBoundaries) {
+  Prefix p = Prefix::must_parse("10.20.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 20, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 20, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 21, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 19, 255, 255)));
+}
+
+TEST(PrefixTest, ContainsPrefixRequiresFullNesting) {
+  Prefix wide = Prefix::must_parse("10.0.0.0/8");
+  Prefix narrow = Prefix::must_parse("10.1.2.0/24");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+  EXPECT_FALSE(wide.contains(Prefix::must_parse("11.0.0.0/24")));
+}
+
+TEST(PrefixTest, TruncationWidens) {
+  Prefix p = Prefix::must_parse("203.0.113.0/24");
+  Prefix wide = p.truncated(16);
+  EXPECT_EQ(wide.to_string(), "203.0.0.0/16");
+  EXPECT_TRUE(wide.contains(p));
+  // RFC 7871 style: a client /32 announced as /24.
+  Prefix host(Ipv4Addr(198, 51, 100, 42), 32);
+  EXPECT_EQ(host.truncated(24).to_string(), "198.51.100.0/24");
+}
+
+TEST(PrefixTest, AtThrowsPastEnd) {
+  Prefix p = Prefix::must_parse("192.0.2.0/30");
+  EXPECT_EQ(p.at(0), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.at(3), Ipv4Addr(192, 0, 2, 3));
+  EXPECT_THROW((void)p.at(4), BoundsError);
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3/24").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/2x").has_value());
+  EXPECT_THROW(Prefix::must_parse("nope/24"), ParseError);
+}
+
+TEST(PrefixTest, NetmaskValues) {
+  EXPECT_EQ(Prefix::must_parse("0.0.0.0/0").netmask(), Ipv4Addr(0, 0, 0, 0));
+  EXPECT_EQ(Prefix::must_parse("1.0.0.0/8").netmask(), Ipv4Addr(255, 0, 0, 0));
+  EXPECT_EQ(Prefix::must_parse("1.2.0.0/20").netmask(), Ipv4Addr(255, 255, 240, 0));
+  EXPECT_EQ(Prefix::must_parse("1.2.3.4/32").netmask(), Ipv4Addr(255, 255, 255, 255));
+}
+
+}  // namespace
+}  // namespace drongo::net

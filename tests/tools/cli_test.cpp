@@ -1,0 +1,73 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::tools {
+namespace {
+
+OptionSet sample() {
+  OptionSet options;
+  options.add_option("seed", "42", "the seed");
+  options.add_option("rate", "0.5", "a rate");
+  options.add_flag("verbose", "talk more");
+  return options;
+}
+
+TEST(CliTest, DefaultsApplyWithoutArgs) {
+  auto options = sample();
+  options.parse({});
+  EXPECT_EQ(options.get_int("seed"), 42);
+  EXPECT_DOUBLE_EQ(options.get_double("rate"), 0.5);
+  EXPECT_FALSE(options.get_flag("verbose"));
+}
+
+TEST(CliTest, ParsesValuesAndFlags) {
+  auto options = sample();
+  options.parse({"--seed", "7", "--verbose", "--rate", "0.9"});
+  EXPECT_EQ(options.get_int("seed"), 7);
+  EXPECT_DOUBLE_EQ(options.get_double("rate"), 0.9);
+  EXPECT_TRUE(options.get_flag("verbose"));
+}
+
+TEST(CliTest, UnknownOptionRejected) {
+  auto options = sample();
+  EXPECT_THROW(options.parse({"--nope", "1"}), net::InvalidArgument);
+  EXPECT_THROW(options.parse({"stray"}), net::InvalidArgument);
+}
+
+TEST(CliTest, MissingValueRejected) {
+  auto options = sample();
+  EXPECT_THROW(options.parse({"--seed"}), net::InvalidArgument);
+}
+
+TEST(CliTest, TypeErrorsRejected) {
+  auto options = sample();
+  options.parse({"--seed", "abc"});
+  EXPECT_THROW((void)options.get_int("seed"), net::InvalidArgument);
+  options.parse({"--rate", "xyz"});
+  EXPECT_THROW((void)options.get_double("rate"), net::InvalidArgument);
+}
+
+TEST(CliTest, UndeclaredAccessRejected) {
+  auto options = sample();
+  options.parse({});
+  EXPECT_THROW((void)options.get("missing"), net::InvalidArgument);
+}
+
+TEST(CliTest, HelpListsEveryOption) {
+  const auto text = sample().help();
+  EXPECT_NE(text.find("--seed <42>"), std::string::npos);
+  EXPECT_NE(text.find("--verbose"), std::string::npos);
+  EXPECT_NE(text.find("talk more"), std::string::npos);
+}
+
+TEST(CliTest, LastValueWins) {
+  auto options = sample();
+  options.parse({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(options.get_int("seed"), 2);
+}
+
+}  // namespace
+}  // namespace drongo::tools

@@ -1,0 +1,146 @@
+#include "topology/as_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::topology {
+namespace {
+
+AsGenConfig small_config(std::uint64_t seed = 5) {
+  AsGenConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 8;
+  config.stub_count = 30;
+  config.seed = seed;
+  return config;
+}
+
+TEST(AsGenTest, ProducesRequestedCounts) {
+  const AsGraph g = generate_as_graph(small_config());
+  int t1 = 0;
+  int t2 = 0;
+  int stub = 0;
+  for (const auto& node : g.nodes()) {
+    switch (node.tier) {
+      case AsTier::kTier1: ++t1; break;
+      case AsTier::kTier2: ++t2; break;
+      case AsTier::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(t1, 4);
+  EXPECT_EQ(t2, 8);
+  EXPECT_EQ(stub, 30);
+}
+
+TEST(AsGenTest, AsnsAreUniqueAndSequentialFrom100) {
+  const AsGraph g = generate_as_graph(small_config());
+  EXPECT_EQ(g.node(0).asn.value(), 100u);
+  for (std::size_t i = 1; i < g.node_count(); ++i) {
+    EXPECT_EQ(g.node(i).asn.value(), 100 + i);
+  }
+}
+
+TEST(AsGenTest, Tier1sFormFullPeerMesh) {
+  const AsGraph g = generate_as_graph(small_config());
+  std::vector<std::size_t> tier1s;
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).tier == AsTier::kTier1) tier1s.push_back(v);
+  }
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      bool peered = false;
+      for (std::size_t l : g.links_between(tier1s[i], tier1s[j])) {
+        if (g.link(l).kind == LinkKind::kPeering) peered = true;
+      }
+      EXPECT_TRUE(peered) << "tier-1s " << i << " and " << j << " not peered";
+    }
+  }
+}
+
+TEST(AsGenTest, Tier1sBuyNoTransit) {
+  const AsGraph g = generate_as_graph(small_config());
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).tier == AsTier::kTier1) {
+      EXPECT_TRUE(g.provider_links(v).empty()) << g.node(v).asn.to_string();
+    }
+  }
+}
+
+TEST(AsGenTest, EveryNonTier1HasAProvider) {
+  const AsGraph g = generate_as_graph(small_config());
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).tier != AsTier::kTier1) {
+      EXPECT_FALSE(g.provider_links(v).empty()) << g.node(v).asn.to_string();
+    }
+  }
+}
+
+TEST(AsGenTest, StubsHaveExactlyOnePop) {
+  const AsGraph g = generate_as_graph(small_config());
+  for (const auto& node : g.nodes()) {
+    if (node.tier == AsTier::kStub) {
+      EXPECT_EQ(node.pops.size(), 1u);
+    } else {
+      EXPECT_GE(node.pops.size(), 2u);
+    }
+    EXPECT_LE(node.pops.size(), 16u);  // address-plan limit: 2 router /24s per PoP
+  }
+}
+
+TEST(AsGenTest, LinkLatenciesArePositiveAndBounded) {
+  const AsGraph g = generate_as_graph(small_config());
+  for (const auto& link : g.links()) {
+    EXPECT_GT(link.latency_ms, 0.0);
+    // No single link exceeds a half-planet of fiber.
+    EXPECT_LT(link.latency_ms, 160.0);
+  }
+}
+
+TEST(AsGenTest, SameSeedSameGraph) {
+  const AsGraph a = generate_as_graph(small_config(77));
+  const AsGraph b = generate_as_graph(small_config(77));
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.link(i).a, b.link(i).a);
+    EXPECT_EQ(a.link(i).b, b.link(i).b);
+    EXPECT_DOUBLE_EQ(a.link(i).latency_ms, b.link(i).latency_ms);
+  }
+}
+
+TEST(AsGenTest, DifferentSeedsDiffer) {
+  const AsGraph a = generate_as_graph(small_config(1));
+  const AsGraph b = generate_as_graph(small_config(2));
+  bool any_difference = a.link_count() != b.link_count();
+  for (std::size_t i = 0; !any_difference && i < a.link_count(); ++i) {
+    any_difference = a.link(i).a != b.link(i).a || a.link(i).b != b.link(i).b;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(AsGenTest, RejectsDegenerateConfig) {
+  AsGenConfig config;
+  config.tier1_count = 1;
+  EXPECT_THROW(generate_as_graph(config), net::InvalidArgument);
+}
+
+TEST(AsGenTest, SharedMetroPairsGetMultipleInterconnects) {
+  // Tier-1s have 12 PoPs over 24 metros: most pairs share several metros,
+  // so the mesh should contain parallel links for at least one pair.
+  const AsGraph g = generate_as_graph(small_config());
+  std::vector<std::size_t> tier1s;
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).tier == AsTier::kTier1) tier1s.push_back(v);
+  }
+  bool any_parallel = false;
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      if (g.links_between(tier1s[i], tier1s[j]).size() > 1) any_parallel = true;
+    }
+  }
+  EXPECT_TRUE(any_parallel);
+}
+
+}  // namespace
+}  // namespace drongo::topology

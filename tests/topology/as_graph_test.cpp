@@ -1,0 +1,139 @@
+#include "topology/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace drongo::topology {
+namespace {
+
+AsNode make_node(std::uint32_t asn, AsTier tier = AsTier::kStub) {
+  AsNode node;
+  node.asn = net::Asn(asn);
+  node.tier = tier;
+  node.domain = "as" + std::to_string(asn) + ".example";
+  node.pops.push_back({0, {40.0, -74.0}});
+  return node;
+}
+
+TEST(AsGraphTest, AddNodeAssignsSequentialIndices) {
+  AsGraph g;
+  EXPECT_EQ(g.add_node(make_node(100)), 0u);
+  EXPECT_EQ(g.add_node(make_node(200)), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(1).asn.value(), 200u);
+}
+
+TEST(AsGraphTest, DuplicateAsnRejected) {
+  AsGraph g;
+  g.add_node(make_node(100));
+  EXPECT_THROW(g.add_node(make_node(100)), net::InvalidArgument);
+}
+
+TEST(AsGraphTest, NodeWithoutPopsRejected) {
+  AsGraph g;
+  AsNode node;
+  node.asn = net::Asn(1);
+  EXPECT_THROW(g.add_node(std::move(node)), net::InvalidArgument);
+}
+
+TEST(AsGraphTest, IndexOfLookup) {
+  AsGraph g;
+  g.add_node(make_node(100));
+  EXPECT_EQ(g.index_of(net::Asn(100)), 0u);
+  EXPECT_FALSE(g.index_of(net::Asn(999)).has_value());
+}
+
+TEST(AsGraphTest, TransitAdjacencyIsDirectional) {
+  AsGraph g;
+  const auto customer = g.add_node(make_node(100));
+  const auto provider = g.add_node(make_node(200, AsTier::kTier1));
+  AsLink link;
+  link.a = customer;
+  link.b = provider;
+  link.kind = LinkKind::kTransit;
+  const auto l = g.add_link(link);
+
+  ASSERT_EQ(g.provider_links(customer).size(), 1u);
+  EXPECT_EQ(g.provider_links(customer)[0], l);
+  ASSERT_EQ(g.customer_links(provider).size(), 1u);
+  EXPECT_TRUE(g.provider_links(provider).empty());
+  EXPECT_TRUE(g.customer_links(customer).empty());
+  EXPECT_TRUE(g.peer_links(customer).empty());
+}
+
+TEST(AsGraphTest, PeeringAdjacencyIsSymmetric) {
+  AsGraph g;
+  const auto a = g.add_node(make_node(100));
+  const auto b = g.add_node(make_node(200));
+  AsLink link;
+  link.a = a;
+  link.b = b;
+  link.kind = LinkKind::kPeering;
+  g.add_link(link);
+  EXPECT_EQ(g.peer_links(a).size(), 1u);
+  EXPECT_EQ(g.peer_links(b).size(), 1u);
+}
+
+TEST(AsGraphTest, SelfLinkRejected) {
+  AsGraph g;
+  const auto a = g.add_node(make_node(100));
+  AsLink link;
+  link.a = a;
+  link.b = a;
+  EXPECT_THROW(g.add_link(link), net::InvalidArgument);
+}
+
+TEST(AsGraphTest, LinkEndpointOutOfRangeRejected) {
+  AsGraph g;
+  g.add_node(make_node(100));
+  AsLink link;
+  link.a = 0;
+  link.b = 5;
+  EXPECT_THROW(g.add_link(link), net::InvalidArgument);
+}
+
+TEST(AsGraphTest, OtherEndWorksBothWays) {
+  AsGraph g;
+  const auto a = g.add_node(make_node(100));
+  const auto b = g.add_node(make_node(200));
+  AsLink link;
+  link.a = a;
+  link.b = b;
+  const auto l = g.add_link(link);
+  EXPECT_EQ(g.other_end(l, a), b);
+  EXPECT_EQ(g.other_end(l, b), a);
+  const auto c = g.add_node(make_node(300));
+  EXPECT_THROW((void)g.other_end(l, c), net::InvalidArgument);
+}
+
+TEST(AsGraphTest, LinksBetweenCollectsParallelLinks) {
+  AsGraph g;
+  const auto a = g.add_node(make_node(100));
+  const auto b = g.add_node(make_node(200));
+  const auto c = g.add_node(make_node(300));
+  AsLink ab1{a, b, 0, 0, LinkKind::kTransit, 1.0};
+  AsLink ab2{a, b, 0, 0, LinkKind::kTransit, 2.0};
+  AsLink ac{a, c, 0, 0, LinkKind::kPeering, 3.0};
+  g.add_link(ab1);
+  g.add_link(ab2);
+  g.add_link(ac);
+  EXPECT_EQ(g.links_between(a, b).size(), 2u);
+  EXPECT_EQ(g.links_between(b, a).size(), 2u);  // order-insensitive
+  EXPECT_EQ(g.links_between(a, c).size(), 1u);
+  EXPECT_TRUE(g.links_between(b, c).empty());
+}
+
+TEST(AsNodeTest, ClosestPopPicksNearest) {
+  AsNode node = make_node(100);
+  node.pops.clear();
+  node.pops.push_back({0, {40.71, -74.01}});  // new york
+  node.pops.push_back({9, {51.51, -0.13}});   // london
+  node.pops.push_back({21, {35.68, 139.65}}); // tokyo
+  EXPECT_EQ(node.closest_pop({48.86, 2.35}), 1);   // paris -> london
+  EXPECT_EQ(node.closest_pop({37.57, 126.98}), 2); // seoul -> tokyo
+  EXPECT_EQ(node.closest_pop({43.65, -79.38}), 0); // toronto -> new york
+}
+
+}  // namespace
+}  // namespace drongo::topology

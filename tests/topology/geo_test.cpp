@@ -1,0 +1,71 @@
+#include "topology/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drongo::topology {
+namespace {
+
+TEST(GeoTest, ZeroDistanceForSamePoint) {
+  GeoPoint p{40.0, -74.0};
+  EXPECT_DOUBLE_EQ(distance_km(p, p), 0.0);
+}
+
+TEST(GeoTest, KnownCityDistances) {
+  const GeoPoint new_york{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint tokyo{35.68, 139.65};
+  // Great-circle NYC-London ~5570 km, NYC-Tokyo ~10850 km.
+  EXPECT_NEAR(distance_km(new_york, london), 5570.0, 100.0);
+  EXPECT_NEAR(distance_km(new_york, tokyo), 10850.0, 200.0);
+}
+
+TEST(GeoTest, DistanceIsSymmetric) {
+  const GeoPoint a{-33.87, 151.21};
+  const GeoPoint b{52.37, 4.90};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+}
+
+TEST(GeoTest, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(distance_km(a, b), 20015.0, 50.0);
+}
+
+TEST(GeoTest, PropagationScalesWithDistance) {
+  const GeoPoint a{40.0, -74.0};
+  const GeoPoint b{51.5, 0.0};
+  const double one_x = propagation_ms(a, b, 1.0);
+  const double with_stretch = propagation_ms(a, b, 1.4);
+  EXPECT_NEAR(with_stretch / one_x, 1.4, 1e-9);
+  // NYC-London at stretch 1.0: ~5570 km / 200 km per ms ~ 28 ms one way.
+  EXPECT_NEAR(one_x, 27.9, 1.0);
+}
+
+TEST(GeoTest, PropagationHasFloor) {
+  GeoPoint p{10.0, 10.0};
+  EXPECT_GE(propagation_ms(p, p), 0.05);
+  GeoPoint q{10.0001, 10.0001};
+  EXPECT_GE(propagation_ms(p, q), 0.05);
+}
+
+TEST(GeoTest, MetroCatalogueIsStableAndGlobal) {
+  const auto& metros = world_metros();
+  EXPECT_EQ(metros.size(), 24u);
+  // Stable ordering contract: generators index into this list.
+  EXPECT_EQ(metros[0].name, "new-york");
+  EXPECT_EQ(metros[16].name, "istanbul");
+  EXPECT_EQ(metros[21].name, "tokyo");
+  // Spans both hemispheres.
+  bool north = false;
+  bool south = false;
+  for (const auto& m : metros) {
+    north |= m.location.lat_deg > 0;
+    south |= m.location.lat_deg < 0;
+    EXPECT_GT(m.weight, 0.0);
+  }
+  EXPECT_TRUE(north);
+  EXPECT_TRUE(south);
+}
+
+}  // namespace
+}  // namespace drongo::topology

@@ -1,0 +1,135 @@
+// Property sweeps over generated worlds: global invariants that must hold
+// for any seed.
+#include <gtest/gtest.h>
+
+#include "measure/hop_filter.hpp"
+#include "topology/as_gen.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::topology {
+namespace {
+
+class WorldPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  WorldPropertyTest() : world_(make_graph(GetParam()), make_config(GetParam())) {}
+
+  static AsGraph make_graph(std::uint64_t seed) {
+    AsGenConfig config;
+    config.tier1_count = 4;
+    config.tier2_count = 10;
+    config.stub_count = 50;
+    config.seed = seed;
+    return generate_as_graph(config);
+  }
+
+  static WorldConfig make_config(std::uint64_t seed) {
+    WorldConfig config;
+    config.seed = seed ^ 0xFACE;
+    return config;
+  }
+
+  std::vector<std::size_t> stubs() const {
+    std::vector<std::size_t> out;
+    for (std::size_t v = 0; v < world_.graph().node_count(); ++v) {
+      if (world_.graph().node(v).tier == AsTier::kStub) out.push_back(v);
+    }
+    return out;
+  }
+
+  World world_;
+};
+
+TEST_P(WorldPropertyTest, AllStubPairsReachableWithPlausibleRtt) {
+  const auto stub_list = stubs();
+  net::Rng rng(GetParam());
+  std::vector<net::Ipv4Addr> hosts;
+  for (int i = 0; i < 12; ++i) {
+    hosts.push_back(world_.add_host(stub_list[rng.index(stub_list.size())],
+                                    HostKind::kClient));
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      const double rtt = world_.rtt_base_ms(hosts[i], hosts[j]);
+      EXPECT_GT(rtt, 0.0);
+      // No path on Earth should exceed ~2 planet circumferences of fiber
+      // plus generous overheads.
+      EXPECT_LT(rtt, 1200.0) << hosts[i].to_string() << " -> " << hosts[j].to_string();
+    }
+  }
+}
+
+TEST_P(WorldPropertyTest, RttIsSymmetricUnderThisModel) {
+  // The valley-free path is computed per destination tree; this model uses
+  // the forward path's latency for both directions, so RTT must be exactly
+  // symmetric — an invariant the measurement layer relies on.
+  const auto stub_list = stubs();
+  const auto a = world_.add_host(stub_list[0], HostKind::kClient);
+  const auto b = world_.add_host(stub_list[stub_list.size() / 2], HostKind::kServer);
+  // Different BGP trees are used for a->b vs b->a, so allow them to differ,
+  // but both must be finite and within a factor of 3 (paths share the same
+  // link universe).
+  const double ab = world_.rtt_base_ms(a, b);
+  const double ba = world_.rtt_base_ms(b, a);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_GT(ba, 0.0);
+  EXPECT_LT(std::max(ab, ba) / std::min(ab, ba), 3.0);
+}
+
+TEST_P(WorldPropertyTest, TracerouteRttsRoughlyMonotone) {
+  const auto stub_list = stubs();
+  const auto a = world_.add_host(stub_list[1], HostKind::kClient);
+  const auto b = world_.add_host(stub_list[stub_list.size() - 1], HostKind::kServer);
+  net::Rng rng(GetParam() ^ 0x7);
+  const auto hops = world_.traceroute(a, b, rng);
+  ASSERT_GE(hops.size(), 2u);
+  // Cumulative base delay is monotone; samples jitter, so compare with
+  // slack: no hop may report dramatically less than a predecessor.
+  double high_water = 0.0;
+  for (const auto& hop : hops) {
+    if (hop.is_private || !hop.responded) continue;
+    EXPECT_GT(hop.rtt_ms, high_water * 0.6) << hop.rdns;
+    high_water = std::max(high_water, hop.rtt_ms);
+  }
+}
+
+TEST_P(WorldPropertyTest, TracerouteHopsDecodeConsistently) {
+  const auto stub_list = stubs();
+  const auto a = world_.add_host(stub_list[2], HostKind::kClient);
+  const auto b = world_.add_host(stub_list[stub_list.size() / 3], HostKind::kServer);
+  net::Rng rng(GetParam() ^ 0x9);
+  for (const auto& hop : world_.traceroute(a, b, rng)) {
+    if (hop.is_private) {
+      EXPECT_FALSE(hop.ip.is_global_unicast());
+      continue;
+    }
+    if (hop.ip == b) continue;
+    // Router hops: the address decodes to the ASN the hop reports, and the
+    // /24 classifies as router space.
+    EXPECT_EQ(world_.asn_of(hop.ip), hop.asn);
+    EXPECT_EQ(world_.subnet_kind(net::Prefix(hop.ip, 24)), SubnetKind::kRouter);
+    EXPECT_EQ(world_.rdns_of(hop.ip), hop.rdns.empty() ? world_.rdns_of(hop.ip) : hop.rdns);
+  }
+}
+
+TEST_P(WorldPropertyTest, HopFilterNeverAcceptsClientOwnNetworkFirst) {
+  const auto stub_list = stubs();
+  const auto client = world_.add_host(stub_list[3], HostKind::kClient);
+  const auto target = world_.add_host(stub_list[stub_list.size() - 2], HostKind::kServer);
+  net::Rng rng(GetParam() ^ 0xB);
+  const auto hops = world_.traceroute(client, target, rng);
+  const auto usable = measure::usable_hops(world_, client, hops);
+  // The first usable hop must not share the client's AS.
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (usable[i]) {
+      EXPECT_NE(hops[i].asn, world_.asn_of(client));
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldPropertyTest,
+                         ::testing::Values(3, 11, 29, 47, 83, 131));
+
+}  // namespace
+}  // namespace drongo::topology

@@ -1,0 +1,207 @@
+#include "topology/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "topology/as_gen.hpp"
+
+namespace drongo::topology {
+namespace {
+
+class WorldFixture : public ::testing::Test {
+ protected:
+  WorldFixture() : world_(make_graph(), WorldConfig{}) {}
+
+  static AsGraph make_graph() {
+    AsGenConfig config;
+    config.tier1_count = 4;
+    config.tier2_count = 8;
+    config.stub_count = 30;
+    config.seed = 9;
+    return generate_as_graph(config);
+  }
+
+  std::size_t first_stub() const {
+    for (std::size_t v = 0; v < world_.graph().node_count(); ++v) {
+      if (world_.graph().node(v).tier == AsTier::kStub) return v;
+    }
+    throw std::logic_error("no stub");
+  }
+
+  std::size_t second_stub() const {
+    bool seen = false;
+    for (std::size_t v = 0; v < world_.graph().node_count(); ++v) {
+      if (world_.graph().node(v).tier == AsTier::kStub) {
+        if (seen) return v;
+        seen = true;
+      }
+    }
+    throw std::logic_error("no second stub");
+  }
+
+  World world_;
+};
+
+TEST_F(WorldFixture, BlockAssignmentIsDisjointAndDecodable) {
+  const auto block0 = world_.block_of(0);
+  const auto block1 = world_.block_of(1);
+  EXPECT_EQ(block0.to_string(), "20.0.0.0/16");
+  EXPECT_EQ(block1.to_string(), "20.1.0.0/16");
+  EXPECT_FALSE(block0.contains(block1.network()));
+  EXPECT_EQ(world_.as_index_of(block1.at(77)), 1u);
+  EXPECT_FALSE(world_.as_index_of(net::Ipv4Addr(8, 8, 8, 8)).has_value());
+  EXPECT_THROW((void)world_.block_of(10000), net::InvalidArgument);
+}
+
+TEST_F(WorldFixture, HostsGetFreshSlash24s) {
+  const auto as_index = first_stub();
+  const auto a = world_.add_host(as_index, HostKind::kClient);
+  const auto b = world_.add_host(as_index, HostKind::kClient);
+  EXPECT_NE(net::Prefix(a, 24), net::Prefix(b, 24));
+  EXPECT_TRUE(world_.block_of(as_index).contains(a));
+  EXPECT_TRUE(world_.is_host(a));
+  EXPECT_EQ(world_.host(a).as_index, as_index);
+  // Host /24s start above router space.
+  EXPECT_GE(a.octet(2), 32);
+  EXPECT_EQ(world_.subnet_kind(net::Prefix(a, 24)), SubnetKind::kHost);
+}
+
+TEST_F(WorldFixture, ClientAndServerAccessLatencyRanges) {
+  const auto as_index = first_stub();
+  const auto client = world_.add_host(as_index, HostKind::kClient);
+  const auto server = world_.add_host(as_index, HostKind::kServer);
+  EXPECT_GE(world_.host(client).access_ms, 1.0);
+  EXPECT_LE(world_.host(client).access_ms, 14.0);
+  EXPECT_LE(world_.host(server).access_ms, 0.8);
+}
+
+TEST_F(WorldFixture, AsnAndRdnsLookups) {
+  const auto as_index = first_stub();
+  const auto host = world_.add_host(as_index, HostKind::kClient);
+  EXPECT_EQ(world_.asn_of(host), world_.graph().node(as_index).asn);
+  EXPECT_EQ(world_.asn_of(net::Ipv4Addr(8, 8, 8, 8)).value(), 0u);
+  const std::string rdns = world_.rdns_of(host);
+  EXPECT_NE(rdns.find(world_.graph().node(as_index).domain), std::string::npos);
+}
+
+TEST_F(WorldFixture, RouterAddressesResolve) {
+  // Router /24s: third octet below 32, two per PoP.
+  const auto block = world_.block_of(0);
+  const net::Ipv4Addr core(block.network().to_uint() | (0u << 8) | 1u);
+  const net::Ipv4Addr edge(block.network().to_uint() | (1u << 8) | 1u);
+  EXPECT_EQ(world_.subnet_kind(net::Prefix(core, 24)), SubnetKind::kRouter);
+  EXPECT_EQ(world_.subnet_kind(net::Prefix(edge, 24)), SubnetKind::kRouter);
+  EXPECT_NE(world_.rdns_of(core).find("core"), std::string::npos);
+  EXPECT_NE(world_.rdns_of(edge).find("edge"), std::string::npos);
+  EXPECT_TRUE(world_.location_of(core).has_value());
+}
+
+TEST_F(WorldFixture, UnknownSpaceIsUnknown) {
+  EXPECT_EQ(world_.subnet_kind(net::Prefix::must_parse("192.168.1.0/24")),
+            SubnetKind::kUnknown);
+  EXPECT_FALSE(world_.location_of(net::Ipv4Addr(192, 168, 1, 1)).has_value());
+  EXPECT_EQ(world_.rdns_of(net::Ipv4Addr(192, 168, 1, 1)), "");
+}
+
+TEST_F(WorldFixture, RttIsPositiveDeterministicAndCached) {
+  const auto a = world_.add_host(first_stub(), HostKind::kClient);
+  const auto b = world_.add_host(second_stub(), HostKind::kServer);
+  const double rtt1 = world_.rtt_base_ms(a, b);
+  const double rtt2 = world_.rtt_base_ms(a, b);
+  EXPECT_GT(rtt1, 0.0);
+  EXPECT_DOUBLE_EQ(rtt1, rtt2);
+  EXPECT_DOUBLE_EQ(rtt1, 2.0 * world_.one_way_base_ms(a, b));
+}
+
+TEST_F(WorldFixture, SameAsHostsHaveSmallRtt) {
+  const auto as_index = first_stub();
+  const auto a = world_.add_host(as_index, HostKind::kClient);
+  const auto b = world_.add_host(as_index, HostKind::kServer);
+  // Same stub AS, same metro: last-mile dominated.
+  EXPECT_LT(world_.rtt_base_ms(a, b), 60.0);
+}
+
+TEST_F(WorldFixture, RttSampleJittersAroundBase) {
+  const auto a = world_.add_host(first_stub(), HostKind::kClient);
+  const auto b = world_.add_host(second_stub(), HostKind::kServer);
+  const double base = world_.rtt_base_ms(a, b);
+  net::Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double s = world_.rtt_sample_ms(a, b, rng);
+    EXPECT_GT(s, base * 0.8);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / 300.0, base, base * 0.1 + 1.0);
+}
+
+TEST_F(WorldFixture, RouterEndpointsAreMeasurable) {
+  const auto client = world_.add_host(first_stub(), HostKind::kClient);
+  const net::Ipv4Addr router(world_.block_of(0).network().to_uint() | 1u);
+  EXPECT_GT(world_.rtt_base_ms(client, router), 0.0);
+  EXPECT_THROW(world_.rtt_base_ms(client, net::Ipv4Addr(192, 168, 0, 9)),
+               net::InvalidArgument);
+}
+
+TEST_F(WorldFixture, TracerouteStructure) {
+  const auto a = world_.add_host(first_stub(), HostKind::kClient);
+  const auto b = world_.add_host(second_stub(), HostKind::kServer);
+  net::Rng rng(5);
+  const auto hops = world_.traceroute(a, b, rng);
+  ASSERT_GE(hops.size(), 3u);
+  // First hop is the private home gateway.
+  EXPECT_TRUE(hops.front().is_private);
+  // Last hop is the destination itself.
+  EXPECT_EQ(hops.back().ip, b);
+  // RTTs are (noisily) nondecreasing overall: last public hop >= first.
+  EXPECT_GE(hops.back().rtt_ms, hops.front().rtt_ms);
+  // All non-private hops carry rdns and ASN.
+  for (const auto& hop : hops) {
+    if (hop.is_private) continue;
+    EXPECT_FALSE(hop.rdns.empty());
+    EXPECT_NE(hop.asn.value(), 0u);
+  }
+}
+
+TEST_F(WorldFixture, TracerouteCanDisablePrivateFirstHop) {
+  WorldConfig config;
+  config.first_hop_private = false;
+  World world(make_graph(), config);
+  const auto a = world.add_host(first_stub(), HostKind::kClient);
+  const auto b = world.add_host(second_stub(), HostKind::kServer);
+  net::Rng rng(5);
+  const auto hops = world.traceroute(a, b, rng);
+  EXPECT_FALSE(hops.front().is_private);
+}
+
+TEST_F(WorldFixture, AnycastRoutesToAGoodInstance) {
+  // Instances in two different stub ASes; the anycast RTT must equal one of
+  // the instance RTTs and be deterministic.
+  const auto client = world_.add_host(first_stub(), HostKind::kClient);
+  const auto near_instance = world_.add_host(first_stub(), HostKind::kServer);
+  const auto far_instance = world_.add_host(second_stub(), HostKind::kServer);
+  const auto vip = world_.add_anycast({near_instance, far_instance});
+  EXPECT_TRUE(world_.is_anycast(vip));
+  const double rtt = world_.rtt_base_ms(client, vip);
+  const double near_rtt = world_.rtt_base_ms(client, near_instance);
+  const double far_rtt = world_.rtt_base_ms(client, far_instance);
+  EXPECT_TRUE(std::abs(rtt - near_rtt) < 1e-9 || std::abs(rtt - far_rtt) < 1e-9);
+  EXPECT_DOUBLE_EQ(world_.rtt_base_ms(client, vip), rtt);  // stable
+}
+
+TEST_F(WorldFixture, AnycastRejectsNonHostInstances) {
+  EXPECT_THROW(world_.add_anycast({net::Ipv4Addr(1, 2, 3, 4)}), net::InvalidArgument);
+  EXPECT_THROW(world_.add_anycast({}), net::InvalidArgument);
+}
+
+TEST_F(WorldFixture, HostSpaceExhaustionThrows) {
+  const auto as_index = first_stub();
+  // 224 host /24s per AS.
+  for (int i = 0; i < 224; ++i) {
+    world_.add_host(as_index, HostKind::kClient);
+  }
+  EXPECT_THROW(world_.add_host(as_index, HostKind::kClient), net::Error);
+}
+
+}  // namespace
+}  // namespace drongo::topology

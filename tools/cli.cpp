@@ -1,0 +1,95 @@
+#include "cli.hpp"
+
+#include <charconv>
+
+#include "net/error.hpp"
+
+namespace drongo::tools {
+
+void OptionSet::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  Option option;
+  option.value = default_value;
+  option.default_value = default_value;
+  option.help = help;
+  if (options_.emplace(name, std::move(option)).second) order_.push_back(name);
+}
+
+void OptionSet::add_flag(const std::string& name, const std::string& help) {
+  Option option;
+  option.value = "0";
+  option.default_value = "0";
+  option.help = help;
+  option.is_flag = true;
+  if (options_.emplace(name, std::move(option)).second) order_.push_back(name);
+}
+
+void OptionSet::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      throw net::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    const std::string name = arg.substr(2);
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw net::InvalidArgument("unknown option '--" + name + "'");
+    }
+    if (it->second.is_flag) {
+      it->second.value = "1";
+    } else {
+      if (i + 1 >= args.size()) {
+        throw net::InvalidArgument("option '--" + name + "' needs a value");
+      }
+      it->second.value = args[++i];
+    }
+    it->second.set = true;
+  }
+}
+
+std::string OptionSet::get(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw net::InvalidArgument("undeclared option '--" + name + "'");
+  }
+  return it->second.value;
+}
+
+std::int64_t OptionSet::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw net::InvalidArgument("option '--" + name + "' expects an integer, got '" +
+                               text + "'");
+  }
+  return value;
+}
+
+double OptionSet::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw net::InvalidArgument("option '--" + name + "' expects a number, got '" + text +
+                               "'");
+  }
+}
+
+bool OptionSet::get_flag(const std::string& name) const { return get(name) == "1"; }
+
+std::string OptionSet::help() const {
+  std::string out;
+  for (const auto& name : order_) {
+    const Option& option = options_.at(name);
+    out += "  --" + name;
+    if (!option.is_flag) out += " <" + option.default_value + ">";
+    out += "\n      " + option.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace drongo::tools

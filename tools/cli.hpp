@@ -1,0 +1,48 @@
+// Minimal command-line option parser for the drongo_sim tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drongo::tools {
+
+/// Declarative option set: `--key value` options and `--flag` booleans,
+/// with typed accessors and generated help. Unknown options are errors —
+/// typos must not be silently ignored.
+class OptionSet {
+ public:
+  /// Declares a value option with a default and a help line.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Declares a boolean flag (present = true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses `args` (no program/subcommand). Throws net::InvalidArgument on
+  /// unknown options or a missing value.
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// "  --name <default>  help" lines for the command's usage text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool set = false;
+  };
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace drongo::tools

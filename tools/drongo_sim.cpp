@@ -1,0 +1,280 @@
+// drongo_sim: the repository's command-line front door.
+//
+//   drongo_sim <command> [options]
+//
+// Commands: world, trial, campaign, analyze, sweep, probe, serve, help.
+// Every command builds the same deterministic simulated Internet from its
+// --seed, so outputs are reproducible and composable (campaign writes a
+// dataset file that analyze reads back).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/prevalence.hpp"
+#include "analysis/render.hpp"
+#include "cli.hpp"
+#include "core/drongo.hpp"
+#include "core/probe.hpp"
+#include "dns/proxy.hpp"
+#include "dns/udp.hpp"
+#include "measure/dataset.hpp"
+#include "measure/trial.hpp"
+#include "net/error.hpp"
+
+using namespace drongo;
+
+namespace {
+
+measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
+  measure::TestbedConfig config = options.get("scale") == "ripe"
+                                      ? measure::TestbedConfig::ripe_atlas()
+                                      : measure::TestbedConfig::planetlab();
+  config.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  if (options.get_int("clients") > 0) {
+    config.client_count = static_cast<int>(options.get_int("clients"));
+  }
+  return config;
+}
+
+void add_common(tools::OptionSet& options) {
+  options.add_option("seed", "42", "deterministic seed for the simulated Internet");
+  options.add_option("clients", "0", "client count (0 = scale default)");
+  options.add_option("scale", "planetlab", "testbed scale: planetlab | ripe");
+}
+
+int cmd_world(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.parse(args);
+  measure::Testbed testbed(testbed_config(options));
+  const auto& graph = testbed.world().graph();
+  std::cout << "ASes: " << graph.node_count() << "  links: " << graph.link_count()
+            << "  hosts: " << testbed.world().host_count() << "  clients: "
+            << testbed.clients().size() << "\n\nproviders:\n";
+  for (std::size_t p = 0; p < testbed.provider_count(); ++p) {
+    const auto& provider = testbed.provider(p);
+    std::cout << "  " << provider.profile().name << " (" << provider.profile().zone
+              << "): " << provider.clusters().size() << " clusters"
+              << (provider.profile().anycast ? ", anycast" : "") << "\n";
+  }
+  std::cout << "\nsites (CNAME-fronted):\n";
+  for (const auto& site : testbed.sites()) {
+    std::cout << "  " << site.host.to_string() << " -> " << site.cdn_target.to_string()
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_trial(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.add_option("client", "0", "client index");
+  options.add_option("provider", "0", "provider index (0..5)");
+  options.parse(args);
+  measure::Testbed testbed(testbed_config(options));
+  measure::TrialRunner runner(&testbed, static_cast<std::uint64_t>(options.get_int("seed")) ^ 0xAB);
+  const auto trial = runner.run(static_cast<std::size_t>(options.get_int("client")),
+                                static_cast<std::size_t>(options.get_int("provider")), 0.0);
+  std::cout << "client " << trial.client.to_string() << "  provider " << trial.provider
+            << "  domain " << trial.domain << "\nCR-set:\n";
+  for (const auto& m : trial.cr) {
+    std::cout << "  " << m.replica.to_string() << "  " << analysis::fmt(m.rtt_ms, 1)
+              << " ms\n";
+  }
+  std::cout << "hops:\n";
+  for (const auto& hop : trial.hops) {
+    std::cout << "  " << hop.ip.to_string() << "  " << (hop.usable ? "usable  " : "filtered")
+              << "  " << hop.rdns;
+    const auto ratio = core::latency_ratio(trial, hop, core::RatioConvention::deployment());
+    if (ratio) {
+      std::cout << "  ratio " << analysis::fmt(*ratio)
+                << (core::is_valley(*ratio, 1.0) ? "  VALLEY" : "");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.add_option("trials", "10", "trials per client-provider pair");
+  options.add_option("spacing-hours", "1.5", "time between trials");
+  options.add_option("out", "campaign.dataset", "output dataset file");
+  options.add_flag("downloads", "also measure download times (Fig. 4b/4c)");
+  options.parse(args);
+  measure::Testbed testbed(testbed_config(options));
+  measure::TrialConfig trial_config;
+  trial_config.measure_downloads = options.get_flag("downloads");
+  measure::TrialRunner runner(&testbed,
+                              static_cast<std::uint64_t>(options.get_int("seed")) ^ 0xCA,
+                              trial_config);
+  const auto records = runner.run_campaign(static_cast<int>(options.get_int("trials")),
+                                           options.get_double("spacing-hours"));
+  measure::save_dataset_file(options.get("out"), records);
+  std::cout << records.size() << " trials written to " << options.get("out") << "\n";
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  options.add_option("in", "campaign.dataset", "dataset file from `campaign`");
+  options.parse(args);
+  const auto records = measure::load_dataset_file(options.get("in"));
+  std::cout << records.size() << " trials loaded\n\n";
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : analysis::table1(records)) {
+    cells.push_back({row.provider, analysis::fmt(row.pct_valleys_overall) + "%",
+                     analysis::fmt(row.pct_routes_with_valley) + "%",
+                     analysis::fmt(row.pct_pairs_vf_above_half) + "%"});
+  }
+  std::cout << analysis::render_table(
+      "valley prevalence",
+      {"provider", "% valleys", "% routes w/ valley", "% pairs vf>0.5"}, cells);
+  std::cout << "\nvalley depth (ratio 0..1):\n";
+  for (const auto& row : analysis::figure6(records)) {
+    std::cout << analysis::render_box(row.provider, row.box, 0.0, 1.0);
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.parse(args);
+  measure::TestbedConfig config = testbed_config(options);
+  if (options.get("scale") == "planetlab" && options.get_int("clients") == 0) {
+    config.client_count = 60;  // keep the default sweep quick
+  }
+  measure::Testbed testbed(config);
+  analysis::Evaluation evaluation(&testbed,
+                                  static_cast<std::uint64_t>(options.get_int("seed")) ^ 0x57);
+  const std::vector<double> vf_values{0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> vt_values{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
+  const auto sweep = analysis::parameter_sweep(evaluation, vf_values, vt_values);
+  std::vector<std::string> headers{"vt"};
+  for (double vf : vf_values) headers.push_back("vf>=" + analysis::fmt(vf, 1));
+  std::vector<std::vector<std::string>> cells;
+  for (double vt : vt_values) {
+    std::vector<std::string> row{analysis::fmt(vt, 2)};
+    for (double vf : vf_values) {
+      for (const auto& point : sweep) {
+        if (point.vf == vf && point.vt == vt) {
+          row.push_back(analysis::fmt(point.overall_ratio, 4));
+        }
+      }
+    }
+    cells.push_back(std::move(row));
+  }
+  std::cout << analysis::render_table("overall latency ratio", headers, cells);
+  const auto best = analysis::best_point(sweep);
+  std::cout << "\noptimum: vf=" << analysis::fmt(best.vf, 1) << " vt="
+            << analysis::fmt(best.vt, 2) << " ratio " << analysis::fmt(best.overall_ratio, 4)
+            << " affecting " << analysis::fmt(best.clients_affected * 100.0)
+            << "% of clients\n";
+  return 0;
+}
+
+int cmd_probe(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.parse(args);
+  measure::TestbedConfig config = testbed_config(options);
+  auto profiles = cdn::paper_providers();
+  profiles.push_back(cdn::akamai_like_restricted());
+  config.profiles = profiles;
+  config.client_count = 4;
+  measure::Testbed testbed(config);
+
+  std::vector<net::Prefix> subnets;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto block =
+        testbed.world().block_of(i * 13 % testbed.world().graph().node_count());
+    subnets.emplace_back(net::Ipv4Addr(block.network().to_uint() | (40u << 8)), 24);
+  }
+  core::EcsProber prober(subnets);
+  auto stub = testbed.make_stub(testbed.clients()[0], 3);
+  std::vector<std::vector<std::string>> cells;
+  for (std::size_t p = 0; p < testbed.provider_count(); ++p) {
+    const auto result = prober.probe(stub, testbed.content_names(p)[0]);
+    cells.push_back({testbed.profile(p).name, result.resolvable ? "yes" : "no",
+                     result.ecs_unrestricted ? "unrestricted" : "restricted"});
+  }
+  std::cout << analysis::render_table("ECS probe", {"provider", "resolvable", "ECS"}, cells);
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  tools::OptionSet options;
+  add_common(options);
+  options.add_option("port", "0", "UDP port (0 = ephemeral)");
+  options.add_option("duration", "30", "seconds to serve");
+  options.add_option("vf", "1.0", "minimum valley frequency");
+  options.add_option("vt", "0.95", "valley threshold");
+  options.parse(args);
+  measure::TestbedConfig config = testbed_config(options);
+  config.client_count = std::max(4, config.client_count);
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed,
+                              static_cast<std::uint64_t>(options.get_int("seed")) ^ 0x5E);
+  core::DrongoParams params;
+  params.min_valley_frequency = options.get_double("vf");
+  params.valley_threshold = options.get_double("vt");
+  core::DrongoClient drongo(params, 1);
+  for (std::size_t p = 0; p < testbed.provider_count(); ++p) {
+    drongo.train(runner, 0, p, 5, 12.0);
+  }
+  dns::LdnsProxy proxy(&testbed.dns_network(), testbed.resolver_address(),
+                       net::Ipv4Addr(127, 0, 0, 53), &drongo);
+  dns::UdpDnsServer server(&proxy, static_cast<std::uint16_t>(options.get_int("port")));
+  std::cout << "Drongo proxy on 127.0.0.1:" << server.port() << " for "
+            << options.get_int("duration") << "s\n";
+  std::cout << "  dig @127.0.0.1 -p " << server.port() << " img.googlecdn.sim\n";
+  std::this_thread::sleep_for(std::chrono::seconds(options.get_int("duration")));
+  std::cout << "served " << server.served() << " datagrams, " << proxy.assimilated()
+            << " assimilated\n";
+  return 0;
+}
+
+int cmd_help() {
+  std::cout << "drongo_sim — Drongo (CoNEXT'17) reproduction toolbox\n\n"
+               "usage: drongo_sim <command> [--option value ...]\n\n"
+               "commands:\n"
+               "  world     print the simulated Internet and CDN deployments\n"
+               "  trial     run one measurement trial and show valleys\n"
+               "  campaign  run a trial campaign and write a dataset file\n"
+               "  analyze   analyze a dataset file (Table 1 / Figure 6 views)\n"
+               "  sweep     the (vf, vt) parameter sweep with its optimum\n"
+               "  probe     unrestricted-ECS provider probe\n"
+               "  serve     run the trained Drongo LDNS proxy over UDP\n"
+               "  help      this text\n\n"
+               "common options: --seed N, --clients N, --scale planetlab|ripe\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return cmd_help();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "world") return cmd_world(args);
+    if (command == "trial") return cmd_trial(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "probe") return cmd_probe(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "help" || command == "--help") return cmd_help();
+    std::cerr << "unknown command '" << command << "'\n\n";
+    cmd_help();
+    return 2;
+  } catch (const net::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
