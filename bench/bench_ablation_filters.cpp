@@ -11,6 +11,7 @@
 #include "analysis/prevalence.hpp"
 #include "analysis/render.hpp"
 #include "bench_common.hpp"
+#include "measure/campaign.hpp"
 
 using namespace drongo;
 
@@ -32,7 +33,8 @@ VariantOutcome run_variant(const std::string& name, const measure::HopFilterConf
   measure::TrialConfig trial_config;
   trial_config.filter = filter;
   measure::TrialRunner runner(&testbed, 0x8A7, trial_config);
-  const auto records = runner.run_campaign(trials, 1.5);
+  measure::ParallelCampaignRunner parallel(&runner, {.threads = bench::thread_count()});
+  const auto records = parallel.run_campaign(trials, 1.5);
 
   VariantOutcome out;
   out.name = name;

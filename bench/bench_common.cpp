@@ -1,11 +1,24 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <string>
+
+#include "measure/campaign.hpp"
+#include "net/error.hpp"
 
 namespace drongo::bench {
 
+namespace {
+
+/// -1 = "read DRONGO_THREADS", anything else is an explicit caller choice.
+int effective_threads(int threads) {
+  return threads < 0 ? thread_count() : threads;
+}
+
+}  // namespace
+
 PlanetLabDataset planetlab_campaign(int trials_per_client, bool measure_downloads,
-                                    std::uint64_t seed, int client_count) {
+                                    std::uint64_t seed, int client_count, int threads) {
   measure::TestbedConfig config = measure::TestbedConfig::planetlab();
   config.seed = seed;
   config.client_count = client_count;
@@ -15,17 +28,22 @@ PlanetLabDataset planetlab_campaign(int trials_per_client, bool measure_download
   measure::TrialConfig trial_config;
   trial_config.measure_downloads = measure_downloads;
   measure::TrialRunner runner(dataset.testbed.get(), seed ^ 0x7124A1, trial_config);
-  dataset.records = runner.run_campaign(trials_per_client, /*spacing_hours=*/1.5);
+  measure::ParallelCampaignRunner parallel(&runner,
+                                           {.threads = effective_threads(threads)});
+  dataset.records = parallel.run_campaign(trials_per_client, /*spacing_hours=*/1.5);
   return dataset;
 }
 
-RipeEvaluation ripe_campaign(std::uint64_t seed, int client_count) {
+RipeEvaluation ripe_campaign(std::uint64_t seed, int client_count, int threads) {
   measure::TestbedConfig config = measure::TestbedConfig::ripe_atlas();
   config.seed = seed;
   config.client_count = client_count;
   RipeEvaluation out;
   out.testbed = std::make_unique<measure::Testbed>(config);
-  out.evaluation = std::make_unique<analysis::Evaluation>(out.testbed.get(), seed ^ 0x219E);
+  analysis::EvaluationConfig eval_config;
+  eval_config.threads = effective_threads(threads);
+  out.evaluation = std::make_unique<analysis::Evaluation>(out.testbed.get(),
+                                                          seed ^ 0x219E, eval_config);
   return out;
 }
 
@@ -40,13 +58,38 @@ const std::vector<double>& sweep_vt_values() {
   return values;
 }
 
-bool full_scale() {
-  const char* env = std::getenv("DRONGO_FULL_SCALE");
-  return env != nullptr && env[0] == '1';
+bool parse_full_scale(const char* value) {
+  if (value == nullptr || value[0] == '\0') return false;
+  const std::string v(value);
+  if (v == "0") return false;
+  if (v == "1") return true;
+  throw net::InvalidArgument("DRONGO_FULL_SCALE must be 0 or 1, got \"" + v + "\"");
 }
+
+int parse_thread_count(const char* value) {
+  if (value == nullptr || value[0] == '\0') return 1;
+  const std::string v(value);
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(v, &consumed);
+  } catch (const std::exception&) {
+    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
+                               "\"");
+  }
+  if (consumed != v.size() || parsed < 0) {
+    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
+                               "\"");
+  }
+  return parsed;
+}
+
+bool full_scale() { return parse_full_scale(std::getenv("DRONGO_FULL_SCALE")); }
 
 int scaled(int full_value, int quick_value) {
   return full_scale() ? full_value : quick_value;
 }
+
+int thread_count() { return parse_thread_count(std::getenv("DRONGO_THREADS")); }
 
 }  // namespace drongo::bench

@@ -16,30 +16,54 @@ namespace drongo::bench {
 /// The PlanetLab-style dataset of §3: `trials_per_client` trials (default
 /// 45, 1-2 h apart) for every client-provider pair on the 95-client
 /// testbed. `measure_downloads` additionally produces the Fig. 4b/4c
-/// download measurements.
+/// download measurements. `threads` follows the CampaignOptions convention
+/// (0 = hardware concurrency, 1 = serial); -1 reads DRONGO_THREADS. The
+/// records are identical for any thread count.
 struct PlanetLabDataset {
   std::unique_ptr<measure::Testbed> testbed;
   std::vector<measure::TrialRecord> records;
 };
 PlanetLabDataset planetlab_campaign(int trials_per_client = 45,
                                     bool measure_downloads = false,
-                                    std::uint64_t seed = 42, int client_count = 95);
+                                    std::uint64_t seed = 42, int client_count = 95,
+                                    int threads = -1);
 
 /// The RIPE-Atlas-style §5 campaign: 10 trials (5 training + 5 test) for
 /// every client-provider pair, evaluated offline for any (vf, vt).
+/// `threads` as in planetlab_campaign.
 struct RipeEvaluation {
   std::unique_ptr<measure::Testbed> testbed;
   std::unique_ptr<analysis::Evaluation> evaluation;
 };
-RipeEvaluation ripe_campaign(std::uint64_t seed = 1729, int client_count = 429);
+RipeEvaluation ripe_campaign(std::uint64_t seed = 1729, int client_count = 429,
+                             int threads = -1);
 
 /// The (vf, vt) grids the paper sweeps in §5.1.
 const std::vector<double>& sweep_vf_values();
 const std::vector<double>& sweep_vt_values();
 
+// ---- Environment knobs ----------------------------------------------------
+// Both knobs reject malformed values loudly (net::InvalidArgument) instead
+// of silently falling back to a default: a typo in a batch-job environment
+// must not quietly produce quick-scale or serial results.
+
+/// Parses a DRONGO_FULL_SCALE value: nullptr/"" and "0" mean quick scale,
+/// "1" means full scale; anything else throws net::InvalidArgument.
+bool parse_full_scale(const char* value);
+
+/// Parses a DRONGO_THREADS value: nullptr/"" means 1 (serial — benches are
+/// reproducibility artifacts first); otherwise a base-10 integer >= 0 where
+/// 0 selects hardware concurrency. Trailing junk, negatives, and
+/// non-numeric input throw net::InvalidArgument.
+int parse_thread_count(const char* value);
+
 /// Scale factors so benches stay fast by default but can run at full paper
 /// scale: DRONGO_FULL_SCALE=1 in the environment lifts the reductions.
 bool full_scale();
 int scaled(int full_value, int quick_value);
+
+/// The campaign worker-thread knob: DRONGO_THREADS through
+/// parse_thread_count.
+int thread_count();
 
 }  // namespace drongo::bench

@@ -5,21 +5,39 @@
 //   - median improvement of affected requests (paper: 24.89%),
 //   - Google's median assimilated-query gain (paper: ~50%),
 //   - maximum observed per-query gain (paper: up to an order of magnitude).
+//
+// With DRONGO_THREADS=N (N != 1) the campaign is additionally re-run
+// serially and both wall-clock timings are reported, together with a check
+// that the parallel records produced identical evaluation numbers.
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <set>
 
 #include "analysis/render.hpp"
 #include "bench_common.hpp"
+#include "measure/campaign.hpp"
 #include "measure/stats.hpp"
 
 using namespace drongo;
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
 int main() {
   const int clients = bench::scaled(429, 160);
+  const int threads = bench::thread_count();
   std::cout << "Running RIPE-style campaign: " << clients
-            << " clients x 6 providers x 10 trials...\n\n";
-  auto ripe = bench::ripe_campaign(1729, clients);
+            << " clients x 6 providers x 10 trials (threads=" << threads << ")...\n\n";
+
+  const auto parallel_start = std::chrono::steady_clock::now();
+  auto ripe = bench::ripe_campaign(1729, clients, threads);
+  const double campaign_seconds = seconds_since(parallel_start);
 
   const double vf = 1.0;
   const double vt = 0.95;
@@ -68,5 +86,31 @@ int main() {
   std::cout << "\nShape, not absolute numbers, is the claim: Drongo helps a majority of\n"
                "clients, affected requests improve by double-digit percents in the\n"
                "median, and the extreme tail reaches order-of-magnitude speedups.\n";
-  return 0;
+
+  // Machine-readable wall-clock record. When the campaign ran on a pool,
+  // re-run it serially to measure the speedup and prove the determinism
+  // guarantee end to end (identical headline numbers, not just timings).
+  const int resolved = measure::resolve_thread_count(threads);
+  double serial_seconds = campaign_seconds;
+  bool identical = true;
+  if (resolved > 1) {
+    const auto serial_start = std::chrono::steady_clock::now();
+    auto serial = bench::ripe_campaign(1729, clients, /*threads=*/1);
+    serial_seconds = seconds_since(serial_start);
+    const auto serial_samples = serial.evaluation->evaluate(vf, vt);
+    identical = serial_samples.size() == samples.size();
+    for (std::size_t i = 0; identical && i < samples.size(); ++i) {
+      identical = serial_samples[i].provider == samples[i].provider &&
+                  serial_samples[i].client_index == samples[i].client_index &&
+                  serial_samples[i].assimilated == samples[i].assimilated &&
+                  serial_samples[i].ratio == samples[i].ratio;
+    }
+  }
+  std::cout << "\n{\"bench\":\"headline_results\",\"clients\":" << clients
+            << ",\"threads\":" << resolved
+            << ",\"campaign_seconds\":" << campaign_seconds
+            << ",\"serial_seconds\":" << serial_seconds
+            << ",\"speedup\":" << serial_seconds / std::max(campaign_seconds, 1e-9)
+            << ",\"identical_to_serial\":" << (identical ? "true" : "false") << "}\n";
+  return identical ? 0 : 1;
 }

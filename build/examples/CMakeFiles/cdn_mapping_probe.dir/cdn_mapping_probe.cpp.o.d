@@ -218,8 +218,10 @@ examples/CMakeFiles/cdn_mapping_probe.dir/cdn_mapping_probe.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/rng.hpp \
  /root/repo/src/measure/testbed.hpp /root/repo/src/cdn/authoritative.hpp \
  /root/repo/src/cdn/provider.hpp /root/repo/src/cdn/profile.hpp \
- /root/repo/src/topology/world.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/topology/world.hpp /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/types.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -230,6 +232,7 @@ examples/CMakeFiles/cdn_mapping_probe.dir/cdn_mapping_probe.cpp.o: \
  /root/repo/src/topology/as_graph.hpp /root/repo/src/topology/geo.hpp \
  /root/repo/src/topology/routing.hpp /root/repo/src/cdn/deploy.hpp \
  /root/repo/src/topology/as_gen.hpp /root/repo/src/cdn/resolver.hpp \
- /root/repo/src/dns/cache.hpp /root/repo/src/cdn/reverse_dns.hpp \
- /root/repo/src/cdn/sites.hpp /root/repo/src/dns/inmemory.hpp \
- /root/repo/src/measure/probes.hpp
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dns/cache.hpp \
+ /root/repo/src/cdn/reverse_dns.hpp /root/repo/src/cdn/sites.hpp \
+ /root/repo/src/dns/inmemory.hpp /root/repo/src/measure/probes.hpp

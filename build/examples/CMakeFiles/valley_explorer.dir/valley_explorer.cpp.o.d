@@ -161,18 +161,27 @@ examples/CMakeFiles/valley_explorer.dir/valley_explorer.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/valley.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/measure/trial.hpp /root/repo/src/measure/hop_filter.hpp \
- /root/repo/src/topology/world.hpp /usr/include/c++/12/unordered_map \
+ /root/repo/src/measure/trial.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/net/ip.hpp \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/measure/hop_filter.hpp /root/repo/src/topology/world.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/ip.hpp \
  /root/repo/src/net/prefix.hpp /root/repo/src/net/rng.hpp \
  /root/repo/src/net/types.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -212,7 +221,6 @@ examples/CMakeFiles/valley_explorer.dir/valley_explorer.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
@@ -224,13 +232,12 @@ examples/CMakeFiles/valley_explorer.dir/valley_explorer.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/dns/message.hpp /root/repo/src/dns/edns.hpp \
  /root/repo/src/net/bytes.hpp /root/repo/src/dns/name.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/dns/rr.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/dns/rr.hpp /usr/include/c++/12/variant \
  /root/repo/src/dns/types.hpp /root/repo/src/cdn/deploy.hpp \
  /root/repo/src/topology/as_gen.hpp /root/repo/src/cdn/resolver.hpp \
- /root/repo/src/dns/cache.hpp /root/repo/src/cdn/reverse_dns.hpp \
- /root/repo/src/cdn/sites.hpp /root/repo/src/dns/inmemory.hpp \
- /root/repo/src/dns/stub_resolver.hpp /root/repo/src/measure/stats.hpp \
- /root/repo/src/analysis/render.hpp /root/repo/src/analysis/stability.hpp
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dns/cache.hpp \
+ /root/repo/src/cdn/reverse_dns.hpp /root/repo/src/cdn/sites.hpp \
+ /root/repo/src/dns/inmemory.hpp /root/repo/src/dns/stub_resolver.hpp \
+ /root/repo/src/measure/stats.hpp /root/repo/src/analysis/render.hpp \
+ /root/repo/src/analysis/stability.hpp

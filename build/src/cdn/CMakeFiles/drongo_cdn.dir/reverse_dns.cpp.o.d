@@ -212,7 +212,10 @@ src/cdn/CMakeFiles/drongo_cdn.dir/reverse_dns.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/dns/rr.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/dns/types.hpp /root/repo/src/topology/world.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/rng.hpp \
  /root/repo/src/net/types.hpp /usr/include/c++/12/functional \

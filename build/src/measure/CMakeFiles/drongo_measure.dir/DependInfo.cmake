@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/campaign.cpp" "src/measure/CMakeFiles/drongo_measure.dir/campaign.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/campaign.cpp.o.d"
   "/root/repo/src/measure/dataset.cpp" "src/measure/CMakeFiles/drongo_measure.dir/dataset.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/dataset.cpp.o.d"
   "/root/repo/src/measure/hop_filter.cpp" "src/measure/CMakeFiles/drongo_measure.dir/hop_filter.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/hop_filter.cpp.o.d"
   "/root/repo/src/measure/probes.cpp" "src/measure/CMakeFiles/drongo_measure.dir/probes.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/probes.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/drongo_measure.dir/campaign.cpp.o"
+  "CMakeFiles/drongo_measure.dir/campaign.cpp.o.d"
   "CMakeFiles/drongo_measure.dir/dataset.cpp.o"
   "CMakeFiles/drongo_measure.dir/dataset.cpp.o.d"
   "CMakeFiles/drongo_measure.dir/hop_filter.cpp.o"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/evaluation_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/evaluation_test.cpp.o.d"
+  "/root/repo/tests/analysis/golden_campaign_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/golden_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/golden_campaign_test.cpp.o.d"
   "/root/repo/tests/analysis/prevalence_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/prevalence_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/prevalence_test.cpp.o.d"
   "/root/repo/tests/analysis/stability_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/stability_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/stability_test.cpp.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/analysis_tests.dir/analysis/evaluation_test.cpp.o"
   "CMakeFiles/analysis_tests.dir/analysis/evaluation_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/golden_campaign_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/golden_campaign_test.cpp.o.d"
   "CMakeFiles/analysis_tests.dir/analysis/prevalence_test.cpp.o"
   "CMakeFiles/analysis_tests.dir/analysis/prevalence_test.cpp.o.d"
   "CMakeFiles/analysis_tests.dir/analysis/stability_test.cpp.o"

@@ -296,6 +296,8 @@ tests/CMakeFiles/cdn_tests.dir/cdn/deploy_test.cpp.o: \
  /root/repo/src/cdn/deploy.hpp /root/repo/src/cdn/provider.hpp \
  /root/repo/src/cdn/profile.hpp /root/repo/src/net/prefix.hpp \
  /root/repo/src/net/ip.hpp /root/repo/src/topology/world.hpp \
- /root/repo/src/net/rng.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/topology/as_graph.hpp /root/repo/src/topology/geo.hpp \
- /root/repo/src/topology/routing.hpp /root/repo/src/topology/as_gen.hpp
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/net/rng.hpp \
+ /root/repo/src/net/types.hpp /root/repo/src/topology/as_graph.hpp \
+ /root/repo/src/topology/geo.hpp /root/repo/src/topology/routing.hpp \
+ /root/repo/src/topology/as_gen.hpp

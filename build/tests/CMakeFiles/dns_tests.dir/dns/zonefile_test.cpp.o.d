@@ -296,5 +296,7 @@ tests/CMakeFiles/dns_tests.dir/dns/zonefile_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/cdn/resolver.hpp /root/repo/src/dns/cache.hpp \
+ /root/repo/src/cdn/resolver.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dns/cache.hpp \
  /root/repo/src/dns/inmemory.hpp /root/repo/src/net/error.hpp

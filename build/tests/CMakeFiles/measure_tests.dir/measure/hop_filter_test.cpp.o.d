@@ -294,7 +294,9 @@ tests/CMakeFiles/measure_tests.dir/measure/hop_filter_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/measure/hop_filter.hpp /root/repo/src/topology/world.hpp \
- /root/repo/src/net/ip.hpp /root/repo/src/net/prefix.hpp \
- /root/repo/src/net/rng.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/topology/as_graph.hpp /root/repo/src/topology/geo.hpp \
- /root/repo/src/topology/routing.hpp /root/repo/src/topology/as_gen.hpp
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/net/ip.hpp \
+ /root/repo/src/net/prefix.hpp /root/repo/src/net/rng.hpp \
+ /root/repo/src/net/types.hpp /root/repo/src/topology/as_graph.hpp \
+ /root/repo/src/topology/geo.hpp /root/repo/src/topology/routing.hpp \
+ /root/repo/src/topology/as_gen.hpp

@@ -295,23 +295,25 @@ tests/CMakeFiles/measure_tests.dir/measure/trial_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/measure/dataset.hpp /root/repo/src/measure/trial.hpp \
  /root/repo/src/measure/hop_filter.hpp /root/repo/src/topology/world.hpp \
- /root/repo/src/net/ip.hpp /root/repo/src/net/prefix.hpp \
- /root/repo/src/net/rng.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/topology/as_graph.hpp /root/repo/src/topology/geo.hpp \
- /root/repo/src/topology/routing.hpp /root/repo/src/measure/probes.hpp \
- /root/repo/src/measure/schedule.hpp /root/repo/src/measure/testbed.hpp \
- /root/repo/src/cdn/authoritative.hpp /root/repo/src/cdn/provider.hpp \
- /root/repo/src/cdn/profile.hpp /root/repo/src/dns/server.hpp \
- /usr/include/c++/12/span /root/repo/src/dns/message.hpp \
- /root/repo/src/dns/edns.hpp /root/repo/src/net/bytes.hpp \
- /root/repo/src/dns/name.hpp /root/repo/src/dns/rr.hpp \
- /root/repo/src/dns/types.hpp /root/repo/src/cdn/deploy.hpp \
- /root/repo/src/topology/as_gen.hpp /root/repo/src/cdn/resolver.hpp \
- /root/repo/src/dns/cache.hpp /root/repo/src/cdn/reverse_dns.hpp \
- /root/repo/src/cdn/sites.hpp /root/repo/src/dns/inmemory.hpp \
- /root/repo/src/dns/stub_resolver.hpp /root/repo/src/net/error.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/net/ip.hpp \
+ /root/repo/src/net/prefix.hpp /root/repo/src/net/rng.hpp \
+ /root/repo/src/net/types.hpp /root/repo/src/topology/as_graph.hpp \
+ /root/repo/src/topology/geo.hpp /root/repo/src/topology/routing.hpp \
+ /root/repo/src/measure/probes.hpp /root/repo/src/measure/schedule.hpp \
+ /root/repo/src/measure/testbed.hpp /root/repo/src/cdn/authoritative.hpp \
+ /root/repo/src/cdn/provider.hpp /root/repo/src/cdn/profile.hpp \
+ /root/repo/src/dns/server.hpp /usr/include/c++/12/span \
+ /root/repo/src/dns/message.hpp /root/repo/src/dns/edns.hpp \
+ /root/repo/src/net/bytes.hpp /root/repo/src/dns/name.hpp \
+ /root/repo/src/dns/rr.hpp /root/repo/src/dns/types.hpp \
+ /root/repo/src/cdn/deploy.hpp /root/repo/src/topology/as_gen.hpp \
+ /root/repo/src/cdn/resolver.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dns/cache.hpp \
+ /root/repo/src/cdn/reverse_dns.hpp /root/repo/src/cdn/sites.hpp \
+ /root/repo/src/dns/inmemory.hpp /root/repo/src/dns/stub_resolver.hpp \
+ /root/repo/src/net/error.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

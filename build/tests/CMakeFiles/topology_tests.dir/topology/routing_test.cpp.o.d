@@ -296,4 +296,5 @@ tests/CMakeFiles/topology_tests.dir/topology/routing_test.cpp.o: \
  /root/repo/src/net/error.hpp /root/repo/src/topology/as_gen.hpp \
  /root/repo/src/net/rng.hpp /root/repo/src/topology/as_graph.hpp \
  /root/repo/src/net/types.hpp /root/repo/src/topology/geo.hpp \
- /root/repo/src/topology/routing.hpp
+ /root/repo/src/topology/routing.hpp /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio

@@ -9,7 +9,9 @@ include("/root/repo/build/tests/dns_tests[1]_include.cmake")
 include("/root/repo/build/tests/topology_tests[1]_include.cmake")
 include("/root/repo/build/tests/cdn_tests[1]_include.cmake")
 include("/root/repo/build/tests/measure_tests[1]_include.cmake")
+include("/root/repo/build/tests/parallel_campaign_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
 include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/bench_env_tests[1]_include.cmake")
 include("/root/repo/build/tests/tools_tests[1]_include.cmake")
 include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -209,13 +209,15 @@ tools/CMakeFiles/drongo_sim.dir/drongo_sim.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/valley.hpp /root/repo/src/measure/trial.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/measure/hop_filter.hpp /root/repo/src/topology/world.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/shared_mutex \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/ip.hpp \
  /root/repo/src/net/prefix.hpp /root/repo/src/net/rng.hpp \
  /root/repo/src/net/types.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -246,6 +248,7 @@ tools/CMakeFiles/drongo_sim.dir/drongo_sim.cpp.o: \
  /root/repo/src/dns/rr.hpp /usr/include/c++/12/variant \
  /root/repo/src/dns/types.hpp /root/repo/src/cdn/deploy.hpp \
  /root/repo/src/topology/as_gen.hpp /root/repo/src/cdn/resolver.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/dns/cache.hpp /root/repo/src/cdn/reverse_dns.hpp \
  /root/repo/src/cdn/sites.hpp /root/repo/src/dns/inmemory.hpp \
  /root/repo/src/dns/stub_resolver.hpp /root/repo/src/core/window.hpp \
@@ -255,4 +258,5 @@ tools/CMakeFiles/drongo_sim.dir/drongo_sim.cpp.o: \
  /root/repo/src/analysis/render.hpp /root/repo/tools/cli.hpp \
  /root/repo/src/core/drongo.hpp /root/repo/src/dns/proxy.hpp \
  /root/repo/src/core/probe.hpp /root/repo/src/dns/udp.hpp \
- /root/repo/src/measure/dataset.hpp /root/repo/src/net/error.hpp
+ /root/repo/src/measure/campaign.hpp /root/repo/src/measure/dataset.hpp \
+ /root/repo/src/net/error.hpp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "measure/campaign.hpp"
 #include "net/error.hpp"
 
 namespace drongo::analysis {
@@ -18,19 +19,31 @@ Evaluation::Evaluation(measure::Testbed* testbed, std::uint64_t seed,
     providers_.push_back(testbed->profile(p).name);
   }
 
+  // Build the campaign as an explicit task list and execute it through the
+  // parallel runner: trial t of pair (c, p) is the same derived-stream
+  // trial regardless of thread count, so the scatter below fills
+  // campaign_[c][p] with identical records at any parallelism.
   const int total = config_.training_trials + config_.test_trials;
-  campaign_.resize(client_count_);
+  std::vector<measure::CampaignTask> tasks;
+  tasks.reserve(client_count_ * providers * static_cast<std::size_t>(total));
   for (std::size_t c = 0; c < client_count_; ++c) {
-    campaign_[c].resize(providers);
     for (std::size_t p = 0; p < providers; ++p) {
-      auto& trials = campaign_[c][p];
-      trials.reserve(static_cast<std::size_t>(total));
       for (int t = 0; t < total; ++t) {
         // Domain pinned per (client, provider) so windows accumulate.
-        trials.push_back(
-            runner.run(c, p, t * config_.spacing_hours, /*label_index=*/c % 3));
+        tasks.push_back({c, p, static_cast<std::uint64_t>(t),
+                         t * config_.spacing_hours,
+                         /*label_index=*/c % 3});
       }
     }
+  }
+  measure::ParallelCampaignRunner parallel(&runner, {.threads = config_.threads});
+  auto records = parallel.run(tasks);
+
+  campaign_.resize(client_count_);
+  for (auto& per_client : campaign_) per_client.resize(providers);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    campaign_[tasks[i].client_index][tasks[i].provider_index].push_back(
+        std::move(records[i]));
   }
 }
 

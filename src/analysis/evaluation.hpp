@@ -20,6 +20,9 @@ struct EvaluationConfig {
   int test_trials = 5;
   double spacing_hours = 72.0;  ///< a month / 10 trials
   core::RatioConvention convention = core::RatioConvention::deployment();
+  /// Worker threads for the measurement campaign (0 = hardware
+  /// concurrency, 1 = serial). Results are identical for any value.
+  int threads = 1;
 };
 
 /// One Drongo decision applied to one test trial.

@@ -55,7 +55,10 @@ dns::Message CdnAuthoritative::handle(const dns::Message& query, net::Ipv4Addr s
 
   dns::Message response = dns::Message::make_response(
       query, dns::Rcode::kNoError, profile.mapping_granularity);
-  for (net::Ipv4Addr replica : provider_->select_replicas(subnet)) {
+  // The query id seeds the load-balancing rotation: per-query variation
+  // without cross-query shared state, so concurrent campaigns stay
+  // deterministic (ids come from each stub's own derived RNG stream).
+  for (net::Ipv4Addr replica : provider_->select_replicas(subnet, query.header.id)) {
     response.answers.push_back(dns::ResourceRecord::a(q.name, replica, ttl_));
   }
   return response;

@@ -162,7 +162,19 @@ std::vector<net::Ipv4Addr> CdnProvider::replica_set_from(const CdnCluster& clust
 }
 
 std::vector<net::Ipv4Addr> CdnProvider::select_replicas(const net::Prefix& ecs_subnet) {
-  const std::uint64_t rotation = query_counter_++;
+  return select_with_rotation(ecs_subnet, query_counter_++);
+}
+
+std::vector<net::Ipv4Addr> CdnProvider::select_replicas(const net::Prefix& ecs_subnet,
+                                                        std::uint64_t nonce) const {
+  // The rotation position is a hash of the query id: consecutive queries
+  // (distinct ids) still land on different rotations, but the answer no
+  // longer depends on how many queries other clients issued first.
+  return select_with_rotation(ecs_subnet, mix(nonce ^ profile_.seed));
+}
+
+std::vector<net::Ipv4Addr> CdnProvider::select_with_rotation(const net::Prefix& ecs_subnet,
+                                                             std::uint64_t rotation) const {
   const net::Prefix key = mapping_key(ecs_subnet);
 
   if (profile_.anycast) {

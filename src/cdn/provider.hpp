@@ -57,8 +57,18 @@ class CdnProvider {
 
   /// The replica set the CDN recommends to `ecs_subnet`, in serving order.
   /// Advances the load-balancing rotation (deliberately stateful, like a
-  /// real authoritative).
+  /// real authoritative). Not thread-safe; campaign code uses the nonce
+  /// overload below instead.
   std::vector<net::Ipv4Addr> select_replicas(const net::Prefix& ecs_subnet);
+
+  /// Same selection model, but the load-balancing rotation is derived from
+  /// `nonce` (the DNS query id) instead of a shared counter. Queries still
+  /// see per-query rotation — ids are drawn from the querying stub's RNG —
+  /// but the answer is a pure function of (subnet, nonce), independent of
+  /// global query order. This is what makes N-thread campaigns byte-
+  /// identical to serial runs. Const and safe to call concurrently.
+  [[nodiscard]] std::vector<net::Ipv4Addr> select_replicas(const net::Prefix& ecs_subnet,
+                                                           std::uint64_t nonce) const;
 
   /// The mapping key for a subnet (truncated to granularity).
   [[nodiscard]] net::Prefix mapping_key(const net::Prefix& subnet) const;
@@ -88,6 +98,11 @@ class CdnProvider {
 
   std::vector<net::Ipv4Addr> replica_set_from(const CdnCluster& cluster,
                                               std::uint64_t rotation) const;
+
+  /// Shared selection body: both overloads reduce to this once a rotation
+  /// position is fixed.
+  [[nodiscard]] std::vector<net::Ipv4Addr> select_with_rotation(
+      const net::Prefix& ecs_subnet, std::uint64_t rotation) const;
 
   CdnProfile profile_;
   topology::World* world_;

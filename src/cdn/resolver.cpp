@@ -44,6 +44,7 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   }
 
   if (caching_ && q.type == dns::RrType::kA) {
+    std::lock_guard lock(cache_mutex_);
     if (auto hit = cache_.lookup(q.name, ecs, now_ms_)) {
       // Cached entries hold final addresses only; intermediate CNAME chain
       // records are not replayed (stubs consume addresses).
@@ -117,6 +118,7 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
     for (const auto& rr : response.answers) ttl = std::min(ttl, rr.ttl);
     const auto addresses = response.answer_addresses();
     if (!addresses.empty()) {
+      std::lock_guard lock(cache_mutex_);
       cache_.insert(q.name, cache_scope, addresses, ttl, now_ms_);
     }
   }

@@ -1,7 +1,9 @@
 // Public recursive resolver (the simulated 8.8.8.8).
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "dns/cache.hpp"
@@ -15,6 +17,10 @@ namespace drongo::cdn {
 /// one with the client's /24 (the "A Faster Internet" behaviour the paper
 /// builds on). Positive answers are cached per RFC 7871 scope rules with a
 /// caller-advanced simulated clock.
+///
+/// Thread-safety: zone registration and `set_time_ms` are setup-phase and
+/// single-threaded. `handle` may then be called concurrently — the answer
+/// cache is guarded internally and the upstream counter is atomic.
 class PublicResolver : public dns::DnsServer {
  public:
   /// `transport` carries queries to authoritatives; borrowed.
@@ -30,7 +36,9 @@ class PublicResolver : public dns::DnsServer {
   void set_time_ms(std::uint64_t now_ms) { now_ms_ = now_ms; }
 
   [[nodiscard]] const dns::DnsCache& cache() const { return cache_; }
-  [[nodiscard]] std::uint64_t upstream_queries() const { return upstream_queries_; }
+  [[nodiscard]] std::uint64_t upstream_queries() const {
+    return upstream_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::optional<net::Ipv4Addr> authoritative_for(const dns::DnsName& name) const;
@@ -40,8 +48,9 @@ class PublicResolver : public dns::DnsServer {
   bool caching_;
   std::uint64_t now_ms_ = 0;
   std::map<dns::DnsName, net::Ipv4Addr> zones_;
+  mutable std::mutex cache_mutex_;  ///< guards cache_ when caching_ is on
   dns::DnsCache cache_;
-  std::uint64_t upstream_queries_ = 0;
+  std::atomic<std::uint64_t> upstream_queries_{0};
 };
 
 }  // namespace drongo::cdn

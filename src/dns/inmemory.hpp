@@ -1,6 +1,7 @@
 // In-memory DNS "network": routes encoded queries to registered servers.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -14,6 +15,10 @@ namespace drongo::dns {
 /// side", and serialize/decode the response symmetrically — so the full
 /// RFC 1035/7871 codec is on the hot path of every simulated lookup exactly
 /// as it would be over a socket.
+///
+/// Registration is setup-phase and single-threaded; `exchange` may be
+/// called concurrently once the server table is final (the registered
+/// servers themselves must then also be thread-safe).
 class InMemoryDnsNetwork : public DnsTransport {
  public:
   /// Registers (or replaces) the server reachable at `address`. The network
@@ -26,14 +31,16 @@ class InMemoryDnsNetwork : public DnsTransport {
   [[nodiscard]] bool has_server(net::Ipv4Addr address) const;
 
   /// Number of exchanges performed (for measurement-overhead accounting).
-  [[nodiscard]] std::uint64_t exchange_count() const { return exchanges_; }
+  [[nodiscard]] std::uint64_t exchange_count() const {
+    return exchanges_.load(std::memory_order_relaxed);
+  }
 
   std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
                                      std::span<const std::uint8_t> query) override;
 
  private:
   std::unordered_map<net::Ipv4Addr, DnsServer*> servers_;
-  std::uint64_t exchanges_ = 0;
+  std::atomic<std::uint64_t> exchanges_{0};
 };
 
 }  // namespace drongo::dns

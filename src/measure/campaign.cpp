@@ -1,0 +1,99 @@
+#include "measure/campaign.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/error.hpp"
+
+namespace drongo::measure {
+
+int resolve_thread_count(int requested) {
+  if (requested < 0) {
+    throw net::InvalidArgument("thread count must be >= 0, got " +
+                               std::to_string(requested));
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelCampaignRunner::ParallelCampaignRunner(const TrialRunner* runner,
+                                               CampaignOptions options)
+    : runner_(runner), threads_(resolve_thread_count(options.threads)) {
+  if (runner_ == nullptr) throw net::InvalidArgument("null TrialRunner");
+}
+
+std::vector<TrialRecord> ParallelCampaignRunner::run(
+    const std::vector<CampaignTask>& tasks) const {
+  std::vector<TrialRecord> records(tasks.size());
+  if (tasks.empty()) return records;
+
+  if (threads_ <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      records[i] = runner_->run_task(tasks[i]);
+    }
+    return records;
+  }
+
+  // Shard by client: shards[s] holds the task-list positions of one
+  // client's tasks, in list order. A worker owns a whole shard at a time,
+  // which keeps a client's working set (stub state, cache keys) on one
+  // core and bounds contention on the shared memo caches.
+  std::vector<std::vector<std::size_t>> shards;
+  {
+    std::unordered_map<std::size_t, std::size_t> shard_of_client;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto [it, fresh] =
+          shard_of_client.try_emplace(tasks[i].client_index, shards.size());
+      if (fresh) shards.emplace_back();
+      shards[it->second].push_back(i);
+    }
+  }
+
+  std::atomic<std::size_t> next_shard{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards.size()) return;
+      {
+        std::lock_guard lock(error_mutex);
+        if (first_error) return;  // a sibling already failed; drain quickly
+      }
+      try {
+        for (std::size_t i : shards[s]) {
+          records[i] = runner_->run_task(tasks[i]);
+        }
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const int n = std::min<int>(threads_, static_cast<int>(shards.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return records;
+}
+
+std::vector<TrialRecord> ParallelCampaignRunner::run_campaign(
+    int trials_per_client, double spacing_hours) const {
+  return run(runner_->campaign_tasks(trials_per_client, spacing_hours));
+}
+
+std::vector<TrialRecord> ParallelCampaignRunner::run_campaign_sporadic(
+    int trials_per_client, const SporadicScheduleConfig& schedule) const {
+  return run(runner_->sporadic_tasks(trials_per_client, schedule));
+}
+
+}  // namespace drongo::measure

@@ -1,0 +1,64 @@
+// Parallel campaign execution: many (client, provider, trial) cells, one
+// thread pool, byte-identical output to a serial run.
+//
+// Trials are embarrassingly parallel once their randomness is derived per
+// task (see TrialRunner::run_task): the testbed's query paths are const or
+// internally guarded, so workers only share read-mostly state. Each task
+// writes its record into its own pre-assigned slot, which makes the merged
+// output order a property of the task list — not of thread scheduling.
+#pragma once
+
+#include <vector>
+
+#include "measure/schedule.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::measure {
+
+/// Parallelism knobs.
+struct CampaignOptions {
+  /// Worker threads. 0 = hardware concurrency, 1 = serial in the calling
+  /// thread (no pool), N = exactly N workers.
+  int threads = 0;
+};
+
+/// Resolves a thread-count knob: 0 -> hardware concurrency (at least 1),
+/// negative -> net::InvalidArgument, otherwise the value itself.
+int resolve_thread_count(int requested);
+
+/// Executes campaign task lists across a thread pool.
+///
+/// Work is sharded by client: a worker claims an entire client's tasks at
+/// once, so the per-trial state a client touches (its stub resolutions, its
+/// RTT cache keys) stays mostly core-local. Records land in the slot of
+/// their task's position; the returned vector is therefore field-for-field
+/// identical for any thread count, including 1.
+class ParallelCampaignRunner {
+ public:
+  /// `runner` is borrowed and must outlive this object. Its testbed must be
+  /// fully built (setup is single-threaded; see Testbed docs).
+  ParallelCampaignRunner(const TrialRunner* runner, CampaignOptions options = {});
+
+  /// Runs every task, in `tasks` order in the output. Tasks are grouped by
+  /// client for sharding; the grouping does not affect results. Exceptions
+  /// thrown by any trial are rethrown in the calling thread.
+  [[nodiscard]] std::vector<TrialRecord> run(const std::vector<CampaignTask>& tasks) const;
+
+  /// Parallel equivalent of TrialRunner::run_campaign — same records, same
+  /// order.
+  [[nodiscard]] std::vector<TrialRecord> run_campaign(int trials_per_client,
+                                                      double spacing_hours) const;
+
+  /// Parallel equivalent of TrialRunner::run_campaign_sporadic.
+  [[nodiscard]] std::vector<TrialRecord> run_campaign_sporadic(
+      int trials_per_client, const SporadicScheduleConfig& schedule = {}) const;
+
+  /// The resolved worker count this runner uses.
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  const TrialRunner* runner_;
+  int threads_;
+};
+
+}  // namespace drongo::measure

@@ -8,6 +8,14 @@
 
 namespace drongo::measure {
 
+namespace {
+
+/// Stream selector for schedule randomness (trial times), kept far away
+/// from the client-index streams trials themselves draw from.
+constexpr std::uint64_t kScheduleStream = 0x5C4ED01EULL;
+
+}  // namespace
+
 double TrialRecord::min_crm() const {
   double best = std::numeric_limits<double>::infinity();
   for (const auto& m : cr) best = std::min(best, m.rtt_ms);
@@ -27,12 +35,27 @@ std::vector<const HopRecord*> TrialRecord::usable() const {
 }
 
 TrialRunner::TrialRunner(Testbed* testbed, std::uint64_t seed, TrialConfig config)
-    : testbed_(testbed), rng_(seed), config_(config) {
+    : testbed_(testbed), seed_(seed), config_(config) {
   if (testbed_ == nullptr) throw net::InvalidArgument("null Testbed");
 }
 
 TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_index,
                              double time_hours, std::optional<std::size_t> label_index) {
+  const std::uint64_t trial = next_trial_[{client_index, provider_index}]++;
+  return run_task({client_index, provider_index, trial, time_hours, label_index});
+}
+
+TrialRecord TrialRunner::run_task(const CampaignTask& task) const {
+  net::Rng rng =
+      net::Rng::derive(seed_, task.client_index, task.trial_index, task.provider_index);
+  return run_with_rng(task.client_index, task.provider_index, task.time_hours,
+                      task.label_index, rng);
+}
+
+TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
+                                      std::size_t provider_index, double time_hours,
+                                      std::optional<std::size_t> label_index,
+                                      net::Rng& rng) const {
   auto& world = testbed_->world();
   const net::Ipv4Addr client = testbed_->clients().at(client_index);
 
@@ -45,11 +68,11 @@ TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_inde
   // Step 1: a URL of this provider (random unless pinned).
   const auto names = testbed_->content_names(provider_index);
   const dns::DnsName domain =
-      names[label_index ? *label_index % names.size() : rng_.index(names.size())];
+      names[label_index ? *label_index % names.size() : rng.index(names.size())];
   record.domain = domain.to_string();
 
   // Step 2: CR-set via an ordinary ECS resolution (client's own /24).
-  dns::StubResolver stub = testbed_->make_stub(client, rng_.next_u64());
+  dns::StubResolver stub = testbed_->make_stub(client, rng.next_u64());
   const auto cr_result = stub.resolve_with_own_subnet(domain);
   if (!cr_result.ok()) {
     // An unreachable CDN is a configuration error in the testbed, not a
@@ -63,7 +86,7 @@ TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_inde
   std::set<net::Prefix> seen_subnets;
   std::map<net::Ipv4Addr, std::string> ptr_cache;
   for (net::Ipv4Addr cr_addr : cr_result.addresses) {
-    auto hops = world.traceroute(client, cr_addr, rng_);
+    auto hops = world.traceroute(client, cr_addr, rng);
     if (config_.resolve_hop_names_via_dns) {
       for (auto& hop : hops) {
         if (hop.is_private || !hop.responded) {
@@ -109,21 +132,21 @@ TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_inde
   // several times in the trial is measured once and the value reused.
   const std::uint64_t object_bytes =
       config_.object_bytes_min +
-      rng_.uniform(config_.object_bytes_max - config_.object_bytes_min + 1);
+      rng.uniform(config_.object_bytes_max - config_.object_bytes_min + 1);
   std::map<net::Ipv4Addr, ReplicaMeasurement> measured;
   auto measure = [&](net::Ipv4Addr replica) {
     auto it = measured.find(replica);
     if (it != measured.end()) return it->second;
     ReplicaMeasurement m;
     m.replica = replica;
-    m.rtt_ms = ping_ms(world, client, replica, rng_, config_.ping);
+    m.rtt_ms = ping_ms(world, client, replica, rng, config_.ping);
     if (config_.measure_downloads) {
       // Back-to-back downloads (Fig. 4b/4c): the second finds a warm cache.
       m.download_first_ms = download_ms(world, client, replica, object_bytes,
-                                        /*repeat_request=*/false, rng_,
+                                        /*repeat_request=*/false, rng,
                                         config_.download_model);
       m.download_cached_ms = download_ms(world, client, replica, object_bytes,
-                                         /*repeat_request=*/true, rng_,
+                                         /*repeat_request=*/true, rng,
                                          config_.download_model);
     }
     measured[replica] = m;
@@ -140,39 +163,63 @@ TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_inde
   return record;
 }
 
-std::vector<TrialRecord> TrialRunner::run_campaign(int trials_per_client,
-                                                   double spacing_hours) {
-  std::vector<TrialRecord> records;
+std::vector<CampaignTask> TrialRunner::campaign_tasks(int trials_per_client,
+                                                      double spacing_hours) const {
   const std::size_t clients = testbed_->clients().size();
   const std::size_t providers = testbed_->provider_count();
-  records.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
+  std::vector<CampaignTask> tasks;
+  tasks.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
+  // Schedule jitter comes from its own derived stream, so the task list —
+  // built serially here — is identical no matter how it is later executed.
+  net::Rng schedule_rng = net::Rng::derive(seed_, kScheduleStream);
   for (int t = 0; t < trials_per_client; ++t) {
     // Trials are spaced 1-2 hours apart (paper §3.1.2) with jitter.
-    const double when = t * spacing_hours + rng_.uniform_real(0.0, spacing_hours / 2);
+    const double when =
+        t * spacing_hours + schedule_rng.uniform_real(0.0, spacing_hours / 2);
     for (std::size_t c = 0; c < clients; ++c) {
       for (std::size_t p = 0; p < providers; ++p) {
-        records.push_back(run(c, p, when));
+        tasks.push_back({c, p, static_cast<std::uint64_t>(t), when, std::nullopt});
       }
     }
   }
+  return tasks;
+}
+
+std::vector<CampaignTask> TrialRunner::sporadic_tasks(
+    int trials_per_client, const SporadicScheduleConfig& schedule) const {
+  const std::size_t clients = testbed_->clients().size();
+  const std::size_t providers = testbed_->provider_count();
+  std::vector<CampaignTask> tasks;
+  tasks.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
+  for (std::size_t c = 0; c < clients; ++c) {
+    // Each client is online at its own unpredictable times, drawn from a
+    // per-client derived stream.
+    net::Rng schedule_rng = net::Rng::derive(seed_, kScheduleStream, c + 1);
+    const auto times = sporadic_trial_times(trials_per_client, schedule_rng, 0.0, schedule);
+    for (std::size_t p = 0; p < providers; ++p) {
+      for (std::size_t t = 0; t < times.size(); ++t) {
+        tasks.push_back({c, p, static_cast<std::uint64_t>(t), times[t], std::nullopt});
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<TrialRecord> TrialRunner::run_campaign(int trials_per_client,
+                                                   double spacing_hours) {
+  const auto tasks = campaign_tasks(trials_per_client, spacing_hours);
+  std::vector<TrialRecord> records;
+  records.reserve(tasks.size());
+  for (const auto& task : tasks) records.push_back(run_task(task));
   return records;
 }
 
 std::vector<TrialRecord> TrialRunner::run_campaign_sporadic(
     int trials_per_client, const SporadicScheduleConfig& schedule) {
+  const auto tasks = sporadic_tasks(trials_per_client, schedule);
   std::vector<TrialRecord> records;
-  const std::size_t clients = testbed_->clients().size();
-  const std::size_t providers = testbed_->provider_count();
-  records.reserve(clients * providers * static_cast<std::size_t>(trials_per_client));
-  for (std::size_t c = 0; c < clients; ++c) {
-    // Each client is online at its own unpredictable times.
-    const auto times = sporadic_trial_times(trials_per_client, rng_, 0.0, schedule);
-    for (std::size_t p = 0; p < providers; ++p) {
-      for (double when : times) {
-        records.push_back(run(c, p, when));
-      }
-    }
-  }
+  records.reserve(tasks.size());
+  for (const auto& task : tasks) records.push_back(run_task(task));
   return records;
 }
 

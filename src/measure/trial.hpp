@@ -7,8 +7,11 @@
 // consume.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "measure/hop_filter.hpp"
@@ -16,6 +19,7 @@
 #include "measure/schedule.hpp"
 #include "measure/testbed.hpp"
 #include "net/prefix.hpp"
+#include "net/rng.hpp"
 
 namespace drongo::measure {
 
@@ -80,7 +84,26 @@ struct TrialConfig {
   std::uint64_t object_bytes_max = 1024 * 1024;
 };
 
+/// One cell of a campaign: which client measures which provider, its
+/// per-(client,provider) trial ordinal, and when. The trial ordinal — not
+/// the position in any work queue — selects the RNG stream, so a task's
+/// result is a pure function of (runner seed, task), independent of which
+/// thread executes it or in what order.
+struct CampaignTask {
+  std::size_t client_index = 0;
+  std::size_t provider_index = 0;
+  std::uint64_t trial_index = 0;  ///< ordinal within this (client, provider)
+  double time_hours = 0.0;
+  std::optional<std::size_t> label_index;  ///< pinned content name, if any
+};
+
 /// Executes trials against a testbed.
+///
+/// Every trial draws all of its randomness (domain pick, stub query ids,
+/// traceroute noise, object size, ping/download noise) from the stream
+/// `Rng::derive(seed, client, trial, provider)`. That makes `run_task`
+/// const, thread-safe, and execution-order-independent: a campaign run on
+/// one thread and on N threads yields byte-identical records.
 class TrialRunner {
  public:
   TrialRunner(Testbed* testbed, std::uint64_t seed, TrialConfig config = {});
@@ -89,25 +112,56 @@ class TrialRunner {
   /// `time_hours`. The content URL is chosen at random unless `label_index`
   /// pins one of the provider's content names (evaluation campaigns pin the
   /// domain so training windows accumulate on it).
+  ///
+  /// Stateful convenience wrapper: each call advances this (client,
+  /// provider) pair's trial ordinal, so repeated calls produce distinct
+  /// trials while the same seed and call sequence reproduce exactly.
   TrialRecord run(std::size_t client_index, std::size_t provider_index,
                   double time_hours,
                   std::optional<std::size_t> label_index = std::nullopt);
 
+  /// Runs one fully-specified campaign cell. Pure in the derived-stream
+  /// sense: the result depends only on the runner's seed, its config, and
+  /// the task — never on other tasks or threads. Safe to call concurrently.
+  [[nodiscard]] TrialRecord run_task(const CampaignTask& task) const;
+
+  /// The task list run_campaign executes: trials_per_client rounds over
+  /// every (client, provider) pair, round t at `t * spacing_hours` plus a
+  /// derived jitter (paper §3.1.2: trials 1-2 hours apart).
+  [[nodiscard]] std::vector<CampaignTask> campaign_tasks(int trials_per_client,
+                                                         double spacing_hours) const;
+
+  /// The task list run_campaign_sporadic executes: every client follows its
+  /// own randomly sampled §4.2 schedule ("minutes to days, with a tendency
+  /// toward being near an hour apart"), derived per client.
+  [[nodiscard]] std::vector<CampaignTask> sporadic_tasks(
+      int trials_per_client, const SporadicScheduleConfig& schedule = {}) const;
+
   /// Runs `trials_per_client` trials for every (client, provider) pair,
   /// spaced `spacing_hours` apart (paper: 45 trials, 1-2h apart). Returns
-  /// records grouped in execution order.
+  /// records grouped in execution order. Equals running campaign_tasks()
+  /// in order — ParallelCampaignRunner produces the identical vector.
   std::vector<TrialRecord> run_campaign(int trials_per_client, double spacing_hours);
 
-  /// Like run_campaign but with the §4.2 sporadic spacing: every client
-  /// follows its own randomly sampled schedule ("minutes to days, with a
-  /// tendency toward being near an hour apart").
+  /// Like run_campaign but with the §4.2 sporadic spacing.
   std::vector<TrialRecord> run_campaign_sporadic(
       int trials_per_client, const SporadicScheduleConfig& schedule = {});
 
+  [[nodiscard]] Testbed* testbed() const { return testbed_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const TrialConfig& config() const { return config_; }
+
  private:
+  /// The trial body; all randomness comes from `rng`.
+  TrialRecord run_with_rng(std::size_t client_index, std::size_t provider_index,
+                           double time_hours, std::optional<std::size_t> label_index,
+                           net::Rng& rng) const;
+
   Testbed* testbed_;
-  net::Rng rng_;
+  std::uint64_t seed_;
   TrialConfig config_;
+  /// Next trial ordinal per (client, provider) for the stateful run().
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> next_trial_;
 };
 
 }  // namespace drongo::measure

@@ -20,6 +20,13 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+/// SplitMix64 finalizer (stateless variant of splitmix64 above).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -91,6 +98,19 @@ std::size_t Rng::index(std::size_t size) {
 
 Rng Rng::fork() {
   return Rng(next_u64());
+}
+
+Rng Rng::derive(std::uint64_t seed, std::uint64_t stream, std::uint64_t substream,
+                std::uint64_t lane) {
+  // Each coordinate is offset by a distinct constant (first 64-bit chunks of
+  // pi) before mixing, so the absorption is position-sensitive; folding the
+  // coordinates sequentially through the finalizer keeps every intermediate
+  // fully diffused before the next one lands.
+  std::uint64_t h = mix64(seed ^ 0x9E3779B97F4A7C15ULL);
+  h = mix64(h ^ mix64(stream + 0x243F6A8885A308D3ULL));
+  h = mix64(h ^ mix64(substream + 0x13198A2E03707344ULL));
+  h = mix64(h ^ mix64(lane + 0xA4093822299F31D0ULL));
+  return Rng(h);
 }
 
 }  // namespace drongo::net

@@ -64,6 +64,19 @@ class Rng {
   /// another.
   Rng fork();
 
+  /// Counter-based stream derivation: a pure function of
+  /// (seed, stream, substream, lane) with no hidden state, so any caller —
+  /// on any thread, in any order — reconstructs exactly the same generator.
+  /// This is what makes parallel campaigns bit-identical to serial ones:
+  /// trial (client c, trial t, provider p) always draws from
+  /// `derive(seed, c, t, p)` no matter which worker runs it.
+  ///
+  /// The three coordinates are absorbed through a SplitMix64 finalizer with
+  /// a distinct per-position offset, so permuting coordinate values yields
+  /// unrelated streams (derive(s,1,2) != derive(s,2,1)).
+  static Rng derive(std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t substream = 0, std::uint64_t lane = 0);
+
  private:
   std::uint64_t state_[4];
 };

@@ -1,6 +1,7 @@
 #include "topology/routing.hpp"
 
 #include <limits>
+#include <mutex>
 #include <queue>
 #include <tuple>
 
@@ -33,11 +34,24 @@ BgpRouting::BgpRouting(const AsGraph* graph) : graph_(graph) {
 }
 
 const std::vector<RouteEntry>& BgpRouting::table_for(std::size_t dst) {
-  auto it = tables_.find(dst);
-  if (it == tables_.end()) {
-    it = tables_.emplace(dst, compute(dst)).first;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = tables_.find(dst);
+    if (it != tables_.end()) return it->second;
   }
-  return it->second;
+  // Compute outside the lock: the table is a pure function of the immutable
+  // graph, so two workers racing on the same destination produce identical
+  // tables and try_emplace keeps whichever landed first. References to map
+  // elements stay valid across rehashing, so returning one is safe even
+  // while other destinations are being inserted.
+  auto table = compute(dst);
+  std::unique_lock lock(mutex_);
+  return tables_.try_emplace(dst, std::move(table)).first->second;
+}
+
+std::size_t BgpRouting::cached_destinations() const {
+  std::shared_lock lock(mutex_);
+  return tables_.size();
 }
 
 std::vector<RouteEntry> BgpRouting::compute(std::size_t dst) const {

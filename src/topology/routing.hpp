@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +47,9 @@ class BgpRouting {
   explicit BgpRouting(const AsGraph* graph);
 
   /// Full routing table toward `dst` (indexed by node). Computed on first
-  /// use, cached thereafter.
+  /// use, cached thereafter. Safe to call from multiple threads: the cache
+  /// is a pure acceleration, so concurrent misses recompute identical
+  /// tables and the first insert wins.
   const std::vector<RouteEntry>& table_for(std::size_t dst);
 
   /// AS-level path src -> dst inclusive of both ends; empty when
@@ -59,12 +62,13 @@ class BgpRouting {
   [[nodiscard]] bool reachable(std::size_t src, std::size_t dst);
 
   /// Number of cached destination trees (observability).
-  [[nodiscard]] std::size_t cached_destinations() const { return tables_.size(); }
+  [[nodiscard]] std::size_t cached_destinations() const;
 
  private:
   std::vector<RouteEntry> compute(std::size_t dst) const;
 
   const AsGraph* graph_;
+  mutable std::shared_mutex mutex_;  ///< guards tables_
   std::unordered_map<std::size_t, std::vector<RouteEntry>> tables_;
 };
 

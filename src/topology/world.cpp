@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "net/error.hpp"
 
@@ -291,12 +292,19 @@ double World::one_way_base_ms(net::Ipv4Addr src, net::Ipv4Addr dst) {
   const net::Ipv4Addr real_dst = resolve_anycast(src, dst);
   const std::uint64_t key =
       (std::uint64_t{src.to_uint()} << 32) | real_dst.to_uint();
-  if (auto it = one_way_cache_.find(key); it != one_way_cache_.end()) {
-    return it->second;
+  CacheShard& shard = one_way_cache_[stateless_mix(key) % kCacheShards];
+  {
+    std::shared_lock lock(shard.mutex);
+    if (auto it = shard.delays.find(key); it != shard.delays.end()) {
+      return it->second;
+    }
   }
+  // Compute outside the lock; the path is deterministic, so concurrent
+  // misses on the same pair agree on the value.
   const auto points = pop_path(endpoint_of(src), endpoint_of(real_dst));
   const double ms = points.back().cumulative_one_way_ms;
-  one_way_cache_[key] = ms;
+  std::unique_lock lock(shard.mutex);
+  shard.delays.try_emplace(key, ms);
   return ms;
 }
 

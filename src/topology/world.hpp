@@ -7,8 +7,10 @@
 // observables a real client has.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,6 +87,12 @@ class World {
  public:
   /// Takes ownership of the graph. The graph must be final: routing tables
   /// are cached against it.
+  ///
+  /// Thread-safety: construction and host/anycast allocation (`add_host`,
+  /// `add_anycast`) are setup-phase operations and must be single-threaded.
+  /// Once the world is built, all query paths (latency, traceroute,
+  /// lookups) are safe to call concurrently — the RTT and routing caches
+  /// are pure accelerations guarded internally.
   explicit World(AsGraph graph, WorldConfig config = {});
 
   [[nodiscard]] const AsGraph& graph() const { return graph_; }
@@ -197,7 +205,16 @@ class World {
   std::unordered_map<net::Ipv4Addr, std::vector<net::Ipv4Addr>> anycast_;
   std::vector<int> next_host_slot_;  // per AS node: next third octet (from 32)
   std::uint32_t next_anycast_ = 0;
-  std::unordered_map<std::uint64_t, double> one_way_cache_;
+
+  /// The one-way delay memo, sharded to keep parallel campaign workers from
+  /// serializing on one lock. Values are deterministic, so a racing miss
+  /// recomputes the same number; only the map structure needs guarding.
+  struct CacheShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, double> delays;
+  };
+  static constexpr std::size_t kCacheShards = 16;
+  std::array<CacheShard, kCacheShards> one_way_cache_;
 };
 
 }  // namespace drongo::topology

@@ -1,0 +1,97 @@
+// Golden regression over a quick-scale campaign: the pinned aggregates
+// below are what seed (510, 77) produced when the derived-stream campaign
+// engine was introduced. Any change to the RNG derivation, the trial
+// procedure, the testbed build, or the CDN mapping model shifts these
+// numbers — which is exactly the kind of silent drift this test exists to
+// catch. If a deliberate model change lands, regenerate the constants and
+// say so in the commit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "analysis/prevalence.hpp"
+#include "measure/campaign.hpp"
+#include "measure/testbed.hpp"
+#include "measure/trial.hpp"
+
+namespace drongo::analysis {
+namespace {
+
+struct GoldenRow {
+  std::size_t hrms;
+  std::size_t valleys;
+  std::size_t usable_hops;
+  double pct_pairs_vf_above_half;
+  double pct_valleys_overall;
+};
+
+const std::map<std::string, GoldenRow>& golden() {
+  static const std::map<std::string, GoldenRow> rows = {
+      {"Alibaba", {162, 90, 81, 53.5714285714, 55.5555555556}},
+      {"CDNetworks", {202, 70, 101, 26.4705882353, 34.6534653465}},
+      {"ChinaNetCtr", {184, 79, 92, 43.75, 42.9347826087}},
+      {"CloudFront", {369, 92, 123, 16.6666666667, 24.9322493225}},
+      {"CubeCDN", {228, 59, 114, 20.0, 25.8771929825}},
+      {"Google", {304, 55, 76, 11.5384615385, 18.0921052632}},
+  };
+  return rows;
+}
+
+std::vector<measure::TrialRecord> golden_campaign(int threads) {
+  measure::TestbedConfig config;
+  config.as_config.tier1_count = 4;
+  config.as_config.tier2_count = 10;
+  config.as_config.stub_count = 40;
+  config.client_count = 6;
+  config.seed = 510;
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 77);
+  measure::ParallelCampaignRunner parallel(&runner, {.threads = threads});
+  return parallel.run_campaign(/*trials_per_client=*/3, /*spacing_hours=*/1.5);
+}
+
+void check_aggregates(const std::vector<measure::TrialRecord>& records) {
+  ASSERT_EQ(records.size(), 108u);  // 6 clients x 6 providers x 3 trials
+
+  std::map<std::string, GoldenRow> measured;
+  for (const auto& trial : records) {
+    const double crm = trial.min_crm();
+    auto& row = measured[trial.provider];
+    for (const auto* hop : trial.usable()) {
+      ++row.usable_hops;
+      for (const auto& m : hop->hr) {
+        ++row.hrms;
+        if (m.rtt_ms < crm) ++row.valleys;
+      }
+    }
+  }
+  ASSERT_EQ(measured.size(), golden().size());
+  for (const auto& [provider, expected] : golden()) {
+    SCOPED_TRACE(provider);
+    const auto& got = measured[provider];
+    EXPECT_EQ(got.hrms, expected.hrms);
+    EXPECT_EQ(got.valleys, expected.valleys);
+    EXPECT_EQ(got.usable_hops, expected.usable_hops);
+  }
+
+  for (const auto& row : table1(records)) {
+    SCOPED_TRACE(row.provider);
+    const auto& expected = golden().at(row.provider);
+    EXPECT_NEAR(row.pct_pairs_vf_above_half, expected.pct_pairs_vf_above_half, 1e-6);
+    EXPECT_NEAR(row.pct_valleys_overall, expected.pct_valleys_overall, 1e-6);
+  }
+}
+
+TEST(GoldenCampaignTest, SerialAggregatesMatchPinnedValues) {
+  check_aggregates(golden_campaign(/*threads=*/1));
+}
+
+TEST(GoldenCampaignTest, ParallelAggregatesMatchPinnedValues) {
+  // The same constants must hold at any pool size: the golden file doubles
+  // as an end-to-end determinism witness.
+  check_aggregates(golden_campaign(/*threads=*/4));
+}
+
+}  // namespace
+}  // namespace drongo::analysis

@@ -1,0 +1,116 @@
+// The bench environment knobs: DRONGO_FULL_SCALE and DRONGO_THREADS.
+// Malformed values must fail loudly — a typo in a batch job's environment
+// silently producing quick-scale or serial results is how wrong numbers
+// end up in papers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "net/error.hpp"
+
+namespace drongo::bench {
+namespace {
+
+/// Sets an environment variable for one test and restores on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ParseFullScaleTest, UnsetAndEmptyAreQuickScale) {
+  EXPECT_FALSE(parse_full_scale(nullptr));
+  EXPECT_FALSE(parse_full_scale(""));
+}
+
+TEST(ParseFullScaleTest, ZeroAndOneAreTheOnlyValues) {
+  EXPECT_FALSE(parse_full_scale("0"));
+  EXPECT_TRUE(parse_full_scale("1"));
+}
+
+TEST(ParseFullScaleTest, GarbageThrowsInsteadOfDefaulting) {
+  for (const char* bad : {"yes", "true", "2", "10", "1x", "01", " 1", "full"}) {
+    EXPECT_THROW(parse_full_scale(bad), net::InvalidArgument) << bad;
+  }
+}
+
+TEST(ParseThreadCountTest, UnsetAndEmptyAreSerial) {
+  EXPECT_EQ(parse_thread_count(nullptr), 1);
+  EXPECT_EQ(parse_thread_count(""), 1);
+}
+
+TEST(ParseThreadCountTest, IntegersParse) {
+  EXPECT_EQ(parse_thread_count("0"), 0);  // 0 = hardware concurrency downstream
+  EXPECT_EQ(parse_thread_count("1"), 1);
+  EXPECT_EQ(parse_thread_count("8"), 8);
+  EXPECT_EQ(parse_thread_count("64"), 64);
+}
+
+TEST(ParseThreadCountTest, GarbageThrowsInsteadOfDefaulting) {
+  for (const char* bad : {"-1", "-8", "two", "4x", "4 ", "1.5", "0x4", "huge"}) {
+    EXPECT_THROW(parse_thread_count(bad), net::InvalidArgument) << bad;
+  }
+  EXPECT_THROW(parse_thread_count("99999999999999999999"), net::InvalidArgument);
+}
+
+TEST(EnvReadersTest, FullScaleReadsEnvironment) {
+  {
+    ScopedEnv env("DRONGO_FULL_SCALE", nullptr);
+    EXPECT_FALSE(full_scale());
+    EXPECT_EQ(scaled(45, 9), 9);
+  }
+  {
+    ScopedEnv env("DRONGO_FULL_SCALE", "1");
+    EXPECT_TRUE(full_scale());
+    EXPECT_EQ(scaled(45, 9), 45);
+  }
+  {
+    ScopedEnv env("DRONGO_FULL_SCALE", "0");
+    EXPECT_FALSE(full_scale());
+  }
+  {
+    ScopedEnv env("DRONGO_FULL_SCALE", "definitely");
+    EXPECT_THROW(full_scale(), net::InvalidArgument);
+    EXPECT_THROW(scaled(45, 9), net::InvalidArgument);
+  }
+}
+
+TEST(EnvReadersTest, ThreadCountReadsEnvironment) {
+  {
+    ScopedEnv env("DRONGO_THREADS", nullptr);
+    EXPECT_EQ(thread_count(), 1);
+  }
+  {
+    ScopedEnv env("DRONGO_THREADS", "4");
+    EXPECT_EQ(thread_count(), 4);
+  }
+  {
+    ScopedEnv env("DRONGO_THREADS", "all");
+    EXPECT_THROW(thread_count(), net::InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace drongo::bench

@@ -88,9 +88,15 @@ TEST_F(ReverseDnsFixture, TrialHopNamesComeFromPtr) {
   // which is itself the property worth checking.
   measure::TrialRunner via_dns(testbed_.get(), 5);
   auto trial = via_dns.run(0, 0, 0.0, 0);
+  std::size_t named = 0;
   for (const auto& hop : trial.hops) {
+    // Unresponsive hops ("* * *") legitimately carry no name; every hop
+    // that was named must agree with the registry the PTR zone serves.
+    if (hop.rdns.empty()) continue;
+    ++named;
     EXPECT_EQ(hop.rdns, testbed_->world().rdns_of(hop.ip)) << hop.ip.to_string();
   }
+  EXPECT_GT(named, 0u);
 }
 
 }  // namespace

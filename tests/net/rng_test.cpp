@@ -137,6 +137,73 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(RngDeriveTest, PureFunctionOfCoordinates) {
+  // Two derivations of the same (seed, stream, substream, lane) are the
+  // same generator — nothing about construction order matters.
+  Rng a = Rng::derive(99, 4, 7, 2);
+  Rng b = Rng::derive(99, 4, 7, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngDeriveTest, OrderIndependent) {
+  // Deriving streams in any order yields the same streams: derivation has
+  // no hidden shared state (unlike fork(), which advances the parent).
+  Rng forward_first = Rng::derive(7, 1, 2, 3);
+  Rng other = Rng::derive(7, 9, 9, 9);
+  (void)other.next_u64();
+  Rng forward_second = Rng::derive(7, 1, 2, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(forward_first.next_u64(), forward_second.next_u64());
+  }
+}
+
+TEST(RngDeriveTest, DistinctCoordinatesDistinctStreams) {
+  // A campaign-shaped grid of (client, trial, provider) coordinates: no
+  // two streams may agree on their opening draws.
+  std::vector<std::uint64_t> opens;
+  for (std::uint64_t client = 0; client < 8; ++client) {
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      for (std::uint64_t provider = 0; provider < 6; ++provider) {
+        Rng rng = Rng::derive(1729, client, trial, provider);
+        opens.push_back(rng.next_u64());
+      }
+    }
+  }
+  std::sort(opens.begin(), opens.end());
+  EXPECT_EQ(std::adjacent_find(opens.begin(), opens.end()), opens.end());
+}
+
+TEST(RngDeriveTest, CoordinatePositionsAreNotInterchangeable) {
+  // (1, 2) and (2, 1) must be different streams: each coordinate is mixed
+  // in its own position, not summed or xored together.
+  Rng ab = Rng::derive(5, 1, 2);
+  Rng ba = Rng::derive(5, 2, 1);
+  EXPECT_NE(ab.next_u64(), ba.next_u64());
+  Rng sub = Rng::derive(5, 0, 3);
+  Rng lane = Rng::derive(5, 0, 0, 3);
+  EXPECT_NE(sub.next_u64(), lane.next_u64());
+}
+
+TEST(RngDeriveTest, GoldenStreams) {
+  // Pinned outputs: any change to the derivation or the generator core
+  // silently invalidates every recorded campaign, so it must fail here
+  // first.
+  Rng a = Rng::derive(42, 0, 0, 0);
+  EXPECT_EQ(a.next_u64(), 16527435749054126717ULL);
+  EXPECT_EQ(a.next_u64(), 15223051510705824987ULL);
+  EXPECT_EQ(a.next_u64(), 16066857939330892661ULL);
+  Rng b = Rng::derive(42, 3, 7, 2);
+  EXPECT_EQ(b.next_u64(), 11116518041635329524ULL);
+  EXPECT_EQ(b.next_u64(), 9790353113729319945ULL);
+  EXPECT_EQ(b.next_u64(), 9070521430678224567ULL);
+  Rng c = Rng::derive(0xDEADBEEF, 12, 34, 5);
+  EXPECT_EQ(c.next_u64(), 4269203259076795045ULL);
+  EXPECT_EQ(c.next_u64(), 16279964054913151357ULL);
+  EXPECT_EQ(c.next_u64(), 16375859483345121290ULL);
+}
+
 TEST(RngTest, IndexCoversAllSlots) {
   Rng rng(43);
   std::vector<int> counts(5, 0);

@@ -19,6 +19,7 @@
 #include "core/probe.hpp"
 #include "dns/proxy.hpp"
 #include "dns/udp.hpp"
+#include "measure/campaign.hpp"
 #include "measure/dataset.hpp"
 #include "measure/trial.hpp"
 #include "net/error.hpp"
@@ -103,6 +104,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
   options.add_option("trials", "10", "trials per client-provider pair");
   options.add_option("spacing-hours", "1.5", "time between trials");
   options.add_option("out", "campaign.dataset", "output dataset file");
+  options.add_option("threads", "1", "worker threads (0 = hardware concurrency)");
   options.add_flag("downloads", "also measure download times (Fig. 4b/4c)");
   options.parse(args);
   measure::Testbed testbed(testbed_config(options));
@@ -111,8 +113,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
   measure::TrialRunner runner(&testbed,
                               static_cast<std::uint64_t>(options.get_int("seed")) ^ 0xCA,
                               trial_config);
-  const auto records = runner.run_campaign(static_cast<int>(options.get_int("trials")),
-                                           options.get_double("spacing-hours"));
+  measure::ParallelCampaignRunner parallel(
+      &runner, {.threads = static_cast<int>(options.get_int("threads"))});
+  const auto records = parallel.run_campaign(static_cast<int>(options.get_int("trials")),
+                                             options.get_double("spacing-hours"));
   measure::save_dataset_file(options.get("out"), records);
   std::cout << records.size() << " trials written to " << options.get("out") << "\n";
   return 0;
@@ -143,14 +147,18 @@ int cmd_analyze(const std::vector<std::string>& args) {
 int cmd_sweep(const std::vector<std::string>& args) {
   tools::OptionSet options;
   add_common(options);
+  options.add_option("threads", "1", "worker threads (0 = hardware concurrency)");
   options.parse(args);
   measure::TestbedConfig config = testbed_config(options);
   if (options.get("scale") == "planetlab" && options.get_int("clients") == 0) {
     config.client_count = 60;  // keep the default sweep quick
   }
   measure::Testbed testbed(config);
+  analysis::EvaluationConfig eval_config;
+  eval_config.threads = static_cast<int>(options.get_int("threads"));
   analysis::Evaluation evaluation(&testbed,
-                                  static_cast<std::uint64_t>(options.get_int("seed")) ^ 0x57);
+                                  static_cast<std::uint64_t>(options.get_int("seed")) ^ 0x57,
+                                  eval_config);
   const std::vector<double> vf_values{0.2, 0.4, 0.6, 0.8, 1.0};
   const std::vector<double> vt_values{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
   const auto sweep = analysis::parameter_sweep(evaluation, vf_values, vt_values);
