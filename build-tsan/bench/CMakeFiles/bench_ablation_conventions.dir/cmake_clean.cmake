@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conventions.dir/bench_ablation_conventions.cpp.o"
+  "CMakeFiles/bench_ablation_conventions.dir/bench_ablation_conventions.cpp.o.d"
+  "bench_ablation_conventions"
+  "bench_ablation_conventions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conventions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_distribution.dir/bench_client_distribution.cpp.o"
+  "CMakeFiles/bench_client_distribution.dir/bench_client_distribution.cpp.o.d"
+  "bench_client_distribution"
+  "bench_client_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

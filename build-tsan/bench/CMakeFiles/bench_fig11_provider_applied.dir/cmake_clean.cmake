@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_provider_applied.dir/bench_fig11_provider_applied.cpp.o"
+  "CMakeFiles/bench_fig11_provider_applied.dir/bench_fig11_provider_applied.cpp.o.d"
+  "bench_fig11_provider_applied"
+  "bench_fig11_provider_applied.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_provider_applied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

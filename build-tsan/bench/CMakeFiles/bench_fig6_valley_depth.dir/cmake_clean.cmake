@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_valley_depth.dir/bench_fig6_valley_depth.cpp.o"
+  "CMakeFiles/bench_fig6_valley_depth.dir/bench_fig6_valley_depth.cpp.o.d"
+  "bench_fig6_valley_depth"
+  "bench_fig6_valley_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_valley_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

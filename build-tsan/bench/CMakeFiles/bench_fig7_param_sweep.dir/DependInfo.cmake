@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_param_sweep.cpp" "bench/CMakeFiles/bench_fig7_param_sweep.dir/bench_fig7_param_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_param_sweep.dir/bench_fig7_param_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/drongo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/drongo_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/measure/CMakeFiles/drongo_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cdn/CMakeFiles/drongo_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/drongo_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/drongo_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_results.dir/bench_headline_results.cpp.o"
+  "CMakeFiles/bench_headline_results.dir/bench_headline_results.cpp.o.d"
+  "bench_headline_results"
+  "bench_headline_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_prevalence.dir/bench_table1_prevalence.cpp.o"
+  "CMakeFiles/bench_table1_prevalence.dir/bench_table1_prevalence.cpp.o.d"
+  "bench_table1_prevalence"
+  "bench_table1_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

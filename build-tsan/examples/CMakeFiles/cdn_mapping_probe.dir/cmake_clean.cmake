@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_mapping_probe.dir/cdn_mapping_probe.cpp.o"
+  "CMakeFiles/cdn_mapping_probe.dir/cdn_mapping_probe.cpp.o.d"
+  "cdn_mapping_probe"
+  "cdn_mapping_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_mapping_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

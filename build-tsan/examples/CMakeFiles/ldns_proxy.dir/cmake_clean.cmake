@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldns_proxy.dir/ldns_proxy.cpp.o"
+  "CMakeFiles/ldns_proxy.dir/ldns_proxy.cpp.o.d"
+  "ldns_proxy"
+  "ldns_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldns_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_sharing.dir/peer_sharing.cpp.o"
+  "CMakeFiles/peer_sharing.dir/peer_sharing.cpp.o.d"
+  "peer_sharing"
+  "peer_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valley_explorer.dir/valley_explorer.cpp.o"
+  "CMakeFiles/valley_explorer.dir/valley_explorer.cpp.o.d"
+  "valley_explorer"
+  "valley_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valley_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("dns")
+subdirs("topology")
+subdirs("cdn")
+subdirs("measure")
+subdirs("core")
+subdirs("analysis")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_analysis.dir/evaluation.cpp.o"
+  "CMakeFiles/drongo_analysis.dir/evaluation.cpp.o.d"
+  "CMakeFiles/drongo_analysis.dir/prevalence.cpp.o"
+  "CMakeFiles/drongo_analysis.dir/prevalence.cpp.o.d"
+  "CMakeFiles/drongo_analysis.dir/render.cpp.o"
+  "CMakeFiles/drongo_analysis.dir/render.cpp.o.d"
+  "CMakeFiles/drongo_analysis.dir/stability.cpp.o"
+  "CMakeFiles/drongo_analysis.dir/stability.cpp.o.d"
+  "libdrongo_analysis.a"
+  "libdrongo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

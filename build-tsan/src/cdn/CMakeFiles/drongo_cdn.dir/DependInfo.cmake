@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/authoritative.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/authoritative.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/authoritative.cpp.o.d"
+  "/root/repo/src/cdn/deploy.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/deploy.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/deploy.cpp.o.d"
+  "/root/repo/src/cdn/profile.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/profile.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/profile.cpp.o.d"
+  "/root/repo/src/cdn/provider.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/provider.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/provider.cpp.o.d"
+  "/root/repo/src/cdn/resolver.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/resolver.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/resolver.cpp.o.d"
+  "/root/repo/src/cdn/reverse_dns.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/reverse_dns.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/reverse_dns.cpp.o.d"
+  "/root/repo/src/cdn/sites.cpp" "src/cdn/CMakeFiles/drongo_cdn.dir/sites.cpp.o" "gcc" "src/cdn/CMakeFiles/drongo_cdn.dir/sites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/topology/CMakeFiles/drongo_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/drongo_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

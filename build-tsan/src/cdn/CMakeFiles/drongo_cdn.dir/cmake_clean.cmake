@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_cdn.dir/authoritative.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/authoritative.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/deploy.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/deploy.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/profile.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/profile.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/provider.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/provider.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/resolver.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/resolver.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/reverse_dns.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/reverse_dns.cpp.o.d"
+  "CMakeFiles/drongo_cdn.dir/sites.cpp.o"
+  "CMakeFiles/drongo_cdn.dir/sites.cpp.o.d"
+  "libdrongo_cdn.a"
+  "libdrongo_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

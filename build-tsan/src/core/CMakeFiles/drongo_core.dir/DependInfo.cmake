@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/drongo_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/drongo_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/drongo.cpp" "src/core/CMakeFiles/drongo_core.dir/drongo.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/drongo.cpp.o.d"
+  "/root/repo/src/core/peer_share.cpp" "src/core/CMakeFiles/drongo_core.dir/peer_share.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/peer_share.cpp.o.d"
+  "/root/repo/src/core/probe.cpp" "src/core/CMakeFiles/drongo_core.dir/probe.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/probe.cpp.o.d"
+  "/root/repo/src/core/valley.cpp" "src/core/CMakeFiles/drongo_core.dir/valley.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/valley.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/core/CMakeFiles/drongo_core.dir/window.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/window.cpp.o.d"
+  "/root/repo/src/core/zone_params.cpp" "src/core/CMakeFiles/drongo_core.dir/zone_params.cpp.o" "gcc" "src/core/CMakeFiles/drongo_core.dir/zone_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/measure/CMakeFiles/drongo_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cdn/CMakeFiles/drongo_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/drongo_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/drongo_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_core.dir/daemon.cpp.o"
+  "CMakeFiles/drongo_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/decision.cpp.o"
+  "CMakeFiles/drongo_core.dir/decision.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/drongo.cpp.o"
+  "CMakeFiles/drongo_core.dir/drongo.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/peer_share.cpp.o"
+  "CMakeFiles/drongo_core.dir/peer_share.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/probe.cpp.o"
+  "CMakeFiles/drongo_core.dir/probe.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/valley.cpp.o"
+  "CMakeFiles/drongo_core.dir/valley.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/window.cpp.o"
+  "CMakeFiles/drongo_core.dir/window.cpp.o.d"
+  "CMakeFiles/drongo_core.dir/zone_params.cpp.o"
+  "CMakeFiles/drongo_core.dir/zone_params.cpp.o.d"
+  "libdrongo_core.a"
+  "libdrongo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrongo_core.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cpp" "src/dns/CMakeFiles/drongo_dns.dir/cache.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/cache.cpp.o.d"
+  "/root/repo/src/dns/edns.cpp" "src/dns/CMakeFiles/drongo_dns.dir/edns.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/edns.cpp.o.d"
+  "/root/repo/src/dns/inmemory.cpp" "src/dns/CMakeFiles/drongo_dns.dir/inmemory.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/inmemory.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/drongo_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/drongo_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/proxy.cpp" "src/dns/CMakeFiles/drongo_dns.dir/proxy.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/proxy.cpp.o.d"
+  "/root/repo/src/dns/reverse.cpp" "src/dns/CMakeFiles/drongo_dns.dir/reverse.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/reverse.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/dns/CMakeFiles/drongo_dns.dir/rr.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/rr.cpp.o.d"
+  "/root/repo/src/dns/stub_resolver.cpp" "src/dns/CMakeFiles/drongo_dns.dir/stub_resolver.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/stub_resolver.cpp.o.d"
+  "/root/repo/src/dns/tcp.cpp" "src/dns/CMakeFiles/drongo_dns.dir/tcp.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/tcp.cpp.o.d"
+  "/root/repo/src/dns/types.cpp" "src/dns/CMakeFiles/drongo_dns.dir/types.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/types.cpp.o.d"
+  "/root/repo/src/dns/udp.cpp" "src/dns/CMakeFiles/drongo_dns.dir/udp.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/udp.cpp.o.d"
+  "/root/repo/src/dns/zonefile.cpp" "src/dns/CMakeFiles/drongo_dns.dir/zonefile.cpp.o" "gcc" "src/dns/CMakeFiles/drongo_dns.dir/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

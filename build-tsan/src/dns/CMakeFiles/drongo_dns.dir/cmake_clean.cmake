@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_dns.dir/cache.cpp.o"
+  "CMakeFiles/drongo_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/edns.cpp.o"
+  "CMakeFiles/drongo_dns.dir/edns.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/inmemory.cpp.o"
+  "CMakeFiles/drongo_dns.dir/inmemory.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/message.cpp.o"
+  "CMakeFiles/drongo_dns.dir/message.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/name.cpp.o"
+  "CMakeFiles/drongo_dns.dir/name.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/proxy.cpp.o"
+  "CMakeFiles/drongo_dns.dir/proxy.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/reverse.cpp.o"
+  "CMakeFiles/drongo_dns.dir/reverse.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/rr.cpp.o"
+  "CMakeFiles/drongo_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/stub_resolver.cpp.o"
+  "CMakeFiles/drongo_dns.dir/stub_resolver.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/tcp.cpp.o"
+  "CMakeFiles/drongo_dns.dir/tcp.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/types.cpp.o"
+  "CMakeFiles/drongo_dns.dir/types.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/udp.cpp.o"
+  "CMakeFiles/drongo_dns.dir/udp.cpp.o.d"
+  "CMakeFiles/drongo_dns.dir/zonefile.cpp.o"
+  "CMakeFiles/drongo_dns.dir/zonefile.cpp.o.d"
+  "libdrongo_dns.a"
+  "libdrongo_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/campaign.cpp" "src/measure/CMakeFiles/drongo_measure.dir/campaign.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/campaign.cpp.o.d"
+  "/root/repo/src/measure/dataset.cpp" "src/measure/CMakeFiles/drongo_measure.dir/dataset.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/dataset.cpp.o.d"
+  "/root/repo/src/measure/hop_filter.cpp" "src/measure/CMakeFiles/drongo_measure.dir/hop_filter.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/hop_filter.cpp.o.d"
+  "/root/repo/src/measure/probes.cpp" "src/measure/CMakeFiles/drongo_measure.dir/probes.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/probes.cpp.o.d"
+  "/root/repo/src/measure/schedule.cpp" "src/measure/CMakeFiles/drongo_measure.dir/schedule.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/schedule.cpp.o.d"
+  "/root/repo/src/measure/stats.cpp" "src/measure/CMakeFiles/drongo_measure.dir/stats.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/stats.cpp.o.d"
+  "/root/repo/src/measure/testbed.cpp" "src/measure/CMakeFiles/drongo_measure.dir/testbed.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/testbed.cpp.o.d"
+  "/root/repo/src/measure/trial.cpp" "src/measure/CMakeFiles/drongo_measure.dir/trial.cpp.o" "gcc" "src/measure/CMakeFiles/drongo_measure.dir/trial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cdn/CMakeFiles/drongo_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/drongo_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/drongo_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_measure.dir/campaign.cpp.o"
+  "CMakeFiles/drongo_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/dataset.cpp.o"
+  "CMakeFiles/drongo_measure.dir/dataset.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/hop_filter.cpp.o"
+  "CMakeFiles/drongo_measure.dir/hop_filter.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/probes.cpp.o"
+  "CMakeFiles/drongo_measure.dir/probes.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/schedule.cpp.o"
+  "CMakeFiles/drongo_measure.dir/schedule.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/stats.cpp.o"
+  "CMakeFiles/drongo_measure.dir/stats.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/testbed.cpp.o"
+  "CMakeFiles/drongo_measure.dir/testbed.cpp.o.d"
+  "CMakeFiles/drongo_measure.dir/trial.cpp.o"
+  "CMakeFiles/drongo_measure.dir/trial.cpp.o.d"
+  "libdrongo_measure.a"
+  "libdrongo_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bytes.cpp" "src/net/CMakeFiles/drongo_net.dir/bytes.cpp.o" "gcc" "src/net/CMakeFiles/drongo_net.dir/bytes.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/drongo_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/drongo_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/drongo_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/drongo_net.dir/prefix.cpp.o.d"
+  "/root/repo/src/net/rng.cpp" "src/net/CMakeFiles/drongo_net.dir/rng.cpp.o" "gcc" "src/net/CMakeFiles/drongo_net.dir/rng.cpp.o.d"
+  "/root/repo/src/net/strings.cpp" "src/net/CMakeFiles/drongo_net.dir/strings.cpp.o" "gcc" "src/net/CMakeFiles/drongo_net.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

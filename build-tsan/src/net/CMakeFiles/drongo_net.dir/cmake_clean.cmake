@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_net.dir/bytes.cpp.o"
+  "CMakeFiles/drongo_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/drongo_net.dir/ip.cpp.o"
+  "CMakeFiles/drongo_net.dir/ip.cpp.o.d"
+  "CMakeFiles/drongo_net.dir/prefix.cpp.o"
+  "CMakeFiles/drongo_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/drongo_net.dir/rng.cpp.o"
+  "CMakeFiles/drongo_net.dir/rng.cpp.o.d"
+  "CMakeFiles/drongo_net.dir/strings.cpp.o"
+  "CMakeFiles/drongo_net.dir/strings.cpp.o.d"
+  "libdrongo_net.a"
+  "libdrongo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_gen.cpp" "src/topology/CMakeFiles/drongo_topology.dir/as_gen.cpp.o" "gcc" "src/topology/CMakeFiles/drongo_topology.dir/as_gen.cpp.o.d"
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/drongo_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/drongo_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/geo.cpp" "src/topology/CMakeFiles/drongo_topology.dir/geo.cpp.o" "gcc" "src/topology/CMakeFiles/drongo_topology.dir/geo.cpp.o.d"
+  "/root/repo/src/topology/routing.cpp" "src/topology/CMakeFiles/drongo_topology.dir/routing.cpp.o" "gcc" "src/topology/CMakeFiles/drongo_topology.dir/routing.cpp.o.d"
+  "/root/repo/src/topology/world.cpp" "src/topology/CMakeFiles/drongo_topology.dir/world.cpp.o" "gcc" "src/topology/CMakeFiles/drongo_topology.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

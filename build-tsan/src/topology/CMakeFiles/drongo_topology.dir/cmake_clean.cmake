@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_topology.dir/as_gen.cpp.o"
+  "CMakeFiles/drongo_topology.dir/as_gen.cpp.o.d"
+  "CMakeFiles/drongo_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/drongo_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/drongo_topology.dir/geo.cpp.o"
+  "CMakeFiles/drongo_topology.dir/geo.cpp.o.d"
+  "CMakeFiles/drongo_topology.dir/routing.cpp.o"
+  "CMakeFiles/drongo_topology.dir/routing.cpp.o.d"
+  "CMakeFiles/drongo_topology.dir/world.cpp.o"
+  "CMakeFiles/drongo_topology.dir/world.cpp.o.d"
+  "libdrongo_topology.a"
+  "libdrongo_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_env_tests.dir/bench/bench_env_test.cpp.o"
+  "CMakeFiles/bench_env_tests.dir/bench/bench_env_test.cpp.o.d"
+  "bench_env_tests"
+  "bench_env_tests.pdb"
+  "bench_env_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_env_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

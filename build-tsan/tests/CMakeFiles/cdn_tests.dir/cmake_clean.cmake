@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_tests.dir/cdn/deploy_test.cpp.o"
+  "CMakeFiles/cdn_tests.dir/cdn/deploy_test.cpp.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/dns_servers_test.cpp.o"
+  "CMakeFiles/cdn_tests.dir/cdn/dns_servers_test.cpp.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/provider_test.cpp.o"
+  "CMakeFiles/cdn_tests.dir/cdn/provider_test.cpp.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/sites_test.cpp.o"
+  "CMakeFiles/cdn_tests.dir/cdn/sites_test.cpp.o.d"
+  "cdn_tests"
+  "cdn_tests.pdb"
+  "cdn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/daemon_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/daemon_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/decision_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/decision_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/drongo_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/drongo_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/peer_share_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/peer_share_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/probe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/probe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/valley_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/valley_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/window_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/window_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/zone_params_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/zone_params_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

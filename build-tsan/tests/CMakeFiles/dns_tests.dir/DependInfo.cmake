@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns/dns0x20_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/dns0x20_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/dns0x20_test.cpp.o.d"
+  "/root/repo/tests/dns/edns_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/edns_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/edns_test.cpp.o.d"
+  "/root/repo/tests/dns/fuzz_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/fuzz_test.cpp.o.d"
+  "/root/repo/tests/dns/message_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/message_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/message_test.cpp.o.d"
+  "/root/repo/tests/dns/name_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/name_test.cpp.o.d"
+  "/root/repo/tests/dns/resolver_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o.d"
+  "/root/repo/tests/dns/reverse_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/reverse_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/reverse_test.cpp.o.d"
+  "/root/repo/tests/dns/rr_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/rr_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/rr_test.cpp.o.d"
+  "/root/repo/tests/dns/tcp_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/tcp_test.cpp.o.d"
+  "/root/repo/tests/dns/udp_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/udp_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/udp_test.cpp.o.d"
+  "/root/repo/tests/dns/zonefile_test.cpp" "tests/CMakeFiles/dns_tests.dir/dns/zonefile_test.cpp.o" "gcc" "tests/CMakeFiles/dns_tests.dir/dns/zonefile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/drongo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/drongo_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/measure/CMakeFiles/drongo_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cdn/CMakeFiles/drongo_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/drongo_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/drongo_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/drongo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_tests.dir/dns/dns0x20_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/dns0x20_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/edns_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/edns_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/fuzz_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/fuzz_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/message_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/message_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/name_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/name_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/reverse_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/reverse_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/rr_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/rr_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/tcp_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/tcp_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/udp_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/udp_test.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/zonefile_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/zonefile_test.cpp.o.d"
+  "dns_tests"
+  "dns_tests.pdb"
+  "dns_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_tests.dir/measure/hop_filter_test.cpp.o"
+  "CMakeFiles/measure_tests.dir/measure/hop_filter_test.cpp.o.d"
+  "CMakeFiles/measure_tests.dir/measure/schedule_test.cpp.o"
+  "CMakeFiles/measure_tests.dir/measure/schedule_test.cpp.o.d"
+  "CMakeFiles/measure_tests.dir/measure/stats_test.cpp.o"
+  "CMakeFiles/measure_tests.dir/measure/stats_test.cpp.o.d"
+  "CMakeFiles/measure_tests.dir/measure/trial_test.cpp.o"
+  "CMakeFiles/measure_tests.dir/measure/trial_test.cpp.o.d"
+  "measure_tests"
+  "measure_tests.pdb"
+  "measure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_campaign_tests.dir/measure/parallel_campaign_test.cpp.o"
+  "CMakeFiles/parallel_campaign_tests.dir/measure/parallel_campaign_test.cpp.o.d"
+  "parallel_campaign_tests"
+  "parallel_campaign_tests.pdb"
+  "parallel_campaign_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_campaign_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

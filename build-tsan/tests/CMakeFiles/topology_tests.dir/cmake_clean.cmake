@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_tests.dir/topology/as_gen_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/as_gen_test.cpp.o.d"
+  "CMakeFiles/topology_tests.dir/topology/as_graph_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/as_graph_test.cpp.o.d"
+  "CMakeFiles/topology_tests.dir/topology/geo_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/geo_test.cpp.o.d"
+  "CMakeFiles/topology_tests.dir/topology/properties_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/properties_test.cpp.o.d"
+  "CMakeFiles/topology_tests.dir/topology/routing_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/routing_test.cpp.o.d"
+  "CMakeFiles/topology_tests.dir/topology/world_test.cpp.o"
+  "CMakeFiles/topology_tests.dir/topology/world_test.cpp.o.d"
+  "topology_tests"
+  "topology_tests.pdb"
+  "topology_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/net_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dns_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/topology_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cdn_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/measure_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_campaign_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/bench_env_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tools_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_cli.dir/cli.cpp.o"
+  "CMakeFiles/drongo_cli.dir/cli.cpp.o.d"
+  "libdrongo_cli.a"
+  "libdrongo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drongo_sim.dir/drongo_sim.cpp.o"
+  "CMakeFiles/drongo_sim.dir/drongo_sim.cpp.o.d"
+  "drongo_sim"
+  "drongo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drongo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build-tsan/tools/drongo_sim" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_world "/root/repo/build-tsan/tools/drongo_sim" "world" "--clients" "4")
+set_tests_properties(cli_world PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trial "/root/repo/build-tsan/tools/drongo_sim" "trial" "--clients" "4" "--client" "1" "--provider" "3")
+set_tests_properties(cli_trial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_probe "/root/repo/build-tsan/tools/drongo_sim" "probe" "--seed" "7")
+set_tests_properties(cli_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign_analyze "sh" "-c" "/root/repo/build-tsan/tools/drongo_sim campaign --clients 4 --trials 2 --out /root/repo/build-tsan/tools/smoke.dataset && /root/repo/build-tsan/tools/drongo_sim analyze --in /root/repo/build-tsan/tools/smoke.dataset")
+set_tests_properties(cli_campaign_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build-tsan/tools/drongo_sim" "wat")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
