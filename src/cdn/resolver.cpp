@@ -75,8 +75,16 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
     }
     dns::Message upstream = dns::Message::make_query(query.header.id, current, ecs, q.type);
     ++upstream_queries_;
-    upstream_reply =
-        dns::Message::decode(transport_->exchange(address_, *authoritative, upstream.encode()));
+    try {
+      upstream_reply = dns::Message::decode(
+          transport_->exchange(address_, *authoritative, upstream.encode()));
+    } catch (const net::TransientError&) {
+      // The authoritative is down or the path is lossy: a recursive answers
+      // SERVFAIL rather than leaving the client hanging, and the client's
+      // retry policy takes it from there.
+      upstream_failures_.fetch_add(1, std::memory_order_relaxed);
+      return dns::Message::make_response(query, dns::Rcode::kServFail);
+    }
     if (upstream_reply.header.rcode != dns::Rcode::kNoError) break;
 
     std::optional<dns::DnsName> target;

@@ -39,6 +39,10 @@ class PublicResolver : public dns::DnsServer {
   [[nodiscard]] std::uint64_t upstream_queries() const {
     return upstream_queries_.load(std::memory_order_relaxed);
   }
+  /// Upstream exchanges that failed transiently and became SERVFAIL answers.
+  [[nodiscard]] std::uint64_t upstream_failures() const {
+    return upstream_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::optional<net::Ipv4Addr> authoritative_for(const dns::DnsName& name) const;
@@ -51,6 +55,7 @@ class PublicResolver : public dns::DnsServer {
   mutable std::mutex cache_mutex_;  ///< guards cache_ when caching_ is on
   dns::DnsCache cache_;
   std::atomic<std::uint64_t> upstream_queries_{0};
+  std::atomic<std::uint64_t> upstream_failures_{0};
 };
 
 }  // namespace drongo::cdn

@@ -19,11 +19,25 @@ DecisionEngine::DecisionEngine(DrongoParams params, std::uint64_t seed)
 }
 
 void DecisionEngine::observe(const measure::TrialRecord& trial) {
+  if (trial.failed()) {
+    // A failed trial carries no measurements: nothing to learn, and it must
+    // not perturb existing windows. Counted so operators can see how much
+    // training signal a lossy campaign lost.
+    ++skipped_trials_;
+    return;
+  }
   auto& domain_windows = windows_[net::to_lower(trial.domain)];
   for (const auto& hop : trial.hops) {
     if (!hop.usable) continue;
     const auto ratio = latency_ratio(trial, hop, params_.convention);
-    if (!ratio) continue;
+    if (!ratio) {
+      // Degraded trial for this hop (its HR resolution or measurement is
+      // missing): an existing window records the miss but keeps its ratio
+      // history intact — stale evidence beats fabricated evidence.
+      auto it = domain_windows.find(hop.subnet);
+      if (it != domain_windows.end()) it->second.add_miss();
+      continue;
+    }
     auto [it, inserted] =
         domain_windows.try_emplace(hop.subnet, TrainingWindow(params_.window_size));
     it->second.add(*ratio);

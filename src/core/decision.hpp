@@ -63,6 +63,11 @@ class DecisionEngine {
   /// Number of (domain, subnet) windows currently tracked.
   [[nodiscard]] std::size_t tracked_windows() const;
 
+  /// Failed trials fed to observe() and ignored (no measurements to learn
+  /// from). Nonzero here with healthy windows is graceful degradation
+  /// working as intended.
+  [[nodiscard]] std::uint64_t skipped_trials() const { return skipped_trials_; }
+
   /// Persists the training state (all windows) in a line-oriented text
   /// format. A deployed Drongo survives restarts without re-measuring: the
   /// paper's 5-trial windows span days, far longer than a process lifetime.
@@ -76,6 +81,7 @@ class DecisionEngine {
  private:
   DrongoParams params_;
   net::Rng rng_;
+  std::uint64_t skipped_trials_ = 0;
   /// domain (canonical) -> subnet -> window.
   std::map<std::string, std::map<net::Prefix, TrainingWindow>> windows_;
 };

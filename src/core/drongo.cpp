@@ -1,5 +1,7 @@
 #include "core/drongo.hpp"
 
+#include "net/error.hpp"
+
 namespace drongo::core {
 
 DrongoClient::DrongoClient(DrongoParams params, std::uint64_t seed)
@@ -26,7 +28,18 @@ dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
   ++total_;
   if (const auto subnet = engine_.choose(domain.to_string())) {
     ++assimilated_;
-    return stub.resolve(domain, *subnet);
+    // Assimilation is an optimization, never a dependency: when the
+    // assimilated resolution cannot produce an answer (retries exhausted or
+    // the server kept failing), fall back to an ordinary own-subnet
+    // resolution — the client ends up exactly where it would be without
+    // Drongo. A fallback failure then propagates: the network is down for
+    // everyone.
+    try {
+      const auto result = stub.resolve(domain, *subnet);
+      if (!result.server_failure()) return result;
+    } catch (const net::TransientError&) {
+    }
+    ++assimilation_fallbacks_;
   }
   return stub.resolve_with_own_subnet(domain);
 }

@@ -56,11 +56,17 @@ class DrongoClient : public dns::SubnetSelector {
   /// How many resolutions used an assimilated subnet vs the client's own.
   [[nodiscard]] std::uint64_t assimilated_queries() const { return assimilated_; }
   [[nodiscard]] std::uint64_t total_queries() const { return total_; }
+  /// Assimilated resolutions that failed and fell back to the client's own
+  /// subnet (resolve() only; the proxy path degrades inside the stub).
+  [[nodiscard]] std::uint64_t assimilation_fallbacks() const {
+    return assimilation_fallbacks_;
+  }
 
  private:
   DecisionEngine engine_;
   std::uint64_t assimilated_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t assimilation_fallbacks_ = 0;
 };
 
 }  // namespace drongo::core

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -16,6 +17,14 @@ class TrainingWindow {
 
   /// Records the latency ratio from one trial.
   void add(double ratio);
+
+  /// Records that a trial that should have fed this window produced no
+  /// ratio (hop resolution failed, measurements missing). Misses never
+  /// enter the ratio history — a degraded trial must not dilute or fake
+  /// valley evidence — they are tracked so operators can see how much of a
+  /// window's training signal a lossy network ate.
+  void add_miss() { ++misses_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
   [[nodiscard]] std::size_t size() const { return ratios_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -35,6 +44,7 @@ class TrainingWindow {
  private:
   std::size_t capacity_;
   std::deque<double> ratios_;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace drongo::core

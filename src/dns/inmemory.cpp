@@ -21,7 +21,9 @@ std::vector<std::uint8_t> InMemoryDnsNetwork::exchange(
     net::Ipv4Addr source, net::Ipv4Addr destination, std::span<const std::uint8_t> query) {
   auto it = servers_.find(destination);
   if (it == servers_.end()) {
-    throw net::Error("no DNS server at " + destination.to_string());
+    // Transient by classification: servers get unregistered to simulate
+    // outages, and an outage may end — retrying is the right response.
+    throw net::UnreachableError("no DNS server at " + destination.to_string());
   }
   ++exchanges_;
   // Full round-trip through the codec, as over a real socket.

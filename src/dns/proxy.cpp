@@ -42,9 +42,18 @@ Message LdnsProxy::handle(const Message& query, net::Ipv4Addr source) {
   ++forwarded_;
   if (did_assimilate) ++assimilated_;
 
-  const auto reply_wire =
-      upstream_->exchange(proxy_address_, upstream_address_, forwarded.encode());
-  Message reply = Message::decode(reply_wire);
+  Message reply;
+  try {
+    const auto reply_wire =
+        upstream_->exchange(proxy_address_, upstream_address_, forwarded.encode());
+    reply = Message::decode(reply_wire);
+  } catch (const net::TransientError&) {
+    // The upstream recursive is unreachable or timing out. A proxy cannot
+    // fix that; it answers SERVFAIL so the stub's own retry/backoff policy
+    // decides what happens next (RFC 1035 rcode 2 semantics).
+    ++upstream_failures_;
+    return Message::make_response(query, Rcode::kServFail);
+  }
 
   // Restore the client's view: the stub should see its own subnet echoed,
   // not the assimilated one (assimilation is invisible to applications).

@@ -49,6 +49,8 @@ class LdnsProxy : public DnsServer {
   /// Counters for observability / tests.
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t assimilated() const { return assimilated_; }
+  /// Forwards that failed transiently and were answered SERVFAIL instead.
+  [[nodiscard]] std::uint64_t upstream_failures() const { return upstream_failures_; }
 
   void set_selector(SubnetSelector* selector) { selector_ = selector; }
 
@@ -59,6 +61,7 @@ class LdnsProxy : public DnsServer {
   SubnetSelector* selector_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t assimilated_ = 0;
+  std::uint64_t upstream_failures_ = 0;
 };
 
 }  // namespace drongo::dns

@@ -3,15 +3,25 @@
 #include "dns/reverse.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "net/error.hpp"
 
 namespace drongo::dns {
 
 StubResolver::StubResolver(DnsTransport* transport, net::Ipv4Addr client_address,
-                           net::Ipv4Addr server_address, std::uint64_t seed)
-    : transport_(transport), client_(client_address), server_(server_address), rng_(seed) {
+                           net::Ipv4Addr server_address, std::uint64_t seed,
+                           ResolverConfig config)
+    : transport_(transport),
+      client_(client_address),
+      server_(server_address),
+      rng_(seed),
+      config_(config) {
   if (transport_ == nullptr) throw net::InvalidArgument("null DnsTransport");
+  if (config_.max_attempts < 1) {
+    throw net::InvalidArgument("max_attempts must be >= 1, got " +
+                               std::to_string(config_.max_attempts));
+  }
 }
 
 namespace {
@@ -40,35 +50,51 @@ bool same_bytes(const DnsName& a, const DnsName& b) {
 
 }  // namespace
 
-ResolutionResult StubResolver::resolve(const DnsName& name,
+ResolutionResult StubResolver::attempt(const DnsName& name,
                                        std::optional<net::Prefix> ecs_subnet) {
   const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
   const DnsName sent_name =
       randomize_case_ ? randomize_name_case(name, rng_) : name;
   const Message query = Message::make_query(id, sent_name, ecs_subnet);
-  ++queries_;
+  ++stats_.queries;
 
   const std::vector<std::uint8_t> wire = query.encode();
-  const std::vector<std::uint8_t> reply_wire = transport_->exchange(client_, server_, wire);
-  const Message reply = Message::decode(reply_wire);
+  std::vector<std::uint8_t> reply_wire = transport_->exchange(client_, server_, wire);
+  Message reply = Message::decode(reply_wire);
+  bool used_tcp = false;
 
+  if (reply.header.tc && fallback_ != nullptr) {
+    // RFC 1035 §4.2.2: a truncated UDP answer is retried over TCP with the
+    // same query (same id, same casing — the transaction continues).
+    ++stats_.tcp_fallbacks;
+    ++stats_.queries;
+    reply_wire = fallback_->exchange(client_, server_, wire);
+    reply = Message::decode(reply_wire);
+    used_tcp = true;
+  }
+
+  // Validation failures are classified transient: a reply that fails these
+  // checks is what a late, duplicated, or spoofed datagram looks like, and
+  // a real stub would discard it and keep listening — our retry (with a
+  // fresh id and casing) is the closest synchronous equivalent.
   if (reply.header.id != id) {
-    throw net::Error("DNS response id mismatch: sent " + std::to_string(id) + ", got " +
-                     std::to_string(reply.header.id));
+    throw net::TransientError("DNS response id mismatch: sent " + std::to_string(id) +
+                              ", got " + std::to_string(reply.header.id));
   }
   if (!reply.header.qr) {
-    throw net::Error("DNS response QR bit not set");
+    throw net::TransientError("DNS response QR bit not set");
   }
   if (reply.questions.size() != 1 || !(reply.questions[0].name == name)) {
-    throw net::Error("DNS response question does not echo query");
+    throw net::TransientError("DNS response question does not echo query");
   }
   if (randomize_case_ && !same_bytes(reply.questions[0].name, sent_name)) {
-    throw net::Error("DNS response failed 0x20 case check (possible spoofing)");
+    throw net::TransientError("DNS response failed 0x20 case check (possible spoofing)");
   }
 
   ResolutionResult result;
   result.rcode = reply.header.rcode;
   result.addresses = reply.answer_addresses();
+  result.used_tcp = used_tcp;
   std::uint32_t min_ttl = UINT32_MAX;
   for (const auto& rr : reply.answers) min_ttl = std::min(min_ttl, rr.ttl);
   result.ttl = reply.answers.empty() ? 0 : min_ttl;
@@ -76,6 +102,61 @@ ResolutionResult StubResolver::resolve(const DnsName& name,
     result.ecs_scope = reply.edns->client_subnet->scope_prefix();
   }
   return result;
+}
+
+ResolutionResult StubResolver::resolve(const DnsName& name,
+                                       std::optional<net::Prefix> ecs_subnet) {
+  double elapsed_ms = 0.0;
+  std::exception_ptr last_error;
+  std::optional<ResolutionResult> last_failure;
+
+  for (int attempt_no = 0; attempt_no < config_.max_attempts; ++attempt_no) {
+    if (attempt_no > 0) {
+      // Exponential backoff with jitter, charged against the simulated
+      // per-query deadline. The jitter draw happens only on retries, so the
+      // fault-free path consumes exactly the draws it always did.
+      double backoff = config_.base_backoff_ms;
+      for (int i = 1; i < attempt_no; ++i) backoff *= config_.backoff_factor;
+      backoff = std::min(backoff, config_.max_backoff_ms);
+      backoff *= 1.0 + rng_.uniform_real(0.0, config_.jitter_fraction);
+      elapsed_ms += backoff;
+      if (elapsed_ms > config_.query_deadline_ms) {
+        ++stats_.deadline_exceeded;
+        break;
+      }
+      ++stats_.retries;
+    }
+    try {
+      ResolutionResult result = attempt(name, ecs_subnet);
+      result.attempts = attempt_no + 1;
+      if (result.server_failure()) {
+        ++stats_.server_failures;
+        if (config_.retry_server_failure && attempt_no + 1 < config_.max_attempts) {
+          last_failure = std::move(result);
+          continue;
+        }
+        ++stats_.failed_queries;  // no usable answer came out of this query
+        return result;  // typed failure: the caller decides
+      }
+      return result;  // ok, NODATA, or NXDOMAIN — all final
+    } catch (const net::TimeoutError&) {
+      ++stats_.timeouts;
+      last_error = std::current_exception();
+    } catch (const net::UnreachableError&) {
+      ++stats_.unreachable;
+      last_error = std::current_exception();
+    } catch (const net::TransientError&) {
+      ++stats_.validation_failures;
+      last_error = std::current_exception();
+    }
+    // net::PermanentError (and anything else) propagates immediately:
+    // retrying a contract violation only hides bugs.
+  }
+
+  ++stats_.failed_queries;
+  if (last_failure) return *last_failure;  // budget ended on a SERVFAIL/REFUSED
+  if (last_error) std::rethrow_exception(last_error);
+  throw net::TimeoutError("query deadline exceeded before any attempt completed");
 }
 
 ResolutionResult StubResolver::resolve(const std::string& name,
@@ -88,17 +169,33 @@ ResolutionResult StubResolver::resolve_with_own_subnet(const DnsName& name) {
 }
 
 std::string StubResolver::resolve_ptr(net::Ipv4Addr address) {
-  const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
-  const Message query =
-      Message::make_query(id, reverse_pointer_name(address), std::nullopt, RrType::kPtr);
-  ++queries_;
-  const auto reply_wire = transport_->exchange(client_, server_, query.encode());
-  const Message reply = Message::decode(reply_wire);
-  for (const auto& rr : reply.answers) {
-    if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
-      return ptr->name.to_string();
+  // PTR data is best-effort (real traceroutes show plenty of hops without
+  // names): retry transient failures within the same budget, then degrade
+  // to "no name" rather than failing the trial that asked.
+  for (int attempt_no = 0; attempt_no < config_.max_attempts; ++attempt_no) {
+    if (attempt_no > 0) ++stats_.retries;
+    const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
+    const Message query =
+        Message::make_query(id, reverse_pointer_name(address), std::nullopt, RrType::kPtr);
+    ++stats_.queries;
+    try {
+      const auto reply_wire = transport_->exchange(client_, server_, query.encode());
+      const Message reply = Message::decode(reply_wire);
+      for (const auto& rr : reply.answers) {
+        if (const auto* ptr = std::get_if<PtrRdata>(&rr.rdata)) {
+          return ptr->name.to_string();
+        }
+      }
+      return "";
+    } catch (const net::TimeoutError&) {
+      ++stats_.timeouts;
+    } catch (const net::UnreachableError&) {
+      ++stats_.unreachable;
+    } catch (const net::TransientError&) {
+      ++stats_.validation_failures;
     }
   }
+  ++stats_.failed_queries;
   return "";
 }
 

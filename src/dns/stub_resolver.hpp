@@ -14,6 +14,14 @@
 namespace drongo::dns {
 
 /// Outcome of a resolution.
+///
+/// A non-throwing resolve always returns a typed result; callers must
+/// distinguish the failure classes instead of collapsing them into !ok():
+/// NXDOMAIN means the name does not exist (retrying or falling back to a
+/// different subnet cannot help), SERVFAIL/REFUSED mean the server could
+/// not or would not answer right now (a different server, subnet, or a
+/// later retry may succeed), and NOERROR with no addresses is NODATA — a
+/// healthy answer that simply carries no A records.
 struct ResolutionResult {
   Rcode rcode = Rcode::kNoError;
   /// A-record addresses in server-given order. Callers that respect CDN load
@@ -23,8 +31,64 @@ struct ResolutionResult {
   std::uint32_t ttl = 0;
   /// ECS scope returned by the server, when it echoed the option.
   std::optional<net::Prefix> ecs_scope;
+  /// How many attempts this resolution took (1 = first try succeeded).
+  int attempts = 1;
+  /// Whether the final answer came over the TCP fallback path.
+  bool used_tcp = false;
 
+  /// A usable positive answer: NOERROR with at least one address.
   [[nodiscard]] bool ok() const { return rcode == Rcode::kNoError && !addresses.empty(); }
+  /// NOERROR with an empty answer section (NODATA): the name exists but has
+  /// no A records. NOT a server failure.
+  [[nodiscard]] bool nodata() const {
+    return rcode == Rcode::kNoError && addresses.empty();
+  }
+  /// The name does not exist. Permanent for this name; never retried.
+  [[nodiscard]] bool name_error() const { return rcode == Rcode::kNxDomain; }
+  /// The server could not (SERVFAIL) or would not (REFUSED) answer —
+  /// transient from the client's perspective.
+  [[nodiscard]] bool server_failure() const {
+    return rcode == Rcode::kServFail || rcode == Rcode::kRefused;
+  }
+};
+
+/// Retry/deadline policy for a StubResolver.
+///
+/// There is no wall clock in the simulation, so the deadline is enforced
+/// against *simulated* elapsed milliseconds: each retry's backoff is added
+/// to a per-query budget, mirroring how a real stub's SIGALRM-style query
+/// deadline interacts with its retransmission schedule.
+struct ResolverConfig {
+  /// Total send attempts per query (1 = no retries).
+  int max_attempts = 3;
+  /// First backoff before the second attempt, in simulated ms.
+  double base_backoff_ms = 50.0;
+  /// Exponential growth factor per retry.
+  double backoff_factor = 2.0;
+  /// Backoff ceiling in simulated ms.
+  double max_backoff_ms = 2000.0;
+  /// Uniform jitter fraction applied to each backoff: the actual wait is
+  /// backoff * (1 + U[0, jitter_fraction)). Decorrelates retry storms.
+  double jitter_fraction = 0.5;
+  /// Per-query simulated deadline; once cumulative backoff exceeds it the
+  /// query gives up even if attempts remain.
+  double query_deadline_ms = 5000.0;
+  /// Retry on SERVFAIL/REFUSED answers (real stubs rotate/retry on these).
+  bool retry_server_failure = true;
+};
+
+/// What the resolver endured: per-instance tallies of retries, fault kinds
+/// seen, and fallbacks. Campaign layers fold these into per-trial health.
+struct ResolverStats {
+  std::uint64_t queries = 0;           ///< attempts actually sent
+  std::uint64_t retries = 0;           ///< attempts after the first
+  std::uint64_t timeouts = 0;          ///< attempts lost to timeouts
+  std::uint64_t unreachable = 0;       ///< attempts that found nobody home
+  std::uint64_t validation_failures = 0;  ///< mismatched id/question/0x20 replies
+  std::uint64_t server_failures = 0;   ///< SERVFAIL/REFUSED answers seen
+  std::uint64_t tcp_fallbacks = 0;     ///< TC=1 answers retried over TCP
+  std::uint64_t deadline_exceeded = 0; ///< queries that ran out of budget
+  std::uint64_t failed_queries = 0;    ///< queries that exhausted all attempts
 };
 
 /// A minimal client resolver that speaks to one recursive/authoritative
@@ -33,17 +97,30 @@ struct ResolutionResult {
 /// The distinguishing feature is first-class ECS control: `resolve` takes an
 /// optional subnet to announce. Passing the client's own /24 models ordinary
 /// ECS resolution; passing a hop's /24 is subnet assimilation.
+///
+/// Resilience: transient transport failures (timeouts, unreachable servers,
+/// spoof-suspect replies) are retried with exponential backoff and jitter
+/// under a simulated per-query deadline; truncated UDP answers retry over
+/// the TCP fallback transport when one is set. Only after the retry budget
+/// is exhausted does the last transient error propagate. Permanent errors
+/// (bad configuration, malformed local input) propagate immediately.
 class StubResolver {
  public:
   /// `transport` is borrowed and must outlive the resolver.
   StubResolver(DnsTransport* transport, net::Ipv4Addr client_address,
-               net::Ipv4Addr server_address, std::uint64_t seed = 1);
+               net::Ipv4Addr server_address, std::uint64_t seed = 1,
+               ResolverConfig config = {});
 
   /// Enables/disables DNS 0x20 case randomization (on by default): query
   /// names are sent with random letter casing and the response's echoed
   /// question must match byte-for-byte, hardening against off-path
   /// spoofing (draft-vixie-dnsext-dns0x20).
   void set_case_randomization(bool enabled) { randomize_case_ = enabled; }
+
+  /// Sets the transport used to retry truncated (TC=1) UDP answers, per
+  /// RFC 1035 §4.2.2. Borrowed; nullptr disables the fallback (a truncated
+  /// answer is then returned as-is, addresses empty).
+  void set_fallback_transport(DnsTransport* tcp) { fallback_ = tcp; }
 
   /// Resolves `name` to A records. `ecs_subnet` is announced verbatim when
   /// present; otherwise no ECS option is attached (the server then falls back
@@ -60,22 +137,34 @@ class StubResolver {
   ResolutionResult resolve_with_own_subnet(const DnsName& name);
 
   /// Reverse lookup: the PTR name of `address`, or empty when no PTR
-  /// record exists (private or unknown space).
+  /// record exists (private or unknown space) — or when the lookup kept
+  /// failing transiently; PTR data is best-effort by contract.
   std::string resolve_ptr(net::Ipv4Addr address);
 
   [[nodiscard]] net::Ipv4Addr client_address() const { return client_; }
   [[nodiscard]] net::Ipv4Addr server_address() const { return server_; }
+  [[nodiscard]] const ResolverConfig& config() const { return config_; }
 
-  /// Number of queries issued (measurement-overhead accounting).
-  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+  /// Number of queries issued (measurement-overhead accounting); counts
+  /// every attempt, including retries and TCP fallbacks.
+  [[nodiscard]] std::uint64_t query_count() const { return stats_.queries; }
+
+  /// Everything this resolver endured so far.
+  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
 
  private:
+  /// One send/validate round; throws net::TransientError subclasses on
+  /// transport trouble or suspect replies.
+  ResolutionResult attempt(const DnsName& name, std::optional<net::Prefix> ecs_subnet);
+
   DnsTransport* transport_;
+  DnsTransport* fallback_ = nullptr;
   net::Ipv4Addr client_;
   net::Ipv4Addr server_;
   net::Rng rng_;
+  ResolverConfig config_;
   bool randomize_case_ = true;
-  std::uint64_t queries_ = 0;
+  ResolverStats stats_;
 };
 
 }  // namespace drongo::dns

@@ -138,7 +138,8 @@ std::vector<std::uint8_t> TcpDnsClient::exchange(net::Ipv4Addr /*source*/,
                                                  std::span<const std::uint8_t> query) {
   auto it = endpoints_.find(destination);
   if (it == endpoints_.end()) {
-    throw net::Error("no TCP endpoint registered for " + destination.to_string());
+    throw net::InvalidArgument("no TCP endpoint registered for " +
+                               destination.to_string());
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw net::Error(std::string("socket(): ") + std::strerror(errno));
@@ -146,7 +147,7 @@ std::vector<std::uint8_t> TcpDnsClient::exchange(net::Ipv4Addr /*source*/,
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int saved = errno;
     ::close(fd);
-    throw net::Error(std::string("connect(): ") + std::strerror(saved));
+    throw net::UnreachableError(std::string("connect(): ") + std::strerror(saved));
   }
   std::vector<std::uint8_t> reply;
   if (write_framed(fd, query)) {
@@ -154,7 +155,8 @@ std::vector<std::uint8_t> TcpDnsClient::exchange(net::Ipv4Addr /*source*/,
   }
   ::close(fd);
   if (reply.empty()) {
-    throw net::Error("TCP DNS exchange with " + destination.to_string() + " failed");
+    throw net::TimeoutError("TCP DNS exchange with " + destination.to_string() +
+                            " failed");
   }
   return reply;
 }
@@ -172,7 +174,7 @@ std::vector<std::uint8_t> TruncationFallbackTransport::exchange(
   auto reply = udp_->exchange(source, destination, query);
   const Message decoded = Message::decode(reply);
   if (!decoded.header.tc) return reply;
-  ++fallbacks_;
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
   return tcp_->exchange(source, destination, query);
 }
 

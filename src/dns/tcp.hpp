@@ -74,12 +74,15 @@ class TruncationFallbackTransport : public DnsTransport {
                                      std::span<const std::uint8_t> query) override;
 
   /// How many exchanges fell back to TCP.
-  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   DnsTransport* udp_;
   DnsTransport* tcp_;
-  std::uint64_t fallbacks_ = 0;
+  /// Relaxed atomic: the transport may be shared across campaign workers.
+  std::atomic<std::uint64_t> fallbacks_{0};
 };
 
 /// Truncates `response` to fit `max_bytes` when necessary: drops answer/

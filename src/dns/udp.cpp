@@ -155,7 +155,8 @@ std::vector<std::uint8_t> UdpDnsClient::exchange(net::Ipv4Addr /*source*/,
                                                  std::span<const std::uint8_t> query) {
   auto it = endpoints_.find(destination);
   if (it == endpoints_.end()) {
-    throw net::Error("no UDP endpoint registered for " + destination.to_string());
+    throw net::InvalidArgument("no UDP endpoint registered for " +
+                               destination.to_string());
   }
   for (int attempt = 0; attempt < attempts_; ++attempt) {
     socket_.send_to(it->second, query);
@@ -163,8 +164,8 @@ std::vector<std::uint8_t> UdpDnsClient::exchange(net::Ipv4Addr /*source*/,
     std::vector<std::uint8_t> reply = socket_.receive_from(from_port);
     if (!reply.empty()) return reply;
   }
-  throw net::Error("DNS query to " + destination.to_string() + " timed out after " +
-                   std::to_string(attempts_) + " attempts");
+  throw net::TimeoutError("DNS query to " + destination.to_string() +
+                          " timed out after " + std::to_string(attempts_) + " attempts");
 }
 
 }  // namespace drongo::dns

@@ -12,7 +12,19 @@ namespace drongo::measure {
 
 namespace {
 
-constexpr const char* kMagic = "drongo-dataset-v1";
+// v2 added per-trial outcome/failure fields and the health line; v1 files
+// (all trials implicitly ok, no health) still load.
+constexpr const char* kMagicV1 = "drongo-dataset-v1";
+constexpr const char* kMagicV2 = "drongo-dataset-v2";
+
+/// '|' is the field separator, so it must not appear inside a free-text
+/// failure message (they never do today; this guards future messages).
+std::string sanitize_field(std::string s) {
+  for (char& c : s) {
+    if (c == '|' || c == '\n') c = '/';
+  }
+  return s;
+}
 
 double parse_double(const std::string& s) {
   try {
@@ -39,10 +51,16 @@ std::uint64_t parse_u64(const std::string& s) {
 void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
   // Full round-trip precision for the measurement values.
   out.precision(17);
-  out << kMagic << "\n";
+  out << kMagicV2 << "\n";
   for (const auto& r : records) {
     out << "trial|" << r.provider << "|" << r.domain << "|" << r.client_index << "|"
-        << r.client.to_string() << "|" << r.time_hours << "\n";
+        << r.client.to_string() << "|" << r.time_hours << "|" << to_string(r.outcome)
+        << "|" << sanitize_field(r.failure) << "\n";
+    const HealthCounters& h = r.health;
+    out << "health|" << h.queries << "|" << h.retries << "|" << h.timeouts << "|"
+        << h.unreachable << "|" << h.validation_failures << "|" << h.server_failures
+        << "|" << h.tcp_fallbacks << "|" << h.deadline_exceeded << "|"
+        << h.failed_queries << "|" << h.hop_resolution_failures << "\n";
     for (const auto& m : r.cr) {
       out << "cr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
           << m.download_first_ms << "|" << m.download_cached_ms << "\n";
@@ -66,7 +84,7 @@ void save_dataset_file(const std::string& path, const std::vector<TrialRecord>& 
 
 std::vector<TrialRecord> load_dataset(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line) || (line != kMagicV1 && line != kMagicV2)) {
     throw net::ParseError("dataset missing magic header");
   }
   std::vector<TrialRecord> records;
@@ -76,15 +94,37 @@ std::vector<TrialRecord> load_dataset(std::istream& in) {
     const auto fields = net::split(line, '|');
     const std::string& kind = fields[0];
     if (kind == "trial") {
-      if (fields.size() != 6) throw net::ParseError("bad trial line: " + line);
+      // 6 fields = v1 (implicitly ok), 8 = v2 with outcome + failure.
+      if (fields.size() != 6 && fields.size() != 8) {
+        throw net::ParseError("bad trial line: " + line);
+      }
       TrialRecord r;
       r.provider = fields[1];
       r.domain = fields[2];
       r.client_index = parse_u64(fields[3]);
       r.client = net::Ipv4Addr::must_parse(fields[4]);
       r.time_hours = parse_double(fields[5]);
+      if (fields.size() == 8) {
+        r.outcome = trial_outcome_from_string(fields[6]);
+        r.failure = fields[7];
+      }
       records.push_back(std::move(r));
       current_hop = nullptr;
+    } else if (kind == "health") {
+      if (fields.size() != 11 || records.empty()) {
+        throw net::ParseError("bad health line: " + line);
+      }
+      HealthCounters& h = records.back().health;
+      h.queries = parse_u64(fields[1]);
+      h.retries = parse_u64(fields[2]);
+      h.timeouts = parse_u64(fields[3]);
+      h.unreachable = parse_u64(fields[4]);
+      h.validation_failures = parse_u64(fields[5]);
+      h.server_failures = parse_u64(fields[6]);
+      h.tcp_fallbacks = parse_u64(fields[7]);
+      h.deadline_exceeded = parse_u64(fields[8]);
+      h.failed_queries = parse_u64(fields[9]);
+      h.hop_resolution_failures = parse_u64(fields[10]);
     } else if (kind == "cr") {
       if (fields.size() != 5 || records.empty()) {
         throw net::ParseError("bad cr line: " + line);

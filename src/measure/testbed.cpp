@@ -71,7 +71,25 @@ Testbed::Testbed(TestbedConfig config)
     }
   }
   resolver_address_ = world_.add_host(t1_index, topology::HostKind::kServer, 0);
-  resolver_ = std::make_unique<cdn::PublicResolver>(&network_, resolver_address_);
+  // Fault decorators sit on every DNS path. With the default (inactive)
+  // profile they are transparent; with faults configured, the client path
+  // and the resolver's upstream path draw from distinct seeds so the two
+  // hops fail independently, as distinct network segments do.
+  client_faults_ = std::make_unique<dns::FaultyTransport>(
+      &network_, config_.fault_seed, config_.fault_profile,
+      dns::FaultyTransport::Channel::kUdp);
+  client_tcp_faults_ = std::make_unique<dns::FaultyTransport>(
+      &network_, config_.fault_seed, config_.fault_profile,
+      dns::FaultyTransport::Channel::kTcp);
+  // The resolver's upstream path uses the kTcp personality: a real
+  // recursive performs its own UDP->TCP fallback when an authoritative
+  // truncates, invisibly to the client, so injected truncation must not
+  // fire on this segment (every other fault still does).
+  resolver_faults_ = std::make_unique<dns::FaultyTransport>(
+      &network_, config_.fault_seed ^ 0xA07D, config_.fault_profile,
+      dns::FaultyTransport::Channel::kTcp);
+  resolver_ =
+      std::make_unique<cdn::PublicResolver>(resolver_faults_.get(), resolver_address_);
   network_.register_server(resolver_address_, resolver_.get());
   for (std::size_t i = 0; i < providers_.size(); ++i) {
     resolver_->register_zone(dns::DnsName::must_parse(providers_[i]->profile().zone),
@@ -124,7 +142,10 @@ std::vector<dns::DnsName> Testbed::content_names(std::size_t index) const {
 }
 
 dns::StubResolver Testbed::make_stub(net::Ipv4Addr client, std::uint64_t seed) {
-  return dns::StubResolver(&network_, client, resolver_address_, seed);
+  dns::StubResolver stub(client_faults_.get(), client, resolver_address_, seed,
+                         config_.resolver_config);
+  stub.set_fallback_transport(client_tcp_faults_.get());
+  return stub;
 }
 
 }  // namespace drongo::measure

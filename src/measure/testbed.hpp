@@ -15,6 +15,7 @@
 #include "cdn/resolver.hpp"
 #include "cdn/reverse_dns.hpp"
 #include "cdn/sites.hpp"
+#include "dns/faults.hpp"
 #include "dns/inmemory.hpp"
 #include "dns/stub_resolver.hpp"
 #include "measure/probes.hpp"
@@ -32,6 +33,15 @@ struct TestbedConfig {
   /// CDN-fronted web sites (CNAME into the CDNs); 0 disables the layer.
   int site_count = 12;
   std::uint64_t seed = 42;
+  /// Fault injection on the DNS paths (client<->resolver and
+  /// resolver<->authoritative). Defaults to no faults — the pristine
+  /// network every existing experiment assumes.
+  dns::FaultProfile fault_profile;
+  /// Seed for fault draws, independent of the topology seed so the same
+  /// world can be measured under different fault realizations.
+  std::uint64_t fault_seed = 0xFA17;
+  /// Retry/backoff policy handed to every stub this testbed creates.
+  dns::ResolverConfig resolver_config;
 
   /// PlanetLab-scale setup (95 nodes, §3.1).
   static TestbedConfig planetlab();
@@ -68,8 +78,19 @@ class Testbed {
   [[nodiscard]] const std::vector<net::Ipv4Addr>& clients() const { return clients_; }
   [[nodiscard]] net::Ipv4Addr resolver_address() const { return resolver_address_; }
   [[nodiscard]] cdn::PublicResolver& resolver() { return *resolver_; }
+  /// Authoritative server addresses, in provider order (outage targets).
+  [[nodiscard]] const std::vector<net::Ipv4Addr>& authoritative_addresses() const {
+    return auth_addresses_;
+  }
 
-  /// A stub resolver for one client, pointed at the public resolver.
+  /// The fault decorator on the client's UDP path (stub -> resolver).
+  [[nodiscard]] dns::FaultyTransport& client_faults() { return *client_faults_; }
+  /// The fault decorator on the resolver's upstream path (-> authoritatives).
+  [[nodiscard]] dns::FaultyTransport& resolver_faults() { return *resolver_faults_; }
+
+  /// A stub resolver for one client, pointed at the public resolver through
+  /// the fault fabric, with the TCP fallback channel attached (so injected
+  /// truncation exercises the RFC 1035 TCP retry path).
   dns::StubResolver make_stub(net::Ipv4Addr client, std::uint64_t seed = 1);
 
  private:
@@ -83,6 +104,12 @@ class Testbed {
   std::vector<std::unique_ptr<cdn::CdnProvider>> providers_;
   std::vector<std::unique_ptr<cdn::CdnAuthoritative>> authoritatives_;
   std::vector<net::Ipv4Addr> auth_addresses_;
+  /// Fault decorators over the in-memory fabric: the client's UDP and TCP
+  /// channels and the resolver's upstream channel each draw from their own
+  /// stream, so one path's faults never perturb another's.
+  std::unique_ptr<dns::FaultyTransport> client_faults_;
+  std::unique_ptr<dns::FaultyTransport> client_tcp_faults_;
+  std::unique_ptr<dns::FaultyTransport> resolver_faults_;
   std::unique_ptr<cdn::PublicResolver> resolver_;
   std::unique_ptr<cdn::SiteAuthoritative> site_auth_;
   std::unique_ptr<cdn::ReverseDnsAuthoritative> reverse_dns_;

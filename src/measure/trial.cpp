@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "dns/faults.hpp"
 #include "net/error.hpp"
 
 namespace drongo::measure {
@@ -15,6 +16,61 @@ namespace {
 constexpr std::uint64_t kScheduleStream = 0x5C4ED01EULL;
 
 }  // namespace
+
+void HealthCounters::add(const dns::ResolverStats& stats) {
+  queries += stats.queries;
+  retries += stats.retries;
+  timeouts += stats.timeouts;
+  unreachable += stats.unreachable;
+  validation_failures += stats.validation_failures;
+  server_failures += stats.server_failures;
+  tcp_fallbacks += stats.tcp_fallbacks;
+  deadline_exceeded += stats.deadline_exceeded;
+  failed_queries += stats.failed_queries;
+}
+
+HealthCounters& HealthCounters::operator+=(const HealthCounters& other) {
+  queries += other.queries;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  unreachable += other.unreachable;
+  validation_failures += other.validation_failures;
+  server_failures += other.server_failures;
+  tcp_fallbacks += other.tcp_fallbacks;
+  deadline_exceeded += other.deadline_exceeded;
+  failed_queries += other.failed_queries;
+  hop_resolution_failures += other.hop_resolution_failures;
+  return *this;
+}
+
+CampaignHealth aggregate_health(const std::vector<TrialRecord>& records) {
+  CampaignHealth health;
+  for (const auto& r : records) {
+    health.totals += r.health;
+    switch (r.outcome) {
+      case TrialOutcome::kOk: ++health.ok_trials; break;
+      case TrialOutcome::kDegraded: ++health.degraded_trials; break;
+      case TrialOutcome::kFailed: ++health.failed_trials; break;
+    }
+  }
+  return health;
+}
+
+const char* to_string(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::kOk: return "ok";
+    case TrialOutcome::kDegraded: return "degraded";
+    case TrialOutcome::kFailed: return "failed";
+  }
+  return "ok";
+}
+
+TrialOutcome trial_outcome_from_string(const std::string& s) {
+  if (s == "ok") return TrialOutcome::kOk;
+  if (s == "degraded") return TrialOutcome::kDegraded;
+  if (s == "failed") return TrialOutcome::kFailed;
+  throw net::ParseError("unknown trial outcome '" + s + "'");
+}
 
 double TrialRecord::min_crm() const {
   double best = std::numeric_limits<double>::infinity();
@@ -59,6 +115,10 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   auto& world = testbed_->world();
   const net::Ipv4Addr client = testbed_->clients().at(client_index);
 
+  // Fault outage windows are matched against the trial's simulated time;
+  // thread-local, so concurrent workers each see their own trial's clock.
+  const dns::ScopedFaultTime fault_time(time_hours);
+
   TrialRecord record;
   record.provider = testbed_->profile(provider_index).name;
   record.client_index = client_index;
@@ -72,12 +132,27 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   record.domain = domain.to_string();
 
   // Step 2: CR-set via an ordinary ECS resolution (client's own /24).
+  // Without a CR-set there is nothing to traceroute toward and nothing to
+  // compare against, so the trial is recorded as failed — not thrown: one
+  // bad trial must not abort a 45-trial campaign (a real vantage point
+  // simply has a gap in its data for that round).
   dns::StubResolver stub = testbed_->make_stub(client, rng.next_u64());
-  const auto cr_result = stub.resolve_with_own_subnet(domain);
+  dns::ResolutionResult cr_result;
+  try {
+    cr_result = stub.resolve_with_own_subnet(domain);
+  } catch (const net::TransientError& e) {
+    record.outcome = TrialOutcome::kFailed;
+    record.failure = e.what();
+    record.health.add(stub.stats());
+    return record;
+  }
   if (!cr_result.ok()) {
-    // An unreachable CDN is a configuration error in the testbed, not a
-    // measurable condition.
-    throw net::Error("CR resolution failed for " + domain.to_string());
+    record.outcome = TrialOutcome::kFailed;
+    record.failure = std::string("CR resolution for ") + domain.to_string() +
+                     " answered " + dns::to_string(cr_result.rcode) +
+                     (cr_result.nodata() ? " with no addresses" : "");
+    record.health.add(stub.stats());
+    return record;
   }
 
   // Step 3: traceroute toward each CR; collect hops (dedupe by /24). Hop
@@ -117,13 +192,27 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
     }
   }
 
-  // Step 4: HR-set per usable hop via subnet assimilation.
+  // Step 4: HR-set per usable hop via subnet assimilation. A hop whose
+  // resolution keeps failing degrades the trial (that hop yields no HR-set
+  // this round — downstream layers fall back to the client's own subnet)
+  // but never fails it: the CR measurements remain valid.
   for (auto& hop : record.hops) {
     if (!hop.usable) continue;
-    const auto hr_result = stub.resolve(domain, hop.subnet);
-    if (!hr_result.ok()) continue;
-    for (net::Ipv4Addr hr_addr : hr_result.addresses) {
-      hop.hr.push_back({hr_addr, 0.0});
+    try {
+      const auto hr_result = stub.resolve(domain, hop.subnet);
+      if (!hr_result.ok()) {
+        if (hr_result.server_failure()) {
+          ++record.health.hop_resolution_failures;
+          record.outcome = TrialOutcome::kDegraded;
+        }
+        continue;
+      }
+      for (net::Ipv4Addr hr_addr : hr_result.addresses) {
+        hop.hr.push_back({hr_addr, 0.0});
+      }
+    } catch (const net::TransientError&) {
+      ++record.health.hop_resolution_failures;
+      record.outcome = TrialOutcome::kDegraded;
     }
   }
 
@@ -160,6 +249,11 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
       hr = measure(hr.replica);
     }
   }
+  if (record.outcome == TrialOutcome::kDegraded) {
+    record.failure = std::to_string(record.health.hop_resolution_failures) +
+                     " hop resolution(s) failed";
+  }
+  record.health.add(stub.stats());
   return record;
 }
 

@@ -33,6 +33,43 @@ struct ReplicaMeasurement {
   double download_cached_ms = 0.0;
 };
 
+/// How a trial ended.
+enum class TrialOutcome : std::uint8_t {
+  kOk = 0,        ///< everything measured
+  kDegraded = 1,  ///< CR-set measured, but some hop assimilations failed
+  kFailed = 2,    ///< no CR-set: the trial produced no measurements
+};
+
+/// Resilience bookkeeping for one trial (or, summed, a whole campaign):
+/// what the client path endured and how it coped. Mirrors
+/// dns::ResolverStats plus the trial-level hop degradations.
+struct HealthCounters {
+  std::uint64_t queries = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t validation_failures = 0;
+  std::uint64_t server_failures = 0;
+  std::uint64_t tcp_fallbacks = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed_queries = 0;
+  /// Usable hops whose assimilated HR resolution never succeeded.
+  std::uint64_t hop_resolution_failures = 0;
+
+  void add(const dns::ResolverStats& stats);
+  HealthCounters& operator+=(const HealthCounters& other);
+  bool operator==(const HealthCounters&) const = default;
+};
+
+/// Campaign-level health: summed trial counters plus outcome tallies.
+struct CampaignHealth {
+  HealthCounters totals;
+  std::uint64_t ok_trials = 0;
+  std::uint64_t degraded_trials = 0;
+  std::uint64_t failed_trials = 0;
+  bool operator==(const CampaignHealth&) const = default;
+};
+
 /// One traceroute hop with its assimilation results.
 struct HopRecord {
   net::Ipv4Addr ip;
@@ -54,6 +91,13 @@ struct TrialRecord {
   /// CR-set (server order) with CRMs.
   std::vector<ReplicaMeasurement> cr;
   std::vector<HopRecord> hops;
+  /// How the trial ended. Failed trials carry no measurements but ARE
+  /// returned (and persisted): a real campaign keeps its gaps on record.
+  TrialOutcome outcome = TrialOutcome::kOk;
+  /// Human-readable cause, set when outcome != kOk.
+  std::string failure;
+  /// What the client path endured during this trial.
+  HealthCounters health;
 
   /// Lowest CRM (the "best client replica" of §3.2); +inf when empty.
   [[nodiscard]] double min_crm() const;
@@ -61,7 +105,18 @@ struct TrialRecord {
   [[nodiscard]] double first_crm() const;
   /// Usable hops only.
   [[nodiscard]] std::vector<const HopRecord*> usable() const;
+  /// True when the trial produced no measurements at all.
+  [[nodiscard]] bool failed() const { return outcome == TrialOutcome::kFailed; }
 };
+
+/// Sums per-trial health across a campaign. Order-independent, so serial
+/// and parallel runs of the same task list aggregate identically.
+CampaignHealth aggregate_health(const std::vector<TrialRecord>& records);
+
+/// Dataset/CLI spelling of an outcome: ok | degraded | failed.
+const char* to_string(TrialOutcome outcome);
+/// Inverse of to_string; throws net::ParseError on unknown spellings.
+TrialOutcome trial_outcome_from_string(const std::string& s);
 
 /// Trial execution knobs.
 struct TrialConfig {

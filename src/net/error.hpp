@@ -11,27 +11,71 @@ namespace drongo::net {
 /// Every library-specific error derives from this so callers can catch one
 /// type at an API boundary. Errors are exceptional: malformed wire data, bad
 /// configuration, violated preconditions — not ordinary control flow.
+///
+/// The hierarchy splits into two branches so callers on the resolution path
+/// can make retry decisions by type alone:
+///
+///   Error
+///   ├── TransientError        retrying may succeed
+///   │   ├── TimeoutError      a query or reply was lost / arrived too late
+///   │   └── UnreachableError  the peer is down or unroutable right now
+///   └── PermanentError        retrying the same operation cannot succeed
+///       ├── ParseError
+///       ├── BoundsError
+///       └── InvalidArgument
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Raised when parsing text or wire-format data fails.
-class ParseError : public Error {
+/// A failure that a retry (possibly after a backoff) may resolve: packet
+/// loss, slow or flaky peers, servers restarting. Resolvers retry these
+/// within their budget; campaign layers record them as per-trial outcomes.
+class TransientError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A query or reply was lost, or the reply arrived after the deadline.
+class TimeoutError : public TransientError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransientError("timeout: " + what) {}
+};
+
+/// The destination is down or unroutable at the moment (server outage,
+/// nothing listening at the address). Distinct from TimeoutError so health
+/// accounting can tell loss from dead peers.
+class UnreachableError : public TransientError {
+ public:
+  explicit UnreachableError(const std::string& what)
+      : TransientError("unreachable: " + what) {}
+};
+
+/// A failure no retry can fix: bad input, bad configuration, violated API
+/// contracts. Callers should propagate these, not spend retry budget.
+class PermanentError : public Error {
+ public:
+  explicit PermanentError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when parsing text or wire-format data fails.
+class ParseError : public PermanentError {
+ public:
+  explicit ParseError(const std::string& what) : PermanentError("parse error: " + what) {}
 };
 
 /// Raised when a bounds-checked read or write would overrun a buffer.
-class BoundsError : public Error {
+class BoundsError : public PermanentError {
  public:
-  explicit BoundsError(const std::string& what) : Error("bounds error: " + what) {}
+  explicit BoundsError(const std::string& what)
+      : PermanentError("bounds error: " + what) {}
 };
 
 /// Raised when an API is used with arguments that violate its contract.
-class InvalidArgument : public Error {
+class InvalidArgument : public PermanentError {
  public:
-  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+  explicit InvalidArgument(const std::string& what)
+      : PermanentError("invalid argument: " + what) {}
 };
 
 }  // namespace drongo::net

@@ -161,6 +161,198 @@ TEST_F(ResolverFixture, ProxyRejectsEmptyQuestion) {
   EXPECT_EQ(response.header.rcode, Rcode::kFormErr);
 }
 
+// ---- Rcode semantics & retry policy ----------------------------------------
+
+/// Answers every query with one fixed rcode (and no answer records).
+class RcodeServer : public DnsServer {
+ public:
+  explicit RcodeServer(Rcode rcode) : rcode_(rcode) {}
+  Message handle(const Message& query, net::Ipv4Addr) override {
+    ++queries;
+    return Message::make_response(query, rcode_);
+  }
+  Rcode rcode_;
+  int queries = 0;
+};
+
+/// Throws a scripted transient error for the first `failures` exchanges,
+/// then delegates — a network that recovers.
+class FailNTimesTransport : public DnsTransport {
+ public:
+  FailNTimesTransport(DnsTransport* inner, int failures)
+      : inner_(inner), remaining_(failures) {}
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
+                                     std::span<const std::uint8_t> query) override {
+    ++exchanges;
+    if (remaining_ > 0) {
+      --remaining_;
+      throw net::TimeoutError("scripted loss");
+    }
+    return inner_->exchange(source, destination, query);
+  }
+  DnsTransport* inner_;
+  int remaining_;
+  int exchanges = 0;
+};
+
+/// Truncates every reply (TC=1, answers dropped), as an over-UDP answer
+/// that did not fit would be.
+class TruncatingTransport : public DnsTransport {
+ public:
+  explicit TruncatingTransport(DnsTransport* inner) : inner_(inner) {}
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr source, net::Ipv4Addr destination,
+                                     std::span<const std::uint8_t> query) override {
+    Message reply = Message::decode(inner_->exchange(source, destination, query));
+    reply.header.tc = true;
+    reply.answers.clear();
+    return reply.encode();
+  }
+  DnsTransport* inner_;
+};
+
+/// Returns bytes that are not a DNS message at all.
+class GarbageTransport : public DnsTransport {
+ public:
+  std::vector<std::uint8_t> exchange(net::Ipv4Addr, net::Ipv4Addr,
+                                     std::span<const std::uint8_t>) override {
+    ++exchanges;
+    return {0xde, 0xad};
+  }
+  int exchanges = 0;
+};
+
+TEST_F(ResolverFixture, NxDomainIsPermanentAndNeverRetried) {
+  RcodeServer nx(Rcode::kNxDomain);
+  const net::Ipv4Addr nx_addr(9, 9, 9, 10);
+  network.register_server(nx_addr, &nx);
+  StubResolver stub(&network, client_addr, nx_addr);
+  const auto result = stub.resolve("gone.cdn.sim");
+  EXPECT_TRUE(result.name_error());
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.server_failure());
+  EXPECT_EQ(result.attempts, 1);  // retrying a nonexistent name cannot help
+  EXPECT_EQ(nx.queries, 1);
+  EXPECT_EQ(stub.stats().retries, 0u);
+}
+
+TEST_F(ResolverFixture, NoDataIsAHealthyAnswerNotAFailure) {
+  RcodeServer empty(Rcode::kNoError);
+  const net::Ipv4Addr empty_addr(9, 9, 9, 11);
+  network.register_server(empty_addr, &empty);
+  StubResolver stub(&network, client_addr, empty_addr);
+  const auto result = stub.resolve("aaaa-only.cdn.sim");
+  EXPECT_TRUE(result.nodata());
+  EXPECT_FALSE(result.ok());          // no addresses to use...
+  EXPECT_FALSE(result.server_failure());  // ...but nothing failed
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(stub.stats().failed_queries, 0u);
+}
+
+TEST_F(ResolverFixture, ServfailIsRetriedThenReturnedTyped) {
+  RcodeServer sick(Rcode::kServFail);
+  const net::Ipv4Addr sick_addr(9, 9, 9, 12);
+  network.register_server(sick_addr, &sick);
+  StubResolver stub(&network, client_addr, sick_addr);
+  const auto result = stub.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.server_failure());
+  EXPECT_EQ(result.rcode, Rcode::kServFail);
+  EXPECT_EQ(result.attempts, stub.config().max_attempts);
+  EXPECT_EQ(sick.queries, stub.config().max_attempts);
+  EXPECT_EQ(stub.stats().server_failures,
+            static_cast<std::uint64_t>(stub.config().max_attempts));
+  EXPECT_EQ(stub.stats().failed_queries, 1u);
+}
+
+TEST_F(ResolverFixture, RefusedIsTransientLikeServfail) {
+  RcodeServer refusing(Rcode::kRefused);
+  const net::Ipv4Addr ref_addr(9, 9, 9, 13);
+  network.register_server(ref_addr, &refusing);
+  StubResolver stub(&network, client_addr, ref_addr);
+  const auto result = stub.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.server_failure());
+  EXPECT_EQ(result.rcode, Rcode::kRefused);
+  EXPECT_EQ(result.attempts, stub.config().max_attempts);
+}
+
+TEST_F(ResolverFixture, ServerFailureRetryCanBeDisabled) {
+  RcodeServer sick(Rcode::kServFail);
+  const net::Ipv4Addr sick_addr(9, 9, 9, 14);
+  network.register_server(sick_addr, &sick);
+  ResolverConfig config;
+  config.retry_server_failure = false;
+  StubResolver stub(&network, client_addr, sick_addr, 1, config);
+  const auto result = stub.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.server_failure());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(sick.queries, 1);
+}
+
+TEST_F(ResolverFixture, TransientTimeoutRecoversOnRetry) {
+  FailNTimesTransport flaky(&network, /*failures=*/1);
+  StubResolver stub(&flaky, client_addr, server_addr);
+  const auto result = stub.resolve("img.cdn.sim");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(stub.stats().retries, 1u);
+  EXPECT_EQ(stub.stats().timeouts, 1u);
+  EXPECT_EQ(stub.stats().queries, 2u);
+  EXPECT_EQ(stub.stats().failed_queries, 0u);
+}
+
+TEST_F(ResolverFixture, ExhaustedRetriesRethrowTheLastTransientError) {
+  FailNTimesTransport dead(&network, /*failures=*/1000);
+  StubResolver stub(&dead, client_addr, server_addr);
+  EXPECT_THROW(stub.resolve("img.cdn.sim"), net::TimeoutError);
+  EXPECT_EQ(stub.stats().timeouts,
+            static_cast<std::uint64_t>(stub.config().max_attempts));
+  EXPECT_EQ(stub.stats().failed_queries, 1u);
+}
+
+TEST_F(ResolverFixture, SimulatedDeadlineBoundsTheRetrySchedule) {
+  FailNTimesTransport dead(&network, /*failures=*/1000);
+  ResolverConfig config;
+  config.max_attempts = 10;
+  config.base_backoff_ms = 3000.0;
+  config.backoff_factor = 2.0;
+  config.max_backoff_ms = 100000.0;
+  config.query_deadline_ms = 5000.0;
+  config.jitter_fraction = 0.0;  // exact schedule: 3000, then 6000 > deadline
+  StubResolver impatient(&dead, client_addr, server_addr, 1, config);
+  EXPECT_THROW(impatient.resolve("img.cdn.sim"), net::TimeoutError);
+  EXPECT_EQ(impatient.stats().queries, 2u);  // deadline cut 8 attempts short
+  EXPECT_EQ(impatient.stats().deadline_exceeded, 1u);
+}
+
+TEST_F(ResolverFixture, TruncatedUdpAnswerRetriesOverTcp) {
+  TruncatingTransport udp(&network);
+  StubResolver stub(&udp, client_addr, server_addr);
+  stub.set_fallback_transport(&network);  // the "TCP" channel is clean
+  const auto result = stub.resolve_with_own_subnet(DnsName::must_parse("img.cdn.sim"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.used_tcp);
+  EXPECT_EQ(stub.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(stub.stats().queries, 2u);  // UDP attempt + TCP re-send
+}
+
+TEST_F(ResolverFixture, TruncationWithoutFallbackReturnsEmptyAnswer) {
+  TruncatingTransport udp(&network);
+  StubResolver stub(&udp, client_addr, server_addr);  // no fallback configured
+  const auto result = stub.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.nodata());
+  EXPECT_FALSE(result.used_tcp);
+  EXPECT_EQ(stub.stats().tcp_fallbacks, 0u);
+}
+
+TEST_F(ResolverFixture, PermanentDecodeErrorPropagatesWithoutRetry) {
+  GarbageTransport garbage;
+  StubResolver stub(&garbage, client_addr, server_addr);
+  // Two stray bytes can't even hold a header: decoding fails with a
+  // PermanentError subtype (here BoundsError), which must not be retried.
+  EXPECT_THROW(stub.resolve("img.cdn.sim"), net::PermanentError);
+  EXPECT_EQ(garbage.exchanges, 1);  // permanent: retrying cannot help
+  EXPECT_EQ(stub.stats().retries, 0u);
+}
+
 // ---- DnsCache ---------------------------------------------------------------
 
 TEST(DnsCacheTest, ScopeGatesReuse) {

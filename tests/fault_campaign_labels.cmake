@@ -1,0 +1,8 @@
+# Applied after gtest test discovery (see TEST_INCLUDE_FILES in
+# CMakeLists.txt): gives every fault_campaign test BOTH the concurrency and
+# faults labels, which gtest_discover_tests(PROPERTIES LABELS ...) cannot
+# express because its script writer flattens the semicolon.
+if(fault_campaign_test_names)
+  set_tests_properties(${fault_campaign_test_names}
+    PROPERTIES LABELS "concurrency;faults")
+endif()

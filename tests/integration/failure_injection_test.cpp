@@ -109,5 +109,131 @@ TEST(FailureInjectionTest, SpikyNetworkStillYieldsBoundedMeasurements) {
   }
 }
 
+// ---- Fault-policy matrix ---------------------------------------------------
+//
+// One parameterized body instead of ad-hoc cases: every injected fault
+// policy must let a small campaign complete with every cell reported, and
+// the health counters must show the policy actually bit. Policy-specific
+// expectations layer on top.
+
+struct FaultCase {
+  const char* name;
+  dns::FaultProfile (*profile)();  ///< built lazily, at test run time
+};
+
+class FaultMatrixTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultMatrixTest, CampaignDegradesGracefully) {
+  measure::TestbedConfig config = tiny_config();
+  config.fault_profile = GetParam().profile();
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 21);
+  const auto records = runner.run_campaign(/*trials_per_client=*/2,
+                                           /*spacing_hours=*/1.5);
+  ASSERT_EQ(records.size(), 4u * 6u * 2u);  // no cell silently dropped
+  const auto health = measure::aggregate_health(records);
+  EXPECT_EQ(health.ok_trials + health.degraded_trials + health.failed_trials,
+            records.size());
+  // The client path coped rather than collapsing: most trials measured.
+  EXPECT_GT(health.ok_trials + health.degraded_trials, records.size() / 2);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.failed(), r.cr.empty());
+    if (r.outcome != measure::TrialOutcome::kOk) EXPECT_FALSE(r.failure.empty());
+  }
+}
+
+dns::FaultProfile loss_profile() {
+  dns::FaultProfile p;
+  p.loss_prob = 0.10;
+  return p;
+}
+
+dns::FaultProfile truncation_profile() {
+  dns::FaultProfile p;
+  p.truncate_prob = 0.5;
+  return p;
+}
+
+dns::FaultProfile ecs_strip_profile() {
+  dns::FaultProfile p;
+  p.ecs_strip_prob = 0.5;
+  return p;
+}
+
+dns::FaultProfile outage_profile() {
+  dns::FaultProfile p;
+  // Every trial of the 2-round campaign happens before hour 4; take the
+  // second round (t in [1.5, 3.5)) out for whichever server this matches —
+  // addresses are assigned deterministically, so testbeds built from
+  // tiny_config() place authoritative 0 at the same address every time.
+  measure::Testbed probe(tiny_config());
+  p.outages.push_back({probe.authoritative_addresses().at(0), 1.4, 4.0});
+  return p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FaultMatrixTest,
+    ::testing::Values(FaultCase{"loss", &loss_profile},
+                      FaultCase{"truncation", &truncation_profile},
+                      FaultCase{"ecs_strip", &ecs_strip_profile},
+                      FaultCase{"outage", &outage_profile},
+                      FaultCase{"flaky", &dns::FaultProfile::flaky},
+                      FaultCase{"chaos", &dns::FaultProfile::chaos}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) { return std::string(info.param.name); });
+
+TEST(FaultMatrixExtrasTest, LossPolicyShowsRetriesAndTimeouts) {
+  measure::TestbedConfig config = tiny_config();
+  config.fault_profile = loss_profile();
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 22);
+  const auto health =
+      measure::aggregate_health(runner.run_campaign(2, 1.5));
+  EXPECT_GT(health.totals.timeouts, 0u);
+  EXPECT_GT(health.totals.retries, 0u);
+  EXPECT_GT(testbed.client_faults().losses() + testbed.resolver_faults().losses(), 0u);
+}
+
+TEST(FaultMatrixExtrasTest, TruncationPolicyDrivesTcpFallbacks) {
+  measure::TestbedConfig config = tiny_config();
+  config.fault_profile = truncation_profile();
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 23);
+  const auto health =
+      measure::aggregate_health(runner.run_campaign(2, 1.5));
+  EXPECT_GT(health.totals.tcp_fallbacks, 0u);
+  EXPECT_EQ(health.failed_trials, 0u);  // the fallback path absorbs TC fully
+  EXPECT_GT(testbed.client_faults().truncations(), 0u);
+}
+
+TEST(FaultMatrixExtrasTest, EcsStripPolicyIsInvisibleToTrialHealth) {
+  // Stripping ECS never breaks resolution — it silently de-personalizes
+  // answers. Trials stay ok; only the fabric's own counter betrays it.
+  measure::TestbedConfig config = tiny_config();
+  config.fault_profile = ecs_strip_profile();
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 24);
+  const auto health =
+      measure::aggregate_health(runner.run_campaign(2, 1.5));
+  EXPECT_EQ(health.failed_trials, 0u);
+  EXPECT_GT(testbed.client_faults().ecs_strips() + testbed.resolver_faults().ecs_strips(),
+            0u);
+}
+
+TEST(FaultMatrixExtrasTest, OutagePolicyFailsOnlyTheDarkProvider) {
+  measure::TestbedConfig config = tiny_config();
+  config.fault_profile = outage_profile();
+  measure::Testbed testbed(config);
+  measure::TrialRunner runner(&testbed, 25);
+  const auto records = runner.run_campaign(2, 1.5);
+  const auto health = measure::aggregate_health(records);
+  EXPECT_GT(health.failed_trials, 0u);
+  for (const auto& r : records) {
+    if (r.failed()) {
+      EXPECT_EQ(r.provider, testbed.profile(0).name);
+      EXPECT_GE(r.time_hours, 1.4);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace drongo

@@ -36,6 +36,9 @@ void expect_identical(const std::vector<TrialRecord>& a,
     EXPECT_EQ(a[i].client_index, b[i].client_index);
     EXPECT_EQ(a[i].client, b[i].client);
     EXPECT_EQ(a[i].time_hours, b[i].time_hours);
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_EQ(a[i].failure, b[i].failure);
+    EXPECT_TRUE(a[i].health == b[i].health);
     ASSERT_EQ(a[i].cr.size(), b[i].cr.size());
     for (std::size_t j = 0; j < a[i].cr.size(); ++j) {
       EXPECT_EQ(a[i].cr[j].replica, b[i].cr[j].replica);

@@ -17,6 +17,7 @@
 #include "cli.hpp"
 #include "core/drongo.hpp"
 #include "core/probe.hpp"
+#include "dns/faults.hpp"
 #include "dns/proxy.hpp"
 #include "dns/udp.hpp"
 #include "measure/campaign.hpp"
@@ -36,6 +37,10 @@ measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
   if (options.get_int("clients") > 0) {
     config.client_count = static_cast<int>(options.get_int("clients"));
   }
+  // --fault-profile names the base; DRONGO_FAULT_* env knobs then override
+  // individual probabilities (so batch jobs can tweak one dial).
+  config.fault_profile =
+      dns::fault_profile_from_env(dns::parse_fault_profile(options.get("fault-profile")));
   return config;
 }
 
@@ -43,6 +48,8 @@ void add_common(tools::OptionSet& options) {
   options.add_option("seed", "42", "deterministic seed for the simulated Internet");
   options.add_option("clients", "0", "client count (0 = scale default)");
   options.add_option("scale", "planetlab", "testbed scale: planetlab | ripe");
+  options.add_option("fault-profile", "none",
+                     "DNS fault injection: none | lossy | flaky | ecs-hostile | chaos");
 }
 
 int cmd_world(const std::vector<std::string>& args) {
@@ -119,6 +126,29 @@ int cmd_campaign(const std::vector<std::string>& args) {
                                              options.get_double("spacing-hours"));
   measure::save_dataset_file(options.get("out"), records);
   std::cout << records.size() << " trials written to " << options.get("out") << "\n";
+
+  const auto health = measure::aggregate_health(records);
+  std::cout << "outcomes: " << health.ok_trials << " ok, " << health.degraded_trials
+            << " degraded, " << health.failed_trials << " failed\n";
+  if (testbed.config().fault_profile.active()) {
+    const auto& t = health.totals;
+    std::cout << "client health: " << t.queries << " queries, " << t.retries
+              << " retries, " << t.timeouts << " timeouts, " << t.server_failures
+              << " servfails, " << t.tcp_fallbacks << " tcp fallbacks, "
+              << t.deadline_exceeded << " deadlines, " << t.failed_queries
+              << " gave up, " << t.hop_resolution_failures << " hop failures\n";
+    const auto& cf = testbed.client_faults();
+    const auto& rf = testbed.resolver_faults();
+    std::cout << "injected faults (client/resolver path): losses "
+              << cf.losses() << "/" << rf.losses() << ", timeouts " << cf.timeouts()
+              << "/" << rf.timeouts() << ", servfails " << cf.servfails() << "/"
+              << rf.servfails() << ", refusals " << cf.refusals() << "/"
+              << rf.refusals() << ", truncations " << cf.truncations() << "/"
+              << rf.truncations() << ", ecs strips " << cf.ecs_strips() << "/"
+              << rf.ecs_strips() << ", scope zeros " << cf.scope_zeros() << "/"
+              << rf.scope_zeros() << ", outage hits " << cf.outage_hits() << "/"
+              << rf.outage_hits() << "\n";
+  }
   return 0;
 }
 
@@ -258,7 +288,9 @@ int cmd_help() {
                "  probe     unrestricted-ECS provider probe\n"
                "  serve     run the trained Drongo LDNS proxy over UDP\n"
                "  help      this text\n\n"
-               "common options: --seed N, --clients N, --scale planetlab|ripe\n";
+               "common options: --seed N, --clients N, --scale planetlab|ripe,\n"
+               "  --fault-profile none|lossy|flaky|ecs-hostile|chaos (DNS fault\n"
+               "  injection; fine-tune with DRONGO_FAULT_* env knobs)\n";
   return 0;
 }
 
