@@ -10,7 +10,6 @@
 // serially and both wall-clock timings are reported, together with a check
 // that the parallel records produced identical evaluation numbers.
 #include <algorithm>
-#include <chrono>
 #include <iostream>
 #include <set>
 
@@ -18,16 +17,9 @@
 #include "bench_common.hpp"
 #include "measure/campaign.hpp"
 #include "measure/stats.hpp"
+#include "net/clock.hpp"
 
 using namespace drongo;
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-}  // namespace
 
 int main() {
   const int clients = bench::scaled(429, 160);
@@ -35,9 +27,9 @@ int main() {
   std::cout << "Running RIPE-style campaign: " << clients
             << " clients x 6 providers x 10 trials (threads=" << threads << ")...\n\n";
 
-  const auto parallel_start = std::chrono::steady_clock::now();
+  const net::Stopwatch parallel_watch;
   auto ripe = bench::ripe_campaign(1729, clients, threads);
-  const double campaign_seconds = seconds_since(parallel_start);
+  const double campaign_seconds = parallel_watch.seconds();
 
   const double vf = 1.0;
   const double vt = 0.95;
@@ -94,9 +86,9 @@ int main() {
   double serial_seconds = campaign_seconds;
   bool identical = true;
   if (resolved > 1) {
-    const auto serial_start = std::chrono::steady_clock::now();
+    const net::Stopwatch serial_watch;
     auto serial = bench::ripe_campaign(1729, clients, /*threads=*/1);
-    serial_seconds = seconds_since(serial_start);
+    serial_seconds = serial_watch.seconds();
     const auto serial_samples = serial.evaluation->evaluate(vf, vt);
     identical = serial_samples.size() == samples.size();
     for (std::size_t i = 0; identical && i < samples.size(); ++i) {

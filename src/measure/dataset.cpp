@@ -27,14 +27,15 @@ std::string sanitize_field(std::string s) {
 }
 
 double parse_double(const std::string& s) {
+  std::size_t used = 0;
+  double v = 0.0;
   try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
+    v = std::stod(s, &used);
   } catch (const std::exception&) {
-    throw net::ParseError("bad number '" + s + "' in dataset");
+    used = std::string::npos;  // flag failure; report through the taxonomy below
   }
+  if (used != s.size()) throw net::ParseError("bad number '" + s + "' in dataset");
+  return v;
 }
 
 std::uint64_t parse_u64(const std::string& s) {
@@ -65,10 +66,10 @@ void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
       out << "cr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
           << m.download_first_ms << "|" << m.download_cached_ms << "\n";
     }
-    for (const auto& h : r.hops) {
-      out << "hop|" << h.ip.to_string() << "|" << h.subnet.to_string() << "|" << h.rdns
-          << "|" << h.asn.value() << "|" << (h.usable ? 1 : 0) << "\n";
-      for (const auto& m : h.hr) {
+    for (const auto& hop : r.hops) {
+      out << "hop|" << hop.ip.to_string() << "|" << hop.subnet.to_string() << "|"
+          << hop.rdns << "|" << hop.asn.value() << "|" << (hop.usable ? 1 : 0) << "\n";
+      for (const auto& m : hop.hr) {
         out << "hr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
             << m.download_first_ms << "|" << m.download_cached_ms << "\n";
       }

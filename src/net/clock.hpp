@@ -1,0 +1,32 @@
+// Wall-clock sampling shim — the ONLY file allowed to touch real clocks.
+#pragma once
+
+#include <chrono>
+
+namespace drongo::net {
+
+/// Monotonic stopwatch for *reporting* elapsed wall-clock time (bench
+/// timings, progress lines). Nothing behavioural may depend on it: every
+/// simulated timestamp flows from campaign schedules and derived `Rng`
+/// streams so runs stay byte-identical across machines and thread counts.
+///
+/// This header/impl pair is the allowlisted clock shim for `drongo_lint`'s
+/// `nondeterminism` rule — `std::chrono::*_clock::now()` anywhere else in
+/// src/, tools/, or bench/ is an error-severity finding. Route new timing
+/// needs through here so the ban stays enforceable.
+class Stopwatch {
+ public:
+  /// Starts timing at construction.
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Elapsed wall-clock seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace drongo::net

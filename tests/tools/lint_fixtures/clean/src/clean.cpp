@@ -1,0 +1,25 @@
+// Fixture: idiomatic drongo code — derived Rng streams, taxonomy errors,
+// ordered containers for output — lints clean with zero suppressions.
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "net/error.hpp"
+#include "net/rng.hpp"
+
+double jitter(std::uint64_t seed, std::uint64_t client, std::uint64_t trial) {
+  auto rng = drongo::net::Rng::derive(seed, client, trial);
+  return rng.normal(0.0, 1.0);
+}
+
+void save_scores(std::ostream& out, const std::map<std::string, double>& scores) {
+  for (const auto& [name, score] : scores) {
+    out << name << "|" << score << "\n";
+  }
+}
+
+void validate(const std::string& field) {
+  if (field.empty()) {
+    throw drongo::net::InvalidArgument("field must be non-empty");
+  }
+}

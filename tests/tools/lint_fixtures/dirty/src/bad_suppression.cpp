@@ -1,0 +1,13 @@
+// Fixture: suppression comments that are themselves findings — a reason-less
+// allow and an unknown rule name. Both must surface as bad-suppression.
+#include <ctime>
+
+long reasonless() {
+  // drongo-lint: allow(nondeterminism)
+  return time(nullptr);
+}
+
+long unknown_rule() {
+  // drongo-lint: allow(no-such-rule) — the rule name is wrong, so this fires
+  return 0;
+}

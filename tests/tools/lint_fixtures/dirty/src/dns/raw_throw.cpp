@@ -1,0 +1,26 @@
+// Fixture: raw throws on the resolution path (this file sits under a dns/
+// directory, so the rule applies). Taxonomy throws and rethrows are fine.
+#include <stdexcept>
+#include <string>
+
+#include "net/error.hpp"
+
+void parse_or_die(const std::string& wire) {
+  if (wire.empty()) {
+    throw std::runtime_error("empty wire data");  // finding: non-taxonomy type
+  }
+  if (wire.size() > 512) {
+    throw std::invalid_argument(wire);  // finding: non-taxonomy type
+  }
+}
+
+void taxonomy_ok(const std::string& wire) {
+  if (wire.empty()) {
+    throw drongo::net::ParseError("empty wire data");  // taxonomy: fine
+  }
+  try {
+    parse_or_die(wire);
+  } catch (const drongo::net::TransientError&) {
+    throw;  // rethrow: fine
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture: drives exchanges through a FaultyTransport without ever
+// establishing ScopedFaultTime, so outage windows would silently never fire.
+#include <cstdint>
+#include <vector>
+
+#include "dns/faults.hpp"
+
+std::vector<std::uint8_t> probe_once(drongo::dns::FaultyTransport& transport,
+                                     drongo::net::Ipv4Addr source,
+                                     drongo::net::Ipv4Addr destination,
+                                     std::vector<std::uint8_t> query) {
+  return transport.exchange(source, destination, query);
+}

@@ -1,0 +1,27 @@
+// Fixture: mutable file-scope statics without protection are findings;
+// const / constexpr / thread_local / atomic / mutex-adjacent ones are not.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+static int g_bare_counter = 0;          // finding: bare mutable static
+static std::string g_last_error;        // finding: bare mutable static
+
+namespace {
+static double g_scratch = 1.5;          // finding: anonymous namespace, still bare
+}  // namespace
+
+// None of these fire:
+static const int kLimit = 8;
+static constexpr double kRatio = 0.95;
+static thread_local int g_per_thread = 0;
+static std::atomic<int> g_hits{0};
+static std::mutex g_lock;
+static int guarded_by_lock();           // function declaration, not a variable
+static int guarded_by_lock() { return kLimit; }
+
+int bump() {
+  static int local_static = 0;          // function-local: out of scope for the rule
+  return ++local_static + g_bare_counter + static_cast<int>(g_scratch) +
+         g_per_thread + g_hits.load() + (g_last_error.empty() ? 0 : 1);
+}

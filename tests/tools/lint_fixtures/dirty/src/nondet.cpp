@@ -1,0 +1,39 @@
+// Fixture: every banned nondeterminism API fires exactly where expected.
+// These files are linted by lint_test.cpp, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy() {
+  std::random_device device;  // line 9: ambient entropy
+  return static_cast<int>(device());
+}
+
+int libc_random() {
+  std::srand(42);        // line 14: srand
+  return std::rand();    // line 15: rand
+}
+
+long wall_seconds() {
+  return time(nullptr);  // line 19: time()
+}
+
+double engine_draw() {
+  std::mt19937 engine;   // line 23: std engine, argless seeding
+  return static_cast<double>(engine());
+}
+
+double elapsed() {
+  const auto start = std::chrono::steady_clock::now();  // line 28: clock read
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Not findings: a member *call* spelled `.time(`, and banned names inside
+// string literals. (Declaring a member named `time` would itself fire — the
+// rule bans the spelling outright to stay simple.)
+struct Trial {
+  double time_hours() const { return 0.0; }
+};
+const char* kDoc = "std::random_device and time() are banned outside the shim";
+double member_ok(const Trial& t) { return t.time(); }

@@ -1,0 +1,32 @@
+// Fixture: iterating an unordered container into serialized output is a
+// finding; the same loop into an accumulator, or over an ordered map, is not.
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+struct Index {
+  std::unordered_map<std::string, std::uint64_t> hits;
+  std::map<std::string, std::uint64_t> ordered_hits;
+};
+
+void save_index(std::ostream& out, const Index& index) {
+  for (const auto& [key, count] : index.hits) {  // finding: order feeds output
+    out << key << "|" << count << "\n";
+  }
+}
+
+std::uint64_t total(const Index& index) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, count] : index.hits) {  // no serialization: not a finding
+    sum += count + key.size();
+  }
+  return sum;
+}
+
+void save_ordered(std::ostream& out, const Index& index) {
+  for (const auto& [key, count] : index.ordered_hits) {  // ordered: not a finding
+    out << key << "|" << count << "\n";
+  }
+}

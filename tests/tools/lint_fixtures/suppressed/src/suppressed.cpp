@@ -1,0 +1,29 @@
+// Fixture: every violation carries a well-formed suppression with a reason,
+// so this tree lints clean. Exercises same-line and line-above placement and
+// multi-rule allow lists.
+#include <ctime>
+#include <ostream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+long wall_seconds() {
+  return time(nullptr);  // drongo-lint: allow(nondeterminism) — fixture demonstrating same-line suppression
+}
+
+int entropy() {
+  // drongo-lint: allow(nondeterminism) — fixture demonstrating line-above suppression
+  std::random_device device;
+  return static_cast<int>(device());
+}
+
+static int g_counter = 0;  // drongo-lint: allow(mutable-static) — single-threaded fixture, no pool in sight
+
+void save(std::ostream& out, const std::unordered_map<std::string, int>& m) {
+  // drongo-lint: allow(unordered-serial, nondeterminism) — multi-rule list; output is order-insensitive here
+  for (const auto& [key, value] : m) {
+    out << key << "=" << value << "\n";
+  }
+}
+
+int read_counter() { return g_counter; }

@@ -1,0 +1,94 @@
+// CLI wrapper around lint_core: scans a source tree for violations of the
+// repro's determinism and failure-taxonomy invariants. Registered as the
+// `static`-labelled CTest; also runnable by hand:
+//
+//   drongo_lint --root . [--json] [--severity raw-throw=warning] [--dir src]
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: drongo_lint [options]\n"
+         "  --root DIR             tree to scan (default: .)\n"
+         "  --dir SUB              subdirectory to scan, repeatable\n"
+         "                         (default: src tools bench)\n"
+         "  --json                 one JSON object per finding, one per line\n"
+         "  --severity RULE=LEVEL  off|warning|error (default: error), repeatable\n"
+         "  --allow-file PATH      extra path suffix exempt from nondeterminism\n"
+         "  --list-rules           print rule names and exit\n"
+         "  --help                 this text\n"
+         "exit status: 0 clean, 1 error-severity findings, 2 usage/IO error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using drongo::lint::Options;
+  using drongo::lint::Severity;
+
+  Options options;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "drongo_lint: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : drongo::lint::all_rules()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--root") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      options.root = value;
+    } else if (arg == "--dir") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      dirs.emplace_back(value);
+    } else if (arg == "--allow-file") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      options.config.clock_shim_files.emplace_back(value);
+    } else if (arg == "--severity") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      const std::string spec = value;
+      const std::size_t eq = spec.find('=');
+      Severity severity = Severity::kError;
+      if (eq == std::string::npos ||
+          !drongo::lint::parse_severity(spec.substr(eq + 1), &severity)) {
+        std::cerr << "drongo_lint: bad --severity '" << spec
+                  << "' (want RULE=off|warning|error)\n";
+        return 2;
+      }
+      const std::string rule = spec.substr(0, eq);
+      const auto& rules = drongo::lint::all_rules();
+      if (std::find(rules.begin(), rules.end(), rule) == rules.end()) {
+        std::cerr << "drongo_lint: unknown rule '" << rule << "' (see --list-rules)\n";
+        return 2;
+      }
+      options.config.severity[rule] = severity;
+    } else {
+      std::cerr << "drongo_lint: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (!dirs.empty()) options.subdirs = dirs;
+  return drongo::lint::run(options, std::cout, std::cerr);
+}

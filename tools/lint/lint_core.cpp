@@ -1,0 +1,754 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace drongo::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when content[pos..pos+token) is `token` with non-identifier
+/// characters (or edges) on both sides.
+bool token_at(const std::string& text, std::size_t pos, const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < text.size() && is_ident(text[end])) return false;
+  return true;
+}
+
+std::size_t find_token(const std::string& text, const std::string& token,
+                       std::size_t from = 0) {
+  for (std::size_t pos = text.find(token, from); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (token_at(text, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_has_component(const std::string& path, const std::string& component) {
+  const std::string inner = "/" + component + "/";
+  if (path.find(inner) != std::string::npos) return true;
+  return path.compare(0, component.size() + 1, component + "/") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppressions {
+  /// line (1-based) -> rules allowed on that line and the next.
+  std::map<std::size_t, std::set<std::string>> by_line;
+  std::vector<Finding> malformed;  // bad-suppression findings
+};
+
+/// Parses allow-comments (marker, then a parenthesised comma-separated rule
+/// list, then a free-text reason). The reason — any text containing at least
+/// one alphanumeric character after the closing paren — is mandatory: a
+/// suppression is a debt marker and the reason is the ledger entry.
+Suppressions collect_suppressions(const std::string& path,
+                                  const std::vector<std::string>& raw_lines) {
+  Suppressions result;
+  const std::string marker = "drongo-lint:";
+  const std::set<std::string> known(all_rules().begin(), all_rules().end());
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    const std::size_t line_no = i + 1;
+    std::size_t pos = at + marker.size();
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::string allow = "allow(";
+    if (line.compare(pos, allow.size(), allow) != 0) {
+      result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+                                  "malformed drongo-lint comment: expected 'allow(<rule>)'"});
+      continue;
+    }
+    const std::size_t open = pos + allow.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+                                  "malformed drongo-lint comment: unterminated allow("});
+      continue;
+    }
+    std::set<std::string> rules;
+    std::string name;
+    bool ok = true;
+    for (std::size_t j = open; j <= close; ++j) {
+      const char c = line[j];
+      if (c == ',' || c == ')') {
+        if (name.empty()) {
+          result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+                                      "empty rule list in allow(...)"});
+          ok = false;
+          break;
+        }
+        if (known.count(name) == 0) {
+          result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+                                      "unknown rule '" + name + "' in suppression"});
+          ok = false;
+          break;
+        }
+        rules.insert(name);
+        name.clear();
+      } else if (c != ' ') {
+        name.push_back(c);
+      }
+    }
+    if (!ok) continue;
+    const std::string reason = line.substr(close + 1);
+    const bool has_reason = std::any_of(reason.begin(), reason.end(), [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) != 0;
+    });
+    if (!has_reason) {
+      result.malformed.push_back(
+          {path, line_no, kRuleBadSuppression, Severity::kError,
+           "suppression without a reason: write 'allow(rule) — why it is safe'"});
+      continue;
+    }
+    result.by_line[line_no].insert(rules.begin(), rules.end());
+  }
+  return result;
+}
+
+bool is_suppressed(const Suppressions& suppressions, std::size_t line,
+                   const std::string& rule) {
+  for (std::size_t l : {line, line > 1 ? line - 1 : line}) {
+    auto it = suppressions.by_line.find(l);
+    if (it != suppressions.by_line.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nondeterminism
+
+struct BannedApi {
+  const char* token;
+  bool needs_call;  // must be followed by '('
+  const char* hint;
+};
+
+constexpr BannedApi kBannedApis[] = {
+    {"random_device", false, "seed from the campaign's derived net::Rng stream"},
+    {"mt19937", false, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"mt19937_64", false, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"minstd_rand", false, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"default_random_engine", false, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"rand", true, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"srand", true, "use net::Rng (xoshiro256**, derivable per task)"},
+    {"time", true, "simulated time comes from the campaign schedule"},
+    {"clock", true, "wall-clock timing only via the net/clock.hpp shim"},
+    {"gettimeofday", true, "wall-clock timing only via the net/clock.hpp shim"},
+    {"clock_gettime", true, "wall-clock timing only via the net/clock.hpp shim"},
+    {"getrandom", true, "seed from the campaign's derived net::Rng stream"},
+};
+
+void scan_nondeterminism(const std::string& path,
+                         const std::vector<std::string>& lines,
+                         const Config& config, std::vector<Finding>* findings) {
+  for (const std::string& shim : config.clock_shim_files) {
+    if (ends_with(path, shim)) return;
+  }
+  const Severity severity = config.severity_of(kRuleNondeterminism);
+  if (severity == Severity::kOff) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // steady_clock::now / system_clock::now / high_resolution_clock::now.
+    if (line.find("_clock::now") != std::string::npos) {
+      findings->push_back({path, i + 1, kRuleNondeterminism, severity,
+                           "direct std::chrono clock read — wall-clock timing only "
+                           "via the net/clock.hpp shim (net::Stopwatch)"});
+    }
+    for (const BannedApi& api : kBannedApis) {
+      for (std::size_t pos = find_token(line, api.token); pos != std::string::npos;
+           pos = find_token(line, api.token, pos + 1)) {
+        if (pos > 0 && line[pos - 1] == '.') continue;  // member, not the libc call
+        if (api.needs_call) {
+          std::size_t after = pos + std::string(api.token).size();
+          while (after < line.size() && line[after] == ' ') ++after;
+          if (after >= line.size() || line[after] != '(') continue;
+        }
+        findings->push_back({path, i + 1, kRuleNondeterminism, severity,
+                             std::string("banned nondeterminism API '") + api.token +
+                                 "' — " + api.hint});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-throw
+
+const std::set<std::string>& taxonomy_types() {
+  static const std::set<std::string> kTypes = {
+      "Error",      "TransientError", "TimeoutError",    "UnreachableError",
+      "ParseError", "BoundsError",    "InvalidArgument", "PermanentError"};
+  return kTypes;
+}
+
+void scan_raw_throw(const std::string& path, const std::vector<std::string>& lines,
+                    const Config& config, std::vector<Finding>* findings) {
+  if (!path_has_component(path, "net") && !path_has_component(path, "dns") &&
+      !path_has_component(path, "measure")) {
+    return;
+  }
+  const Severity severity = config.severity_of(kRuleRawThrow);
+  if (severity == Severity::kOff) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (std::size_t pos = find_token(line, "throw"); pos != std::string::npos;
+         pos = find_token(line, "throw", pos + 1)) {
+      std::size_t after = pos + 5;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == ';') continue;  // rethrow
+      // Read the (possibly qualified) type name that follows; it may sit on
+      // the next line when clang-format wrapped the throw expression.
+      std::string name;
+      std::size_t j = after;
+      const std::string* source = &line;
+      if (after >= line.size() && i + 1 < lines.size()) {
+        source = &lines[i + 1];
+        j = 0;
+        while (j < source->size() && (*source)[j] == ' ') ++j;
+      }
+      while (j < source->size() &&
+             (is_ident((*source)[j]) || (*source)[j] == ':')) {
+        name.push_back((*source)[j]);
+        ++j;
+      }
+      const std::size_t last_sep = name.rfind(':');
+      const std::string base =
+          last_sep == std::string::npos ? name : name.substr(last_sep + 1);
+      if (base.empty() || taxonomy_types().count(base) != 0) continue;
+      findings->push_back({path, i + 1, kRuleRawThrow, severity,
+                           "throw of non-taxonomy type '" + name +
+                               "' on the resolution path — use the net::Error "
+                               "hierarchy (net/error.hpp) so retry logic can "
+                               "classify it"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-serial
+
+/// Names of variables/members declared as std::unordered_{map,set} in this
+/// file. Template arguments are skipped with bracket matching.
+std::set<std::string> unordered_names(const std::string& scrubbed) {
+  std::set<std::string> names;
+  for (const char* kind : {"unordered_map", "unordered_set", "unordered_multimap",
+                           "unordered_multiset"}) {
+    for (std::size_t pos = find_token(scrubbed, kind); pos != std::string::npos;
+         pos = find_token(scrubbed, kind, pos + 1)) {
+      std::size_t j = pos + std::string(kind).size();
+      while (j < scrubbed.size() && scrubbed[j] == ' ') ++j;
+      if (j >= scrubbed.size() || scrubbed[j] != '<') continue;
+      int depth = 0;
+      while (j < scrubbed.size()) {
+        if (scrubbed[j] == '<') ++depth;
+        if (scrubbed[j] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= scrubbed.size()) continue;
+      ++j;  // past '>'
+      while (j < scrubbed.size() &&
+             (scrubbed[j] == ' ' || scrubbed[j] == '\n' || scrubbed[j] == '&' ||
+              scrubbed[j] == '*')) {
+        ++j;
+      }
+      std::string name;
+      while (j < scrubbed.size() && is_ident(scrubbed[j])) {
+        name.push_back(scrubbed[j]);
+        ++j;
+      }
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+/// Serialization markers inside a loop body: stream insertion, or calls into
+/// anything that looks like a writer.
+bool body_serializes(const std::string& body) {
+  if (body.find("<<") != std::string::npos) return true;
+  for (const char* marker : {"save_", "write_", "serialize", "dump_", "print_"}) {
+    if (body.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void scan_unordered_serial(const std::string& path, const std::string& scrubbed,
+                           const std::vector<std::string>& lines, const Config& config,
+                           std::vector<Finding>* findings) {
+  const Severity severity = config.severity_of(kRuleUnorderedSerial);
+  if (severity == Severity::kOff) return;
+  const std::set<std::string> names = unordered_names(scrubbed);
+  std::size_t offset = 0;  // start index of lines[i] within scrubbed
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t pos = find_token(line, "for");
+    if (pos != std::string::npos) {
+      const std::size_t open = line.find('(', pos);
+      std::size_t colon = std::string::npos;
+      if (open != std::string::npos) {
+        for (std::size_t j = open; j < line.size(); ++j) {
+          if (line[j] != ':') continue;
+          if (j + 1 < line.size() && line[j + 1] == ':') {
+            ++j;  // skip qualifier
+            continue;
+          }
+          if (j > 0 && line[j - 1] == ':') continue;
+          colon = j;
+          break;
+        }
+      }
+      if (colon != std::string::npos) {
+        const std::string range_expr = line.substr(colon + 1);
+        bool unordered = range_expr.find("unordered_") != std::string::npos;
+        for (const std::string& name : names) {
+          if (!unordered && find_token(range_expr, name) != std::string::npos) {
+            unordered = true;
+          }
+        }
+        if (unordered) {
+          // Walk the loop body (from the first '{' after the for) and look
+          // for serialization markers.
+          std::size_t body_begin = scrubbed.find('{', offset + colon);
+          if (body_begin != std::string::npos) {
+            int depth = 0;
+            std::size_t j = body_begin;
+            for (; j < scrubbed.size(); ++j) {
+              if (scrubbed[j] == '{') ++depth;
+              if (scrubbed[j] == '}') {
+                --depth;
+                if (depth == 0) break;
+              }
+            }
+            const std::string body = scrubbed.substr(body_begin, j - body_begin);
+            if (body_serializes(body)) {
+              findings->push_back(
+                  {path, i + 1, kRuleUnorderedSerial, severity,
+                   "range-for over unordered container feeds serialized output — "
+                   "iteration order is unspecified; sort keys or use an ordered "
+                   "container so datasets stay byte-identical"});
+            }
+          }
+        }
+      }
+    }
+    offset += line.size() + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mutable-static
+
+enum class ScopeKind { kNamespace, kOther };
+
+/// Scope kind at the *start* of each line, from a lightweight brace scanner
+/// that classifies every '{' by the tokens introducing it. Namespace braces
+/// keep us at file scope; everything else (functions, classes, initializers)
+/// leaves it.
+std::vector<bool> namespace_scope_per_line(const std::string& scrubbed) {
+  std::vector<bool> at_namespace_scope;
+  std::vector<ScopeKind> stack;
+  std::string recent;  // tokens since the last ; { or }
+  at_namespace_scope.reserve(256);
+  auto all_namespace = [&stack] {
+    return std::all_of(stack.begin(), stack.end(),
+                       [](ScopeKind k) { return k == ScopeKind::kNamespace; });
+  };
+  at_namespace_scope.push_back(all_namespace());
+  for (std::size_t i = 0; i < scrubbed.size(); ++i) {
+    const char c = scrubbed[i];
+    if (c == '\n') {
+      at_namespace_scope.push_back(all_namespace());
+      continue;
+    }
+    if (c == '{') {
+      const bool is_namespace = find_token(recent, "namespace") != std::string::npos;
+      stack.push_back(is_namespace ? ScopeKind::kNamespace : ScopeKind::kOther);
+      recent.clear();
+    } else if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      recent.clear();
+    } else if (c == ';') {
+      recent.clear();
+    } else {
+      recent.push_back(c);
+    }
+  }
+  return at_namespace_scope;
+}
+
+void scan_mutable_static(const std::string& path, const std::string& scrubbed,
+                         const std::vector<std::string>& lines, const Config& config,
+                         std::vector<Finding>* findings) {
+  const Severity severity = config.severity_of(kRuleMutableStatic);
+  if (severity == Severity::kOff) return;
+  const std::vector<bool> at_ns = namespace_scope_per_line(scrubbed);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i >= at_ns.size() || !at_ns[i]) continue;
+    const std::string& line = lines[i];
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    if (!token_at(line, start, "static")) continue;
+    if (find_token(line, "static_assert", start) == start) continue;
+    // Allowed protections / immutables.
+    bool guarded = false;
+    for (const char* safe : {"const", "constexpr", "constinit", "thread_local",
+                             "atomic", "mutex", "once_flag", "condition_variable"}) {
+      if (line.find(safe) != std::string::npos) guarded = true;
+    }
+    if (guarded) continue;
+    // Function declarations/definitions: '(' appears before any '=' or ';'.
+    const std::size_t paren = line.find('(');
+    const std::size_t assign = line.find('=');
+    const std::size_t semi = line.find(';');
+    const std::size_t decl_end = std::min(assign, semi);
+    if (paren != std::string::npos && paren < decl_end) continue;
+    // Extract the variable name: last identifier before '=' or ';'.
+    std::size_t name_end = decl_end == std::string::npos ? line.size() : decl_end;
+    while (name_end > 0 && !is_ident(line[name_end - 1])) --name_end;
+    std::size_t name_begin = name_end;
+    while (name_begin > 0 && is_ident(line[name_begin - 1])) --name_begin;
+    const std::string name = line.substr(name_begin, name_end - name_begin);
+    if (name.empty() || name == "static") continue;
+    findings->push_back({path, i + 1, kRuleMutableStatic, severity,
+                         "mutable file-scope static '" + name +
+                             "' — campaigns run on a pool; guard it with a mutex, "
+                             "make it std::atomic/thread_local, or make it const"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fault-window
+
+void scan_fault_window(const std::string& path, const std::string& scrubbed,
+                       const Config& config, std::vector<Finding>* findings) {
+  const Severity severity = config.severity_of(kRuleFaultWindow);
+  if (severity == Severity::kOff) return;
+  // The fault fabric itself defines both sides of this contract.
+  if (ends_with(path, "src/dns/faults.hpp") || ends_with(path, "src/dns/faults.cpp")) {
+    return;
+  }
+  const std::size_t use = find_token(scrubbed, "FaultyTransport");
+  if (use == std::string::npos) return;
+  const bool exchanges = scrubbed.find(".exchange(") != std::string::npos ||
+                         scrubbed.find("->exchange(") != std::string::npos;
+  if (!exchanges) return;
+  if (find_token(scrubbed, "ScopedFaultTime") != std::string::npos) return;
+  const std::size_t line = 1 + static_cast<std::size_t>(std::count(
+                                   scrubbed.begin(), scrubbed.begin() + static_cast<std::ptrdiff_t>(use), '\n'));
+  findings->push_back({path, line, kRuleFaultWindow, severity,
+                       "file drives exchanges through FaultyTransport but never "
+                       "establishes ScopedFaultTime — outage windows would see NaN "
+                       "time and silently never fire"});
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      kRuleNondeterminism, kRuleUnorderedSerial, kRuleRawThrow, kRuleMutableStatic,
+      kRuleFaultWindow};
+  return kRules;
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kOff: return "off";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+bool parse_severity(const std::string& text, Severity* severity) {
+  if (text == "off") {
+    *severity = Severity::kOff;
+  } else if (text == "warning") {
+    *severity = Severity::kWarning;
+  } else if (text == "error") {
+    *severity = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Severity Config::severity_of(const std::string& rule) const {
+  auto it = severity.find(rule);
+  return it == severity.end() ? Severity::kError : it->second;
+}
+
+namespace {
+
+std::string scrub_impl(const std::string& source, bool keep_comments) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+          state = State::kLineComment;
+          out += keep_comments ? "//" : "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+          state = State::kBlockComment;
+          out += keep_comments ? "/*" : "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back over an optional encoding prefix for 'R'.
+          std::size_t p = i;
+          bool raw = p > 0 && source[p - 1] == 'R' &&
+                     (p < 2 || !is_ident(source[p - 2]) || source[p - 2] == '8' ||
+                      source[p - 2] == 'u' || source[p - 2] == 'U' || source[p - 2] == 'L');
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < source.size() && source[j] != '(') {
+              raw_delim.push_back(source[j]);
+              ++j;
+            }
+            state = State::kRawString;
+            out.push_back('"');
+            // Blank the delimiter and opening paren region.
+            for (std::size_t k = i + 1; k <= j && k < source.size(); ++k) out.push_back(' ');
+            i = j;
+          } else {
+            state = State::kString;
+            out.push_back('"');
+          }
+        } else if (c == '\'') {
+          // Digit separator (1'000) stays; character literal is blanked.
+          const bool separator = i > 0 && i + 1 < source.size() &&
+                                 std::isdigit(static_cast<unsigned char>(source[i - 1])) != 0 &&
+                                 std::isxdigit(static_cast<unsigned char>(source[i + 1])) != 0;
+          if (separator) {
+            out.push_back('\'');
+          } else {
+            state = State::kChar;
+            out.push_back('\'');
+          }
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        } else {
+          out.push_back(keep_comments ? c : ' ');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < source.size() && source[i + 1] == '/') {
+          state = State::kCode;
+          out += keep_comments ? "*/" : "  ";
+          ++i;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        } else {
+          out.push_back(keep_comments ? c : ' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < source.size()) {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back('"');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < source.size()) {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back('\'');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (source.compare(i, closer.size(), closer) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < closer.size(); ++k) out.push_back(' ');
+          out.back() = '"';
+          i += closer.size() - 1;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string scrub(const std::string& source) { return scrub_impl(source, false); }
+
+std::vector<Finding> scan_source(const std::string& path, const std::string& content,
+                                 const Config& config) {
+  const std::string scrubbed = scrub(content);
+  const std::vector<std::string> lines = split_lines(scrubbed);
+
+  // Suppressions are read from a view with string literals blanked but
+  // comments intact: the marker only counts inside a comment, so a checker
+  // (or test) naming it in a string cannot accidentally suppress or trip.
+  const Suppressions suppressions =
+      collect_suppressions(path, split_lines(scrub_impl(content, true)));
+
+  std::vector<Finding> candidates;
+  scan_nondeterminism(path, lines, config, &candidates);
+  scan_raw_throw(path, lines, config, &candidates);
+  scan_unordered_serial(path, scrubbed, lines, config, &candidates);
+  scan_mutable_static(path, scrubbed, lines, config, &candidates);
+  scan_fault_window(path, scrubbed, config, &candidates);
+
+  std::vector<Finding> findings;
+  for (Finding& f : candidates) {
+    if (!is_suppressed(suppressions, f.line, f.rule)) findings.push_back(std::move(f));
+  }
+  // Suppression syntax errors are never themselves suppressible.
+  findings.insert(findings.end(), suppressions.malformed.begin(),
+                  suppressions.malformed.end());
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string to_json_line(const Finding& finding) {
+  std::ostringstream out;
+  out << "{\"file\":\"" << json_escape(finding.file) << "\",\"line\":" << finding.line
+      << ",\"rule\":\"" << json_escape(finding.rule) << "\",\"severity\":\""
+      << severity_name(finding.severity) << "\",\"message\":\""
+      << json_escape(finding.message) << "\"}";
+  return out.str();
+}
+
+int run(const Options& options, std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  const fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    err << "drongo_lint: root '" << options.root << "' is not a directory\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const std::string& subdir : options.subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "drongo_lint: cannot read " << file.generic_string() << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel = fs::relative(file, root).generic_string();
+    const std::vector<Finding> findings =
+        scan_source(rel, buffer.str(), options.config);
+    for (const Finding& f : findings) {
+      if (f.severity == Severity::kError) {
+        ++errors;
+      } else {
+        ++warnings;
+      }
+      if (options.json) {
+        out << to_json_line(f) << "\n";
+      } else {
+        out << f.file << ":" << f.line << ": [" << severity_name(f.severity) << "] "
+            << f.rule << ": " << f.message << "\n";
+      }
+    }
+  }
+  if (!options.json) {
+    err << "drongo_lint: scanned " << files.size() << " files: " << errors
+        << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors > 0 ? 1 : 0;
+}
+
+}  // namespace drongo::lint

@@ -1,0 +1,98 @@
+// drongo_lint — static checker for the repro's project invariants.
+//
+// PR 1 made campaigns a pure function of their seed (derived `net::Rng`
+// streams); PR 2 routed every failure through the `net::Error` taxonomy.
+// Those are load-bearing properties for every number this repo reproduces,
+// and both die silently to one stray `std::random_device` or raw `throw`.
+// This checker scans src/, tools/, and bench/ line-by-line (comments and
+// string literals scrubbed first) and reports violations of:
+//
+//   nondeterminism   banned wall-clock / ambient-entropy APIs outside the
+//                    allowlisted clock shim (src/net/clock.*)
+//   unordered-serial range-for over an unordered container whose body feeds
+//                    serialized output (iteration order is unspecified)
+//   raw-throw        `throw` of a non-taxonomy type in net/, dns/, measure/
+//   mutable-static   mutable file-scope static without mutex/atomic/
+//                    thread_local protection
+//   fault-window     driving exchanges through FaultyTransport without ever
+//                    establishing ScopedFaultTime (outage windows see NaN)
+//   bad-suppression  an allow-comment with no reason or an unknown rule name
+//
+// Findings are suppressed inline with a comment on the offending line or the
+// line directly above, naming the rule(s) and a mandatory reason, e.g.
+//   drongo-lint: allow(nondeterminism) — documentation example, not a real site
+// Suppressions only count inside comments; the marker in a string literal is
+// inert.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drongo::lint {
+
+inline constexpr const char* kRuleNondeterminism = "nondeterminism";
+inline constexpr const char* kRuleUnorderedSerial = "unordered-serial";
+inline constexpr const char* kRuleRawThrow = "raw-throw";
+inline constexpr const char* kRuleMutableStatic = "mutable-static";
+inline constexpr const char* kRuleFaultWindow = "fault-window";
+inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+
+/// All checkable rule names (excludes bad-suppression, which is the checker
+/// policing its own suppression syntax and is always an error).
+const std::vector<std::string>& all_rules();
+
+enum class Severity { kOff, kWarning, kError };
+
+const char* severity_name(Severity severity);
+
+/// Parses "off" | "warning" | "error"; returns false on anything else.
+bool parse_severity(const std::string& text, Severity* severity);
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct Config {
+  /// Per-rule severity; rules default to kError when absent.
+  std::map<std::string, Severity> severity;
+  /// Path suffixes exempt from the nondeterminism rule. The clock shim is
+  /// always present; `--allow-file` appends.
+  std::vector<std::string> clock_shim_files = {"src/net/clock.hpp", "src/net/clock.cpp"};
+
+  Severity severity_of(const std::string& rule) const;
+};
+
+/// Blanks comments and string/char literal *contents* while preserving line
+/// structure, so token scans never fire inside prose or data. Handles //,
+/// /* */, escapes, and R"(...)" raw strings.
+std::string scrub(const std::string& source);
+
+/// Scans one translation unit. `path` should be root-relative with '/'
+/// separators — the raw-throw and fault-window rules match on it.
+std::vector<Finding> scan_source(const std::string& path, const std::string& content,
+                                 const Config& config);
+
+struct Options {
+  std::string root = ".";
+  std::vector<std::string> subdirs = {"src", "tools", "bench"};
+  bool json = false;
+  Config config;
+};
+
+/// One JSON object (single line, no trailing newline) per finding.
+std::string to_json_line(const Finding& finding);
+
+/// Scans every .cpp/.hpp/.h/.cc under root/subdirs, prints findings to
+/// `out` (text or JSON lines) and a summary to `err`. Returns the process
+/// exit code: 0 clean (warnings allowed), 1 error-severity findings,
+/// 2 usage/environment problems.
+int run(const Options& options, std::ostream& out, std::ostream& err);
+
+}  // namespace drongo::lint
