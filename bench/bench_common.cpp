@@ -67,21 +67,9 @@ bool parse_full_scale(const char* value) {
 }
 
 int parse_thread_count(const char* value) {
-  if (value == nullptr || value[0] == '\0') return 1;
-  const std::string v(value);
-  std::size_t consumed = 0;
-  int parsed = 0;
-  try {
-    parsed = std::stoi(v, &consumed);
-  } catch (const std::exception&) {
-    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
-                               "\"");
-  }
-  if (consumed != v.size() || parsed < 0) {
-    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
-                               "\"");
-  }
-  return parsed;
+  // Kept for existing callers; the strict parser itself lives in measure so
+  // drongo_sim and the benches agree on DRONGO_THREADS semantics.
+  return measure::parse_thread_count(value);
 }
 
 bool full_scale() { return parse_full_scale(std::getenv("DRONGO_FULL_SCALE")); }
@@ -90,6 +78,6 @@ int scaled(int full_value, int quick_value) {
   return full_scale() ? full_value : quick_value;
 }
 
-int thread_count() { return parse_thread_count(std::getenv("DRONGO_THREADS")); }
+int thread_count() { return measure::thread_count_from_env(); }
 
 }  // namespace drongo::bench

@@ -10,19 +10,48 @@
 // serially and both wall-clock timings are reported, together with a check
 // that the parallel records produced identical evaluation numbers.
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <set>
+#include <string>
 
 #include "analysis/render.hpp"
 #include "bench_common.hpp"
 #include "measure/campaign.hpp"
 #include "measure/stats.hpp"
 #include "net/clock.hpp"
+#include "net/error.hpp"
+#include "obs/bench_report.hpp"
 
 using namespace drongo;
 
+namespace {
+
+/// DRONGO_HEADLINE_CLIENTS overrides the campaign size (CI runs a small
+/// fixed population so the report check stays fast); empty falls back to
+/// the DRONGO_FULL_SCALE-scaled default.
+int headline_clients() {
+  const char* value = std::getenv("DRONGO_HEADLINE_CLIENTS");
+  if (value == nullptr || value[0] == '\0') return bench::scaled(429, 160);
+  const std::string v(value);
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(v, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != v.size() || parsed <= 0) {
+    throw net::InvalidArgument("DRONGO_HEADLINE_CLIENTS must be an integer > 0, got \"" +
+                               v + "\"");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 int main() {
-  const int clients = bench::scaled(429, 160);
+  const int clients = headline_clients();
   const int threads = bench::thread_count();
   std::cout << "Running RIPE-style campaign: " << clients
             << " clients x 6 providers x 10 trials (threads=" << threads << ")...\n\n";
@@ -104,5 +133,28 @@ int main() {
             << ",\"serial_seconds\":" << serial_seconds
             << ",\"speedup\":" << serial_seconds / std::max(campaign_seconds, 1e-9)
             << ",\"identical_to_serial\":" << (identical ? "true" : "false") << "}\n";
+
+  // Schema-versioned report file for machines (CI trend lines, the
+  // check_bench_report validator). BENCH_headline.json next to the cwd, or
+  // wherever DRONGO_BENCH_OUT points.
+  obs::BenchReport report("headline");
+  report.set_integer("clients", clients);
+  report.set_integer("threads", resolved);
+  report.set_number("campaign_seconds", campaign_seconds);
+  report.set_number("serial_seconds", serial_seconds);
+  report.set_number("speedup", serial_seconds / std::max(campaign_seconds, 1e-9));
+  report.set_bool("identical_to_serial", identical);
+  report.set_number("aggregate_gain_pct", (1.0 - overall) * 100.0);
+  report.set_number("clients_affected_pct", affected_frac * 100.0);
+  report.set_number("median_affected_gain_pct", (1.0 - median_ratio) * 100.0);
+  report.set_number("best_query_speedup", 1.0 / std::max(best_ratio, 1e-3));
+  report.set_number("mean_assimilated_ratio", measure::mean(assimilated));
+  report.set_number("mean_assimilated_ci_low", ci.low);
+  report.set_number("mean_assimilated_ci_high", ci.high);
+  report.set_integer("assimilated_samples",
+                     static_cast<std::int64_t>(assimilated.size()));
+  const std::string report_path = report.default_path();
+  report.write_file(report_path);
+  std::cout << "report written to " << report_path << "\n";
   return identical ? 0 : 1;
 }

@@ -19,13 +19,18 @@ DecisionEngine::DecisionEngine(DrongoParams params, std::uint64_t seed)
 }
 
 void DecisionEngine::observe(const measure::TrialRecord& trial) {
+  const auto note = [this](const char* name) {
+    if (registry_ != nullptr) registry_->add(name);
+  };
   if (trial.failed()) {
     // A failed trial carries no measurements: nothing to learn, and it must
     // not perturb existing windows. Counted so operators can see how much
     // training signal a lossy campaign lost.
     ++skipped_trials_;
+    note("core.engine.trials_skipped");
     return;
   }
+  note("core.engine.trials_observed");
   auto& domain_windows = windows_[net::to_lower(trial.domain)];
   for (const auto& hop : trial.hops) {
     if (!hop.usable) continue;
@@ -35,18 +40,32 @@ void DecisionEngine::observe(const measure::TrialRecord& trial) {
       // missing): an existing window records the miss but keeps its ratio
       // history intact — stale evidence beats fabricated evidence.
       auto it = domain_windows.find(hop.subnet);
-      if (it != domain_windows.end()) it->second.add_miss();
+      if (it != domain_windows.end()) {
+        it->second.add_miss();
+        note("core.engine.window_misses");
+      }
       continue;
     }
+    note("core.engine.ratios_observed");
+    // A ratio below vt is the paper's "valley": the hop subnet beat the
+    // client's own resolution on this trial.
+    if (*ratio < params_.valley_threshold) note("core.engine.valleys_observed");
     auto [it, inserted] =
         domain_windows.try_emplace(hop.subnet, TrainingWindow(params_.window_size));
     it->second.add(*ratio);
+  }
+  if (registry_ != nullptr) {
+    registry_->gauge("core.engine.tracked_windows",
+                     static_cast<std::int64_t>(tracked_windows()));
   }
 }
 
 std::optional<net::Prefix> DecisionEngine::choose(const std::string& domain) {
   auto it = windows_.find(net::to_lower(domain));
-  if (it == windows_.end()) return std::nullopt;
+  if (it == windows_.end()) {
+    if (registry_ != nullptr) registry_->add("core.engine.choices.own_subnet");
+    return std::nullopt;
+  }
 
   double best_vf = -1.0;
   std::vector<net::Prefix> best;
@@ -60,8 +79,12 @@ std::optional<net::Prefix> DecisionEngine::choose(const std::string& domain) {
     }
     if (vf == best_vf) best.push_back(subnet);
   }
-  if (best.empty()) return std::nullopt;
+  if (best.empty()) {
+    if (registry_ != nullptr) registry_->add("core.engine.choices.own_subnet");
+    return std::nullopt;
+  }
   // Highest valley frequency wins; ties are broken randomly (§4.3).
+  if (registry_ != nullptr) registry_->add("core.engine.choices.assimilate");
   return best[rng_.index(best.size())];
 }
 

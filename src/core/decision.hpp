@@ -11,6 +11,7 @@
 #include "core/window.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace drongo::core {
 
@@ -78,10 +79,17 @@ class DecisionEngine {
   /// Throws net::ParseError on malformed input.
   void load(std::istream& in);
 
+  /// Attaches an obs registry (borrowed; nullptr detaches). observe() then
+  /// tallies `core.engine.*`: trials observed/skipped, ratios ingested,
+  /// valleys observed (ratio below vt), window misses; choose() tallies its
+  /// verdicts and updates the `core.engine.tracked_windows` gauge.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+
  private:
   DrongoParams params_;
   net::Rng rng_;
   std::uint64_t skipped_trials_ = 0;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry
   /// domain (canonical) -> subnet -> window.
   std::map<std::string, std::map<net::Prefix, TrainingWindow>> windows_;
 };

@@ -25,9 +25,14 @@ std::vector<measure::TrialRecord> DrongoClient::train(measure::TrialRunner& runn
 
 dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
                                             const dns::DnsName& domain) {
+  const auto note = [this](const char* name) {
+    if (registry_ != nullptr) registry_->add(name);
+  };
   ++total_;
+  note("core.drongo.queries");
   if (const auto subnet = engine_.choose(domain.to_string())) {
     ++assimilated_;
+    note("core.drongo.assimilated");
     // Assimilation is an optimization, never a dependency: when the
     // assimilated resolution cannot produce an answer (retries exhausted or
     // the server kept failing), fall back to an ordinary own-subnet
@@ -40,6 +45,7 @@ dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
     } catch (const net::TransientError&) {
     }
     ++assimilation_fallbacks_;
+    note("core.drongo.assimilation_fallbacks");
   }
   return stub.resolve_with_own_subnet(domain);
 }
@@ -47,8 +53,12 @@ dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
 std::optional<net::Prefix> DrongoClient::select_subnet(const dns::DnsName& domain,
                                                        const net::Prefix& /*client*/) {
   ++total_;
+  if (registry_ != nullptr) registry_->add("core.drongo.queries");
   auto choice = engine_.choose(domain.to_string());
-  if (choice) ++assimilated_;
+  if (choice) {
+    ++assimilated_;
+    if (registry_ != nullptr) registry_->add("core.drongo.assimilated");
+  }
   return choice;
 }
 

@@ -62,11 +62,20 @@ class DrongoClient : public dns::SubnetSelector {
     return assimilation_fallbacks_;
   }
 
+  /// Attaches an obs registry to the client AND its decision engine
+  /// (borrowed; nullptr detaches). Resolutions tally `core.drongo.*`:
+  /// total/assimilated queries and assimilation fallbacks.
+  void set_registry(obs::Registry* registry) {
+    registry_ = registry;
+    engine_.set_registry(registry);
+  }
+
  private:
   DecisionEngine engine_;
   std::uint64_t assimilated_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t assimilation_fallbacks_ = 0;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry
 };
 
 }  // namespace drongo::core

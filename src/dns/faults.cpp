@@ -139,6 +139,16 @@ FaultyTransport::FaultyTransport(DnsTransport* inner, std::uint64_t seed,
   if (inner_ == nullptr) throw net::InvalidArgument("null inner DnsTransport");
 }
 
+void FaultyTransport::set_registry(obs::Registry* registry, std::string_view scope) {
+  registry_ = registry;
+  metric_prefix_ = "dns.fault." + std::string(scope) + ".";
+}
+
+void FaultyTransport::tally(std::atomic<std::uint64_t>& counter, const char* kind) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (registry_ != nullptr) registry_->add(metric_prefix_ + kind);
+}
+
 std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
                                                     net::Ipv4Addr destination,
                                                     std::span<const std::uint8_t> query) {
@@ -154,14 +164,14 @@ std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
     for (const auto& outage : profile_.outages) {
       if (destination == outage.server && now >= outage.start_hours &&
           now < outage.end_hours) {
-        outage_hits_.fetch_add(1, std::memory_order_relaxed);
+        tally(outage_hits_, "outage");
         throw net::UnreachableError("injected outage at " + destination.to_string());
       }
     }
   }
 
   if (rng.chance(profile_.loss_prob)) {
-    losses_.fetch_add(1, std::memory_order_relaxed);
+    tally(losses_, "loss");
     throw net::TimeoutError("injected loss toward " + destination.to_string());
   }
 
@@ -176,11 +186,11 @@ std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
 
   if (decoded_query) {
     if (rng.chance(profile_.servfail_prob)) {
-      servfails_.fetch_add(1, std::memory_order_relaxed);
+      tally(servfails_, "servfail");
       return Message::make_response(*decoded_query, Rcode::kServFail).encode();
     }
     if (rng.chance(profile_.refused_prob)) {
-      refusals_.fetch_add(1, std::memory_order_relaxed);
+      tally(refusals_, "refused");
       return Message::make_response(*decoded_query, Rcode::kRefused).encode();
     }
     if (decoded_query->edns && decoded_query->edns->client_subnet &&
@@ -188,7 +198,7 @@ std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
       // The recursive drops ECS before resolving: the answer will be
       // tailored to the transport source address instead — assimilation
       // silently neutralized, exactly the measured real-world pathology.
-      ecs_strips_.fetch_add(1, std::memory_order_relaxed);
+      tally(ecs_strips_, "ecs_strip");
       Message stripped = *decoded_query;
       stripped.clear_client_subnet();
       forwarded_wire = stripped.encode();
@@ -200,7 +210,7 @@ std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
   std::vector<std::uint8_t> reply = inner_->exchange(source, destination, to_send);
 
   if (rng.chance(profile_.timeout_prob)) {
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    tally(timeouts_, "timeout");
     throw net::TimeoutError("injected reply loss from " + destination.to_string());
   }
 
@@ -210,21 +220,21 @@ std::vector<std::uint8_t> FaultyTransport::exchange(net::Ipv4Addr source,
   if (truncate || scope_zero) {
     Message response = Message::decode(reply);
     if (truncate) {
-      truncations_.fetch_add(1, std::memory_order_relaxed);
+      tally(truncations_, "truncate");
       response.header.tc = true;
       response.answers.clear();
       response.authority.clear();
       response.additional.clear();
     }
     if (scope_zero && response.edns && response.edns->client_subnet) {
-      scope_zeros_.fetch_add(1, std::memory_order_relaxed);
+      tally(scope_zeros_, "scope_zero");
       response.edns->client_subnet->scope_prefix_length = 0;
     }
     reply = response.encode();
     touched = true;
   }
 
-  if (!touched) clean_.fetch_add(1, std::memory_order_relaxed);
+  if (!touched) tally(clean_, "clean");
   return reply;
 }
 

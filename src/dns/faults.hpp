@@ -17,6 +17,7 @@
 
 #include "dns/server.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace drongo::dns {
 
@@ -140,7 +141,17 @@ class FaultyTransport : public DnsTransport {
   /// Exchanges that passed through entirely clean.
   [[nodiscard]] std::uint64_t clean_exchanges() const { return clean_.load(); }
 
+  /// Attaches an obs registry (borrowed; nullptr detaches). Every injected
+  /// fault is mirrored as `dns.fault.<scope>.<kind>` — `scope` names the
+  /// channel this decorator sits on (e.g. "client_udp", "resolver") so one
+  /// registry can tell several fault fabrics apart. The per-instance atomic
+  /// accessors above keep working either way.
+  void set_registry(obs::Registry* registry, std::string_view scope);
+
  private:
+  /// Bumps a per-instance counter and mirrors it into the registry.
+  void tally(std::atomic<std::uint64_t>& counter, const char* kind);
+
   DnsTransport* inner_;
   std::uint64_t seed_;
   FaultProfile profile_;
@@ -155,6 +166,9 @@ class FaultyTransport : public DnsTransport {
   std::atomic<std::uint64_t> scope_zeros_{0};
   std::atomic<std::uint64_t> outage_hits_{0};
   std::atomic<std::uint64_t> clean_{0};
+
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
+  std::string metric_prefix_;          // "dns.fault.<scope>."
 };
 
 }  // namespace drongo::dns

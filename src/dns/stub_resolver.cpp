@@ -48,7 +48,24 @@ bool same_bytes(const DnsName& a, const DnsName& b) {
   return a.labels() == b.labels();
 }
 
+/// Metric name for the rcode class a finished resolution ended in.
+const char* outcome_metric(const ResolutionResult& result) {
+  if (result.ok()) return "dns.resolver.outcome.ok";
+  if (result.nodata()) return "dns.resolver.outcome.nodata";
+  if (result.name_error()) return "dns.resolver.outcome.nxdomain";
+  return "dns.resolver.outcome.server_failure";
+}
+
 }  // namespace
+
+/// Bumps a ResolverStats field and mirrors it into the attached registry
+/// under the matching `dns.resolver.<field>` name — the token is used for
+/// both, so the struct and the metric catalog cannot drift apart.
+#define DRONGO_RESOLVER_TALLY(field)                                  \
+  do {                                                                \
+    ++stats_.field;                                                   \
+    if (registry_ != nullptr) registry_->add("dns.resolver." #field); \
+  } while (0)
 
 ResolutionResult StubResolver::attempt(const DnsName& name,
                                        std::optional<net::Prefix> ecs_subnet) {
@@ -56,7 +73,7 @@ ResolutionResult StubResolver::attempt(const DnsName& name,
   const DnsName sent_name =
       randomize_case_ ? randomize_name_case(name, rng_) : name;
   const Message query = Message::make_query(id, sent_name, ecs_subnet);
-  ++stats_.queries;
+  DRONGO_RESOLVER_TALLY(queries);
 
   const std::vector<std::uint8_t> wire = query.encode();
   std::vector<std::uint8_t> reply_wire = transport_->exchange(client_, server_, wire);
@@ -66,8 +83,8 @@ ResolutionResult StubResolver::attempt(const DnsName& name,
   if (reply.header.tc && fallback_ != nullptr) {
     // RFC 1035 §4.2.2: a truncated UDP answer is retried over TCP with the
     // same query (same id, same casing — the transaction continues).
-    ++stats_.tcp_fallbacks;
-    ++stats_.queries;
+    DRONGO_RESOLVER_TALLY(tcp_fallbacks);
+    DRONGO_RESOLVER_TALLY(queries);
     reply_wire = fallback_->exchange(client_, server_, wire);
     reply = Message::decode(reply_wire);
     used_tcp = true;
@@ -121,40 +138,49 @@ ResolutionResult StubResolver::resolve(const DnsName& name,
       backoff *= 1.0 + rng_.uniform_real(0.0, config_.jitter_fraction);
       elapsed_ms += backoff;
       if (elapsed_ms > config_.query_deadline_ms) {
-        ++stats_.deadline_exceeded;
+        DRONGO_RESOLVER_TALLY(deadline_exceeded);
         break;
       }
-      ++stats_.retries;
+      DRONGO_RESOLVER_TALLY(retries);
+      if (registry_ != nullptr) {
+        registry_->observe_ms("dns.resolver.backoff_ms", backoff);
+      }
     }
     try {
       ResolutionResult result = attempt(name, ecs_subnet);
       result.attempts = attempt_no + 1;
       if (result.server_failure()) {
-        ++stats_.server_failures;
+        DRONGO_RESOLVER_TALLY(server_failures);
         if (config_.retry_server_failure && attempt_no + 1 < config_.max_attempts) {
           last_failure = std::move(result);
           continue;
         }
-        ++stats_.failed_queries;  // no usable answer came out of this query
+        DRONGO_RESOLVER_TALLY(failed_queries);  // no usable answer came out of this query
+        if (registry_ != nullptr) registry_->add(outcome_metric(result));
         return result;  // typed failure: the caller decides
       }
+      if (registry_ != nullptr) registry_->add(outcome_metric(result));
       return result;  // ok, NODATA, or NXDOMAIN — all final
     } catch (const net::TimeoutError&) {
-      ++stats_.timeouts;
+      DRONGO_RESOLVER_TALLY(timeouts);
       last_error = std::current_exception();
     } catch (const net::UnreachableError&) {
-      ++stats_.unreachable;
+      DRONGO_RESOLVER_TALLY(unreachable);
       last_error = std::current_exception();
     } catch (const net::TransientError&) {
-      ++stats_.validation_failures;
+      DRONGO_RESOLVER_TALLY(validation_failures);
       last_error = std::current_exception();
     }
     // net::PermanentError (and anything else) propagates immediately:
     // retrying a contract violation only hides bugs.
   }
 
-  ++stats_.failed_queries;
-  if (last_failure) return *last_failure;  // budget ended on a SERVFAIL/REFUSED
+  DRONGO_RESOLVER_TALLY(failed_queries);
+  if (last_failure) {
+    if (registry_ != nullptr) registry_->add(outcome_metric(*last_failure));
+    return *last_failure;  // budget ended on a SERVFAIL/REFUSED
+  }
+  if (registry_ != nullptr) registry_->add("dns.resolver.outcome.transport_error");
   if (last_error) std::rethrow_exception(last_error);
   throw net::TimeoutError("query deadline exceeded before any attempt completed");
 }
@@ -173,11 +199,11 @@ std::string StubResolver::resolve_ptr(net::Ipv4Addr address) {
   // names): retry transient failures within the same budget, then degrade
   // to "no name" rather than failing the trial that asked.
   for (int attempt_no = 0; attempt_no < config_.max_attempts; ++attempt_no) {
-    if (attempt_no > 0) ++stats_.retries;
+    if (attempt_no > 0) DRONGO_RESOLVER_TALLY(retries);
     const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
     const Message query =
         Message::make_query(id, reverse_pointer_name(address), std::nullopt, RrType::kPtr);
-    ++stats_.queries;
+    DRONGO_RESOLVER_TALLY(queries);
     try {
       const auto reply_wire = transport_->exchange(client_, server_, query.encode());
       const Message reply = Message::decode(reply_wire);
@@ -188,15 +214,17 @@ std::string StubResolver::resolve_ptr(net::Ipv4Addr address) {
       }
       return "";
     } catch (const net::TimeoutError&) {
-      ++stats_.timeouts;
+      DRONGO_RESOLVER_TALLY(timeouts);
     } catch (const net::UnreachableError&) {
-      ++stats_.unreachable;
+      DRONGO_RESOLVER_TALLY(unreachable);
     } catch (const net::TransientError&) {
-      ++stats_.validation_failures;
+      DRONGO_RESOLVER_TALLY(validation_failures);
     }
   }
-  ++stats_.failed_queries;
+  DRONGO_RESOLVER_TALLY(failed_queries);
   return "";
 }
+
+#undef DRONGO_RESOLVER_TALLY
 
 }  // namespace drongo::dns

@@ -10,6 +10,8 @@
 #include "dns/server.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
 
 namespace drongo::dns {
 
@@ -79,16 +81,29 @@ struct ResolverConfig {
 
 /// What the resolver endured: per-instance tallies of retries, fault kinds
 /// seen, and fallbacks. Campaign layers fold these into per-trial health.
+///
+/// Fields come from the shared obs counter schema so that this struct, the
+/// trial-level HealthCounters, their aggregation, and the dataset format can
+/// never drift apart. Field semantics, in schema order:
+///   queries              attempts actually sent
+///   retries              attempts after the first
+///   timeouts             attempts lost to timeouts
+///   unreachable          attempts that found nobody home
+///   validation_failures  mismatched id/question/0x20 replies
+///   server_failures      SERVFAIL/REFUSED answers seen
+///   tcp_fallbacks        TC=1 answers retried over TCP
+///   deadline_exceeded    queries that ran out of budget
+///   failed_queries       queries that exhausted all attempts
 struct ResolverStats {
-  std::uint64_t queries = 0;           ///< attempts actually sent
-  std::uint64_t retries = 0;           ///< attempts after the first
-  std::uint64_t timeouts = 0;          ///< attempts lost to timeouts
-  std::uint64_t unreachable = 0;       ///< attempts that found nobody home
-  std::uint64_t validation_failures = 0;  ///< mismatched id/question/0x20 replies
-  std::uint64_t server_failures = 0;   ///< SERVFAIL/REFUSED answers seen
-  std::uint64_t tcp_fallbacks = 0;     ///< TC=1 answers retried over TCP
-  std::uint64_t deadline_exceeded = 0; ///< queries that ran out of budget
-  std::uint64_t failed_queries = 0;    ///< queries that exhausted all attempts
+  DRONGO_OBS_RESOLVER_COUNTERS(DRONGO_OBS_DECLARE_FIELD)
+
+  /// Element-wise accumulation, generated from the schema.
+  ResolverStats& operator+=(const ResolverStats& other) {
+#define DRONGO_OBS_FOLD(field) field += other.field;
+    DRONGO_OBS_RESOLVER_COUNTERS(DRONGO_OBS_FOLD)
+#undef DRONGO_OBS_FOLD
+    return *this;
+  }
 };
 
 /// A minimal client resolver that speaks to one recursive/authoritative
@@ -152,6 +167,13 @@ class StubResolver {
   /// Everything this resolver endured so far.
   [[nodiscard]] const ResolverStats& stats() const { return stats_; }
 
+  /// Attaches an obs registry (borrowed; nullptr detaches). Every stats_
+  /// increment is mirrored as a `dns.resolver.*` counter, rcode outcomes
+  /// are tallied under `dns.resolver.outcome.*`, and retry backoff waits
+  /// feed the `dns.resolver.backoff_ms` histogram. All mirrored values are
+  /// simulated quantities, so they stay deterministic under parallelism.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+
  private:
   /// One send/validate round; throws net::TransientError subclasses on
   /// transport trouble or suspect replies.
@@ -165,6 +187,7 @@ class StubResolver {
   ResolverConfig config_;
   bool randomize_case_ = true;
   ResolverStats stats_;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
 };
 
 }  // namespace drongo::dns

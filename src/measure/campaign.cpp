@@ -1,6 +1,7 @@
 #include "measure/campaign.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -19,6 +20,28 @@ int resolve_thread_count(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int parse_thread_count(const char* value) {
+  if (value == nullptr || value[0] == '\0') return 1;
+  const std::string v(value);
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(v, &consumed);
+  } catch (const std::exception&) {
+    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
+                               "\"");
+  }
+  if (consumed != v.size() || parsed < 0) {
+    throw net::InvalidArgument("DRONGO_THREADS must be an integer >= 0, got \"" + v +
+                               "\"");
+  }
+  return parsed;
+}
+
+int thread_count_from_env() {
+  return parse_thread_count(std::getenv("DRONGO_THREADS"));
 }
 
 ParallelCampaignRunner::ParallelCampaignRunner(const TrialRunner* runner,

@@ -26,6 +26,18 @@ struct CampaignOptions {
 /// negative -> net::InvalidArgument, otherwise the value itself.
 int resolve_thread_count(int requested);
 
+/// Parses a DRONGO_THREADS-style value: nullptr/"" means 1 (serial —
+/// campaign outputs are reproducibility artifacts first); otherwise a
+/// base-10 integer >= 0 where 0 selects hardware concurrency. Trailing
+/// junk, negatives, and non-numeric input throw net::InvalidArgument
+/// loudly — a typo in a batch-job environment must not silently run
+/// serial.
+int parse_thread_count(const char* value);
+
+/// The campaign worker-thread environment knob: DRONGO_THREADS through
+/// parse_thread_count.
+int thread_count_from_env();
+
 /// Executes campaign task lists across a thread pool.
 ///
 /// Work is sharded by client: a worker claims an entire client's tasks at

@@ -17,6 +17,17 @@ namespace {
 constexpr const char* kMagicV1 = "drongo-dataset-v1";
 constexpr const char* kMagicV2 = "drongo-dataset-v2";
 
+/// Counter count of a v2 `health|` line, derived from the same schema that
+/// declares HealthCounters — growing the schema keeps writer, parser, and
+/// this check in lockstep (and is the cue to bump the magic).
+constexpr std::size_t kHealthFieldCount = [] {
+  std::size_t n = 0;
+#define DRONGO_OBS_COUNT_FIELD(field) ++n;
+  DRONGO_OBS_HEALTH_COUNTERS(DRONGO_OBS_COUNT_FIELD)
+#undef DRONGO_OBS_COUNT_FIELD
+  return n;
+}();
+
 /// '|' is the field separator, so it must not appear inside a free-text
 /// failure message (they never do today; this guards future messages).
 std::string sanitize_field(std::string s) {
@@ -57,11 +68,14 @@ void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
     out << "trial|" << r.provider << "|" << r.domain << "|" << r.client_index << "|"
         << r.client.to_string() << "|" << r.time_hours << "|" << to_string(r.outcome)
         << "|" << sanitize_field(r.failure) << "\n";
+    // Field order is the obs schema order — the same list that declares the
+    // struct. Byte-compatible with the hand-written v2 writer it replaced.
     const HealthCounters& h = r.health;
-    out << "health|" << h.queries << "|" << h.retries << "|" << h.timeouts << "|"
-        << h.unreachable << "|" << h.validation_failures << "|" << h.server_failures
-        << "|" << h.tcp_fallbacks << "|" << h.deadline_exceeded << "|"
-        << h.failed_queries << "|" << h.hop_resolution_failures << "\n";
+    out << "health";
+#define DRONGO_OBS_WRITE_FIELD(field) out << "|" << h.field;
+    DRONGO_OBS_HEALTH_COUNTERS(DRONGO_OBS_WRITE_FIELD)
+#undef DRONGO_OBS_WRITE_FIELD
+    out << "\n";
     for (const auto& m : r.cr) {
       out << "cr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
           << m.download_first_ms << "|" << m.download_cached_ms << "\n";
@@ -112,20 +126,14 @@ std::vector<TrialRecord> load_dataset(std::istream& in) {
       records.push_back(std::move(r));
       current_hop = nullptr;
     } else if (kind == "health") {
-      if (fields.size() != 11 || records.empty()) {
+      if (fields.size() != kHealthFieldCount + 1 || records.empty()) {
         throw net::ParseError("bad health line: " + line);
       }
       HealthCounters& h = records.back().health;
-      h.queries = parse_u64(fields[1]);
-      h.retries = parse_u64(fields[2]);
-      h.timeouts = parse_u64(fields[3]);
-      h.unreachable = parse_u64(fields[4]);
-      h.validation_failures = parse_u64(fields[5]);
-      h.server_failures = parse_u64(fields[6]);
-      h.tcp_fallbacks = parse_u64(fields[7]);
-      h.deadline_exceeded = parse_u64(fields[8]);
-      h.failed_queries = parse_u64(fields[9]);
-      h.hop_resolution_failures = parse_u64(fields[10]);
+      std::size_t next_field = 1;
+#define DRONGO_OBS_READ_FIELD(field) h.field = parse_u64(fields[next_field++]);
+      DRONGO_OBS_HEALTH_COUNTERS(DRONGO_OBS_READ_FIELD)
+#undef DRONGO_OBS_READ_FIELD
     } else if (kind == "cr") {
       if (fields.size() != 5 || records.empty()) {
         throw net::ParseError("bad cr line: " + line);

@@ -93,6 +93,15 @@ class Testbed {
   /// truncation exercises the RFC 1035 TCP retry path).
   dns::StubResolver make_stub(net::Ipv4Addr client, std::uint64_t seed = 1);
 
+  /// Attaches an obs registry to all three fault fabrics (borrowed; nullptr
+  /// detaches). Injected faults then appear as `dns.fault.<scope>.*` with
+  /// scopes client_udp, client_tcp, and resolver.
+  void set_registry(obs::Registry* registry) {
+    client_faults_->set_registry(registry, "client_udp");
+    client_tcp_faults_->set_registry(registry, "client_tcp");
+    resolver_faults_->set_registry(registry, "resolver");
+  }
+
  private:
   static topology::AsGraph build_graph(TestbedConfig& config,
                                        std::vector<cdn::CdnPlan>& plans_out);

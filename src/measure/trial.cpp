@@ -6,6 +6,7 @@
 
 #include "dns/faults.hpp"
 #include "net/error.hpp"
+#include "obs/span.hpp"
 
 namespace drongo::measure {
 
@@ -16,32 +17,6 @@ namespace {
 constexpr std::uint64_t kScheduleStream = 0x5C4ED01EULL;
 
 }  // namespace
-
-void HealthCounters::add(const dns::ResolverStats& stats) {
-  queries += stats.queries;
-  retries += stats.retries;
-  timeouts += stats.timeouts;
-  unreachable += stats.unreachable;
-  validation_failures += stats.validation_failures;
-  server_failures += stats.server_failures;
-  tcp_fallbacks += stats.tcp_fallbacks;
-  deadline_exceeded += stats.deadline_exceeded;
-  failed_queries += stats.failed_queries;
-}
-
-HealthCounters& HealthCounters::operator+=(const HealthCounters& other) {
-  queries += other.queries;
-  retries += other.retries;
-  timeouts += other.timeouts;
-  unreachable += other.unreachable;
-  validation_failures += other.validation_failures;
-  server_failures += other.server_failures;
-  tcp_fallbacks += other.tcp_fallbacks;
-  deadline_exceeded += other.deadline_exceeded;
-  failed_queries += other.failed_queries;
-  hop_resolution_failures += other.hop_resolution_failures;
-  return *this;
-}
 
 CampaignHealth aggregate_health(const std::vector<TrialRecord>& records) {
   CampaignHealth health;
@@ -119,6 +94,14 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   // thread-local, so concurrent workers each see their own trial's clock.
   const dns::ScopedFaultTime fault_time(time_hours);
 
+  // The trial span is the taxonomy root: phase spans below nest inside it
+  // on the executing thread, so their counts and depths cannot depend on
+  // which thread (or how many) ran the campaign.
+  const obs::Span trial_span(registry_, "measure.trial");
+  const auto note = [this](const char* name) {
+    if (registry_ != nullptr) registry_->add(name);
+  };
+
   TrialRecord record;
   record.provider = testbed_->profile(provider_index).name;
   record.client_index = client_index;
@@ -137,13 +120,16 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   // bad trial must not abort a 45-trial campaign (a real vantage point
   // simply has a gap in its data for that round).
   dns::StubResolver stub = testbed_->make_stub(client, rng.next_u64());
+  stub.set_registry(registry_);
   dns::ResolutionResult cr_result;
   try {
+    const obs::Span phase(registry_, "measure.trial.resolve_cr");
     cr_result = stub.resolve_with_own_subnet(domain);
   } catch (const net::TransientError& e) {
     record.outcome = TrialOutcome::kFailed;
     record.failure = e.what();
     record.health.add(stub.stats());
+    note("measure.trial.outcome.failed");
     return record;
   }
   if (!cr_result.ok()) {
@@ -152,6 +138,7 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
                      " answered " + dns::to_string(cr_result.rcode) +
                      (cr_result.nodata() ? " with no addresses" : "");
     record.health.add(stub.stats());
+    note("measure.trial.outcome.failed");
     return record;
   }
 
@@ -160,6 +147,10 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   // as traceroute tooling obtains them.
   std::set<net::Prefix> seen_subnets;
   std::map<net::Ipv4Addr, std::string> ptr_cache;
+  // One phase span at a time; emplace closes the previous phase before
+  // opening the next, all nested inside the trial span.
+  std::optional<obs::Span> phase;
+  phase.emplace(registry_, "measure.trial.traceroute");
   for (net::Ipv4Addr cr_addr : cr_result.addresses) {
     auto hops = world.traceroute(client, cr_addr, rng);
     if (config_.resolve_hop_names_via_dns) {
@@ -196,6 +187,7 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   // resolution keeps failing degrades the trial (that hop yields no HR-set
   // this round — downstream layers fall back to the client's own subnet)
   // but never fails it: the CR measurements remain valid.
+  phase.emplace(registry_, "measure.trial.assimilate");
   for (auto& hop : record.hops) {
     if (!hop.usable) continue;
     try {
@@ -203,6 +195,7 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
       if (!hr_result.ok()) {
         if (hr_result.server_failure()) {
           ++record.health.hop_resolution_failures;
+          note("measure.trial.hop_resolution_failures");
           record.outcome = TrialOutcome::kDegraded;
         }
         continue;
@@ -212,6 +205,7 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
       }
     } catch (const net::TransientError&) {
       ++record.health.hop_resolution_failures;
+      note("measure.trial.hop_resolution_failures");
       record.outcome = TrialOutcome::kDegraded;
     }
   }
@@ -219,6 +213,7 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   // Step 5: measure CRMs and HRMs — all from the client (footnote 1: no
   // measurements are ever performed from upstream nodes). A replica seen
   // several times in the trial is measured once and the value reused.
+  phase.emplace(registry_, "measure.trial.measure");
   const std::uint64_t object_bytes =
       config_.object_bytes_min +
       rng.uniform(config_.object_bytes_max - config_.object_bytes_min + 1);
@@ -254,6 +249,23 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
                      " hop resolution(s) failed";
   }
   record.health.add(stub.stats());
+  phase.reset();
+
+  note(record.outcome == TrialOutcome::kDegraded ? "measure.trial.outcome.degraded"
+                                                 : "measure.trial.outcome.ok");
+  if (registry_ != nullptr) {
+    // Simulated latencies (pure functions of the task), so these histograms
+    // are as deterministic as the records themselves. First-replica CRM is
+    // the §5 convention; HRMs cover every assimilated replica measured.
+    if (!record.cr.empty()) {
+      registry_->observe_ms("measure.trial.crm_ms", record.first_crm());
+    }
+    for (const auto& hop : record.hops) {
+      for (const auto& hr : hop.hr) {
+        registry_->observe_ms("measure.trial.hrm_ms", hr.rtt_ms);
+      }
+    }
+  }
   return record;
 }
 

@@ -20,6 +20,8 @@
 #include "measure/testbed.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
 
 namespace drongo::measure {
 
@@ -41,23 +43,30 @@ enum class TrialOutcome : std::uint8_t {
 };
 
 /// Resilience bookkeeping for one trial (or, summed, a whole campaign):
-/// what the client path endured and how it coped. Mirrors
-/// dns::ResolverStats plus the trial-level hop degradations.
+/// what the client path endured and how it coped. The resolver-facing
+/// fields are generated from the same obs schema as dns::ResolverStats —
+/// there is exactly one counter list, and it also fixes the dataset
+/// `health|` field order. The one extra field, hop_resolution_failures
+/// (usable hops whose assimilated HR resolution never succeeded), is
+/// appended by the health variant of the schema list.
 struct HealthCounters {
-  std::uint64_t queries = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t unreachable = 0;
-  std::uint64_t validation_failures = 0;
-  std::uint64_t server_failures = 0;
-  std::uint64_t tcp_fallbacks = 0;
-  std::uint64_t deadline_exceeded = 0;
-  std::uint64_t failed_queries = 0;
-  /// Usable hops whose assimilated HR resolution never succeeded.
-  std::uint64_t hop_resolution_failures = 0;
+  DRONGO_OBS_HEALTH_COUNTERS(DRONGO_OBS_DECLARE_FIELD)
 
-  void add(const dns::ResolverStats& stats);
-  HealthCounters& operator+=(const HealthCounters& other);
+  /// Folds a resolver's tallies into this trial's health (schema-generated:
+  /// every resolver counter, nothing else).
+  void add(const dns::ResolverStats& stats) {
+#define DRONGO_OBS_FOLD(field) field += stats.field;
+    DRONGO_OBS_RESOLVER_COUNTERS(DRONGO_OBS_FOLD)
+#undef DRONGO_OBS_FOLD
+  }
+
+  HealthCounters& operator+=(const HealthCounters& other) {
+#define DRONGO_OBS_FOLD(field) field += other.field;
+    DRONGO_OBS_HEALTH_COUNTERS(DRONGO_OBS_FOLD)
+#undef DRONGO_OBS_FOLD
+    return *this;
+  }
+
   bool operator==(const HealthCounters&) const = default;
 };
 
@@ -206,6 +215,17 @@ class TrialRunner {
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] const TrialConfig& config() const { return config_; }
 
+  /// Attaches an obs registry (borrowed; nullptr detaches). Each trial then
+  /// emits `measure.trial.*` outcome counters, the `measure.trial.crm_ms` /
+  /// `measure.trial.hrm_ms` latency histograms (simulated milliseconds, so
+  /// deterministic), per-trial resolver counters via the trial's stub, and
+  /// a `measure.trial` span with nested per-phase spans (resolve_cr,
+  /// traceroute, assimilate, measure). Spans nest within one task on one
+  /// thread only, so their counts and depths are identical no matter how
+  /// the campaign is scheduled.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+  [[nodiscard]] obs::Registry* registry() const { return registry_; }
+
  private:
   /// The trial body; all randomness comes from `rng`.
   TrialRecord run_with_rng(std::size_t client_index, std::size_t provider_index,
@@ -215,6 +235,7 @@ class TrialRunner {
   Testbed* testbed_;
   std::uint64_t seed_;
   TrialConfig config_;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry
   /// Next trial ordinal per (client, provider) for the stateful run().
   std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> next_trial_;
 };

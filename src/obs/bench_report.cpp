@@ -1,0 +1,230 @@
+#include "obs/bench_report.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "net/error.hpp"
+#include "obs/json.hpp"
+
+namespace drongo::obs {
+
+BenchReport::BenchReport(std::string bench_name) : bench_name_(std::move(bench_name)) {
+  if (bench_name_.empty()) {
+    throw net::InvalidArgument("bench report needs a non-empty bench name");
+  }
+}
+
+void BenchReport::set_integer(std::string_view key, std::int64_t value) {
+  Value v;
+  v.kind = Value::Kind::kInteger;
+  v.integer = value;
+  fields_[std::string(key)] = std::move(v);
+}
+
+void BenchReport::set_number(std::string_view key, double value) {
+  Value v;
+  v.kind = Value::Kind::kNumber;
+  v.number = value;
+  fields_[std::string(key)] = std::move(v);
+}
+
+void BenchReport::set_string(std::string_view key, std::string_view value) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.text = std::string(value);
+  fields_[std::string(key)] = std::move(v);
+}
+
+void BenchReport::set_bool(std::string_view key, bool value) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.flag = value;
+  fields_[std::string(key)] = std::move(v);
+}
+
+std::string BenchReport::to_json() const {
+  // "schema" and "bench" are emitted first so a human (or a stream tool
+  // reading a prefix) can identify the file; user fields follow sorted.
+  std::ostringstream out;
+  out << "{\"schema\":\"" << jsonio::escape(kBenchReportSchema) << "\",\"bench\":\""
+      << jsonio::escape(bench_name_) << '"';
+  for (const auto& [key, value] : fields_) {
+    if (key == "schema" || key == "bench") continue;
+    out << ",\"" << jsonio::escape(key) << "\":";
+    switch (value.kind) {
+      case Value::Kind::kInteger: out << value.integer; break;
+      case Value::Kind::kNumber: out << jsonio::format_double(value.number); break;
+      case Value::Kind::kString: out << '"' << jsonio::escape(value.text) << '"'; break;
+      case Value::Kind::kBool: out << (value.flag ? "true" : "false"); break;
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw net::InvalidArgument("cannot open bench report path: " + path);
+  out << to_json();
+  if (!out.flush()) throw net::InvalidArgument("failed writing bench report: " + path);
+}
+
+std::string BenchReport::default_path() const {
+  if (const char* env = std::getenv("DRONGO_BENCH_OUT"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "BENCH_" + bench_name_ + ".json";
+}
+
+namespace {
+
+/// Minimal validating scanner for the flat JSON objects BenchReport emits.
+/// Not a general parser: nested containers are rejected, which doubles as
+/// schema enforcement (reports are flat by design).
+class ReportScanner {
+ public:
+  explicit ReportScanner(const std::string& text) : text_(text) {}
+
+  /// Returns "" on success, else the first problem. Fills schema/bench.
+  std::string scan(std::string* schema, std::string* bench) {
+    skip_ws();
+    if (!eat('{')) return err("expected '{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        std::string key;
+        if (!scan_string(&key)) return err("expected string key");
+        skip_ws();
+        if (!eat(':')) return err("expected ':' after key");
+        skip_ws();
+        std::string string_value;
+        bool was_string = false;
+        if (!scan_value(&string_value, &was_string)) {
+          return err("bad value for key '" + key + "'");
+        }
+        if (was_string && key == "schema") *schema = string_value;
+        if (was_string && key == "bench") *bench = string_value;
+        skip_ws();
+        if (eat(',')) {
+          skip_ws();
+          continue;
+        }
+        if (eat('}')) break;
+        return err("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing content after object");
+    return "";
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool scan_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // validated as hex-ish, decoded value not needed
+            *out += '?';
+            break;
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+  bool scan_value(std::string* string_value, bool* was_string) {
+    *was_string = false;
+    const char c = peek();
+    if (c == '"') {
+      *was_string = true;
+      return scan_string(string_value);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return true;
+    }
+    // Number: [-]digits[.digits][e[+-]digits]
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  std::string err(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string validate_bench_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "cannot open: " + path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return "empty file: " + path;
+
+  std::string schema;
+  std::string bench;
+  ReportScanner scanner(text);
+  if (std::string problem = scanner.scan(&schema, &bench); !problem.empty()) {
+    return problem;
+  }
+  if (schema != kBenchReportSchema) {
+    return "schema mismatch: expected '" + std::string(kBenchReportSchema) +
+           "', got '" + schema + "'";
+  }
+  if (bench.empty()) return "missing or empty 'bench' field";
+  return "";
+}
+
+}  // namespace drongo::obs

@@ -1,0 +1,66 @@
+// Machine-readable bench reports: the BENCH_*.json perf trajectory files.
+//
+// A BenchReport is a flat string->value map (integers, doubles, strings,
+// booleans) stamped with a schema version and the bench name, serialised
+// as a single sorted-key JSON object. Benches fill one in alongside their
+// human-readable output and write it next to the working directory (or
+// wherever DRONGO_BENCH_OUT points), so CI can diff perf numbers across
+// commits without scraping stdout.
+//
+// Unlike the metrics exports, a bench report MAY contain wall-clock
+// figures — that is its whole point. Determinism here means only that the
+// same field values serialise to the same bytes (sorted keys, shortest
+// round-trip doubles).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace drongo::obs {
+
+/// Current report schema identifier, embedded as the "schema" field.
+inline constexpr const char* kBenchReportSchema = "drongo-bench-report-v1";
+
+class BenchReport {
+ public:
+  /// `bench_name` becomes the "bench" field and the default file name
+  /// (BENCH_<bench_name>.json).
+  explicit BenchReport(std::string bench_name);
+
+  void set_integer(std::string_view key, std::int64_t value);
+  void set_number(std::string_view key, double value);
+  void set_string(std::string_view key, std::string_view value);
+  void set_bool(std::string_view key, bool value);
+
+  /// The full report as one sorted-key JSON object (single line + '\n').
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`, replacing any existing file.
+  void write_file(const std::string& path) const;
+
+  /// Where this report should land: $DRONGO_BENCH_OUT if set (a file path,
+  /// used verbatim), else BENCH_<bench_name>.json in the working directory.
+  [[nodiscard]] std::string default_path() const;
+
+ private:
+  struct Value {
+    enum class Kind { kInteger, kNumber, kString, kBool } kind;
+    std::int64_t integer = 0;
+    double number = 0.0;
+    std::string text;
+    bool flag = false;
+  };
+
+  std::string bench_name_;
+  std::map<std::string, Value> fields_;
+};
+
+/// Checks that `path` holds a structurally valid report: one JSON object
+/// with string keys, a "schema" field equal to kBenchReportSchema, and a
+/// non-empty "bench" field. Returns an empty string on success, else a
+/// human-readable description of the first problem found.
+std::string validate_bench_report_file(const std::string& path);
+
+}  // namespace drongo::obs

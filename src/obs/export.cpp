@@ -1,0 +1,112 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace drongo::obs {
+
+namespace {
+
+using jsonio::format_double;
+
+std::string json_escape(const std::string& text) { return jsonio::escape(text); }
+
+/// Prometheus metric name: `drongo_` prefix, [a-zA-Z0-9_] body.
+std::string prom_name(const std::string& name) {
+  std::string out = "drongo_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& out, const Snapshot& snapshot,
+                 const ExportOptions& options) {
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name)
+        << "\",\"count\":" << h.count << ",\"sum_ms\":" << format_double(h.sum_ms())
+        << ",\"min_ms\":" << format_double(h.min)
+        << ",\"max_ms\":" << format_double(h.max)
+        << ",\"p50_ms\":" << format_double(h.percentile(50.0))
+        << ",\"p90_ms\":" << format_double(h.percentile(90.0))
+        << ",\"p99_ms\":" << format_double(h.percentile(99.0)) << ",\"bounds_ms\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out << ',';
+      out << format_double(h.bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) out << ',';
+      out << h.buckets[i];
+    }
+    out << "]}\n";
+  }
+  for (const auto& [name, s] : snapshot.spans) {
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(name)
+        << "\",\"count\":" << s.count << ",\"max_depth\":" << s.max_depth;
+    if (options.include_span_timings) {
+      out << ",\"total_ms\":"
+          << format_double(static_cast<double>(s.total_ticks) / 1e6);
+    }
+    out << "}\n";
+  }
+}
+
+void write_prometheus(std::ostream& out, const Snapshot& snapshot,
+                      const ExportOptions& options) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " counter\n" << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " gauge\n" << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = prom_name(name) + "_ms";
+    out << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      out << metric << "_bucket{le=\""
+          << (i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf") << "\"} "
+          << cumulative << '\n';
+    }
+    out << metric << "_sum " << format_double(h.sum_ms()) << '\n'
+        << metric << "_count " << h.count << '\n';
+  }
+  for (const auto& [name, s] : snapshot.spans) {
+    const std::string metric = prom_name(name) + "_span";
+    out << "# TYPE " << metric << "_count counter\n"
+        << metric << "_count " << s.count << '\n'
+        << "# TYPE " << metric << "_max_depth gauge\n"
+        << metric << "_max_depth " << s.max_depth << '\n';
+    if (options.include_span_timings) {
+      out << "# TYPE " << metric << "_total_ms gauge\n"
+          << metric << "_total_ms "
+          << format_double(static_cast<double>(s.total_ticks) / 1e6) << '\n';
+    }
+  }
+}
+
+std::string to_jsonl(const Snapshot& snapshot, const ExportOptions& options) {
+  std::ostringstream out;
+  write_jsonl(out, snapshot, options);
+  return out.str();
+}
+
+}  // namespace drongo::obs

@@ -1,0 +1,44 @@
+// Snapshot serialisation: JSON-lines (one metric object per line) and
+// Prometheus text exposition format.
+//
+// Both writers emit metrics in the snapshot's canonical sorted order and
+// format every number deterministically (integers as integers, doubles via
+// shortest-round-trip std::to_chars), so two snapshots that compare equal
+// serialise to byte-identical output — the property `drongo_sim
+// --metrics-out` is tested on under DRONGO_THREADS=1 vs 8.
+//
+// Span wall timings are the one nondeterministic quantity the registry
+// holds; ExportOptions excludes them by default so the default export is
+// reproducible. Span counts and max nesting depth are deterministic and
+// always included.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace drongo::obs {
+
+struct ExportOptions {
+  /// Include span total_ms in the output. Off by default: span totals are
+  /// wall time unless a ManualSpanClock is installed, and wall time must
+  /// never appear in an export that claims to be deterministic.
+  bool include_span_timings = false;
+};
+
+/// Writes one JSON object per line: counters, then gauges, then histograms
+/// (with bounds, buckets, and p50/p90/p99 estimates), then spans.
+void write_jsonl(std::ostream& out, const Snapshot& snapshot,
+                 const ExportOptions& options = {});
+
+/// Writes Prometheus text exposition format. Metric names are the snapshot
+/// names with '.' and '-' mapped to '_' and a `drongo_` prefix; histograms
+/// expand to the conventional _bucket/_sum/_count series.
+void write_prometheus(std::ostream& out, const Snapshot& snapshot,
+                      const ExportOptions& options = {});
+
+/// write_jsonl into a string (convenience for tests and snapshot diffing).
+std::string to_jsonl(const Snapshot& snapshot, const ExportOptions& options = {});
+
+}  // namespace drongo::obs

@@ -1,0 +1,46 @@
+// Tiny shared JSON emission helpers for the obs writers. Not a JSON
+// library — just the two primitives whose formatting must be identical
+// everywhere for byte-stable output.
+#pragma once
+
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <system_error>
+
+namespace drongo::obs::jsonio {
+
+/// Shortest round-trip decimal form of a double: deterministic for a given
+/// bit pattern and immune to locale/stream precision settings.
+inline std::string format_double(double value) {
+  char buffer[64];
+  auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buffer, end);
+}
+
+/// Escapes a string for use inside JSON double quotes.
+inline std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace drongo::obs::jsonio

@@ -1,0 +1,48 @@
+// The one counter schema shared by every layer that tallies client health.
+//
+// Before obs existed, dns::ResolverStats and measure::HealthCounters each
+// enumerated the same nine counters by hand — in their field lists, their
+// add/operator+= bodies, the dataset writer, AND the dataset parser. One
+// new counter meant five edits and four chances for a silent mismatch.
+// These X-macro lists are now the single source of truth: the structs
+// declare their fields from them, the merge operators fold from them, the
+// dataset format iterates them, and the obs::Registry mirror names them.
+// Order matters: it IS the dataset v2 `health|` line field order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drongo::obs {
+
+/// What a stub resolver endures: one X(field) per counter, in dataset
+/// order. Extending this list automatically extends ResolverStats,
+/// HealthCounters, their aggregation, and the obs metric names — but it
+/// also appends a field to the dataset `health|` line, so bump the dataset
+/// magic when you touch it.
+#define DRONGO_OBS_RESOLVER_COUNTERS(X) \
+  X(queries)                            \
+  X(retries)                            \
+  X(timeouts)                           \
+  X(unreachable)                        \
+  X(validation_failures)                \
+  X(server_failures)                    \
+  X(tcp_fallbacks)                      \
+  X(deadline_exceeded)                  \
+  X(failed_queries)
+
+/// Trial-level health = resolver counters plus the trial's own tallies.
+#define DRONGO_OBS_HEALTH_COUNTERS(X) \
+  DRONGO_OBS_RESOLVER_COUNTERS(X)     \
+  X(hop_resolution_failures)
+
+/// Declares the schema fields inside a struct body.
+#define DRONGO_OBS_DECLARE_FIELD(field) std::uint64_t field = 0;
+
+/// Canonical metric name for a schema field under `prefix` (which should
+/// end with '.'), e.g. counter_name("dns.resolver.", "retries").
+inline std::string counter_name(const char* prefix, const char* field) {
+  return std::string(prefix) + field;
+}
+
+}  // namespace drongo::obs

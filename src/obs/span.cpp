@@ -1,0 +1,17 @@
+#include "obs/span.hpp"
+
+namespace drongo::obs {
+
+Span::Span(Registry* registry, std::string_view name)
+    : registry_(registry), name_(name) {
+  if (registry_ == nullptr) return;
+  depth_ = registry_->span_enter();
+  start_ticks_ = registry_->span_now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  registry_->span_exit(name_, start_ticks_, depth_);
+}
+
+}  // namespace drongo::obs

@@ -1,0 +1,64 @@
+// Lightweight trace spans over the obs::Registry.
+//
+// A Span is a RAII scope: construction records the start tick and nesting
+// depth of the calling thread, destruction folds (count, elapsed ticks,
+// max depth) into the thread's sink under the span's name. Names are FLAT
+// ("measure.trial", not "campaign/trial"): a nested path would encode which
+// thread happened to run the work — a serial campaign runs trials inside
+// the campaign span, a parallel one runs them on workers with no ambient
+// parent — and that must never leak into a deterministic report. Nesting
+// is still visible through max_depth.
+//
+// Time source: a pluggable SpanClock. Production uses the registry's
+// net::Stopwatch (wall time — real but nondeterministic, so exports omit
+// span timings by default); tests install a ManualSpanClock to make
+// timings exact. Ticks are opaque; by convention 1 tick = 1 nanosecond.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace drongo::obs {
+
+/// Abstract monotonic tick source for span timing.
+class SpanClock {
+ public:
+  virtual ~SpanClock() = default;
+  [[nodiscard]] virtual std::uint64_t now_ticks() const = 0;
+};
+
+/// A hand-cranked clock for tests: time moves only when advance() is
+/// called, so span durations are exact, not "roughly elapsed wall time".
+class ManualSpanClock : public SpanClock {
+ public:
+  [[nodiscard]] std::uint64_t now_ticks() const override {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  void advance(std::uint64_t ticks) { ticks_.fetch_add(ticks, std::memory_order_relaxed); }
+  void set(std::uint64_t ticks) { ticks_.store(ticks, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+/// RAII timed scope. A null registry makes the span a no-op, so call sites
+/// never need to branch on whether telemetry is attached.
+class Span {
+ public:
+  Span(Registry* registry, std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  std::uint64_t start_ticks_ = 0;
+  std::uint64_t depth_ = 0;
+};
+
+}  // namespace drongo::obs

@@ -1,0 +1,110 @@
+// Snapshot exports: JSON-lines and Prometheus shapes, deterministic number
+// formatting, and the headline guarantee — a campaign's metrics export is
+// byte-identical between a serial and a multi-worker run of the same seed.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "measure/campaign.hpp"
+#include "measure/testbed.hpp"
+#include "measure/trial.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = drongo::obs;
+using drongo::measure::CampaignOptions;
+using drongo::measure::ParallelCampaignRunner;
+using drongo::measure::Testbed;
+using drongo::measure::TestbedConfig;
+using drongo::measure::TrialRunner;
+
+namespace {
+
+TEST(Jsonl, EmitsSortedTypedLines) {
+  obs::Registry registry;
+  registry.add("z.last", 2);
+  registry.add("a.first", 1);
+  registry.gauge("g.depth", -3);
+  registry.declare_histogram("lat", {1.0, 10.0});
+  registry.observe_ms("lat", 0.5);
+  registry.observe_ms("lat", 5.0);
+  const std::string text = obs::to_jsonl(registry.snapshot());
+  const std::string expected =
+      "{\"type\":\"counter\",\"name\":\"a.first\",\"value\":1}\n"
+      "{\"type\":\"counter\",\"name\":\"z.last\",\"value\":2}\n"
+      "{\"type\":\"gauge\",\"name\":\"g.depth\",\"value\":-3}\n"
+      // Both samples land in single-occupancy buckets, so every percentile
+      // above rank 0 is the upper bucket's clamped midpoint (1..5 -> 3).
+      "{\"type\":\"histogram\",\"name\":\"lat\",\"count\":2,\"sum_ms\":5.5,"
+      "\"min_ms\":0.5,\"max_ms\":5,\"p50_ms\":3,\"p90_ms\":3,"
+      "\"p99_ms\":3,\"bounds_ms\":[1,10],\"buckets\":[1,1,0]}\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Jsonl, SpanTimingsAreExcludedByDefault) {
+  obs::Snapshot snapshot;
+  snapshot.spans["s"] = {3, 1234567, 1};
+  const std::string without = obs::to_jsonl(snapshot);
+  EXPECT_NE(without.find("{\"type\":\"span\",\"name\":\"s\",\"count\":3,"
+                         "\"max_depth\":1}\n"),
+            std::string::npos);
+  EXPECT_EQ(without.find("total_ms"), std::string::npos);
+
+  obs::ExportOptions options;
+  options.include_span_timings = true;
+  const std::string with = obs::to_jsonl(snapshot, options);
+  EXPECT_NE(with.find("\"total_ms\":1.234567"), std::string::npos);
+}
+
+TEST(Prometheus, ExpandsHistogramsCumulatively) {
+  obs::Registry registry;
+  registry.declare_histogram("lat", {1.0, 10.0});
+  registry.observe_ms("lat", 0.5);
+  registry.observe_ms("lat", 5.0);
+  registry.observe_ms("lat", 50.0);
+  registry.add("dns.resolver.queries", 7);
+  std::ostringstream out;
+  obs::write_prometheus(out, registry.snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE drongo_dns_resolver_queries counter\n"
+                      "drongo_dns_resolver_queries 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("drongo_lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("drongo_lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("drongo_lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("drongo_lat_ms_count 3\n"), std::string::npos);
+}
+
+obs::Snapshot run_campaign_with_threads(int threads) {
+  TestbedConfig config = TestbedConfig::planetlab();
+  config.client_count = 6;
+  config.fault_profile = drongo::dns::parse_fault_profile("flaky");
+  Testbed testbed(config);
+  obs::Registry registry;
+  testbed.set_registry(&registry);
+  TrialRunner runner(&testbed, 0xC0FFEE);
+  runner.set_registry(&registry);
+  const ParallelCampaignRunner parallel(&runner, CampaignOptions{.threads = threads});
+  const auto records = parallel.run_campaign(/*trials_per_client=*/2,
+                                             /*spacing_hours=*/1.5);
+  EXPECT_FALSE(records.empty());
+  return registry.snapshot();
+}
+
+// The subsystem's acceptance test: same seed, same faults, 1 worker vs 8
+// workers — the default (deterministic) export must be byte-identical.
+TEST(Determinism, SerialAndParallelCampaignExportIdenticalBytes) {
+  const std::string serial = obs::to_jsonl(run_campaign_with_threads(1));
+  const std::string parallel = obs::to_jsonl(run_campaign_with_threads(8));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the campaign actually exercised the wired layers.
+  EXPECT_NE(serial.find("dns.resolver.queries"), std::string::npos);
+  EXPECT_NE(serial.find("measure.trial.outcome"), std::string::npos);
+  EXPECT_NE(serial.find("\"type\":\"span\",\"name\":\"measure.trial\""),
+            std::string::npos);
+}
+
+}  // namespace

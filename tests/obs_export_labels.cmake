@@ -1,0 +1,8 @@
+# Applied after gtest test discovery (see TEST_INCLUDE_FILES in
+# CMakeLists.txt): gives every obs_export test BOTH the obs and concurrency
+# labels, which gtest_discover_tests(PROPERTIES LABELS ...) cannot express
+# because its script writer flattens the semicolon.
+if(obs_export_test_names)
+  set_tests_properties(${obs_export_test_names}
+    PROPERTIES LABELS "obs;concurrency")
+endif()

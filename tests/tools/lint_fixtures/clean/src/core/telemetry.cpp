@@ -1,0 +1,12 @@
+// Fixture: library-code telemetry done right — tallies go through an
+// obs::Registry and serialization targets a caller-supplied stream, so the
+// obs-bypass rule has nothing to say.
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+void note_valley(drongo::obs::Registry* registry) {
+  if (registry != nullptr) registry->add("core.engine.valleys_observed");
+}
+
+void save_count(std::ostream& out, long valleys) { out << valleys << "\n"; }

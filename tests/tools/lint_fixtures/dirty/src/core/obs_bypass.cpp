@@ -1,0 +1,12 @@
+// Fixture: ad-hoc console telemetry in library code (this file sits under a
+// core/ directory, so the obs-bypass rule applies). Counters belong in
+// obs::Registry; streams belong to callers.
+#include <cstdio>
+#include <iostream>
+
+static const char* describe(int valleys) { return valleys > 0 ? "valleys" : "dry"; }
+
+void report_progress(int trials, int valleys) {
+  std::cerr << "observed " << trials << " trials\n";  // finding: stderr telemetry
+  std::printf("%d %s\n", valleys, describe(valleys));  // finding: stdout telemetry
+}

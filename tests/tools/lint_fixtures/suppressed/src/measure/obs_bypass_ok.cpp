@@ -1,0 +1,12 @@
+// Fixture: console output in library code carrying a reasoned suppression,
+// so the obs-bypass rule stays silent. Also shows the idiomatic alternative
+// (caller-supplied stream) that needs no suppression at all.
+#include <iostream>
+#include <ostream>
+
+void emergency_banner() {
+  // drongo-lint: allow(obs-bypass) — fixture: last-resort abort message, no registry exists yet
+  std::cerr << "fatal: testbed failed to construct\n";
+}
+
+void save_summary(std::ostream& out, int trials) { out << trials << " trials\n"; }

@@ -186,6 +186,37 @@ TEST(FaultWindow, FiresOnlyWithoutScopedFaultTime) {
   EXPECT_FALSE(rules_of(scan("src/measure/x.cpp", covered)).count(lint::kRuleFaultWindow));
 }
 
+TEST(ObsBypass, FiresOnlyInLibraryDirectories) {
+  const std::string source = "void f() { std::cerr << 1; }\n";
+  EXPECT_TRUE(rules_of(scan("src/dns/x.cpp", source)).count(lint::kRuleObsBypass));
+  EXPECT_TRUE(rules_of(scan("src/measure/x.cpp", source)).count(lint::kRuleObsBypass));
+  EXPECT_TRUE(rules_of(scan("src/core/x.cpp", source)).count(lint::kRuleObsBypass));
+  EXPECT_FALSE(rules_of(scan("src/obs/x.cpp", source)).count(lint::kRuleObsBypass));
+  EXPECT_FALSE(rules_of(scan("tools/x.cpp", source)).count(lint::kRuleObsBypass));
+  EXPECT_FALSE(rules_of(scan("bench/x.cpp", source)).count(lint::kRuleObsBypass));
+}
+
+TEST(ObsBypass, FlagsEveryConsoleEntryPoint) {
+  const std::string source =
+      "void f(FILE* log) {\n"
+      "  std::cout << 1;\n"
+      "  printf(\"x\");\n"
+      "  fprintf(stderr, \"x\");\n"
+      "  puts(\"x\");\n"
+      "  fputs(\"x\", stderr);\n"
+      "}\n";
+  const auto findings = scan("src/core/x.cpp", source);
+  EXPECT_EQ(findings.size(), 5u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, lint::kRuleObsBypass);
+}
+
+TEST(ObsBypass, CallerStreamsAndMembersAreFine) {
+  const std::string source =
+      "void save(std::ostream& out, const Record& r) { out << r.value; }\n"
+      "void log(Sink& sink) { sink.printf(\"x\"); }\n";
+  EXPECT_EQ(scan("src/measure/x.cpp", source).size(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 
@@ -262,7 +293,8 @@ TEST(FixtureTree, DirtyTreeFailsWithEveryRuleRepresented) {
   EXPECT_EQ(result.exit_code, 1);
   for (const char* rule :
        {lint::kRuleNondeterminism, lint::kRuleUnorderedSerial, lint::kRuleRawThrow,
-        lint::kRuleMutableStatic, lint::kRuleFaultWindow, lint::kRuleBadSuppression}) {
+        lint::kRuleMutableStatic, lint::kRuleFaultWindow, lint::kRuleObsBypass,
+        lint::kRuleBadSuppression}) {
     EXPECT_NE(result.out.find(rule), std::string::npos) << "rule missing: " << rule;
   }
   // The non-violations stay silent: ordered-map serialization, guarded

@@ -1,0 +1,32 @@
+// check_bench_report: validates BENCH_*.json report files.
+//
+//   check_bench_report <file> [<file> ...]
+//
+// Each file must be a flat, schema-versioned bench report as written by
+// obs::BenchReport (see docs/OBSERVABILITY.md). Exit 0 when every file
+// validates; prints one line per failure and exits 1 otherwise. CI runs
+// this after bench_headline_results so a schema drift fails the build
+// instead of silently producing unparseable trend data.
+#include <iostream>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: check_bench_report <BENCH_*.json> [...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    const std::string error = drongo::obs::validate_bench_report_file(path);
+    if (error.empty()) {
+      std::cout << path << ": ok\n";
+    } else {
+      std::cerr << path << ": " << error << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

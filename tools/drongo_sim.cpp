@@ -24,6 +24,8 @@
 #include "measure/dataset.hpp"
 #include "measure/trial.hpp"
 #include "net/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 using namespace drongo;
 
@@ -111,21 +113,48 @@ int cmd_campaign(const std::vector<std::string>& args) {
   options.add_option("trials", "10", "trials per client-provider pair");
   options.add_option("spacing-hours", "1.5", "time between trials");
   options.add_option("out", "campaign.dataset", "output dataset file");
-  options.add_option("threads", "1", "worker threads (0 = hardware concurrency)");
+  options.add_option("threads", "",
+                     "worker threads (empty = DRONGO_THREADS, 0 = hardware concurrency)");
+  options.add_option("metrics-out", "", "write obs telemetry as JSON-lines to this file");
+  options.add_option("metrics-prom", "",
+                     "write obs telemetry in Prometheus text format to this file");
   options.add_flag("downloads", "also measure download times (Fig. 4b/4c)");
   options.parse(args);
+  const int threads = options.get("threads").empty()
+                          ? measure::thread_count_from_env()
+                          : static_cast<int>(options.get_int("threads"));
   measure::Testbed testbed(testbed_config(options));
   measure::TrialConfig trial_config;
   trial_config.measure_downloads = options.get_flag("downloads");
   measure::TrialRunner runner(&testbed,
                               static_cast<std::uint64_t>(options.get_int("seed")) ^ 0xCA,
                               trial_config);
-  measure::ParallelCampaignRunner parallel(
-      &runner, {.threads = static_cast<int>(options.get_int("threads"))});
+  // One registry spans the whole campaign: testbed fault fabrics, every
+  // stub the trials create, and the trial runner itself all tally into it.
+  // Its snapshot is seed-deterministic for any thread count, so the files
+  // below are reproducibility artifacts like the dataset.
+  obs::Registry registry;
+  testbed.set_registry(&registry);
+  runner.set_registry(&registry);
+  measure::ParallelCampaignRunner parallel(&runner, {.threads = threads});
   const auto records = parallel.run_campaign(static_cast<int>(options.get_int("trials")),
                                              options.get_double("spacing-hours"));
   measure::save_dataset_file(options.get("out"), records);
   std::cout << records.size() << " trials written to " << options.get("out") << "\n";
+  const auto write_metrics = [&](const std::string& option, auto writer) {
+    const std::string path = options.get(option);
+    if (path.empty()) return;
+    std::ofstream file(path);
+    if (!file) throw net::InvalidArgument("cannot open --" + option + " file " + path);
+    writer(file, registry.snapshot());
+    std::cout << "metrics written to " << path << "\n";
+  };
+  write_metrics("metrics-out", [](std::ostream& out, const obs::Snapshot& snapshot) {
+    obs::write_jsonl(out, snapshot);
+  });
+  write_metrics("metrics-prom", [](std::ostream& out, const obs::Snapshot& snapshot) {
+    obs::write_prometheus(out, snapshot);
+  });
 
   const auto health = measure::aggregate_health(records);
   std::cout << "outcomes: " << health.ok_trials << " ok, " << health.degraded_trials
@@ -290,7 +319,9 @@ int cmd_help() {
                "  help      this text\n\n"
                "common options: --seed N, --clients N, --scale planetlab|ripe,\n"
                "  --fault-profile none|lossy|flaky|ecs-hostile|chaos (DNS fault\n"
-               "  injection; fine-tune with DRONGO_FAULT_* env knobs)\n";
+               "  injection; fine-tune with DRONGO_FAULT_* env knobs)\n"
+               "campaign telemetry: --metrics-out FILE (JSON-lines) and\n"
+               "  --metrics-prom FILE (Prometheus text); see docs/OBSERVABILITY.md\n";
   return 0;
 }
 

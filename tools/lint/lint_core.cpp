@@ -478,6 +478,42 @@ void scan_fault_window(const std::string& path, const std::string& scrubbed,
                        "time and silently never fire"});
 }
 
+// ---------------------------------------------------------------------------
+// Rule: obs-bypass
+
+/// Console-output entry points that smell like ad-hoc telemetry when they
+/// appear in library code. Writing to a caller-supplied std::ostream is
+/// fine (that is how datasets serialize); grabbing the process's stdio is
+/// not.
+constexpr const char* kConsoleTokens[] = {"cerr",  "cout", "printf",
+                                          "fprintf", "puts", "fputs"};
+
+void scan_obs_bypass(const std::string& path, const std::vector<std::string>& lines,
+                     const Config& config, std::vector<Finding>* findings) {
+  // Library code only: the resolution/measurement/decision layers report
+  // through obs::Registry. CLI tools and benches own their stdout.
+  const bool in_scope = path_has_component(path, "dns") ||
+                        path_has_component(path, "measure") ||
+                        path_has_component(path, "core");
+  if (!in_scope || path_has_component(path, "obs")) return;
+  const Severity severity = config.severity_of(kRuleObsBypass);
+  if (severity == Severity::kOff) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (const char* token : kConsoleTokens) {
+      for (std::size_t pos = find_token(line, token); pos != std::string::npos;
+           pos = find_token(line, token, pos + 1)) {
+        if (pos > 0 && line[pos - 1] == '.') continue;  // member, not stdio
+        findings->push_back({path, i + 1, kRuleObsBypass, severity,
+                             std::string("console output '") + token +
+                                 "' in library code — tally through obs::Registry "
+                                 "(src/obs) or write to a caller-supplied stream so "
+                                 "telemetry stays deterministic and machine-readable"});
+      }
+    }
+  }
+}
+
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size() + 8);
@@ -505,7 +541,7 @@ std::string json_escape(const std::string& text) {
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       kRuleNondeterminism, kRuleUnorderedSerial, kRuleRawThrow, kRuleMutableStatic,
-      kRuleFaultWindow};
+      kRuleFaultWindow,    kRuleObsBypass};
   return kRules;
 }
 
@@ -672,6 +708,7 @@ std::vector<Finding> scan_source(const std::string& path, const std::string& con
   scan_unordered_serial(path, scrubbed, lines, config, &candidates);
   scan_mutable_static(path, scrubbed, lines, config, &candidates);
   scan_fault_window(path, scrubbed, config, &candidates);
+  scan_obs_bypass(path, lines, config, &candidates);
 
   std::vector<Finding> findings;
   for (Finding& f : candidates) {

@@ -16,6 +16,9 @@
 //                    thread_local protection
 //   fault-window     driving exchanges through FaultyTransport without ever
 //                    establishing ScopedFaultTime (outage windows see NaN)
+//   obs-bypass       console output (std::cerr/printf/...) in library code
+//                    under dns/, measure/, or core/ — telemetry belongs in
+//                    the obs registry, not on a stream CI cannot diff
 //   bad-suppression  an allow-comment with no reason or an unknown rule name
 //
 // Findings are suppressed inline with a comment on the offending line or the
@@ -38,6 +41,7 @@ inline constexpr const char* kRuleUnorderedSerial = "unordered-serial";
 inline constexpr const char* kRuleRawThrow = "raw-throw";
 inline constexpr const char* kRuleMutableStatic = "mutable-static";
 inline constexpr const char* kRuleFaultWindow = "fault-window";
+inline constexpr const char* kRuleObsBypass = "obs-bypass";
 inline constexpr const char* kRuleBadSuppression = "bad-suppression";
 
 /// All checkable rule names (excludes bad-suppression, which is the checker
