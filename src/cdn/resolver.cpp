@@ -1,12 +1,31 @@
 #include "cdn/resolver.hpp"
 
+#include <algorithm>
+
 #include "net/error.hpp"
 
 namespace drongo::cdn {
 
+namespace {
+
+ServingConfig legacy_config(bool enable_cache) {
+  ServingConfig serving;
+  serving.enable_cache = enable_cache;
+  return serving;
+}
+
+}  // namespace
+
 PublicResolver::PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
                                bool enable_cache)
-    : transport_(transport), address_(own_address), caching_(enable_cache) {
+    : PublicResolver(transport, own_address, legacy_config(enable_cache)) {}
+
+PublicResolver::PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
+                               const ServingConfig& serving)
+    : transport_(transport),
+      address_(own_address),
+      serving_(serving),
+      cache_(serving.shards, serving.max_entries) {
   if (transport_ == nullptr) throw net::InvalidArgument("null transport");
 }
 
@@ -28,6 +47,19 @@ std::optional<net::Ipv4Addr> PublicResolver::authoritative_for(
   return best;
 }
 
+dns::Message PublicResolver::answer_from(const dns::Message& query,
+                                         const dns::Question& q, dns::Rcode rcode,
+                                         const std::vector<net::Ipv4Addr>& addresses,
+                                         int scope_length, bool client_sent_ecs) const {
+  dns::Message response = dns::Message::make_response(query, rcode, scope_length);
+  response.header.ra = true;
+  for (net::Ipv4Addr addr : addresses) {
+    response.answers.push_back(dns::ResourceRecord::a(q.name, addr, 30));
+  }
+  if (!client_sent_ecs) response.clear_client_subnet();
+  return response;
+}
+
 dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr source) {
   if (query.questions.size() != 1) {
     return dns::Message::make_response(query, dns::Rcode::kFormErr);
@@ -43,20 +75,50 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
     client_sent_ecs = true;
   }
 
-  if (caching_ && q.type == dns::RrType::kA) {
-    std::lock_guard lock(cache_mutex_);
-    if (auto hit = cache_.lookup(q.name, ecs, now_ms_)) {
-      // Cached entries hold final addresses only; intermediate CNAME chain
-      // records are not replayed (stubs consume addresses).
-      dns::Message response =
-          dns::Message::make_response(query, dns::Rcode::kNoError, hit->scope.length());
-      for (net::Ipv4Addr addr : hit->addresses) {
-        response.answers.push_back(dns::ResourceRecord::a(q.name, addr, 30));
-      }
-      if (!client_sent_ecs) response.clear_client_subnet();
-      return response;
-    }
+  const bool serving = serving_.enable_cache && q.type == dns::RrType::kA;
+  if (!serving) {
+    return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
   }
+
+  if (const auto hit = cache_.lookup(q.name, ecs, now_ms_)) {
+    return answer_from(query, q, hit->rcode, hit->addresses, hit->scope.length(),
+                       client_sent_ecs);
+  }
+
+  if (!serving_.coalesce) {
+    return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
+  }
+
+  auto flight = cache_.join(q.name, ecs);
+  if (flight.leader()) {
+    return resolve_upstream(query, q, ecs, client_sent_ecs, &flight);
+  }
+  const auto outcome = flight.wait();
+  if (outcome.usable) {
+    return answer_from(query, q, outcome.rcode, outcome.addresses,
+                       outcome.scope_length, client_sent_ecs);
+  }
+  // The leader died before producing a shareable answer; resolve alone
+  // rather than re-queueing (one failed flight must not cascade).
+  return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
+}
+
+dns::Message PublicResolver::resolve_upstream(const dns::Message& query,
+                                              const dns::Question& q,
+                                              const net::Prefix& ecs,
+                                              bool client_sent_ecs,
+                                              dns::ShardedDnsCache::Flight* flight) {
+  // Shares the final answer with coalesced followers on every exit path.
+  const auto publish = [&](dns::Rcode rcode, std::vector<net::Ipv4Addr> addresses,
+                           int scope_length) {
+    if (flight == nullptr) return;
+    dns::ShardedDnsCache::FlightOutcome outcome;
+    outcome.rcode = rcode;
+    outcome.addresses = std::move(addresses);
+    outcome.scope_length = scope_length;
+    outcome.usable = true;
+    flight->publish(std::move(outcome));
+  };
 
   // Iterative resolution with CNAME chasing (bounded depth, as real
   // recursives do): each step queries the authoritative for the current
@@ -70,19 +132,24 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
     if (!authoritative) {
       // A dangling chain (or unknown name) is SERVFAIL when mid-chase,
       // REFUSED when we never had anywhere to go.
-      return dns::Message::make_response(
-          query, depth == 0 ? dns::Rcode::kRefused : dns::Rcode::kServFail);
+      const auto rcode = depth == 0 ? dns::Rcode::kRefused : dns::Rcode::kServFail;
+      publish(rcode, {}, 0);
+      return dns::Message::make_response(query, rcode);
     }
     dns::Message upstream = dns::Message::make_query(query.header.id, current, ecs, q.type);
     ++upstream_queries_;
+    if (registry_ != nullptr) registry_->add("cdn.resolver.upstream_queries");
     try {
       upstream_reply = dns::Message::decode(
           transport_->exchange(address_, *authoritative, upstream.encode()));
     } catch (const net::TransientError&) {
       // The authoritative is down or the path is lossy: a recursive answers
       // SERVFAIL rather than leaving the client hanging, and the client's
-      // retry policy takes it from there.
+      // retry policy takes it from there. Followers share the SERVFAIL
+      // (classic singleflight) instead of stampeding a failing server.
       upstream_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (registry_ != nullptr) registry_->add("cdn.resolver.upstream_failures");
+      publish(dns::Rcode::kServFail, {}, 0);
       return dns::Message::make_response(query, dns::Rcode::kServFail);
     }
     if (upstream_reply.header.rcode != dns::Rcode::kNoError) break;
@@ -106,6 +173,7 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   if (!resolved && upstream_reply.header.rcode == dns::Rcode::kNoError &&
       upstream_reply.answer_addresses().empty() && !chain.empty()) {
     // Chase depth exhausted: a CNAME loop.
+    publish(dns::Rcode::kServFail, {}, 0);
     return dns::Message::make_response(query, dns::Rcode::kServFail);
   }
 
@@ -119,17 +187,24 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   response.answers = std::move(chain);
   for (const auto& rr : upstream_reply.answers) response.answers.push_back(rr);
 
-  if (caching_ && q.type == dns::RrType::kA &&
-      response.header.rcode == dns::Rcode::kNoError && !response.answers.empty()) {
-    net::Prefix cache_scope = scope ? net::Prefix(ecs.network(), *scope) : ecs;
-    std::uint32_t ttl = UINT32_MAX;
-    for (const auto& rr : response.answers) ttl = std::min(ttl, rr.ttl);
-    const auto addresses = response.answer_addresses();
-    if (!addresses.empty()) {
-      std::lock_guard lock(cache_mutex_);
+  const auto addresses = response.answer_addresses();
+  if (serving_.enable_cache && q.type == dns::RrType::kA) {
+    const net::Prefix cache_scope = scope ? net::Prefix(ecs.network(), *scope) : ecs;
+    if (response.header.rcode == dns::Rcode::kNoError && !addresses.empty()) {
+      std::uint32_t ttl = UINT32_MAX;
+      for (const auto& rr : response.answers) ttl = std::min(ttl, rr.ttl);
       cache_.insert(q.name, cache_scope, addresses, ttl, now_ms_);
+    } else if (serving_.negative_cache &&
+               (response.header.rcode == dns::Rcode::kNxDomain ||
+                (response.header.rcode == dns::Rcode::kNoError && addresses.empty()))) {
+      // NXDOMAIN / NODATA: cached scope-zero (a name that does not exist
+      // does not exist for anyone, RFC 2308-style), so the longest-match
+      // lookup still prefers any tailored positive entry.
+      cache_.insert_negative(q.name, net::Prefix(), response.header.rcode,
+                             serving_.negative_ttl_seconds, now_ms_);
     }
   }
+  publish(response.header.rcode, addresses, scope.value_or(ecs.length()));
 
   // When the client sent no ECS, strip the option we added on its behalf
   // (the client never asked to see it).

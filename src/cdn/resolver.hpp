@@ -2,30 +2,58 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
 
-#include "dns/cache.hpp"
+#include "dns/serving_cache.hpp"
 #include "dns/server.hpp"
+#include "obs/metrics.hpp"
 
 namespace drongo::cdn {
+
+/// Serving-path knobs for PublicResolver: how the answer cache is sharded
+/// and whether concurrent identical queries coalesce into one upstream
+/// exchange. The defaults (cache off) reproduce the pristine pass-through
+/// resolver every pre-serving experiment assumes.
+struct ServingConfig {
+  /// Master switch for the RFC 7871 scoped answer cache.
+  bool enable_cache = false;
+  /// Lock-striped shards for the cache (clamped to >= 1). One shard
+  /// degenerates to the classic single-mutex cache.
+  std::size_t shards = 1;
+  /// Total cache capacity, divided evenly across shards.
+  std::size_t max_entries = 4096;
+  /// Singleflight: concurrent clients asking the same (qname, ECS subnet)
+  /// share one upstream exchange instead of racing N identical ones.
+  bool coalesce = false;
+  /// Cache NXDOMAIN/NODATA answers (scope-zero, RFC 2308-style).
+  bool negative_cache = true;
+  /// TTL for cached negative answers.
+  std::uint32_t negative_ttl_seconds = 30;
+};
 
 /// An ECS-forwarding public recursive resolver, modelled on Google Public
 /// DNS: queries are routed to the authoritative for the longest matching
 /// zone suffix; if the client supplied no ECS option, the resolver inserts
 /// one with the client's /24 (the "A Faster Internet" behaviour the paper
 /// builds on). Positive answers are cached per RFC 7871 scope rules with a
-/// caller-advanced simulated clock.
+/// caller-advanced simulated clock; NXDOMAIN/NODATA answers are cached
+/// scope-zero. With coalescing enabled, concurrent misses on the same
+/// (qname, ECS subnet) elect one leader to go upstream and share its answer.
 ///
-/// Thread-safety: zone registration and `set_time_ms` are setup-phase and
-/// single-threaded. `handle` may then be called concurrently — the answer
-/// cache is guarded internally and the upstream counter is atomic.
+/// Thread-safety: zone registration, `set_time_ms`, and `set_registry` are
+/// setup-phase and single-threaded. `handle` may then be called
+/// concurrently — the answer cache is shard-locked internally and the
+/// upstream counters are atomic.
 class PublicResolver : public dns::DnsServer {
  public:
   /// `transport` carries queries to authoritatives; borrowed.
   PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
                  bool enable_cache = false);
+  PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_address,
+                 const ServingConfig& serving);
 
   /// Registers the authoritative server address for a zone.
   void register_zone(const dns::DnsName& zone, net::Ipv4Addr authoritative);
@@ -35,7 +63,16 @@ class PublicResolver : public dns::DnsServer {
   /// Advances the simulated clock used for cache TTLs.
   void set_time_ms(std::uint64_t now_ms) { now_ms_ = now_ms; }
 
-  [[nodiscard]] const dns::DnsCache& cache() const { return cache_; }
+  /// Attaches an obs registry (borrowed; nullptr detaches): cache events
+  /// appear as `dns.cache.*`, upstream exchanges as `cdn.resolver.*`.
+  void set_registry(obs::Registry* registry) {
+    registry_ = registry;
+    cache_.set_registry(registry);
+  }
+
+  [[nodiscard]] const ServingConfig& serving() const { return serving_; }
+  [[nodiscard]] const dns::ShardedDnsCache& cache() const { return cache_; }
+  [[nodiscard]] dns::CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] std::uint64_t upstream_queries() const {
     return upstream_queries_.load(std::memory_order_relaxed);
   }
@@ -47,13 +84,27 @@ class PublicResolver : public dns::DnsServer {
  private:
   std::optional<net::Ipv4Addr> authoritative_for(const dns::DnsName& name) const;
 
+  /// Full recursive resolution (zone routing, CNAME chase, caching). When
+  /// `flight` is non-null this caller is the singleflight leader and the
+  /// shareable outcome is published for every waiting follower.
+  dns::Message resolve_upstream(const dns::Message& query, const dns::Question& q,
+                                const net::Prefix& ecs, bool client_sent_ecs,
+                                dns::ShardedDnsCache::Flight* flight);
+
+  /// Synthesizes a client response from a cache entry or flight outcome
+  /// (final addresses only; CNAME chains are not replayed).
+  dns::Message answer_from(const dns::Message& query, const dns::Question& q,
+                           dns::Rcode rcode,
+                           const std::vector<net::Ipv4Addr>& addresses,
+                           int scope_length, bool client_sent_ecs) const;
+
   dns::DnsTransport* transport_;
   net::Ipv4Addr address_;
-  bool caching_;
+  ServingConfig serving_;
   std::uint64_t now_ms_ = 0;
   std::map<dns::DnsName, net::Ipv4Addr> zones_;
-  mutable std::mutex cache_mutex_;  ///< guards cache_ when caching_ is on
-  dns::DnsCache cache_;
+  dns::ShardedDnsCache cache_;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
   std::atomic<std::uint64_t> upstream_queries_{0};
   std::atomic<std::uint64_t> upstream_failures_{0};
 };

@@ -30,6 +30,11 @@ void DrongoDaemon::schedule_more(const WatchedDomain& domain, double from_hours)
 }
 
 void DrongoDaemon::watch(const WatchedDomain& domain, double now_hours) {
+  // Guard against duplicate registrations: a second watch() for the same
+  // domain would double-schedule its trials (and keep doubling the cadence
+  // every time the horizon tops up).
+  if (std::find(watched_.begin(), watched_.end(), domain) != watched_.end()) return;
+  watched_.push_back(domain);
   schedule_more(domain, std::max(now_hours, clock_hours_));
 }
 

@@ -24,6 +24,8 @@ namespace drongo::core {
 struct WatchedDomain {
   std::size_t provider_index = 0;
   std::size_t label_index = 0;
+
+  friend bool operator==(const WatchedDomain&, const WatchedDomain&) = default;
 };
 
 struct DaemonConfig {
@@ -41,8 +43,12 @@ class DrongoDaemon : public dns::SubnetSelector {
                DaemonConfig config = {}, std::uint64_t seed = 17);
 
   /// Registers a domain for background maintenance; trials for it are
-  /// scheduled from `now_hours` on.
+  /// scheduled from `now_hours` on. Watching an already-watched domain is
+  /// a no-op — a re-registration must not double-schedule its trials.
   void watch(const WatchedDomain& domain, double now_hours = 0.0);
+
+  /// Domains currently under background maintenance.
+  [[nodiscard]] std::size_t watched_count() const { return watched_.size(); }
 
   /// Advances the daemon's clock to `now_hours`, executing every trial
   /// whose scheduled time has arrived (the "idle time" work). Returns the
@@ -78,7 +84,8 @@ class DrongoDaemon : public dns::SubnetSelector {
   DaemonConfig config_;
   net::Rng rng_;
   DecisionEngine engine_;
-  std::vector<Pending> queue_;  // kept sorted by when_hours
+  std::vector<WatchedDomain> watched_;  // registration order, no duplicates
+  std::vector<Pending> queue_;          // kept sorted by when_hours
   double clock_hours_ = 0.0;
   std::uint64_t trials_run_ = 0;
 };

@@ -1,6 +1,22 @@
 #include "dns/cache.hpp"
 
+#include <utility>
+
 namespace drongo::dns {
+
+void DnsCache::bump(std::uint64_t CacheStats::* field, const char* name) {
+  ++(stats_.*field);
+  if (registry_ != nullptr) registry_->add(obs::counter_name("dns.cache.", name));
+}
+
+/// Bumps `field` and mirrors it into the registry under the same name.
+#define DRONGO_CACHE_BUMP(field) bump(&CacheStats::field, #field)
+
+std::map<DnsCache::Key, DnsCache::Stored>::iterator DnsCache::erase_entry(
+    std::map<Key, Stored>::iterator it) {
+  lru_.erase(it->second.lru_position);
+  return entries_.erase(it);
+}
 
 std::optional<DnsCache::Entry> DnsCache::lookup(const DnsName& name,
                                                 const net::Prefix& client_subnet,
@@ -8,44 +24,90 @@ std::optional<DnsCache::Entry> DnsCache::lookup(const DnsName& name,
   const std::string canonical = name.canonical();
   // Scan entries for this name; usable when the client subnet falls within
   // the cached scope. Names have few scopes in practice so the range scan is
-  // short.
+  // short. Dead entries are erased in passing so they stop counting toward
+  // size() and eviction pressure; among live candidates the longest
+  // (most specific) scope wins, per RFC 7871 §7.3.1 — a scope-zero answer
+  // must never shadow a tailored one.
   auto it = entries_.lower_bound({canonical, net::Prefix()});
-  for (; it != entries_.end() && it->first.first == canonical; ++it) {
-    const Entry& e = it->second;
-    if (e.expiry_ms <= now_ms) continue;
-    if (e.scope.contains(client_subnet.network())) {
-      ++hits_;
-      return e;
+  auto best = entries_.end();
+  while (it != entries_.end() && it->first.first == canonical) {
+    const Entry& e = it->second.entry;
+    if (e.expiry_ms <= now_ms) {
+      DRONGO_CACHE_BUMP(expired);
+      it = erase_entry(it);
+      continue;
     }
+    if (e.scope.contains(client_subnet.network()) &&
+        (best == entries_.end() ||
+         e.scope.length() > best->second.entry.scope.length())) {
+      best = it;
+    }
+    ++it;
   }
-  ++misses_;
-  return std::nullopt;
+  if (best == entries_.end()) {
+    DRONGO_CACHE_BUMP(misses);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, best->second.lru_position);
+  if (best->second.entry.negative) {
+    DRONGO_CACHE_BUMP(negative_hits);
+  } else {
+    DRONGO_CACHE_BUMP(hits);
+  }
+  return best->second.entry;
+}
+
+void DnsCache::store(Key key, Entry entry, std::uint64_t now_ms) {
+  if (const auto existing = entries_.find(key); existing != entries_.end()) {
+    // Refresh in place: newer answer wins, recency bumps.
+    existing->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, existing->second.lru_position);
+    return;
+  }
+  if (entries_.size() >= max_entries_) purge(now_ms);
+  while (entries_.size() >= max_entries_ && !lru_.empty()) {
+    // Still full after dropping the dead: evict the least recently used.
+    DRONGO_CACHE_BUMP(evictions);
+    erase_entry(entries_.find(lru_.back()));
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Stored{std::move(entry), lru_.begin()});
 }
 
 void DnsCache::insert(const DnsName& name, const net::Prefix& scope,
                       std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
                       std::uint64_t now_ms) {
-  if (entries_.size() >= max_entries_) purge(now_ms);
-  if (entries_.size() >= max_entries_ && !entries_.empty()) {
-    // Still full after purge: evict an arbitrary (first) entry. A production
-    // resolver would use LRU; for simulation fairness any victim works.
-    entries_.erase(entries_.begin());
-  }
   Entry e;
   e.addresses = std::move(addresses);
   e.scope = scope;
   e.expiry_ms = now_ms + std::uint64_t{ttl_seconds} * 1000;
-  entries_[{name.canonical(), scope}] = std::move(e);
+  DRONGO_CACHE_BUMP(inserts);
+  store({name.canonical(), scope}, std::move(e), now_ms);
+}
+
+void DnsCache::insert_negative(const DnsName& name, const net::Prefix& scope,
+                               Rcode rcode, std::uint32_t ttl_seconds,
+                               std::uint64_t now_ms) {
+  Entry e;
+  e.scope = scope;
+  e.expiry_ms = now_ms + std::uint64_t{ttl_seconds} * 1000;
+  e.negative = true;
+  e.rcode = rcode;
+  DRONGO_CACHE_BUMP(negative_inserts);
+  store({name.canonical(), scope}, std::move(e), now_ms);
 }
 
 void DnsCache::purge(std::uint64_t now_ms) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expiry_ms <= now_ms) {
-      it = entries_.erase(it);
+    if (it->second.entry.expiry_ms <= now_ms) {
+      DRONGO_CACHE_BUMP(expired);
+      it = erase_entry(it);
     } else {
       ++it;
     }
   }
 }
+
+#undef DRONGO_CACHE_BUMP
 
 }  // namespace drongo::dns

@@ -2,56 +2,108 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "dns/name.hpp"
+#include "dns/types.hpp"
 #include "net/ip.hpp"
 #include "net/prefix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
 
 namespace drongo::dns {
 
-/// A positive-answer cache keyed by (qname, ECS scope network), per the
-/// RFC 7871 §7.3.1 rule that answers tailored to a subnet may only be reused
-/// for queries whose address falls inside the returned SCOPE prefix.
+/// Per-cache counter block generated from the shared X-macro schema
+/// (src/obs/schema.hpp), so the struct fields, the shard aggregation, and
+/// the `dns.cache.*` registry mirror can never drift apart.
+struct CacheStats {
+  DRONGO_OBS_CACHE_COUNTERS(DRONGO_OBS_DECLARE_FIELD)
+
+  CacheStats& operator+=(const CacheStats& other) {
+#define DRONGO_CACHE_FOLD(field) field += other.field;
+    DRONGO_OBS_CACHE_COUNTERS(DRONGO_CACHE_FOLD)
+#undef DRONGO_CACHE_FOLD
+    return *this;
+  }
+};
+
+/// An answer cache keyed by (qname, ECS scope network), per the RFC 7871
+/// §7.3.1 rule that answers tailored to a subnet may only be reused for
+/// queries whose address falls inside the returned SCOPE prefix — and when
+/// several cached scopes contain the client, the *longest* (most specific)
+/// match wins, so a scope-zero answer can never shadow a tailored one.
 ///
-/// Time is injected by the caller (simulated milliseconds) so cache behaviour
-/// is deterministic and testable.
+/// Entries may be negative (NXDOMAIN / NODATA, empty address set, the rcode
+/// preserved) and are evicted strictly least-recently-used when the cache is
+/// full. Expired entries are erased as lookups walk over them, so `size()`
+/// counts live entries only.
+///
+/// Time is injected by the caller (simulated milliseconds) so cache
+/// behaviour is deterministic and testable. Not internally synchronized:
+/// callers (the shard wrapper, or single-threaded tests) provide locking.
 class DnsCache {
  public:
   struct Entry {
     std::vector<net::Ipv4Addr> addresses;
-    net::Prefix scope;       ///< scope prefix the server returned.
+    net::Prefix scope;              ///< scope prefix the server returned.
     std::uint64_t expiry_ms = 0;
+    bool negative = false;          ///< NXDOMAIN/NODATA marker (addresses empty)
+    Rcode rcode = Rcode::kNoError;  ///< kNxDomain, or kNoError for NODATA
   };
 
   explicit DnsCache(std::size_t max_entries = 4096) : max_entries_(max_entries) {}
 
-  /// Looks up an answer usable for `client_subnet` at time `now_ms`.
+  /// Looks up the most specific answer usable for `client_subnet` at time
+  /// `now_ms`. Entries whose `expiry_ms <= now_ms` are dead: they miss (an
+  /// entry expiring exactly now is already unusable) and are erased as the
+  /// scan passes over them.
   std::optional<Entry> lookup(const DnsName& name, const net::Prefix& client_subnet,
                               std::uint64_t now_ms);
 
-  /// Inserts an answer with the server-provided scope and TTL.
+  /// Inserts a positive answer with the server-provided scope and TTL.
   void insert(const DnsName& name, const net::Prefix& scope,
               std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
               std::uint64_t now_ms);
 
+  /// Inserts a negative answer (NXDOMAIN, or NODATA via kNoError) under
+  /// `scope` with its own TTL.
+  void insert_negative(const DnsName& name, const net::Prefix& scope, Rcode rcode,
+                       std::uint32_t ttl_seconds, std::uint64_t now_ms);
+
   /// Drops expired entries (also invoked opportunistically on insert).
   void purge(std::uint64_t now_ms);
 
+  /// Attaches an obs registry (borrowed; nullptr detaches): every stats_
+  /// bump is mirrored as a `dns.cache.<field>` counter.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t hits() const { return stats_.hits + stats_.negative_hits; }
+  [[nodiscard]] std::uint64_t misses() const { return stats_.misses; }
 
  private:
   using Key = std::pair<std::string, net::Prefix>;  // canonical name + scope net
 
-  std::map<Key, Entry> entries_;
+  struct Stored {
+    Entry entry;
+    /// Position in lru_ (most-recent at front), spliced on every touch.
+    std::list<Key>::iterator lru_position;
+  };
+
+  void store(Key key, Entry entry, std::uint64_t now_ms);
+  std::map<Key, Stored>::iterator erase_entry(std::map<Key, Stored>::iterator it);
+  void bump(std::uint64_t CacheStats::* field, const char* name);
+
+  std::map<Key, Stored> entries_;
+  std::list<Key> lru_;  ///< recency order: front = most recently used
   std::size_t max_entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  CacheStats stats_;
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
 };
 
 }  // namespace drongo::dns

@@ -88,8 +88,8 @@ Testbed::Testbed(TestbedConfig config)
   resolver_faults_ = std::make_unique<dns::FaultyTransport>(
       &network_, config_.fault_seed ^ 0xA07D, config_.fault_profile,
       dns::FaultyTransport::Channel::kTcp);
-  resolver_ =
-      std::make_unique<cdn::PublicResolver>(resolver_faults_.get(), resolver_address_);
+  resolver_ = std::make_unique<cdn::PublicResolver>(resolver_faults_.get(),
+                                                    resolver_address_, config_.serving);
   network_.register_server(resolver_address_, resolver_.get());
   for (std::size_t i = 0; i < providers_.size(); ++i) {
     resolver_->register_zone(dns::DnsName::must_parse(providers_[i]->profile().zone),

@@ -42,6 +42,11 @@ struct TestbedConfig {
   std::uint64_t fault_seed = 0xFA17;
   /// Retry/backoff policy handed to every stub this testbed creates.
   dns::ResolverConfig resolver_config;
+  /// Serving-path knobs for the public resolver (sharded scoped cache,
+  /// singleflight coalescing). Defaults to cache off — the pass-through
+  /// resolver every pre-serving experiment assumes, which also keeps
+  /// campaign telemetry independent of thread interleaving.
+  cdn::ServingConfig serving;
 
   /// PlanetLab-scale setup (95 nodes, §3.1).
   static TestbedConfig planetlab();
@@ -93,13 +98,16 @@ class Testbed {
   /// truncation exercises the RFC 1035 TCP retry path).
   dns::StubResolver make_stub(net::Ipv4Addr client, std::uint64_t seed = 1);
 
-  /// Attaches an obs registry to all three fault fabrics (borrowed; nullptr
-  /// detaches). Injected faults then appear as `dns.fault.<scope>.*` with
-  /// scopes client_udp, client_tcp, and resolver.
+  /// Attaches an obs registry to all three fault fabrics and the public
+  /// resolver (borrowed; nullptr detaches). Injected faults then appear as
+  /// `dns.fault.<scope>.*` with scopes client_udp, client_tcp, and
+  /// resolver; the resolver's serving path as `dns.cache.*` and
+  /// `cdn.resolver.*`.
   void set_registry(obs::Registry* registry) {
     client_faults_->set_registry(registry, "client_udp");
     client_tcp_faults_->set_registry(registry, "client_tcp");
     resolver_faults_->set_registry(registry, "resolver");
+    resolver_->set_registry(registry);
   }
 
  private:

@@ -36,6 +36,22 @@ namespace drongo::obs {
   DRONGO_OBS_RESOLVER_COUNTERS(X)     \
   X(hop_resolution_failures)
 
+/// What the serving-path answer cache tallies: one X(field) per counter.
+/// dns::CacheStats declares its fields from this list, the sharded cache
+/// aggregates over it, and the obs mirror names each `dns.cache.<field>`.
+/// Unlike the resolver counters these never enter the dataset format, so
+/// extending the list is free of format concerns.
+#define DRONGO_OBS_CACHE_COUNTERS(X) \
+  X(hits)                            \
+  X(negative_hits)                   \
+  X(misses)                          \
+  X(inserts)                         \
+  X(negative_inserts)                \
+  X(evictions)                       \
+  X(expired)                         \
+  X(coalesced)                       \
+  X(coalesce_leaders)
+
 /// Declares the schema fields inside a struct body.
 #define DRONGO_OBS_DECLARE_FIELD(field) std::uint64_t field = 0;
 

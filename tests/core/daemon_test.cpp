@@ -65,6 +65,28 @@ TEST_F(DaemonFixture, MultipleWatchedDomainsInterleave) {
   EXPECT_FALSE(daemon.engine().candidates(d1).empty());
 }
 
+TEST_F(DaemonFixture, DuplicateWatchDoesNotDoubleSchedule) {
+  // Regression: a second watch() for the same domain used to append a whole
+  // second trial schedule, doubling the cadence (and re-doubling at every
+  // horizon top-up). Two daemons with identical seeds must run the same
+  // number of trials whether the domain was registered once or three times.
+  DrongoDaemon once(&runner_, 0, {}, 7);
+  once.watch({0, 0});
+  DrongoDaemon thrice(&runner_, 0, {}, 7);
+  thrice.watch({0, 0});
+  thrice.watch({0, 0});
+  thrice.watch({0, 0}, /*now_hours=*/12.0);
+  EXPECT_EQ(thrice.watched_count(), 1u);
+
+  once.advance_to(24.0 * 7);
+  thrice.advance_to(24.0 * 7);
+  EXPECT_EQ(thrice.trials_run(), once.trials_run());
+
+  // A genuinely different domain still registers.
+  thrice.watch({1, 0});
+  EXPECT_EQ(thrice.watched_count(), 2u);
+}
+
 TEST_F(DaemonFixture, SelectorAnswersFromLearnedState) {
   DaemonConfig config;
   config.params.min_valley_frequency = 0.2;

@@ -1,0 +1,190 @@
+// DnsCache scope-matching and lifecycle semantics.
+//
+// Two of these are regression tests for real bugs the serving-path PR
+// fixed: (1) lookup returned the FIRST map-order entry whose scope
+// contained the client, so a scope-zero answer shadowed a /24-tailored one
+// (RFC 7871 §7.3.1 wants the most specific match); (2) lookup skipped
+// expired entries but never erased them, so size() and eviction pressure
+// counted dead entries forever.
+#include "dns/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace drongo::dns {
+namespace {
+
+const DnsName kName = DnsName::must_parse("img.cdn.sim");
+
+net::Prefix P(const std::string& text) { return net::Prefix::must_parse(text); }
+
+TEST(DnsCacheScopeTest, LongestMatchingScopeWinsOverScopeZero) {
+  DnsCache cache;
+  // A scope-zero answer (sorts first in the map) and a /24-tailored answer
+  // coexist for the same qname. A client inside the /24 must get the
+  // tailored entry, never the scope-zero one.
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(9, 9, 9, 9)}, 60, 0);
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(7, 7, 7, 7)}, 60, 0);
+
+  const auto tailored = cache.lookup(kName, P("10.1.2.0/24"), 10);
+  ASSERT_TRUE(tailored.has_value());
+  EXPECT_EQ(tailored->scope, P("10.1.2.0/24"));
+  EXPECT_EQ(tailored->addresses.front(), net::Ipv4Addr(7, 7, 7, 7));
+
+  // A client outside the tailored /24 still gets the scope-zero answer.
+  const auto generic = cache.lookup(kName, P("10.9.9.0/24"), 10);
+  ASSERT_TRUE(generic.has_value());
+  EXPECT_EQ(generic->addresses.front(), net::Ipv4Addr(9, 9, 9, 9));
+}
+
+TEST(DnsCacheScopeTest, LongestMatchIndependentOfInsertionOrder) {
+  DnsCache cache;
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(7, 7, 7, 7)}, 60, 0);
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(9, 9, 9, 9)}, 60, 0);
+  const auto hit = cache.lookup(kName, P("10.1.2.0/24"), 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->addresses.front(), net::Ipv4Addr(7, 7, 7, 7));
+}
+
+TEST(DnsCacheScopeTest, NestedScopesResolveToMostSpecific) {
+  DnsCache cache;
+  cache.insert(kName, P("10.0.0.0/8"), {net::Ipv4Addr(1, 0, 0, 8)}, 60, 0);
+  cache.insert(kName, P("10.1.0.0/16"), {net::Ipv4Addr(1, 0, 0, 16)}, 60, 0);
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(1, 0, 0, 24)}, 60, 0);
+
+  const auto in24 = cache.lookup(kName, P("10.1.2.0/24"), 1);
+  ASSERT_TRUE(in24.has_value());
+  EXPECT_EQ(in24->addresses.front(), net::Ipv4Addr(1, 0, 0, 24));
+
+  const auto in16 = cache.lookup(kName, P("10.1.77.0/24"), 1);
+  ASSERT_TRUE(in16.has_value());
+  EXPECT_EQ(in16->addresses.front(), net::Ipv4Addr(1, 0, 0, 16));
+
+  const auto in8 = cache.lookup(kName, P("10.200.0.0/24"), 1);
+  ASSERT_TRUE(in8.has_value());
+  EXPECT_EQ(in8->addresses.front(), net::Ipv4Addr(1, 0, 0, 8));
+
+  EXPECT_FALSE(cache.lookup(kName, P("11.0.0.0/24"), 1).has_value());
+}
+
+TEST(DnsCacheLifecycleTest, ExpiryBoundaryMisses) {
+  DnsCache cache;
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 30, /*now_ms=*/0);
+  EXPECT_TRUE(cache.lookup(kName, P("9.9.9.0/24"), 29'999).has_value());
+  // expiry_ms == now_ms is already dead, not "one last hit".
+  EXPECT_FALSE(cache.lookup(kName, P("9.9.9.0/24"), 30'000).has_value());
+}
+
+TEST(DnsCacheLifecycleTest, TtlZeroIsNeverServed) {
+  DnsCache cache;
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 0, /*now_ms=*/5000);
+  EXPECT_FALSE(cache.lookup(kName, P("9.9.9.0/24"), 5000).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // erased by the scan, not lingering
+}
+
+TEST(DnsCacheLifecycleTest, LookupErasesExpiredEntriesInPassing) {
+  DnsCache cache;
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(1, 1, 1, 1)}, 10, 0);
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(2, 2, 2, 2)}, 1000, 0);
+  ASSERT_EQ(cache.size(), 2u);
+  // Past the /24 entry's TTL, any lookup scanning the name must erase the
+  // dead entry — size() counts live entries only, without an explicit
+  // purge() call.
+  const auto hit = cache.lookup(kName, P("10.1.2.0/24"), 20'000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->addresses.front(), net::Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().expired, 1u);
+}
+
+TEST(DnsCacheLifecycleTest, EvictionIsLeastRecentlyUsed) {
+  DnsCache cache(/*max_entries=*/3);
+  const auto n1 = DnsName::must_parse("n1.x");
+  const auto n2 = DnsName::must_parse("n2.x");
+  const auto n3 = DnsName::must_parse("n3.x");
+  const auto n4 = DnsName::must_parse("n4.x");
+  cache.insert(n1, P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 1000, 0);
+  cache.insert(n2, P("0.0.0.0/0"), {net::Ipv4Addr(2, 2, 2, 2)}, 1000, 0);
+  cache.insert(n3, P("0.0.0.0/0"), {net::Ipv4Addr(3, 3, 3, 3)}, 1000, 0);
+  // Touch n1: it becomes most-recent, so the LRU victim is n2.
+  ASSERT_TRUE(cache.lookup(n1, P("9.9.9.0/24"), 1).has_value());
+  cache.insert(n4, P("0.0.0.0/0"), {net::Ipv4Addr(4, 4, 4, 4)}, 1000, 1);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(n1, P("9.9.9.0/24"), 2).has_value());
+  EXPECT_FALSE(cache.lookup(n2, P("9.9.9.0/24"), 2).has_value());
+  EXPECT_TRUE(cache.lookup(n3, P("9.9.9.0/24"), 2).has_value());
+  EXPECT_TRUE(cache.lookup(n4, P("9.9.9.0/24"), 2).has_value());
+}
+
+TEST(DnsCacheLifecycleTest, EvictionPrefersDroppingExpiredFirst) {
+  DnsCache cache(/*max_entries=*/2);
+  cache.insert(DnsName::must_parse("a.x"), P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)},
+               1, 0);  // expires at 1000
+  cache.insert(DnsName::must_parse("b.x"), P("0.0.0.0/0"), {net::Ipv4Addr(2, 2, 2, 2)},
+               1000, 0);
+  // At insert time the expired entry is purged; the live one survives.
+  cache.insert(DnsName::must_parse("c.x"), P("0.0.0.0/0"), {net::Ipv4Addr(3, 3, 3, 3)},
+               1000, 2000);
+  EXPECT_TRUE(cache.lookup(DnsName::must_parse("b.x"), P("9.9.9.0/24"), 2001).has_value());
+  EXPECT_TRUE(cache.lookup(DnsName::must_parse("c.x"), P("9.9.9.0/24"), 2001).has_value());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(DnsCacheLifecycleTest, ReinsertRefreshesInsteadOfDuplicating) {
+  DnsCache cache;
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(1, 1, 1, 1)}, 30, 0);
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(5, 5, 5, 5)}, 30, 10'000);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(kName, P("10.1.2.0/24"), 35'000);
+  ASSERT_TRUE(hit.has_value());  // refreshed TTL outlives the first insert's
+  EXPECT_EQ(hit->addresses.front(), net::Ipv4Addr(5, 5, 5, 5));
+}
+
+TEST(DnsCacheNegativeTest, NegativeEntriesRoundTrip) {
+  DnsCache cache;
+  cache.insert_negative(kName, P("0.0.0.0/0"), Rcode::kNxDomain, 30, 0);
+  const auto hit = cache.lookup(kName, P("9.9.9.0/24"), 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_EQ(hit->rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(hit->addresses.empty());
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // Negative entries expire like positive ones.
+  EXPECT_FALSE(cache.lookup(kName, P("9.9.9.0/24"), 30'000).has_value());
+}
+
+TEST(DnsCacheNegativeTest, TailoredPositiveBeatsScopeZeroNegative) {
+  DnsCache cache;
+  cache.insert_negative(kName, P("0.0.0.0/0"), Rcode::kNxDomain, 60, 0);
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(7, 7, 7, 7)}, 60, 0);
+  const auto inside = cache.lookup(kName, P("10.1.2.0/24"), 1);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_FALSE(inside->negative);
+  const auto outside = cache.lookup(kName, P("10.9.9.0/24"), 1);
+  ASSERT_TRUE(outside.has_value());
+  EXPECT_TRUE(outside->negative);
+}
+
+TEST(DnsCacheStatsTest, CountersMirrorIntoRegistry) {
+  obs::Registry registry;
+  DnsCache cache;
+  cache.set_registry(&registry);
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 30, 0);
+  EXPECT_TRUE(cache.lookup(kName, P("9.9.9.0/24"), 1).has_value());
+  EXPECT_FALSE(cache.lookup(DnsName::must_parse("other.x"), P("9.9.9.0/24"), 1)
+                   .has_value());
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("dns.cache.inserts"), 1u);
+  EXPECT_EQ(snapshot.counters.at("dns.cache.hits"), 1u);
+  EXPECT_EQ(snapshot.counters.at("dns.cache.misses"), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,215 @@
+// ShardedDnsCache: shard routing, stat aggregation, and singleflight
+// coalescing semantics (serial protocol tests plus a threaded smoke that
+// the TSan CI stage exercises via the `serving` label).
+#include "dns/serving_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace drongo::dns {
+namespace {
+
+net::Prefix P(const std::string& text) { return net::Prefix::must_parse(text); }
+
+DnsName name_for(std::size_t i) {
+  return DnsName::must_parse("host" + std::to_string(i) + ".cdn.sim");
+}
+
+TEST(ShardedDnsCacheTest, InsertAndLookupAcrossManyShards) {
+  ShardedDnsCache cache(/*shards=*/4, /*max_entries=*/1024);
+  ASSERT_EQ(cache.shard_count(), 4u);
+  constexpr std::size_t kNames = 64;
+  for (std::size_t i = 0; i < kNames; ++i) {
+    cache.insert(name_for(i), P("0.0.0.0/0"),
+                 {net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(i), 1)}, 300, 0);
+  }
+  EXPECT_EQ(cache.size(), kNames);
+  EXPECT_EQ(cache.stats().inserts, kNames);
+  for (std::size_t i = 0; i < kNames; ++i) {
+    const auto hit = cache.lookup(name_for(i), P("9.9.9.0/24"), 1);
+    ASSERT_TRUE(hit.has_value()) << "name " << i;
+    EXPECT_EQ(hit->addresses.front(),
+              net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(i), 1));
+  }
+  EXPECT_EQ(cache.stats().hits, kNames);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ShardedDnsCacheTest, ScopeMatchingIsPerName) {
+  ShardedDnsCache cache(/*shards=*/8);
+  cache.insert(name_for(1), P("10.1.2.0/24"), {net::Ipv4Addr(7, 7, 7, 7)}, 60, 0);
+  cache.insert(name_for(1), P("0.0.0.0/0"), {net::Ipv4Addr(9, 9, 9, 9)}, 60, 0);
+  const auto hit = cache.lookup(name_for(1), P("10.1.2.0/24"), 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->addresses.front(), net::Ipv4Addr(7, 7, 7, 7));
+  EXPECT_FALSE(cache.lookup(name_for(2), P("10.1.2.0/24"), 1).has_value());
+}
+
+TEST(ShardedDnsCacheTest, SingleShardStillWorks) {
+  ShardedDnsCache cache(/*shards=*/1, /*max_entries=*/2);
+  cache.insert(name_for(1), P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 60, 0);
+  cache.insert(name_for(2), P("0.0.0.0/0"), {net::Ipv4Addr(2, 2, 2, 2)}, 60, 0);
+  cache.insert(name_for(3), P("0.0.0.0/0"), {net::Ipv4Addr(3, 3, 3, 3)}, 60, 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SingleflightTest, FirstJoinerLeadsLaterJoinersFollow) {
+  ShardedDnsCache cache(4);
+  auto leader = cache.join(name_for(1), P("10.1.2.0/24"));
+  EXPECT_TRUE(leader.leader());
+  auto follower = cache.join(name_for(1), P("10.1.2.0/24"));
+  EXPECT_FALSE(follower.leader());
+
+  ShardedDnsCache::FlightOutcome outcome;
+  outcome.rcode = Rcode::kNoError;
+  outcome.addresses = {net::Ipv4Addr(5, 5, 5, 5)};
+  outcome.scope_length = 24;
+  outcome.usable = true;
+  leader.publish(outcome);
+
+  const auto got = follower.wait();
+  EXPECT_TRUE(got.usable);
+  EXPECT_EQ(got.rcode, Rcode::kNoError);
+  ASSERT_EQ(got.addresses.size(), 1u);
+  EXPECT_EQ(got.addresses.front(), net::Ipv4Addr(5, 5, 5, 5));
+  EXPECT_EQ(got.scope_length, 24);
+  EXPECT_EQ(cache.stats().coalesce_leaders, 1u);
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
+TEST(SingleflightTest, DistinctKeysGetDistinctLeaders) {
+  ShardedDnsCache cache(4);
+  auto a = cache.join(name_for(1), P("10.1.2.0/24"));
+  auto b = cache.join(name_for(2), P("10.1.2.0/24"));       // different qname
+  auto c = cache.join(name_for(1), P("10.99.0.0/24"));      // different subnet
+  EXPECT_TRUE(a.leader());
+  EXPECT_TRUE(b.leader());
+  EXPECT_TRUE(c.leader());
+  a.publish({});
+  b.publish({});
+  c.publish({});
+}
+
+TEST(SingleflightTest, KeyIsFreeAgainAfterPublish) {
+  ShardedDnsCache cache(4);
+  {
+    auto first = cache.join(name_for(1), P("10.1.2.0/24"));
+    ASSERT_TRUE(first.leader());
+    first.publish({});
+  }
+  auto second = cache.join(name_for(1), P("10.1.2.0/24"));
+  EXPECT_TRUE(second.leader());
+  second.publish({});
+}
+
+TEST(SingleflightTest, AbandonedLeaderReleasesFollowersAsUnusable) {
+  ShardedDnsCache cache(4);
+  auto follower = [&] {
+    auto leader = cache.join(name_for(1), P("10.1.2.0/24"));
+    EXPECT_TRUE(leader.leader());
+    auto f = cache.join(name_for(1), P("10.1.2.0/24"));
+    EXPECT_FALSE(f.leader());
+    return f;
+    // `leader` dies here without publish() — e.g. the upstream exchange
+    // threw. Its destructor must publish an unusable outcome.
+  }();
+  const auto got = follower.wait();
+  EXPECT_FALSE(got.usable);
+  // And the key must be free for a retry leader.
+  auto retry = cache.join(name_for(1), P("10.1.2.0/24"));
+  EXPECT_TRUE(retry.leader());
+  retry.publish({});
+}
+
+TEST(SingleflightTest, ConcurrentJoinersElectExactlyOneLeader) {
+  ShardedDnsCache cache(8);
+  constexpr int kThreads = 8;
+  std::atomic<int> leaders{0};
+  std::atomic<int> usable_followers{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      auto flight = cache.join(name_for(1), P("10.1.2.0/24"));
+      if (flight.leader()) {
+        leaders.fetch_add(1);
+        // Give followers a moment to pile up before publishing.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ShardedDnsCache::FlightOutcome outcome;
+        outcome.rcode = Rcode::kNoError;
+        outcome.addresses = {net::Ipv4Addr(5, 5, 5, 5)};
+        outcome.usable = true;
+        flight.publish(outcome);
+      } else {
+        const auto got = flight.wait();
+        if (got.usable && got.addresses.size() == 1) usable_followers.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Followers that joined before the first publish share its answer; any
+  // late joiner becomes a fresh leader. At least one coalesced follower is
+  // guaranteed by the publish delay above in practice, but the hard
+  // invariant is leaders + usable followers == every thread resolved.
+  EXPECT_GE(leaders.load(), 1);
+  EXPECT_EQ(leaders.load() + usable_followers.load(), kThreads);
+  EXPECT_EQ(cache.stats().coalesce_leaders,
+            static_cast<std::uint64_t>(leaders.load()));
+}
+
+TEST(ShardedDnsCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  ShardedDnsCache cache(/*shards=*/4, /*max_entries=*/256);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto name = name_for(static_cast<std::size_t>(i % 16));
+        if (i % 3 == 0) {
+          cache.insert(name, P("0.0.0.0/0"),
+                       {net::Ipv4Addr(10, static_cast<std::uint8_t>(t), 0, 1)},
+                       300, static_cast<std::uint64_t>(i));
+        } else {
+          (void)cache.lookup(name, P("9.9.9.0/24"), static_cast<std::uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  // Per thread, i % 3 != 0 for 133 of the 200 iterations.
+  EXPECT_EQ(stats.hits + stats.negative_hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * 133u);
+  EXPECT_LE(cache.size(), 16u);
+}
+
+TEST(ShardedDnsCacheTest, RegistryMirrorsCoalescingCounters) {
+  obs::Registry registry;
+  ShardedDnsCache cache(4);
+  cache.set_registry(&registry);
+  auto leader = cache.join(name_for(1), P("10.1.2.0/24"));
+  auto follower = cache.join(name_for(1), P("10.1.2.0/24"));
+  ShardedDnsCache::FlightOutcome outcome;
+  outcome.usable = true;
+  outcome.rcode = Rcode::kNoError;
+  leader.publish(outcome);
+  (void)follower.wait();
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("dns.cache.coalesce_leaders"), 1u);
+  EXPECT_EQ(snapshot.counters.at("dns.cache.coalesced"), 1u);
+}
+
+}  // namespace
+}  // namespace drongo::dns

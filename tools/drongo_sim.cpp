@@ -43,6 +43,15 @@ measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
   // individual probabilities (so batch jobs can tweak one dial).
   config.fault_profile =
       dns::fault_profile_from_env(dns::parse_fault_profile(options.get("fault-profile")));
+  // Serving-path knobs: --resolver-shards N (> 0) turns the resolver's
+  // sharded scoped answer cache on; --coalesce adds singleflight.
+  const auto shards = options.get_int("resolver-shards");
+  if (shards < 0) throw net::InvalidArgument("--resolver-shards must be >= 0");
+  if (shards > 0) {
+    config.serving.enable_cache = true;
+    config.serving.shards = static_cast<std::size_t>(shards);
+  }
+  config.serving.coalesce = options.get_flag("coalesce");
   return config;
 }
 
@@ -52,6 +61,10 @@ void add_common(tools::OptionSet& options) {
   options.add_option("scale", "planetlab", "testbed scale: planetlab | ripe");
   options.add_option("fault-profile", "none",
                      "DNS fault injection: none | lossy | flaky | ecs-hostile | chaos");
+  options.add_option("resolver-shards", "0",
+                     "resolver serving cache: N lock-striped shards (0 = cache off)");
+  options.add_flag("coalesce",
+                   "coalesce concurrent identical resolver queries (singleflight)");
 }
 
 int cmd_world(const std::vector<std::string>& args) {
@@ -319,7 +332,9 @@ int cmd_help() {
                "  help      this text\n\n"
                "common options: --seed N, --clients N, --scale planetlab|ripe,\n"
                "  --fault-profile none|lossy|flaky|ecs-hostile|chaos (DNS fault\n"
-               "  injection; fine-tune with DRONGO_FAULT_* env knobs)\n"
+               "  injection; fine-tune with DRONGO_FAULT_* env knobs),\n"
+               "  --resolver-shards N (serving cache, 0 = off), --coalesce\n"
+               "  (singleflight for concurrent identical queries)\n"
                "campaign telemetry: --metrics-out FILE (JSON-lines) and\n"
                "  --metrics-prom FILE (Prometheus text); see docs/OBSERVABILITY.md\n";
   return 0;
