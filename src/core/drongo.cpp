@@ -18,9 +18,20 @@ std::vector<measure::TrialRecord> DrongoClient::train(measure::TrialRunner& runn
   for (int t = 0; t < trials; ++t) {
     records.push_back(runner.run(client_index, provider_index,
                                  start_time_hours + t * spacing_hours, label_index));
-    engine_.observe(records.back());
+    observe(records.back());
   }
   return records;
+}
+
+std::optional<net::Prefix> DrongoClient::choose_subnet(const std::string& domain) {
+  if (auto own = engine_.choose(domain)) return own;
+  if (store_ == nullptr) return std::nullopt;
+  auto shared = store_->choose(cluster_, domain);
+  if (shared) {
+    ++shared_assimilations_;
+    if (registry_ != nullptr) registry_->add("core.drongo.shared_assimilations");
+  }
+  return shared;
 }
 
 dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
@@ -30,7 +41,7 @@ dns::ResolutionResult DrongoClient::resolve(dns::StubResolver& stub,
   };
   ++total_;
   note("core.drongo.queries");
-  if (const auto subnet = engine_.choose(domain.to_string())) {
+  if (const auto subnet = choose_subnet(domain.to_string())) {
     ++assimilated_;
     note("core.drongo.assimilated");
     // Assimilation is an optimization, never a dependency: when the
@@ -54,7 +65,7 @@ std::optional<net::Prefix> DrongoClient::select_subnet(const dns::DnsName& domai
                                                        const net::Prefix& /*client*/) {
   ++total_;
   if (registry_ != nullptr) registry_->add("core.drongo.queries");
-  auto choice = engine_.choose(domain.to_string());
+  auto choice = choose_subnet(domain.to_string());
   if (choice) {
     ++assimilated_;
     if (registry_ != nullptr) registry_->add("core.drongo.assimilated");

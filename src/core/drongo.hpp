@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/decision.hpp"
+#include "core/valley_store.hpp"
 #include "dns/proxy.hpp"
 #include "dns/stub_resolver.hpp"
 #include "measure/trial.hpp"
@@ -39,7 +40,21 @@ class DrongoClient : public dns::SubnetSelector {
                                           std::size_t label_index = 0);
 
   /// Feeds one externally collected trial.
-  void observe(const measure::TrialRecord& trial) { engine_.observe(trial); }
+  void observe(const measure::TrialRecord& trial) {
+    engine_.observe(trial);
+    if (store_ != nullptr) store_->contribute(cluster_, trial);
+  }
+
+  /// Joins the crowd-shared valley store as a member of `cluster` (see
+  /// core::routing_cluster_key). The store is borrowed and must outlive the
+  /// client; nullptr leaves. While joined, every observed trial is also
+  /// contributed to the cluster's pooled knowledge, and resolutions fall
+  /// back to the cluster's choice when this client's own windows are not
+  /// yet conclusive — own evidence always outranks crowd evidence.
+  void share_via(ValleyStore* store, std::string cluster) {
+    store_ = store;
+    cluster_ = std::move(cluster);
+  }
 
   /// Resolution with assimilation: uses the qualified subnet when one
   /// exists, else the client's own /24. Takes the FIRST replica of the
@@ -62,6 +77,12 @@ class DrongoClient : public dns::SubnetSelector {
     return assimilation_fallbacks_;
   }
 
+  /// Resolutions whose subnet came from the crowd-shared store because this
+  /// client's own engine had no qualified subnet yet.
+  [[nodiscard]] std::uint64_t shared_assimilations() const {
+    return shared_assimilations_;
+  }
+
   /// Attaches an obs registry to the client AND its decision engine
   /// (borrowed; nullptr detaches). Resolutions tally `core.drongo.*`:
   /// total/assimilated queries and assimilation fallbacks.
@@ -71,10 +92,17 @@ class DrongoClient : public dns::SubnetSelector {
   }
 
  private:
+  /// Engine choice first, crowd knowledge second. Tallies the shared-hit
+  /// counters when the crowd supplies the subnet.
+  std::optional<net::Prefix> choose_subnet(const std::string& domain);
+
   DecisionEngine engine_;
+  ValleyStore* store_ = nullptr;  // borrowed; optional crowd knowledge
+  std::string cluster_;           ///< this client's routing-similarity cluster
   std::uint64_t assimilated_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t assimilation_fallbacks_ = 0;
+  std::uint64_t shared_assimilations_ = 0;
   obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry
 };
 

@@ -30,6 +30,7 @@ void PeerSharePool::join(const std::string& group, DecisionEngine* engine) {
 
 std::size_t PeerSharePool::publish(const std::string& group,
                                    const measure::TrialRecord& trial) {
+  if (store_ != nullptr) store_->contribute(group, trial);
   auto it = groups_.find(group);
   if (it == groups_.end()) return 0;
   for (DecisionEngine* engine : it->second) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/decision.hpp"
+#include "core/valley_store.hpp"
 #include "topology/world.hpp"
 
 namespace drongo::core {
@@ -44,8 +45,15 @@ class PeerSharePool {
   void join(const std::string& group, DecisionEngine* engine);
 
   /// Publishes a trial into the publisher's group: all member engines
-  /// observe it. Returns the number of engines trained.
+  /// observe it. Returns the number of engines trained. When a valley
+  /// store is attached, the trial is also contributed to it under the
+  /// group key, so the pool doubles as the store's ingestion seam.
   std::size_t publish(const std::string& group, const measure::TrialRecord& trial);
+
+  /// Attaches a crowd-shared valley store (borrowed; nullptr detaches):
+  /// every published trial is then also contributed under its group key,
+  /// bridging subnet-scoped pools into cluster-scoped shared knowledge.
+  void attach_store(ValleyStore* store) { store_ = store; }
 
   [[nodiscard]] std::size_t group_size(const std::string& group) const;
   [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
@@ -62,6 +70,7 @@ class PeerSharePool {
 
  private:
   std::map<std::string, std::vector<DecisionEngine*>> groups_;
+  ValleyStore* store_ = nullptr;  // borrowed; optional shared-knowledge bridge
   std::uint64_t deliveries_ = 0;
   std::uint64_t published_ = 0;
 };

@@ -9,72 +9,91 @@ void DnsCache::bump(std::uint64_t CacheStats::* field, const char* name) {
   if (registry_ != nullptr) registry_->add(obs::counter_name("dns.cache.", name));
 }
 
-/// Bumps `field` and mirrors it into the registry under the same name.
-#define DRONGO_CACHE_BUMP(field) bump(&CacheStats::field, #field)
-
-std::map<DnsCache::Key, DnsCache::Stored>::iterator DnsCache::erase_entry(
-    std::map<Key, Stored>::iterator it) {
-  lru_.erase(it->second.lru_position);
-  return entries_.erase(it);
+void DnsCache::bump_lpm(std::uint64_t LpmStats::* field, const char* name,
+                        std::uint64_t delta) {
+  stats_.lpm.*field += delta;
+  if (registry_ != nullptr && delta != 0) {
+    registry_->add(obs::counter_name("dns.lpm.", name), delta);
+  }
 }
 
-std::optional<DnsCache::Entry> DnsCache::lookup(const DnsName& name,
+/// Bumps `field` and mirrors it into the registry under the same name.
+#define DRONGO_CACHE_BUMP(field) bump(&CacheStats::field, #field)
+#define DRONGO_LPM_BUMP(field, ...) bump_lpm(&LpmStats::field, #field, ##__VA_ARGS__)
+
+void DnsCache::erase_from_trie(const std::string& canonical_qname,
+                               const net::Prefix& scope) {
+  const auto it = names_.find(canonical_qname);
+  it->second.erase(scope);
+  DRONGO_LPM_BUMP(erases);
+  if (it->second.empty()) names_.erase(it);
+  --size_;
+}
+
+std::optional<DnsCache::Entry> DnsCache::lookup(const std::string& canonical_qname,
                                                 const net::Prefix& client_subnet,
                                                 std::uint64_t now_ms) {
-  const std::string canonical = name.canonical();
-  // Scan entries for this name; usable when the client subnet falls within
-  // the cached scope. Names have few scopes in practice so the range scan is
-  // short. Dead entries are erased in passing so they stop counting toward
-  // size() and eviction pressure; among live candidates the longest
-  // (most specific) scope wins, per RFC 7871 §7.3.1 — a scope-zero answer
-  // must never shadow a tailored one.
-  auto it = entries_.lower_bound({canonical, net::Prefix()});
-  auto best = entries_.end();
-  while (it != entries_.end() && it->first.first == canonical) {
-    const Entry& e = it->second.entry;
-    if (e.expiry_ms <= now_ms) {
-      DRONGO_CACHE_BUMP(expired);
-      it = erase_entry(it);
-      continue;
-    }
-    if (e.scope.contains(client_subnet.network()) &&
-        (best == entries_.end() ||
-         e.scope.length() > best->second.entry.scope.length())) {
-      best = it;
-    }
-    ++it;
-  }
-  if (best == entries_.end()) {
+  const auto nit = names_.find(canonical_qname);
+  if (nit == names_.end()) {
     DRONGO_CACHE_BUMP(misses);
     return std::nullopt;
   }
-  lru_.splice(lru_.begin(), lru_, best->second.lru_position);
-  if (best->second.entry.negative) {
-    DRONGO_CACHE_BUMP(negative_hits);
-  } else {
-    DRONGO_CACHE_BUMP(hits);
+  // One radix descent along the client subnet's bit path yields every cached
+  // scope containing it, most specific first — the RFC 7871 §7.3.1 candidate
+  // order, so the first live entry is the answer and a scope-zero answer can
+  // never shadow a tailored one. Dead entries on the path are erased in
+  // passing so they stop counting toward size() and eviction pressure.
+  std::uint64_t visited = 0;
+  const auto chain =
+      nit->second.match_chain(client_subnet.network(), client_subnet.length(), &visited);
+  DRONGO_LPM_BUMP(lookups);
+  DRONGO_LPM_BUMP(node_visits, visited);
+  for (const auto& match : chain) {
+    if (match.value->entry.expiry_ms <= now_ms) {
+      DRONGO_CACHE_BUMP(expired);
+      lru_.erase(match.value->lru_position);
+      erase_from_trie(canonical_qname, match.prefix);
+      continue;
+    }
+    lru_.splice(lru_.begin(), lru_, match.value->lru_position);
+    if (match.value->entry.negative) {
+      DRONGO_CACHE_BUMP(negative_hits);
+    } else {
+      DRONGO_CACHE_BUMP(hits);
+    }
+    return match.value->entry;
   }
-  return best->second.entry;
+  DRONGO_CACHE_BUMP(misses);
+  return std::nullopt;
 }
 
 void DnsCache::store(Key key, Entry entry, std::uint64_t now_ms) {
-  if (const auto existing = entries_.find(key); existing != entries_.end()) {
-    // Refresh in place: newer answer wins, recency bumps.
-    existing->second.entry = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, existing->second.lru_position);
-    return;
+  if (const auto nit = names_.find(key.first); nit != names_.end()) {
+    if (Stored* existing = nit->second.find(key.second); existing != nullptr) {
+      // Refresh in place: newer answer wins, recency bumps.
+      existing->entry = std::move(entry);
+      lru_.splice(lru_.begin(), lru_, existing->lru_position);
+      return;
+    }
   }
-  if (entries_.size() >= max_entries_) purge(now_ms);
-  while (entries_.size() >= max_entries_ && !lru_.empty()) {
+  if (size_ >= max_entries_) purge(now_ms);
+  while (size_ >= max_entries_ && !lru_.empty()) {
     // Still full after dropping the dead: evict the least recently used.
     DRONGO_CACHE_BUMP(evictions);
-    erase_entry(entries_.find(lru_.back()));
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    erase_from_trie(victim.first, victim.second);
   }
+  // (Re-)resolve the trie only now: purge/evict above may have erased this
+  // qname's (momentarily empty) trie from the map.
+  ScopeTrie& trie = names_[key.first];
   lru_.push_front(key);
-  entries_.emplace(std::move(key), Stored{std::move(entry), lru_.begin()});
+  trie.insert(key.second, Stored{std::move(entry), lru_.begin()});
+  DRONGO_LPM_BUMP(inserts);
+  ++size_;
 }
 
-void DnsCache::insert(const DnsName& name, const net::Prefix& scope,
+void DnsCache::insert(std::string canonical_qname, const net::Prefix& scope,
                       std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
                       std::uint64_t now_ms) {
   Entry e;
@@ -82,10 +101,10 @@ void DnsCache::insert(const DnsName& name, const net::Prefix& scope,
   e.scope = scope;
   e.expiry_ms = now_ms + std::uint64_t{ttl_seconds} * 1000;
   DRONGO_CACHE_BUMP(inserts);
-  store({name.canonical(), scope}, std::move(e), now_ms);
+  store({std::move(canonical_qname), scope}, std::move(e), now_ms);
 }
 
-void DnsCache::insert_negative(const DnsName& name, const net::Prefix& scope,
+void DnsCache::insert_negative(std::string canonical_qname, const net::Prefix& scope,
                                Rcode rcode, std::uint32_t ttl_seconds,
                                std::uint64_t now_ms) {
   Entry e;
@@ -94,20 +113,33 @@ void DnsCache::insert_negative(const DnsName& name, const net::Prefix& scope,
   e.negative = true;
   e.rcode = rcode;
   DRONGO_CACHE_BUMP(negative_inserts);
-  store({name.canonical(), scope}, std::move(e), now_ms);
+  store({std::move(canonical_qname), scope}, std::move(e), now_ms);
 }
 
 void DnsCache::purge(std::uint64_t now_ms) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.entry.expiry_ms <= now_ms) {
+  for (auto nit = names_.begin(); nit != names_.end();) {
+    // Collect-then-erase: walk() iterates the trie, so erasing mid-walk is
+    // off the table; the lru iterator is snapshotted alongside.
+    std::vector<std::pair<net::Prefix, std::list<Key>::iterator>> dead;
+    nit->second.walk([&](const net::Prefix& scope, const Stored& stored) {
+      if (stored.entry.expiry_ms <= now_ms) dead.emplace_back(scope, stored.lru_position);
+    });
+    for (const auto& [scope, lru_position] : dead) {
       DRONGO_CACHE_BUMP(expired);
-      it = erase_entry(it);
+      DRONGO_LPM_BUMP(erases);
+      lru_.erase(lru_position);
+      nit->second.erase(scope);
+      --size_;
+    }
+    if (nit->second.empty()) {
+      nit = names_.erase(nit);
     } else {
-      ++it;
+      ++nit;
     }
   }
 }
 
+#undef DRONGO_LPM_BUMP
 #undef DRONGO_CACHE_BUMP
 
 }  // namespace drongo::dns

@@ -51,25 +51,33 @@ ShardedDnsCache::Shard& ShardedDnsCache::shard_of(const std::string& canonical) 
 std::optional<DnsCache::Entry> ShardedDnsCache::lookup(const DnsName& name,
                                                        const net::Prefix& client_subnet,
                                                        std::uint64_t now_ms) {
-  Shard& shard = shard_of(name.canonical());
+  // Canonicalize exactly once at the serving boundary: the same lowercase
+  // form picks the shard AND keys the shard's cache, so mixed-case queries
+  // can never land in (or populate) a different shard than their lowercase
+  // twins.
+  const std::string canonical = name.canonical();
+  Shard& shard = shard_of(canonical);
   std::lock_guard lock(shard.mutex);
-  return shard.cache.lookup(name, client_subnet, now_ms);
+  return shard.cache.lookup(canonical, client_subnet, now_ms);
 }
 
 void ShardedDnsCache::insert(const DnsName& name, const net::Prefix& scope,
                              std::vector<net::Ipv4Addr> addresses,
                              std::uint32_t ttl_seconds, std::uint64_t now_ms) {
-  Shard& shard = shard_of(name.canonical());
+  std::string canonical = name.canonical();
+  Shard& shard = shard_of(canonical);
   std::lock_guard lock(shard.mutex);
-  shard.cache.insert(name, scope, std::move(addresses), ttl_seconds, now_ms);
+  shard.cache.insert(std::move(canonical), scope, std::move(addresses), ttl_seconds,
+                     now_ms);
 }
 
 void ShardedDnsCache::insert_negative(const DnsName& name, const net::Prefix& scope,
                                       Rcode rcode, std::uint32_t ttl_seconds,
                                       std::uint64_t now_ms) {
-  Shard& shard = shard_of(name.canonical());
+  std::string canonical = name.canonical();
+  Shard& shard = shard_of(canonical);
   std::lock_guard lock(shard.mutex);
-  shard.cache.insert_negative(name, scope, rcode, ttl_seconds, now_ms);
+  shard.cache.insert_negative(std::move(canonical), scope, rcode, ttl_seconds, now_ms);
 }
 
 void ShardedDnsCache::purge(std::uint64_t now_ms) {

@@ -1,0 +1,281 @@
+#include "net/lpm.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "net/error.hpp"
+
+namespace drongo::net::detail {
+
+namespace {
+
+constexpr std::uint32_t mask_of(int length) {
+  return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+}
+
+constexpr std::uint32_t canonical(std::uint32_t bits, int length) {
+  return bits & mask_of(length);
+}
+
+/// Bit `i` of `bits`, counting from the most significant (i in [0, 32)).
+constexpr int bit_at(std::uint32_t bits, int i) {
+  return static_cast<int>((bits >> (31 - i)) & 1U);
+}
+
+/// Length of the common prefix of `a` and `b`, capped at `cap`.
+int common_prefix_length(std::uint32_t a, std::uint32_t b, int cap) {
+  const std::uint32_t diff = a ^ b;
+  if (diff == 0) return cap;
+#if defined(__GNUC__) || defined(__clang__)
+  const int first_diff = __builtin_clz(diff);
+#else
+  int first_diff = 0;
+  while (first_diff < 32 && bit_at(diff, first_diff) == 0) ++first_diff;
+#endif
+  return std::min(cap, first_diff);
+}
+
+void check_length(int length) {
+  if (length < 0 || length > 32) {
+    throw InvalidArgument("prefix length out of range: " + std::to_string(length));
+  }
+}
+
+}  // namespace
+
+std::uint32_t LpmCore::find(std::uint32_t bits, int length,
+                            std::uint64_t* visited) const {
+  check_length(length);
+  bits = canonical(bits, length);
+  std::int32_t cur = root_;
+  while (cur != kNil) {
+    if (visited != nullptr) ++*visited;
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.length > length ||
+        canonical(bits, node.length) != node.bits) {
+      return kNoSlot;
+    }
+    if (node.length == length) {
+      return bits == node.bits ? node.slot : kNoSlot;
+    }
+    cur = node.child[bit_at(bits, node.length)];
+  }
+  return kNoSlot;
+}
+
+std::uint32_t LpmCore::insert(std::uint32_t bits, int length, std::uint32_t slot) {
+  check_length(length);
+  bits = canonical(bits, length);
+  if (root_ == kNil) {
+    root_ = new_node(bits, length);
+    nodes_[static_cast<std::size_t>(root_)].slot = slot;
+    ++size_;
+    return kNoSlot;
+  }
+  std::int32_t cur = root_;
+  while (true) {
+    Node& node = nodes_[static_cast<std::size_t>(cur)];
+    const int cap = std::min(length, static_cast<int>(node.length));
+    const int cpl = common_prefix_length(bits, node.bits, cap);
+    if (cpl < static_cast<int>(node.length)) {
+      // The new prefix diverges from (or is a proper prefix of) this node's
+      // prefix: split the edge above it at `cpl`.
+      const std::int32_t split = new_node(canonical(bits, cpl), cpl);
+      Node& split_node = nodes_[static_cast<std::size_t>(split)];
+      Node& cur_node = nodes_[static_cast<std::size_t>(cur)];  // re-fetch: new_node may reallocate
+      split_node.parent = cur_node.parent;
+      if (cur_node.parent == kNil) {
+        root_ = split;
+      } else {
+        replace_child(cur_node.parent, cur, split);
+      }
+      split_node.child[bit_at(cur_node.bits, cpl)] = cur;
+      cur_node.parent = split;
+      if (cpl == length) {
+        // The new prefix IS the split point.
+        split_node.slot = slot;
+      } else {
+        const std::int32_t leaf = new_node(bits, length);
+        Node& split_again = nodes_[static_cast<std::size_t>(split)];
+        Node& leaf_node = nodes_[static_cast<std::size_t>(leaf)];
+        leaf_node.slot = slot;
+        leaf_node.parent = split;
+        split_again.child[bit_at(bits, cpl)] = leaf;
+      }
+      ++size_;
+      return kNoSlot;
+    }
+    // node.length <= length and node's prefix contains the new one.
+    if (static_cast<int>(node.length) == length) {
+      if (node.slot != kNoSlot) return node.slot;
+      node.slot = slot;
+      ++size_;
+      return kNoSlot;
+    }
+    const int branch = bit_at(bits, node.length);
+    if (node.child[branch] == kNil) {
+      const std::int32_t leaf = new_node(bits, length);
+      Node& parent_node = nodes_[static_cast<std::size_t>(cur)];
+      Node& leaf_node = nodes_[static_cast<std::size_t>(leaf)];
+      leaf_node.slot = slot;
+      leaf_node.parent = cur;
+      parent_node.child[branch] = leaf;
+      ++size_;
+      return kNoSlot;
+    }
+    cur = node.child[branch];
+  }
+}
+
+std::uint32_t LpmCore::erase(std::uint32_t bits, int length) {
+  check_length(length);
+  bits = canonical(bits, length);
+  std::int32_t cur = root_;
+  while (cur != kNil) {
+    Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.length > length || canonical(bits, node.length) != node.bits) {
+      return kNoSlot;
+    }
+    if (node.length == length) {
+      if (bits != node.bits || node.slot == kNoSlot) return kNoSlot;
+      const std::uint32_t freed = node.slot;
+      node.slot = kNoSlot;
+      --size_;
+      compress(cur);
+      return freed;
+    }
+    cur = node.child[bit_at(bits, node.length)];
+  }
+  return kNoSlot;
+}
+
+std::optional<LpmCore::Match> LpmCore::longest_match(std::uint32_t bits, int max_length,
+                                                     std::uint64_t* visited) const {
+  check_length(max_length);
+  std::optional<Match> best;
+  std::int32_t cur = root_;
+  while (cur != kNil) {
+    if (visited != nullptr) ++*visited;
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.length > max_length || canonical(bits, node.length) != node.bits) {
+      break;
+    }
+    if (node.slot != kNoSlot) {
+      best = Match{node.bits, node.length, node.slot};
+    }
+    if (node.length == 32) break;
+    cur = node.child[bit_at(bits, node.length)];
+  }
+  return best;
+}
+
+void LpmCore::match_chain(std::uint32_t bits, int max_length, std::vector<Match>& out,
+                          std::uint64_t* visited) const {
+  check_length(max_length);
+  const std::size_t first = out.size();
+  std::int32_t cur = root_;
+  while (cur != kNil) {
+    if (visited != nullptr) ++*visited;
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.length > max_length || canonical(bits, node.length) != node.bits) {
+      break;
+    }
+    if (node.slot != kNoSlot) {
+      out.push_back(Match{node.bits, node.length, node.slot});
+    }
+    if (node.length == 32) break;
+    cur = node.child[bit_at(bits, node.length)];
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+void LpmCore::walk(const std::function<void(std::uint32_t, int, std::uint32_t)>& fn) const {
+  // Iterative pre-order with an explicit stack (depth is bounded by 33 but
+  // the iterative form keeps walk() usable from any stack budget). Pushing
+  // the one-branch before the zero-branch pops zero first, giving ascending
+  // network order with shorter prefixes ahead of their subtrees.
+  std::vector<std::int32_t> stack;
+  if (root_ != kNil) stack.push_back(root_);
+  while (!stack.empty()) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.slot != kNoSlot) fn(node.bits, node.length, node.slot);
+    if (node.child[1] != kNil) stack.push_back(node.child[1]);
+    if (node.child[0] != kNil) stack.push_back(node.child[0]);
+  }
+}
+
+std::size_t LpmCore::node_count() const { return nodes_.size() - free_.size(); }
+
+void LpmCore::clear() {
+  nodes_.clear();
+  free_.clear();
+  root_ = kNil;
+  size_ = 0;
+}
+
+std::int32_t LpmCore::new_node(std::uint32_t bits, int length) {
+  std::int32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  node = Node{};
+  node.bits = bits;
+  node.length = static_cast<std::uint8_t>(length);
+  node.in_use = true;
+  return index;
+}
+
+void LpmCore::free_node(std::int32_t index) {
+  nodes_[static_cast<std::size_t>(index)].in_use = false;
+  free_.push_back(index);
+}
+
+void LpmCore::replace_child(std::int32_t parent, std::int32_t was, std::int32_t now) {
+  Node& node = nodes_[static_cast<std::size_t>(parent)];
+  if (node.child[0] == was) {
+    node.child[0] = now;
+  } else {
+    node.child[1] = now;
+  }
+}
+
+void LpmCore::compress(std::int32_t index) {
+  // Restores the path-compression invariant at `index` after its slot was
+  // cleared, then re-checks the parent (which may itself have become a
+  // slot-less single-child node).
+  while (index != kNil) {
+    Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.slot != kNoSlot) return;
+    const int child_count = (node.child[0] != kNil ? 1 : 0) + (node.child[1] != kNil ? 1 : 0);
+    if (child_count >= 2) return;
+    const std::int32_t parent = node.parent;
+    if (child_count == 0) {
+      if (parent == kNil) {
+        root_ = kNil;
+      } else {
+        replace_child(parent, index, kNil);
+      }
+      free_node(index);
+    } else {
+      const std::int32_t child = node.child[0] != kNil ? node.child[0] : node.child[1];
+      nodes_[static_cast<std::size_t>(child)].parent = parent;
+      if (parent == kNil) {
+        root_ = child;
+      } else {
+        replace_child(parent, index, child);
+      }
+      free_node(index);
+      return;  // the spliced child is intact; only the removal above matters upward
+    }
+    index = parent;
+  }
+}
+
+}  // namespace drongo::net::detail

@@ -1,0 +1,234 @@
+// Longest-prefix-match radix (Patricia) trie over IPv4 prefixes.
+//
+// The unit of "subnet" throughout drongo is net::Prefix; everything that has
+// to answer "which stored subnet covers this address, most specifically?" —
+// RFC 7871 §7.3.1 scope matching in the DNS answer cache, the crowd-shared
+// valley knowledge base — was a linear scan before this index existed. The
+// trie answers exact-match, longest-match, and the full containment chain of
+// an address in O(prefix bits) node visits with path compression, so a
+// 10k-scope table costs ~a dozen comparisons instead of 10k.
+//
+// Layering: this lives in net/ (below dns/ and core/), so it carries no obs
+// dependency. Callers that want `dns.lpm.*`-style telemetry read the visit
+// counts the calls return and mirror them into their own registries.
+//
+// Structure: `detail::LpmCore` (lpm.cpp) implements the bit-level radix
+// machinery over opaque value slots; `LpmTrie<T>` is the thin typed wrapper
+// that owns the values. Not internally synchronized — callers provide
+// locking, exactly like DnsCache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+
+namespace drongo::net {
+
+namespace detail {
+
+/// The untyped radix core: prefixes (network bits + length 0..32) mapped to
+/// 32-bit value slots managed by the typed wrapper. Nodes live in one
+/// contiguous pool with free-list reuse; erased paths are pruned and
+/// re-compressed so the node count stays proportional to the live prefix
+/// count.
+class LpmCore {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Match {
+    std::uint32_t bits = 0;
+    int length = 0;
+    std::uint32_t slot = kNoSlot;
+  };
+
+  LpmCore() = default;
+
+  /// Finds the slot bound to exactly (bits, length); kNoSlot when absent.
+  /// Adds the nodes visited to `*visited` when non-null.
+  [[nodiscard]] std::uint32_t find(std::uint32_t bits, int length,
+                                   std::uint64_t* visited = nullptr) const;
+
+  /// Binds (bits, length) to `slot`. Returns kNoSlot when the prefix was
+  /// newly inserted, else the previously bound slot (unchanged — the caller
+  /// decides whether to overwrite the value in place via find()).
+  std::uint32_t insert(std::uint32_t bits, int length, std::uint32_t slot);
+
+  /// Unbinds (bits, length); returns the freed slot, or kNoSlot if absent.
+  std::uint32_t erase(std::uint32_t bits, int length);
+
+  /// The longest stored prefix containing `bits` whose length is at most
+  /// `max_length`. Adds nodes visited to `*visited` when non-null.
+  [[nodiscard]] std::optional<Match> longest_match(
+      std::uint32_t bits, int max_length, std::uint64_t* visited = nullptr) const;
+
+  /// Every stored prefix containing `bits` with length <= max_length,
+  /// ordered longest (most specific) first. Appends to `out`.
+  void match_chain(std::uint32_t bits, int max_length, std::vector<Match>& out,
+                   std::uint64_t* visited = nullptr) const;
+
+  /// Visits every stored prefix in canonical order (shorter prefix before
+  /// its subtree, zero branch before one branch — i.e. ascending network,
+  /// ascending length).
+  void walk(const std::function<void(std::uint32_t bits, int length,
+                                     std::uint32_t slot)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Live node count, branch-only nodes included (observability: the path
+  /// compression invariant keeps this < 2 * size()).
+  [[nodiscard]] std::size_t node_count() const;
+  void clear();
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    std::uint32_t bits = 0;          ///< canonical network bits
+    std::int32_t child[2] = {kNil, kNil};
+    std::int32_t parent = kNil;
+    std::uint32_t slot = kNoSlot;    ///< kNoSlot = branch-only node
+    std::uint8_t length = 0;
+    bool in_use = false;
+  };
+
+  std::int32_t new_node(std::uint32_t bits, int length);
+  void free_node(std::int32_t index);
+  /// Re-establishes path compression around a node whose slot was cleared:
+  /// removes it if childless, merges it with a single child.
+  void compress(std::int32_t index);
+  void replace_child(std::int32_t parent, std::int32_t was, std::int32_t now);
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_;
+  std::int32_t root_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// A map from IPv4 prefix to T with longest-prefix-match lookup.
+///
+/// Values live in a slot vector (stable across erases; insertion may grow
+/// it), so pointers returned by find()/longest_match()/match_chain() stay
+/// valid until the next insert() or clear().
+template <typename T>
+class LpmTrie {
+ public:
+  struct Match {
+    Prefix prefix;
+    T* value = nullptr;
+  };
+  struct ConstMatch {
+    Prefix prefix;
+    const T* value = nullptr;
+  };
+
+  /// Inserts or replaces the value at `prefix`; returns a pointer to the
+  /// stored value.
+  T* insert(const Prefix& prefix, T value) {
+    const std::uint32_t existing =
+        core_.find(prefix.network().to_uint(), prefix.length());
+    if (existing != detail::LpmCore::kNoSlot) {
+      slots_[existing] = std::move(value);
+      return &*slots_[existing];
+    }
+    const std::uint32_t slot = allocate_slot(std::move(value));
+    core_.insert(prefix.network().to_uint(), prefix.length(), slot);
+    return &*slots_[slot];
+  }
+
+  /// Exact-match lookup; nullptr when `prefix` itself is not stored.
+  [[nodiscard]] T* find(const Prefix& prefix, std::uint64_t* visited = nullptr) {
+    const std::uint32_t slot =
+        core_.find(prefix.network().to_uint(), prefix.length(), visited);
+    return slot == detail::LpmCore::kNoSlot ? nullptr : &*slots_[slot];
+  }
+  [[nodiscard]] const T* find(const Prefix& prefix,
+                              std::uint64_t* visited = nullptr) const {
+    const std::uint32_t slot =
+        core_.find(prefix.network().to_uint(), prefix.length(), visited);
+    return slot == detail::LpmCore::kNoSlot ? nullptr : &*slots_[slot];
+  }
+
+  /// Removes `prefix`; false when absent.
+  bool erase(const Prefix& prefix) {
+    const std::uint32_t slot = core_.erase(prefix.network().to_uint(), prefix.length());
+    if (slot == detail::LpmCore::kNoSlot) return false;
+    slots_[slot].reset();
+    free_slots_.push_back(slot);
+    return true;
+  }
+
+  /// The most specific stored prefix containing `addr`, restricted to
+  /// lengths <= max_length (RFC 7871: a cached scope may only serve clients
+  /// whose source prefix it contains, so pass the client subnet's length).
+  [[nodiscard]] std::optional<Match> longest_match(Ipv4Addr addr, int max_length = 32,
+                                                   std::uint64_t* visited = nullptr) {
+    const auto m = core_.longest_match(addr.to_uint(), max_length, visited);
+    if (!m) return std::nullopt;
+    return Match{Prefix(Ipv4Addr(m->bits), m->length), &*slots_[m->slot]};
+  }
+  [[nodiscard]] std::optional<ConstMatch> longest_match(
+      Ipv4Addr addr, int max_length = 32, std::uint64_t* visited = nullptr) const {
+    const auto m = core_.longest_match(addr.to_uint(), max_length, visited);
+    if (!m) return std::nullopt;
+    return ConstMatch{Prefix(Ipv4Addr(m->bits), m->length), &*slots_[m->slot]};
+  }
+
+  /// Every stored prefix containing `addr` with length <= max_length,
+  /// longest first — the RFC 7871 candidate chain, so a caller can skip
+  /// dead (expired) entries and fall back to the next-most-specific scope.
+  [[nodiscard]] std::vector<Match> match_chain(Ipv4Addr addr, int max_length = 32,
+                                               std::uint64_t* visited = nullptr) {
+    chain_scratch_.clear();
+    core_.match_chain(addr.to_uint(), max_length, chain_scratch_, visited);
+    std::vector<Match> out;
+    out.reserve(chain_scratch_.size());
+    for (const auto& m : chain_scratch_) {
+      out.push_back({Prefix(Ipv4Addr(m.bits), m.length), &*slots_[m.slot]});
+    }
+    return out;
+  }
+
+  /// Visits (Prefix, T&) for every entry in canonical order (ascending
+  /// network address, shorter prefixes before their subtrees).
+  template <typename Fn>
+  void walk(Fn&& fn) const {
+    core_.walk([&](std::uint32_t bits, int length, std::uint32_t slot) {
+      fn(Prefix(Ipv4Addr(bits), length), *slots_[slot]);
+    });
+  }
+
+  [[nodiscard]] std::size_t size() const { return core_.size(); }
+  [[nodiscard]] bool empty() const { return core_.size() == 0; }
+  [[nodiscard]] std::size_t node_count() const { return core_.node_count(); }
+
+  void clear() {
+    core_.clear();
+    slots_.clear();
+    free_slots_.clear();
+  }
+
+ private:
+  std::uint32_t allocate_slot(T value) {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(value);
+      return slot;
+    }
+    slots_.emplace_back(std::move(value));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  detail::LpmCore core_;
+  std::vector<std::optional<T>> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<detail::LpmCore::Match> chain_scratch_;
+};
+
+}  // namespace drongo::net

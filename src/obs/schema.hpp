@@ -52,6 +52,29 @@ namespace drongo::obs {
   X(coalesced)                       \
   X(coalesce_leaders)
 
+/// What the radix LPM scope index underneath the answer cache tallies: one
+/// X(field) per counter. dns::LpmStats declares its fields from this list
+/// and the obs mirror names each `dns.lpm.<field>`. `node_visits` is the
+/// cost currency of the index — total radix nodes touched across lookups —
+/// so visits/lookup stays observable and a regression back toward a linear
+/// scan shows up in telemetry, not just the bench.
+#define DRONGO_OBS_LPM_COUNTERS(X) \
+  X(lookups)                       \
+  X(node_visits)                   \
+  X(inserts)                       \
+  X(erases)
+
+/// What the crowd-shared valley knowledge base tallies: one X(field) per
+/// counter. core::ValleyStoreStats declares its fields from this list and
+/// the obs mirror names each `core.valley_store.<field>`. All counters are
+/// commutative sums, so aggregation order (thread count) never shows.
+#define DRONGO_OBS_VALLEY_STORE_COUNTERS(X) \
+  X(contributions)                          \
+  X(valley_observations)                    \
+  X(lookups)                                \
+  X(shared_hits)                            \
+  X(shared_misses)
+
 /// Declares the schema fields inside a struct body.
 #define DRONGO_OBS_DECLARE_FIELD(field) std::uint64_t field = 0;
 

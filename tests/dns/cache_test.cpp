@@ -170,6 +170,50 @@ TEST(DnsCacheNegativeTest, TailoredPositiveBeatsScopeZeroNegative) {
   EXPECT_TRUE(outside->negative);
 }
 
+TEST(DnsCacheCanonicalTest, MixedCaseQnamesShareOneEntry) {
+  DnsCache cache;
+  // DNS names are case-insensitive (RFC 1035): an answer cached under a
+  // mixed-case spelling must serve (and refresh) the lowercase spelling.
+  cache.insert(DnsName::must_parse("Img.CDN.Sim"), P("0.0.0.0/0"),
+               {net::Ipv4Addr(1, 1, 1, 1)}, 60, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto lower = cache.lookup(DnsName::must_parse("img.cdn.sim"),
+                                  P("9.9.9.0/24"), 1);
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(lower->addresses.front(), net::Ipv4Addr(1, 1, 1, 1));
+  const auto upper = cache.lookup(DnsName::must_parse("IMG.CDN.SIM"),
+                                  P("9.9.9.0/24"), 1);
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // Re-inserting under yet another casing refreshes instead of duplicating.
+  cache.insert(DnsName::must_parse("iMg.cDn.siM"), P("0.0.0.0/0"),
+               {net::Ipv4Addr(2, 2, 2, 2)}, 60, 10);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto refreshed = cache.lookup(kName, P("9.9.9.0/24"), 11);
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_EQ(refreshed->addresses.front(), net::Ipv4Addr(2, 2, 2, 2));
+}
+
+TEST(DnsCacheLpmTest, LpmCountersTrackTheRadixIndex) {
+  obs::Registry registry;
+  DnsCache cache;
+  cache.set_registry(&registry);
+  cache.insert(kName, P("10.0.0.0/8"), {net::Ipv4Addr(1, 1, 1, 1)}, 60, 0);
+  cache.insert(kName, P("10.1.2.0/24"), {net::Ipv4Addr(2, 2, 2, 2)}, 60, 0);
+  EXPECT_EQ(cache.stats().lpm.inserts, 2u);
+  ASSERT_TRUE(cache.lookup(kName, P("10.1.2.0/24"), 1).has_value());
+  EXPECT_EQ(cache.stats().lpm.lookups, 1u);
+  // The descent touched at least the two chain nodes, and node visits are
+  // bounded by the trie depth — not the entry count.
+  EXPECT_GE(cache.stats().lpm.node_visits, 2u);
+  EXPECT_LE(cache.stats().lpm.node_visits, 33u);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("dns.lpm.inserts"), 2u);
+  EXPECT_EQ(snapshot.counters.at("dns.lpm.lookups"), 1u);
+  EXPECT_EQ(snapshot.counters.at("dns.lpm.node_visits"),
+            cache.stats().lpm.node_visits);
+}
+
 TEST(DnsCacheStatsTest, CountersMirrorIntoRegistry) {
   obs::Registry registry;
   DnsCache cache;

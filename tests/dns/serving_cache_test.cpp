@@ -60,6 +60,43 @@ TEST(ShardedDnsCacheTest, SingleShardStillWorks) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+TEST(ShardedDnsCacheTest, MixedCaseQnamesLandInOneShardEntry) {
+  ShardedDnsCache cache(/*shards=*/8);
+  // Qnames are canonicalized (lowercased) once at the sharded boundary, so a
+  // mixed-case spelling routes to the same shard AND the same cache entry as
+  // the lowercase one — never a duplicate in another shard.
+  cache.insert(DnsName::must_parse("Host1.CDN.Sim"), P("0.0.0.0/0"),
+               {net::Ipv4Addr(7, 7, 7, 7)}, 60, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto lower = cache.lookup(name_for(1), P("9.9.9.0/24"), 1);
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(lower->addresses.front(), net::Ipv4Addr(7, 7, 7, 7));
+  const auto upper = cache.lookup(DnsName::must_parse("HOST1.CDN.SIM"),
+                                  P("9.9.9.0/24"), 1);
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // Refreshing under another casing must not grow the cache.
+  cache.insert(DnsName::must_parse("hOsT1.cdn.SIM"), P("0.0.0.0/0"),
+               {net::Ipv4Addr(8, 8, 8, 8)}, 60, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SingleflightTest, JoinCoalescesAcrossCaseVariants) {
+  ShardedDnsCache cache(4);
+  auto leader = cache.join(DnsName::must_parse("Host1.CDN.Sim"), P("10.1.2.0/24"));
+  EXPECT_TRUE(leader.leader());
+  auto follower = cache.join(name_for(1), P("10.1.2.0/24"));
+  EXPECT_FALSE(follower.leader());
+  ShardedDnsCache::FlightOutcome outcome;
+  outcome.rcode = Rcode::kNoError;
+  outcome.addresses = {net::Ipv4Addr(6, 6, 6, 6)};
+  outcome.usable = true;
+  leader.publish(outcome);
+  const auto got = follower.wait();
+  EXPECT_TRUE(got.usable);
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
 TEST(SingleflightTest, FirstJoinerLeadsLaterJoinersFollow) {
   ShardedDnsCache cache(4);
   auto leader = cache.join(name_for(1), P("10.1.2.0/24"));

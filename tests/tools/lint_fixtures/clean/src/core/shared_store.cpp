@@ -1,0 +1,51 @@
+// Fixture: the crowd-shared store idiom done right — stripes picked by a
+// deterministic FNV-1a hash (not std::hash), commutative counters tallied
+// under a mutex and mirrored through an obs::Registry, ordered std::map
+// serialization, and error taxonomy throws. Every rule the valley-store /
+// LPM code paths lean on has nothing to flag here.
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "net/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+std::uint64_t stripe_hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Stripe {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t> contributions;
+};
+
+Stripe& stripe_of(Stripe* stripes, std::size_t count, const std::string& cluster) {
+  if (count == 0) throw drongo::net::InvalidArgument("no stripes");
+  return stripes[static_cast<std::size_t>(stripe_hash(cluster) % count)];
+}
+
+}  // namespace
+
+void contribute(Stripe* stripes, std::size_t count, const std::string& cluster,
+                drongo::obs::Registry* registry) {
+  Stripe& stripe = stripe_of(stripes, count, cluster);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  ++stripe.contributions[cluster];
+  if (registry != nullptr) registry->add("core.valley_store.contributions");
+}
+
+void serialize(std::ostream& out, const Stripe& stripe) {
+  // std::map iterates in key order, so the dump is deterministic.
+  for (const auto& [cluster, count] : stripe.contributions) {
+    out << cluster << " " << count << "\n";
+  }
+}

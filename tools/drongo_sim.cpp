@@ -9,6 +9,8 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "analysis/evaluation.hpp"
@@ -17,6 +19,7 @@
 #include "cli.hpp"
 #include "core/drongo.hpp"
 #include "core/probe.hpp"
+#include "core/valley_store.hpp"
 #include "dns/faults.hpp"
 #include "dns/proxy.hpp"
 #include "dns/udp.hpp"
@@ -24,6 +27,7 @@
 #include "measure/dataset.hpp"
 #include "measure/trial.hpp"
 #include "net/error.hpp"
+#include "net/strings.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
@@ -132,10 +136,17 @@ int cmd_campaign(const std::vector<std::string>& args) {
   options.add_option("metrics-prom", "",
                      "write obs telemetry in Prometheus text format to this file");
   options.add_flag("downloads", "also measure download times (Fig. 4b/4c)");
+  options.add_flag("valley-share",
+                   "fold the campaign into a crowd-shared valley store "
+                   "(also DRONGO_VALLEY_SHARE=1)");
   options.parse(args);
   const int threads = options.get("threads").empty()
                           ? measure::thread_count_from_env()
                           : static_cast<int>(options.get_int("threads"));
+  // Parsed up front so a malformed DRONGO_VALLEY_SHARE fails before the
+  // campaign spends any time running.
+  const bool valley_share =
+      options.get_flag("valley-share") || core::valley_share_from_env();
   measure::Testbed testbed(testbed_config(options));
   measure::TrialConfig trial_config;
   trial_config.measure_downloads = options.get_flag("downloads");
@@ -154,6 +165,48 @@ int cmd_campaign(const std::vector<std::string>& args) {
                                              options.get_double("spacing-hours"));
   measure::save_dataset_file(options.get("out"), records);
   std::cout << records.size() << " trials written to " << options.get("out") << "\n";
+
+  // Crowd-shared valley scenario: fold the finished campaign into a
+  // ValleyStore, clustering clients by routing similarity toward the
+  // provider ASes. The fold is deterministic — contributions are commutative
+  // and the choose() pass walks clusters in map order — so the
+  // `core.valley_store.*` counters land in the registry before the metrics
+  // export below and stay byte-identical across thread counts. With the
+  // flag (and DRONGO_VALLEY_SHARE) off, nothing here runs and the telemetry
+  // is exactly the no-sharing output.
+  if (valley_share) {
+    core::ValleyStore store;
+    store.set_registry(&registry);
+    std::vector<std::size_t> landmarks;
+    landmarks.reserve(testbed.provider_count());
+    for (std::size_t p = 0; p < testbed.provider_count(); ++p) {
+      landmarks.push_back(testbed.provider(p).as_index());
+    }
+    std::map<std::uint32_t, std::string> cluster_of;  // client -> cluster key
+    std::map<std::string, std::set<std::string>> cluster_domains;
+    for (const auto& record : records) {
+      if (record.failed()) continue;
+      auto [it, fresh] = cluster_of.try_emplace(record.client.to_uint());
+      if (fresh) {
+        it->second =
+            core::routing_cluster_key(testbed.world(), record.client, landmarks);
+      }
+      store.contribute(it->second, record);
+      cluster_domains[it->second].insert(net::to_lower(record.domain));
+    }
+    std::uint64_t pairs = 0;
+    std::uint64_t shareable = 0;
+    for (const auto& [cluster, domains] : cluster_domains) {
+      for (const auto& domain : domains) {
+        ++pairs;
+        if (store.choose(cluster, domain)) ++shareable;
+      }
+    }
+    std::cout << "valley share: " << store.cluster_count() << " clusters, "
+              << store.tracked_subnets() << " pooled subnets, " << shareable << "/"
+              << pairs << " (cluster, domain) pairs with a shareable valley\n";
+  }
+
   const auto write_metrics = [&](const std::string& option, auto writer) {
     const std::string path = options.get(option);
     if (path.empty()) return;
@@ -336,7 +389,10 @@ int cmd_help() {
                "  --resolver-shards N (serving cache, 0 = off), --coalesce\n"
                "  (singleflight for concurrent identical queries)\n"
                "campaign telemetry: --metrics-out FILE (JSON-lines) and\n"
-               "  --metrics-prom FILE (Prometheus text); see docs/OBSERVABILITY.md\n";
+               "  --metrics-prom FILE (Prometheus text); see docs/OBSERVABILITY.md\n"
+               "campaign sharing: --valley-share (or DRONGO_VALLEY_SHARE=1) folds\n"
+               "  the campaign into a crowd-shared valley store clustered by\n"
+               "  routing similarity (core.valley_store.* telemetry)\n";
   return 0;
 }
 
