@@ -1,0 +1,103 @@
+#include "cdn/codel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/error.hpp"
+
+namespace drongo::cdn {
+
+CodelQueue::CodelQueue(CodelConfig config) : config_(config) {
+  if (config_.enabled) {
+    if (!(config_.target_ms > 0.0)) {
+      throw net::InvalidArgument("codel target_ms must be > 0");
+    }
+    if (!(config_.interval_ms > 0.0)) {
+      throw net::InvalidArgument("codel interval_ms must be > 0");
+    }
+    if (!(config_.service_cost_ms > 0.0)) {
+      throw net::InvalidArgument("codel service_cost_ms must be > 0");
+    }
+  }
+}
+
+CodelStats CodelQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+double CodelQueue::max_sojourn_ms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_sojourn_ms_;
+}
+
+double CodelQueue::sojourn_at(double now_ms) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::max(0.0, busy_until_ms_ - now_ms);
+}
+
+bool CodelQueue::offer(double now_ms) {
+  if (!config_.enabled) return true;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.offered;
+  const double sojourn_ms = std::max(0.0, busy_until_ms_ - now_ms);
+  max_sojourn_ms_ = std::max(max_sojourn_ms_, sojourn_ms);
+  if (registry_ != nullptr) {
+    registry_->add("cdn.serving.codel.offered");
+    registry_->observe_ms("cdn.serving.codel.sojourn_ms", sojourn_ms);
+  }
+
+  bool drop = false;
+  bool sloughed = false;
+  if (sojourn_ms < config_.target_ms) {
+    // Below target: all is forgiven. Leaving the dropping state resets the
+    // schedule; the next episode starts from a fresh interval.
+    above_target_ = false;
+    dropping_ = false;
+    drop_count_ = 0;
+  } else if (!above_target_) {
+    // First crossing: arm the interval timer, admit this one.
+    above_target_ = true;
+    first_above_ms_ = now_ms + config_.interval_ms;
+  } else if (!dropping_) {
+    if (now_ms >= first_above_ms_) {
+      // Sojourn stayed above target for a whole interval: start shedding,
+      // at an accelerating rate until the queue comes back under control.
+      dropping_ = true;
+      drop_count_ = 1;
+      drop_next_ms_ =
+          now_ms + config_.interval_ms / std::sqrt(static_cast<double>(drop_count_));
+      drop = true;
+    }
+  } else if (sojourn_ms > 2.0 * config_.target_ms) {
+    // Sloughing: dequeue-side CoDel relies on congestion-controlled senders
+    // backing off after a drop; an admission controller facing an open-loop
+    // query stream has no such sender, so while in the dropping state any
+    // arrival that would wait more than 2x target is shed outright (the
+    // server-side CoDel adaptation). This is what actually bounds sojourn
+    // under sustained 2x overload.
+    drop = true;
+    sloughed = true;
+  } else if (now_ms >= drop_next_ms_) {
+    ++drop_count_;
+    drop_next_ms_ =
+        now_ms + config_.interval_ms / std::sqrt(static_cast<double>(drop_count_));
+    drop = true;
+  }
+
+  if (drop) {
+    ++stats_.dropped;
+    if (sloughed) ++stats_.sloughed;
+    if (registry_ != nullptr) {
+      registry_->add("cdn.serving.codel.dropped");
+      if (sloughed) registry_->add("cdn.serving.codel.sloughed");
+    }
+    return false;
+  }
+  ++stats_.admitted;
+  if (registry_ != nullptr) registry_->add("cdn.serving.codel.admitted");
+  busy_until_ms_ = std::max(busy_until_ms_, now_ms) + config_.service_cost_ms;
+  return true;
+}
+
+}  // namespace drongo::cdn

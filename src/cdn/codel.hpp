@@ -1,0 +1,97 @@
+// CoDel-style admission control for the serving path.
+//
+// When the fault fabric throttles upstreams, a resolver that keeps
+// accepting queries degrades the worst way: every queued query waits
+// behind every earlier one, sojourn time grows without bound, and by the
+// time an answer comes out nobody wants it. CoDel's insight (Nichols &
+// Jacobson, "Controlling Queue Delay") is to watch *sojourn time* — how
+// long work sits before service — and, once it has stayed above a small
+// target for a full interval, shed work at an increasing rate
+// (interval / sqrt(drop_count)) until the queue drains back under target.
+//
+// The simulation has no real queue (handlers run synchronously), so the
+// controller tracks a virtual one: each admitted query books
+// `service_cost_ms` of simulated work onto a `busy_until` horizon, and a
+// query's sojourn is how far ahead of its arrival that horizon stands.
+// That fluid model reproduces exactly the overload dynamics the drop law
+// exists to control, on the simulated clock, deterministically. One
+// server-side adaptation rides on top: while in the dropping state, any
+// arrival that would wait more than 2x target is shed outright
+// ("sloughing") — an open-loop query stream has no congestion-controlled
+// sender to back off after a drop, so the sqrt schedule alone cannot bound
+// sojourn under sustained overload.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
+
+namespace drongo::cdn {
+
+/// Knobs for the virtual-queue CoDel admission controller.
+struct CodelConfig {
+  /// Master switch; disabled means every query is admitted untouched.
+  bool enabled = false;
+  /// Acceptable standing sojourn (CoDel's `target`), simulated ms.
+  double target_ms = 5.0;
+  /// How long sojourn must stay above target before dropping starts, and
+  /// the base of the drop-rate schedule (CoDel's `interval`), simulated ms.
+  double interval_ms = 100.0;
+  /// Simulated work each admitted query books onto the virtual queue.
+  double service_cost_ms = 2.0;
+};
+
+/// What the admission controller did, as schema-generated counters.
+struct CodelStats {
+  DRONGO_OBS_CODEL_COUNTERS(DRONGO_OBS_DECLARE_FIELD)
+};
+
+/// The controller. `offer(now_ms)` decides one arrival's fate.
+///
+/// Thread-safety: offer() serializes on an internal mutex. Outcomes are
+/// deterministic for a given nondecreasing arrival sequence — which a
+/// single driving thread (the bench, a serial campaign) produces; under
+/// concurrent drivers the arrival order, and therefore which individual
+/// queries shed, follows the interleaving (totals still obey the drop law).
+class CodelQueue {
+ public:
+  explicit CodelQueue(CodelConfig config);
+
+  /// One arrival at simulated time `now_ms`. Returns true when admitted
+  /// (its service cost is booked) and false when shed. Always true when
+  /// the controller is disabled.
+  bool offer(double now_ms);
+
+  [[nodiscard]] const CodelConfig& config() const { return config_; }
+  [[nodiscard]] CodelStats stats() const;
+  /// Largest sojourn any arrival observed, simulated ms.
+  [[nodiscard]] double max_sojourn_ms() const;
+  /// The sojourn the next arrival at `now_ms` would observe.
+  [[nodiscard]] double sojourn_at(double now_ms) const;
+
+  /// Attaches an obs registry (borrowed; nullptr detaches): every offer is
+  /// mirrored as `cdn.serving.codel.*` and sojourns feed the
+  /// `cdn.serving.codel.sojourn_ms` histogram (simulated ms, so the
+  /// telemetry is as deterministic as the arrival sequence).
+  void set_registry(obs::Registry* registry) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    registry_ = registry;
+  }
+
+ private:
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
+  CodelConfig config_;
+  mutable std::mutex mutex_;
+  double busy_until_ms_ = 0.0;   ///< virtual-queue horizon
+  double first_above_ms_ = 0.0;  ///< when sojourn first crossed target (0 = below)
+  bool above_target_ = false;
+  bool dropping_ = false;
+  std::uint64_t drop_count_ = 0;
+  double drop_next_ms_ = 0.0;
+  double max_sojourn_ms_ = 0.0;
+  CodelStats stats_;
+};
+
+}  // namespace drongo::cdn

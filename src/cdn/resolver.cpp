@@ -1,7 +1,9 @@
 #include "cdn/resolver.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "dns/faults.hpp"
 #include "net/error.hpp"
 
 namespace drongo::cdn {
@@ -25,7 +27,8 @@ PublicResolver::PublicResolver(dns::DnsTransport* transport, net::Ipv4Addr own_a
     : transport_(transport),
       address_(own_address),
       serving_(serving),
-      cache_(serving.shards, serving.max_entries) {
+      cache_(serving.shards, serving.max_entries),
+      admission_(serving.overload) {
   if (transport_ == nullptr) throw net::InvalidArgument("null transport");
 }
 
@@ -63,6 +66,19 @@ dns::Message PublicResolver::answer_from(const dns::Message& query,
 dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr source) {
   if (query.questions.size() != 1) {
     return dns::Message::make_response(query, dns::Rcode::kFormErr);
+  }
+  if (serving_.overload.enabled) {
+    // Admission happens before any real work: a shed query costs the
+    // resolver nothing, which is the whole point of shedding. The arrival
+    // clock is the trial's simulated time when one is executing (the same
+    // clock outage windows run on), else the caller-advanced cache clock.
+    const double trial_hours = dns::ScopedFaultTime::current();
+    const double arrival_ms = std::isnan(trial_hours)
+                                  ? static_cast<double>(now_ms_)
+                                  : trial_hours * 3'600'000.0;
+    if (!admission_.offer(arrival_ms)) {
+      return dns::Message::make_response(query, dns::Rcode::kServFail);
+    }
   }
   const dns::Question& q = query.questions[0];
 

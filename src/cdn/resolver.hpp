@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 
+#include "cdn/codel.hpp"
 #include "dns/serving_cache.hpp"
 #include "dns/server.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +33,10 @@ struct ServingConfig {
   bool negative_cache = true;
   /// TTL for cached negative answers.
   std::uint32_t negative_ttl_seconds = 30;
+  /// CoDel-style admission control in front of the serving path: when
+  /// enabled, arrivals whose virtual-queue sojourn violates the drop law
+  /// are shed with SERVFAIL instead of degrading every queued query.
+  CodelConfig overload;
 };
 
 /// An ECS-forwarding public recursive resolver, modelled on Google Public
@@ -68,11 +73,14 @@ class PublicResolver : public dns::DnsServer {
   void set_registry(obs::Registry* registry) {
     registry_ = registry;
     cache_.set_registry(registry);
+    admission_.set_registry(registry);
   }
 
   [[nodiscard]] const ServingConfig& serving() const { return serving_; }
   [[nodiscard]] const dns::ShardedDnsCache& cache() const { return cache_; }
   [[nodiscard]] dns::CacheStats cache_stats() const { return cache_.stats(); }
+  /// The CoDel admission controller (inert unless serving().overload.enabled).
+  [[nodiscard]] const CodelQueue& admission() const { return admission_; }
   [[nodiscard]] std::uint64_t upstream_queries() const {
     return upstream_queries_.load(std::memory_order_relaxed);
   }
@@ -104,6 +112,7 @@ class PublicResolver : public dns::DnsServer {
   std::uint64_t now_ms_ = 0;
   std::map<dns::DnsName, net::Ipv4Addr> zones_;
   dns::ShardedDnsCache cache_;
+  CodelQueue admission_;
   obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
   std::atomic<std::uint64_t> upstream_queries_{0};
   std::atomic<std::uint64_t> upstream_failures_{0};

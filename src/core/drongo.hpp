@@ -2,16 +2,28 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/decision.hpp"
+#include "core/race.hpp"
 #include "core/valley_store.hpp"
 #include "dns/proxy.hpp"
 #include "dns/stub_resolver.hpp"
 #include "measure/trial.hpp"
 
 namespace drongo::core {
+
+/// A resolution plus the race that (optionally) picked its replica.
+struct RacedResolution {
+  dns::ResolutionResult resolution;
+  /// Present when GWTW was enabled and the answer had contestants to race.
+  std::optional<RaceResult> race;
+  /// The replica to connect to: the race winner when a race ran, else the
+  /// answer's first address; empty when the resolution produced none.
+  std::optional<net::Ipv4Addr> chosen;
+};
 
 /// The deployable Drongo system for one client machine.
 ///
@@ -61,6 +73,22 @@ class DrongoClient : public dns::SubnetSelector {
   /// answer — always respecting the CDN's serving order.
   dns::ResolutionResult resolve(dns::StubResolver& stub, const dns::DnsName& domain);
 
+  /// Enables Go-With-The-Winner mode: resolve_racing then races the first
+  /// `k` replicas of every answer and commits to the fastest. k < 2
+  /// disables racing (resolve_racing keeps the first replica); negative k
+  /// throws net::InvalidArgument. Setup-phase: call before resolving.
+  void enable_gwtw(int k);
+
+  /// Like resolve(), then — when GWTW is enabled and the answer has more
+  /// than one address — races the leading replicas over `world` with RTT
+  /// draws from `rng` and commits to the winner. The rival strategy to
+  /// valley assimilation: measure at resolution time instead of ahead of it.
+  RacedResolution resolve_racing(dns::StubResolver& stub, const dns::DnsName& domain,
+                                 topology::World& world, net::Rng& rng);
+
+  /// The racer behind GWTW mode, or nullptr while disabled.
+  [[nodiscard]] const ReplicaRacer* racer() const { return racer_.get(); }
+
   /// SubnetSelector hook for LdnsProxy deployment.
   std::optional<net::Prefix> select_subnet(const dns::DnsName& domain,
                                            const net::Prefix& client_subnet) override;
@@ -89,6 +117,7 @@ class DrongoClient : public dns::SubnetSelector {
   void set_registry(obs::Registry* registry) {
     registry_ = registry;
     engine_.set_registry(registry);
+    if (racer_ != nullptr) racer_->set_registry(registry);
   }
 
  private:
@@ -97,6 +126,8 @@ class DrongoClient : public dns::SubnetSelector {
   std::optional<net::Prefix> choose_subnet(const std::string& domain);
 
   DecisionEngine engine_;
+  std::unique_ptr<ReplicaRacer> racer_;  ///< non-null while GWTW is enabled
+  int gwtw_k_ = 0;
   ValleyStore* store_ = nullptr;  // borrowed; optional crowd knowledge
   std::string cluster_;           ///< this client's routing-similarity cluster
   std::uint64_t assimilated_ = 0;

@@ -1,0 +1,46 @@
+#include "core/race.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace drongo::core {
+
+ReplicaRacer::ReplicaRacer(RaceConfig config) : config_(config) {
+  if (config_.k < 0) throw net::InvalidArgument("race k must be >= 0");
+}
+
+RaceResult ReplicaRacer::race(topology::World& world, net::Ipv4Addr client,
+                              const std::vector<net::Ipv4Addr>& replicas,
+                              net::Rng& rng) const {
+  if (replicas.empty()) throw net::InvalidArgument("cannot race an empty answer");
+  const std::size_t field_size =
+      std::min(replicas.size(), static_cast<std::size_t>(std::max(config_.k, 1)));
+
+  RaceResult result;
+  result.contestants.assign(replicas.begin(),
+                            replicas.begin() + static_cast<std::ptrdiff_t>(field_size));
+  result.rtts_ms.reserve(field_size);
+  for (net::Ipv4Addr replica : result.contestants) {
+    result.rtts_ms.push_back(measure::ping_ms(world, client, replica, rng, config_.ping));
+  }
+  // Strict < keeps ties on the earliest (CDN-preferred) contestant.
+  result.winner_index = static_cast<std::size_t>(
+      std::min_element(result.rtts_ms.begin(), result.rtts_ms.end()) -
+      result.rtts_ms.begin());
+
+  races_.fetch_add(1, std::memory_order_relaxed);
+  if (result.switched()) {
+    switched_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    wins_first_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (registry_ != nullptr) {
+    registry_->add("core.gwtw.races");
+    registry_->add(result.switched() ? "core.gwtw.switched" : "core.gwtw.wins_first");
+    registry_->observe_ms("core.gwtw.winner_rtt_ms", result.winner_rtt_ms());
+  }
+  return result;
+}
+
+}  // namespace drongo::core

@@ -1,0 +1,87 @@
+// Go-With-The-Winner replica racing: measure the front of the answer, then
+// commit.
+//
+// Drongo's thesis (§2.4) is that *past* measurements can predictively pick
+// a better ECS subnet, so resolution time costs nothing extra. The obvious
+// rival — and the baseline several CDN-selection papers champion — is to
+// race: take the first k replicas the CDN returned, probe them all, and go
+// with the winner. Racing pays k-1 wasted probes per resolution but needs
+// no history; assimilation pays a training campaign but resolves cold.
+// ReplicaRacer implements the racing arm so the headline bench can put the
+// two strategies next to each other under the same simulated network.
+//
+// Determinism: every RTT in a race is drawn through measure::ping_ms from
+// an Rng the caller supplies, so a race is as reproducible as the trial or
+// resolution that runs it. Ties go to the lowest index — the CDN's own
+// preference — so a racer over identical latencies degrades to the
+// paper-faithful "take the first replica".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "measure/probes.hpp"
+#include "net/rng.hpp"
+#include "obs/metrics.hpp"
+#include "topology/world.hpp"
+
+namespace drongo::core {
+
+/// Racing knobs.
+struct RaceConfig {
+  /// How many of the leading replicas enter the race (clamped to the
+  /// answer size; values < 2 make racing a no-op that keeps replica 0).
+  int k = 2;
+  /// Ping burst per contestant (paper convention: average of 3).
+  measure::PingConfig ping;
+};
+
+/// One race's outcome. `rtts_ms[i]` is contestant i's measured latency;
+/// contestants keep the CDN's answer order.
+struct RaceResult {
+  std::vector<net::Ipv4Addr> contestants;
+  std::vector<double> rtts_ms;
+  std::size_t winner_index = 0;
+  [[nodiscard]] net::Ipv4Addr winner() const { return contestants[winner_index]; }
+  [[nodiscard]] double winner_rtt_ms() const { return rtts_ms[winner_index]; }
+  /// True when the race overturned the CDN's first choice.
+  [[nodiscard]] bool switched() const { return winner_index != 0; }
+};
+
+/// Races the first k replicas of an answer and picks the fastest.
+///
+/// Thread-safety: race() is const and draws only from the caller's rng;
+/// the tallies are relaxed atomics, so concurrent races from independent
+/// streams stay deterministic in the aggregate.
+class ReplicaRacer {
+ public:
+  explicit ReplicaRacer(RaceConfig config = {});
+
+  /// Probes the first min(k, replicas.size()) replicas from `client` and
+  /// returns the full standings. `replicas` must be non-empty.
+  RaceResult race(topology::World& world, net::Ipv4Addr client,
+                  const std::vector<net::Ipv4Addr>& replicas, net::Rng& rng) const;
+
+  [[nodiscard]] const RaceConfig& config() const { return config_; }
+
+  // What the races decided, as order-independent sums.
+  [[nodiscard]] std::uint64_t races() const { return races_.load(); }
+  /// Races where a later replica beat the CDN's first choice.
+  [[nodiscard]] std::uint64_t switched() const { return switched_.load(); }
+  /// Races the CDN's first choice won outright (racing changed nothing).
+  [[nodiscard]] std::uint64_t wins_first() const { return wins_first_.load(); }
+
+  /// Attaches an obs registry (borrowed; nullptr detaches): races tally
+  /// `core.gwtw.*` and winning RTTs feed `core.gwtw.winner_rtt_ms`.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+
+ private:
+  RaceConfig config_;
+  mutable std::atomic<std::uint64_t> races_{0};
+  mutable std::atomic<std::uint64_t> switched_{0};
+  mutable std::atomic<std::uint64_t> wins_first_{0};
+  obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror
+};
+
+}  // namespace drongo::core

@@ -72,8 +72,10 @@ struct ResolverConfig {
   /// Uniform jitter fraction applied to each backoff: the actual wait is
   /// backoff * (1 + U[0, jitter_fraction)). Decorrelates retry storms.
   double jitter_fraction = 0.5;
-  /// Per-query simulated deadline; once cumulative backoff exceeds it the
-  /// query gives up even if attempts remain.
+  /// Per-query simulated deadline; once cumulative backoff strictly
+  /// exceeds it the query gives up even if attempts remain. A retry whose
+  /// backoff lands exactly on the deadline still runs — spending the whole
+  /// budget is not overspending (pinned by retry_deadline_test.cpp).
   double query_deadline_ms = 5000.0;
   /// Retry on SERVFAIL/REFUSED answers (real stubs rotate/retry on these).
   bool retry_server_failure = true;

@@ -1,5 +1,6 @@
 #include "measure/dataset.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <ostream>
@@ -13,9 +14,12 @@ namespace drongo::measure {
 namespace {
 
 // v2 added per-trial outcome/failure fields and the health line; v1 files
-// (all trials implicitly ok, no health) still load.
+// (all trials implicitly ok, no health) still load. v3 added `race|` lines
+// (GWTW standings) and is emitted only when a record carries race data, so
+// racing-free campaigns keep producing v2 files older tooling reads.
 constexpr const char* kMagicV1 = "drongo-dataset-v1";
 constexpr const char* kMagicV2 = "drongo-dataset-v2";
+constexpr const char* kMagicV3 = "drongo-dataset-v3";
 
 /// Counter count of a v2 `health|` line, derived from the same schema that
 /// declares HealthCounters — growing the schema keeps writer, parser, and
@@ -63,7 +67,10 @@ std::uint64_t parse_u64(const std::string& s) {
 void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
   // Full round-trip precision for the measurement values.
   out.precision(17);
-  out << kMagicV2 << "\n";
+  const bool any_race =
+      std::any_of(records.begin(), records.end(),
+                  [](const TrialRecord& r) { return !r.race.empty(); });
+  out << (any_race ? kMagicV3 : kMagicV2) << "\n";
   for (const auto& r : records) {
     out << "trial|" << r.provider << "|" << r.domain << "|" << r.client_index << "|"
         << r.client.to_string() << "|" << r.time_hours << "|" << to_string(r.outcome)
@@ -78,6 +85,10 @@ void save_dataset(std::ostream& out, const std::vector<TrialRecord>& records) {
     out << "\n";
     for (const auto& m : r.cr) {
       out << "cr|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
+          << m.download_first_ms << "|" << m.download_cached_ms << "\n";
+    }
+    for (const auto& m : r.race) {
+      out << "race|" << m.replica.to_string() << "|" << m.rtt_ms << "|"
           << m.download_first_ms << "|" << m.download_cached_ms << "\n";
     }
     for (const auto& hop : r.hops) {
@@ -99,7 +110,8 @@ void save_dataset_file(const std::string& path, const std::vector<TrialRecord>& 
 
 std::vector<TrialRecord> load_dataset(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || (line != kMagicV1 && line != kMagicV2)) {
+  if (!std::getline(in, line) ||
+      (line != kMagicV1 && line != kMagicV2 && line != kMagicV3)) {
     throw net::ParseError("dataset missing magic header");
   }
   std::vector<TrialRecord> records;
@@ -141,6 +153,13 @@ std::vector<TrialRecord> load_dataset(std::istream& in) {
       records.back().cr.push_back({net::Ipv4Addr::must_parse(fields[1]),
                                    parse_double(fields[2]), parse_double(fields[3]),
                                    parse_double(fields[4])});
+    } else if (kind == "race") {
+      if (fields.size() != 5 || records.empty()) {
+        throw net::ParseError("bad race line: " + line);
+      }
+      records.back().race.push_back({net::Ipv4Addr::must_parse(fields[1]),
+                                     parse_double(fields[2]), parse_double(fields[3]),
+                                     parse_double(fields[4])});
     } else if (kind == "hop") {
       if (fields.size() != 6 || records.empty()) {
         throw net::ParseError("bad hop line: " + line);

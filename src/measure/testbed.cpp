@@ -88,8 +88,17 @@ Testbed::Testbed(TestbedConfig config)
   resolver_faults_ = std::make_unique<dns::FaultyTransport>(
       &network_, config_.fault_seed ^ 0xA07D, config_.fault_profile,
       dns::FaultyTransport::Channel::kTcp);
-  resolver_ = std::make_unique<cdn::PublicResolver>(resolver_faults_.get(),
-                                                    resolver_address_, config_.serving);
+  // Hedging wraps the faulty upstream: the hedge's duplicate exchange goes
+  // through the same fault fabric (with fresh fault draws, since its bytes
+  // differ), exactly the path a real second datagram would take.
+  dns::DnsTransport* upstream = resolver_faults_.get();
+  if (config_.hedge.enabled) {
+    hedged_upstream_ =
+        std::make_unique<dns::HedgedTransport>(resolver_faults_.get(), config_.hedge);
+    upstream = hedged_upstream_.get();
+  }
+  resolver_ = std::make_unique<cdn::PublicResolver>(upstream, resolver_address_,
+                                                    config_.serving);
   network_.register_server(resolver_address_, resolver_.get());
   for (std::size_t i = 0; i < providers_.size(); ++i) {
     resolver_->register_zone(dns::DnsName::must_parse(providers_[i]->profile().zone),

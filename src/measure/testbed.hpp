@@ -16,6 +16,7 @@
 #include "cdn/reverse_dns.hpp"
 #include "cdn/sites.hpp"
 #include "dns/faults.hpp"
+#include "dns/hedge.hpp"
 #include "dns/inmemory.hpp"
 #include "dns/stub_resolver.hpp"
 #include "measure/probes.hpp"
@@ -47,6 +48,12 @@ struct TestbedConfig {
   /// resolver every pre-serving experiment assumes, which also keeps
   /// campaign telemetry independent of thread interleaving.
   cdn::ServingConfig serving;
+  /// Hedged exchanges on the resolver's upstream path: when enabled, the
+  /// resolver's transport toward authoritatives is wrapped in a
+  /// dns::HedgedTransport (second exchange past the hedge threshold, first
+  /// answer wins). Defaults off — the un-hedged upstream every existing
+  /// experiment assumes.
+  dns::HedgeConfig hedge;
 
   /// PlanetLab-scale setup (95 nodes, §3.1).
   static TestbedConfig planetlab();
@@ -92,6 +99,9 @@ class Testbed {
   [[nodiscard]] dns::FaultyTransport& client_faults() { return *client_faults_; }
   /// The fault decorator on the resolver's upstream path (-> authoritatives).
   [[nodiscard]] dns::FaultyTransport& resolver_faults() { return *resolver_faults_; }
+  /// The hedging decorator on the resolver's upstream path, or nullptr when
+  /// TestbedConfig::hedge is disabled.
+  [[nodiscard]] dns::HedgedTransport* hedged_upstream() { return hedged_upstream_.get(); }
 
   /// A stub resolver for one client, pointed at the public resolver through
   /// the fault fabric, with the TCP fallback channel attached (so injected
@@ -107,6 +117,7 @@ class Testbed {
     client_faults_->set_registry(registry, "client_udp");
     client_tcp_faults_->set_registry(registry, "client_tcp");
     resolver_faults_->set_registry(registry, "resolver");
+    if (hedged_upstream_ != nullptr) hedged_upstream_->set_registry(registry);
     resolver_->set_registry(registry);
   }
 
@@ -127,6 +138,8 @@ class Testbed {
   std::unique_ptr<dns::FaultyTransport> client_faults_;
   std::unique_ptr<dns::FaultyTransport> client_tcp_faults_;
   std::unique_ptr<dns::FaultyTransport> resolver_faults_;
+  /// Hedging decorator over resolver_faults_; non-null only when enabled.
+  std::unique_ptr<dns::HedgedTransport> hedged_upstream_;
   std::unique_ptr<cdn::PublicResolver> resolver_;
   std::unique_ptr<cdn::SiteAuthoritative> site_auth_;
   std::unique_ptr<cdn::ReverseDnsAuthoritative> reverse_dns_;

@@ -1,5 +1,6 @@
 #include "measure/trial.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <set>
@@ -57,6 +58,20 @@ double TrialRecord::first_crm() const {
   return cr.empty() ? std::numeric_limits<double>::infinity() : cr.front().rtt_ms;
 }
 
+std::size_t TrialRecord::race_winner() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < race.size(); ++i) {
+    // Strict < keeps ties on the earliest (CDN-preferred) contestant.
+    if (race[i].rtt_ms < race[best].rtt_ms) best = i;
+  }
+  return best;
+}
+
+double TrialRecord::race_winner_rtt_ms() const {
+  return race.empty() ? std::numeric_limits<double>::infinity()
+                      : race[race_winner()].rtt_ms;
+}
+
 std::vector<const HopRecord*> TrialRecord::usable() const {
   std::vector<const HopRecord*> out;
   for (const auto& hop : hops) {
@@ -68,6 +83,7 @@ std::vector<const HopRecord*> TrialRecord::usable() const {
 TrialRunner::TrialRunner(Testbed* testbed, std::uint64_t seed, TrialConfig config)
     : testbed_(testbed), seed_(seed), config_(config) {
   if (testbed_ == nullptr) throw net::InvalidArgument("null Testbed");
+  if (config_.gwtw_k < 0) throw net::InvalidArgument("gwtw_k must be >= 0");
 }
 
 TrialRecord TrialRunner::run(std::size_t client_index, std::size_t provider_index,
@@ -250,6 +266,28 @@ TrialRecord TrialRunner::run_with_rng(std::size_t client_index,
   }
   record.health.add(stub.stats());
   phase.reset();
+
+  // Step 6 (optional): Go-With-The-Winner racing — re-probe the first k CR
+  // replicas with fresh draws, exactly what a client that measures at
+  // resolution time before committing would see. Runs strictly after every
+  // baseline draw, so a gwtw_k = 0 campaign is byte-identical to one from
+  // before racing existed.
+  if (config_.gwtw_k >= 2 && !record.cr.empty()) {
+    const obs::Span race_span(registry_, "measure.trial.race");
+    const std::size_t field_size =
+        std::min(record.cr.size(), static_cast<std::size_t>(config_.gwtw_k));
+    for (std::size_t i = 0; i < field_size; ++i) {
+      ReplicaMeasurement m;
+      m.replica = record.cr[i].replica;
+      m.rtt_ms = ping_ms(world, client, m.replica, rng, config_.ping);
+      record.race.push_back(m);
+    }
+    note("measure.trial.races");
+    if (registry_ != nullptr) {
+      registry_->observe_ms("measure.trial.race_winner_rtt_ms",
+                            record.race_winner_rtt_ms());
+    }
+  }
 
   note(record.outcome == TrialOutcome::kDegraded ? "measure.trial.outcome.degraded"
                                                  : "measure.trial.outcome.ok");

@@ -100,6 +100,10 @@ struct TrialRecord {
   /// CR-set (server order) with CRMs.
   std::vector<ReplicaMeasurement> cr;
   std::vector<HopRecord> hops;
+  /// Go-With-The-Winner standings (TrialConfig::gwtw_k >= 2 only): the
+  /// first k CR replicas re-probed with fresh draws at resolution time, as
+  /// a racing client would before committing. Answer order preserved.
+  std::vector<ReplicaMeasurement> race;
   /// How the trial ended. Failed trials carry no measurements but ARE
   /// returned (and persisted): a real campaign keeps its gaps on record.
   TrialOutcome outcome = TrialOutcome::kOk;
@@ -116,6 +120,11 @@ struct TrialRecord {
   [[nodiscard]] std::vector<const HopRecord*> usable() const;
   /// True when the trial produced no measurements at all.
   [[nodiscard]] bool failed() const { return outcome == TrialOutcome::kFailed; }
+  /// Index of the race's fastest contestant (ties to the earliest, i.e. the
+  /// CDN's own preference); 0 when no race ran.
+  [[nodiscard]] std::size_t race_winner() const;
+  /// The winning contestant's RTT; +inf when no race ran.
+  [[nodiscard]] double race_winner_rtt_ms() const;
 };
 
 /// Sums per-trial health across a campaign. Order-independent, so serial
@@ -142,6 +151,11 @@ struct TrialConfig {
   /// Also measure curl-style downloads per replica (first + repeat), as in
   /// Figures 4b/4c. Off by default — the paper reverts to pings too.
   bool measure_downloads = false;
+  /// Go-With-The-Winner racing: when >= 2, each trial re-probes the first
+  /// k CR replicas with fresh draws (the racing client's view) and records
+  /// the standings in TrialRecord::race. The race runs after every baseline
+  /// draw, so k = 0 campaigns are byte-identical to pre-racing ones.
+  int gwtw_k = 0;
   DownloadModel download_model;
   /// Object size range for download measurements (paper: 1 kB - 1 MB).
   std::uint64_t object_bytes_min = 1024;

@@ -1,0 +1,109 @@
+#include "net/quantile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+
+namespace {
+
+std::uint64_t bits_of(double value) { return std::bit_cast<std::uint64_t>(value); }
+double double_of(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+/// Folds `value` into an atomic extreme with a relaxed CAS loop. `Better`
+/// decides whether `value` should replace the current extreme; min and max
+/// both commute, so the final value is interleaving-independent.
+template <typename Better>
+void fold_extreme(std::atomic<std::uint64_t>& slot, double value, Better better) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (better(value, double_of(current))) {
+    if (slot.compare_exchange_weak(current, bits_of(value), std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+StreamingQuantile::StreamingQuantile(double min_value_ms, double max_value_ms,
+                                     int buckets_per_decade)
+    : min_bits_(bits_of(std::numeric_limits<double>::infinity())),
+      max_bits_(bits_of(-std::numeric_limits<double>::infinity())) {
+  if (!(min_value_ms > 0.0) || !(max_value_ms > min_value_ms)) {
+    throw InvalidArgument("StreamingQuantile needs 0 < min_value_ms < max_value_ms");
+  }
+  if (buckets_per_decade < 1) {
+    throw InvalidArgument("StreamingQuantile needs buckets_per_decade >= 1");
+  }
+  const double ratio = std::pow(10.0, 1.0 / buckets_per_decade);
+  for (double bound = min_value_ms; bound < max_value_ms; bound *= ratio) {
+    bounds_.push_back(bound);
+  }
+  bounds_.push_back(max_value_ms);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+std::size_t StreamingQuantile::bucket_of(double value_ms) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value_ms);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void StreamingQuantile::observe(double value_ms) {
+  if (value_ms < 0.0 || std::isnan(value_ms)) value_ms = 0.0;
+  buckets_[bucket_of(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  fold_extreme(min_bits_, value_ms, [](double a, double b) { return a < b; });
+  fold_extreme(max_bits_, value_ms, [](double a, double b) { return a > b; });
+}
+
+double StreamingQuantile::observed_min() const {
+  const double v = double_of(min_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double StreamingQuantile::observed_max() const {
+  const double v = double_of(max_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double StreamingQuantile::quantile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo_clamp = observed_min();
+  const double hi_clamp = observed_max();
+  p = std::clamp(p, 0.0, 100.0);
+  // Same convention as measure::percentile and obs::HistogramSnapshot:
+  // rank p/100 * (n-1), values evenly spread within a bucket, extreme
+  // buckets clamped to the observed min/max.
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  // The extreme ranks are known exactly — the atomics track true min/max —
+  // so p0/p100 report them rather than a bucket interpolation.
+  if (rank <= 0.0) return lo_clamp;
+  if (rank >= static_cast<double>(n - 1)) return hi_clamp;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const double first_rank = static_cast<double>(cumulative);
+    const double last_rank = static_cast<double>(cumulative + in_bucket - 1);
+    if (rank <= last_rank || cumulative + in_bucket == n) {
+      double lo = i == 0 ? lo_clamp : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : hi_clamp;
+      lo = std::max(lo, lo_clamp);
+      hi = std::min(hi, hi_clamp);
+      if (hi <= lo || in_bucket == 1) return std::clamp((lo + hi) / 2.0, lo_clamp, hi_clamp);
+      const double frac =
+          std::clamp((rank - first_rank) / static_cast<double>(in_bucket - 1), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return hi_clamp;
+}
+
+}  // namespace drongo::net

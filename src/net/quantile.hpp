@@ -1,0 +1,74 @@
+// Streaming quantile estimation for rolling latency thresholds.
+//
+// Hedged exchanges (dns::HedgedTransport) need "the p95 of everything this
+// channel has seen so far" answered in O(1) per observation, from many
+// threads at once, without ever making the answer depend on which thread
+// observed first. A sorted-sample percentile cannot do that; this fixed
+// log-spaced bucket sketch can: observations only increment relaxed atomic
+// counters (plus CAS min/max), every merge of per-thread effects is a
+// commutative integer sum, so the final state after N observations is the
+// same for any interleaving — the same property obs::Registry histograms
+// guarantee, available below the obs layer where dns transports live.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace drongo::net {
+
+/// A fixed-bucket streaming quantile sketch over positive millisecond
+/// values. Buckets are geometrically spaced between `min_value_ms` and
+/// `max_value_ms` (values outside are clamped into the edge buckets), so
+/// relative resolution is constant across the range.
+///
+/// quantile() uses the same rank convention as measure::percentile (linear
+/// interpolation at rank p/100 * (n-1)), with values assumed evenly spread
+/// within their bucket and the extreme buckets clamped to the observed
+/// min/max — agreement with the exact sorted-sample percentile is bounded
+/// by one bucket width.
+///
+/// Thread-safety: observe() may be called concurrently; it touches only
+/// relaxed atomics, so the post-quiescence state is independent of
+/// interleaving. quantile()/count() require quiescence for an exact answer
+/// (mid-flight reads are a consistent-enough snapshot for a threshold).
+class StreamingQuantile {
+ public:
+  /// `buckets_per_decade` controls resolution (default: ~5% relative error).
+  explicit StreamingQuantile(double min_value_ms = 0.05, double max_value_ms = 60000.0,
+                             int buckets_per_decade = 48);
+
+  StreamingQuantile(const StreamingQuantile&) = delete;
+  StreamingQuantile& operator=(const StreamingQuantile&) = delete;
+
+  /// Records one observation. Negative values clamp to zero.
+  void observe(double value_ms);
+
+  /// Estimated percentile, p in [0, 100]; 0 when nothing was observed.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Smallest / largest observed value (0 when empty).
+  [[nodiscard]] double observed_min() const;
+  [[nodiscard]] double observed_max() const;
+
+  /// Bucket upper bounds (ascending; one fewer than the bucket count — the
+  /// final bucket is the +inf overflow). Exposed for tests.
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  /// Index of the bucket holding `value_ms`.
+  [[nodiscard]] std::size_t bucket_of(double value_ms) const;
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  /// Observed extremes as CAS-updated bit patterns of doubles: min/max are
+  /// commutative, so concurrent updates land on the same final value.
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+}  // namespace drongo::net

@@ -75,6 +75,17 @@ namespace drongo::obs {
   X(shared_hits)                            \
   X(shared_misses)
 
+/// What the CoDel-style serving-path admission controller tallies: one
+/// X(field) per counter. cdn::CodelStats declares its fields from this list
+/// and the obs mirror names each `cdn.serving.codel.<field>`. `dropped`
+/// counts every shed arrival; `sloughed` is the subset shed by the
+/// overload rule (sojourn past 2x target) rather than the sqrt schedule.
+#define DRONGO_OBS_CODEL_COUNTERS(X) \
+  X(offered)                         \
+  X(admitted)                        \
+  X(dropped)                         \
+  X(sloughed)
+
 /// Declares the schema fields inside a struct body.
 #define DRONGO_OBS_DECLARE_FIELD(field) std::uint64_t field = 0;
 

@@ -1,0 +1,172 @@
+// CoDel admission tests: disabled pass-through, underload transparency,
+// overload shedding and the sojourn bound, accounting invariants, the
+// registry mirror, and config validation. Also pins the resolver-level
+// integration: an overloaded PublicResolver answers SERVFAIL instead of
+// booking unbounded virtual queue.
+#include <gtest/gtest.h>
+
+#include "cdn/codel.hpp"
+#include "cdn/resolver.hpp"
+#include "dns/faults.hpp"
+#include "dns/inmemory.hpp"
+#include "net/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace drongo::cdn {
+namespace {
+
+CodelConfig overload_config() {
+  CodelConfig config;
+  config.enabled = true;
+  config.target_ms = 5.0;
+  config.interval_ms = 100.0;
+  config.service_cost_ms = 1.0;
+  return config;
+}
+
+TEST(CodelQueue, DisabledAdmitsEverythingAndBooksNothing) {
+  CodelQueue queue(CodelConfig{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.offer(static_cast<double>(i) * 0.1));
+  }
+  EXPECT_EQ(queue.stats().offered, 0u);
+  EXPECT_EQ(queue.max_sojourn_ms(), 0.0);
+}
+
+TEST(CodelQueue, UnderloadAdmitsEverything) {
+  // Arrivals spaced wider than service_cost: the virtual queue drains
+  // between arrivals, sojourn stays 0, nothing is shed.
+  CodelConfig config = overload_config();
+  CodelQueue queue(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(queue.offer(static_cast<double>(i) * 2.0));
+  }
+  EXPECT_EQ(queue.stats().offered, 500u);
+  EXPECT_EQ(queue.stats().admitted, 500u);
+  EXPECT_EQ(queue.stats().dropped, 0u);
+  EXPECT_LE(queue.max_sojourn_ms(), config.target_ms);
+}
+
+TEST(CodelQueue, OverloadShedsAndBoundsSojourn) {
+  // 2x offered load: one arrival per 0.5 ms, each costing 1 ms. Without
+  // admission the backlog grows ~0.5 ms per arrival forever; CoDel must
+  // start shedding after the interval and keep max sojourn bounded near
+  // the target's neighbourhood, not the load's.
+  CodelConfig config = overload_config();
+  CodelQueue queue(config);
+  for (int i = 0; i < 4000; ++i) {
+    (void)queue.offer(static_cast<double>(i) * 0.5);
+  }
+  const CodelStats stats = queue.stats();
+  EXPECT_EQ(stats.offered, 4000u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.sloughed, 0u) << "open-loop overload engages the slough rule";
+  EXPECT_EQ(stats.offered, stats.admitted + stats.dropped);
+  // At 2x load roughly half the arrivals must go to keep the queue level.
+  EXPECT_GT(stats.dropped, stats.offered / 4);
+  EXPECT_LT(queue.max_sojourn_ms(), 30.0 * config.target_ms)
+      << "sojourn must stay in the target's neighbourhood, got "
+      << queue.max_sojourn_ms();
+}
+
+TEST(CodelQueue, RecoversAfterTheBurst) {
+  CodelQueue queue(overload_config());
+  double now = 0.0;
+  for (int i = 0; i < 2000; ++i, now += 0.5) (void)queue.offer(now);
+  // A long quiet gap drains the virtual queue; light load afterwards is
+  // admitted untouched.
+  now += 10000.0;
+  EXPECT_EQ(queue.sojourn_at(now), 0.0);
+  const std::uint64_t dropped_before = queue.stats().dropped;
+  for (int i = 0; i < 100; ++i, now += 2.0) {
+    EXPECT_TRUE(queue.offer(now)) << "arrival " << i << " after recovery";
+  }
+  EXPECT_EQ(queue.stats().dropped, dropped_before);
+}
+
+TEST(CodelQueue, MirrorsIntoTheRegistry) {
+  obs::Registry registry;
+  CodelQueue queue(overload_config());
+  queue.set_registry(&registry);
+  for (int i = 0; i < 2000; ++i) (void)queue.offer(static_cast<double>(i) * 0.5);
+  const CodelStats stats = queue.stats();
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cdn.serving.codel.offered"), stats.offered);
+  EXPECT_EQ(snap.counters.at("cdn.serving.codel.admitted"), stats.admitted);
+  EXPECT_EQ(snap.counters.at("cdn.serving.codel.dropped"), stats.dropped);
+  EXPECT_EQ(snap.counters.at("cdn.serving.codel.sloughed"), stats.sloughed);
+  EXPECT_EQ(snap.histograms.at("cdn.serving.codel.sojourn_ms").count, stats.offered);
+}
+
+/// Answers every A query with one fixed address.
+class FixedServer : public dns::DnsServer {
+ public:
+  dns::Message handle(const dns::Message& query, net::Ipv4Addr /*source*/) override {
+    dns::Message response = dns::Message::make_response(query, dns::Rcode::kNoError, 24);
+    response.answers.push_back(dns::ResourceRecord::a(
+        query.questions[0].name, net::Ipv4Addr(21, 0, 0, 1), 30));
+    return response;
+  }
+};
+
+TEST(CodelResolver, OverloadedServingPathShedsWithServfail) {
+  // End to end through PublicResolver: with the overload section enabled,
+  // a 2x arrival stream on the trial clock gets part-answered and
+  // part-shed, the shed fraction answers SERVFAIL, and the controller's
+  // ledger matches what the clients saw.
+  dns::InMemoryDnsNetwork network;
+  FixedServer authoritative;
+  const net::Ipv4Addr auth_addr(9, 9, 9, 9);
+  network.register_server(auth_addr, &authoritative);
+
+  ServingConfig serving;
+  serving.overload = overload_config();
+  PublicResolver resolver(&network, net::Ipv4Addr(8, 8, 8, 8), serving);
+  resolver.register_zone(dns::DnsName::must_parse("cdn.sim"), auth_addr);
+
+  const net::Ipv4Addr client(20, 1, 36, 10);
+  int answered = 0;
+  int shed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    // One arrival each 0.5 simulated ms, expressed on the trial-hours clock
+    // the admission gate reads.
+    const dns::ScopedFaultTime clock(static_cast<double>(i) * 0.5 / 3'600'000.0);
+    const dns::Message query = dns::Message::make_query(
+        static_cast<std::uint16_t>(i), dns::DnsName::must_parse("img.cdn.sim"),
+        net::Prefix(client, 24));
+    const dns::Message response = resolver.handle(query, client);
+    if (response.header.rcode == dns::Rcode::kServFail) {
+      ++shed;
+    } else {
+      ASSERT_EQ(response.header.rcode, dns::Rcode::kNoError);
+      ++answered;
+    }
+  }
+  const CodelStats stats = resolver.admission().stats();
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(answered, 0);
+  EXPECT_EQ(stats.offered, 2000u);
+  EXPECT_EQ(stats.dropped, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.admitted, static_cast<std::uint64_t>(answered));
+  EXPECT_LT(resolver.admission().max_sojourn_ms(),
+            30.0 * serving.overload.target_ms);
+}
+
+TEST(CodelQueue, EnabledConfigIsValidated) {
+  CodelConfig bad = overload_config();
+  bad.target_ms = 0.0;
+  EXPECT_THROW(CodelQueue{bad}, net::InvalidArgument);
+  bad = overload_config();
+  bad.interval_ms = -1.0;
+  EXPECT_THROW(CodelQueue{bad}, net::InvalidArgument);
+  bad = overload_config();
+  bad.service_cost_ms = 0.0;
+  EXPECT_THROW(CodelQueue{bad}, net::InvalidArgument);
+  // Disabled configs are inert and never validated against the drop law.
+  CodelConfig disabled;
+  disabled.target_ms = 0.0;
+  EXPECT_NO_THROW(CodelQueue{disabled});
+}
+
+}  // namespace
+}  // namespace drongo::cdn

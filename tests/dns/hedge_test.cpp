@@ -1,0 +1,262 @@
+// HedgedTransport tests: pass-through, firing, rescue, dual failure, id
+// patch-back, determinism, adaptive warm-up, and strict env parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "dns/faults.hpp"
+#include "dns/hedge.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/message.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+/// Answers every A query with one fixed address.
+class FixedServer : public DnsServer {
+ public:
+  Message handle(const Message& query, net::Ipv4Addr /*source*/) override {
+    ++queries;
+    Message response = Message::make_response(query, Rcode::kNoError, 24);
+    response.answers.push_back(
+        ResourceRecord::a(query.questions[0].name, net::Ipv4Addr(21, 0, 0, 1), 30));
+    return response;
+  }
+
+  int queries = 0;
+};
+
+class HedgeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { network.register_server(server_addr, &server); }
+
+  std::vector<std::uint8_t> query_wire(std::uint16_t id) const {
+    return Message::make_query(id, DnsName::must_parse("img.cdn.sim"), std::nullopt)
+        .encode();
+  }
+
+  /// Enabled config whose pinned threshold every primary draw exceeds
+  /// (base_ms = 4 > 1), so the hedge fires on every exchange.
+  static HedgeConfig always_fires() {
+    HedgeConfig config;
+    config.enabled = true;
+    config.threshold_ms = 1.0;
+    return config;
+  }
+
+  InMemoryDnsNetwork network;
+  FixedServer server;
+  const net::Ipv4Addr server_addr{net::Ipv4Addr(9, 9, 9, 9)};
+  const net::Ipv4Addr client{net::Ipv4Addr(20, 1, 36, 10)};
+};
+
+TEST_F(HedgeFixture, DisabledPassesThroughUntouched) {
+  HedgedTransport hedged(&network, HedgeConfig{});
+  const auto wire = query_wire(42);
+  const auto direct = network.exchange(client, server_addr, wire);
+  const auto through = hedged.exchange(client, server_addr, wire);
+  EXPECT_EQ(direct, through);
+  EXPECT_EQ(hedged.exchanges(), 0u);
+  EXPECT_EQ(hedged.latency().count(), 0u);
+}
+
+TEST_F(HedgeFixture, UnreachableThresholdNeverFires) {
+  HedgeConfig config;
+  config.enabled = true;
+  config.threshold_ms = 1e9;
+  HedgedTransport hedged(&network, config);
+  for (std::uint16_t id = 0; id < 32; ++id) {
+    const auto wire = query_wire(id);
+    EXPECT_EQ(hedged.exchange(client, server_addr, wire),
+              network.exchange(client, server_addr, wire));
+  }
+  EXPECT_EQ(hedged.exchanges(), 32u);
+  EXPECT_EQ(hedged.hedges_fired(), 0u);
+  EXPECT_EQ(hedged.latency().count(), 32u);
+}
+
+TEST_F(HedgeFixture, WinnerIdIsAlwaysTheCallersId) {
+  // Threshold 1 ms: every exchange hedges, and the winner alternates between
+  // primary and duplicate across ids. Whatever wins, the reply's id bytes
+  // must match what the caller sent — a winning hedge is patched back.
+  HedgedTransport hedged(&network, always_fires());
+  for (std::uint16_t id = 0; id < 64; ++id) {
+    const auto wire = query_wire(id);
+    const auto reply = hedged.exchange(client, server_addr, wire);
+    ASSERT_GE(reply.size(), 2u);
+    EXPECT_EQ(reply[0], wire[0]) << "id " << id;
+    EXPECT_EQ(reply[1], wire[1]) << "id " << id;
+  }
+  EXPECT_EQ(hedged.hedges_fired(), 64u);
+  // Hedge pays threshold + a fresh draw, so both outcomes occur over 64 ids.
+  EXPECT_GT(hedged.hedge_wins(), 0u);
+  EXPECT_GT(hedged.hedge_losses(), 0u);
+  EXPECT_EQ(hedged.hedge_wins() + hedged.hedge_losses(), 64u);
+}
+
+TEST_F(HedgeFixture, HedgeRescuesFailedPrimaries) {
+  // The duplicate carries rewritten id bytes, so the fault fabric — a pure
+  // function of the bytes — gives it an independent fate: some primaries
+  // that time out are rescued by a duplicate that does not.
+  FaultProfile profile;
+  profile.timeout_prob = 0.5;
+  FaultyTransport faulty(&network, 7, profile);
+  HedgedTransport hedged(&faulty, always_fires());
+  int answered = 0;
+  int failed = 0;
+  for (std::uint16_t id = 0; id < 128; ++id) {
+    try {
+      const auto reply = hedged.exchange(client, server_addr, query_wire(id));
+      EXPECT_FALSE(reply.empty());
+      ++answered;
+    } catch (const net::TransientError&) {
+      ++failed;
+    }
+  }
+  EXPECT_GT(hedged.rescued(), 0u);
+  EXPECT_GT(hedged.both_failed(), 0u);
+  EXPECT_EQ(hedged.both_failed(), static_cast<std::uint64_t>(failed));
+  EXPECT_GT(answered, failed) << "hedging should beat a 50% timeout rate";
+}
+
+TEST_F(HedgeFixture, DualFailureRethrowsThePrimarysError) {
+  FaultProfile profile;
+  profile.timeout_prob = 1.0;
+  FaultyTransport faulty(&network, 7, profile);
+  HedgedTransport hedged(&faulty, always_fires());
+  EXPECT_THROW((void)hedged.exchange(client, server_addr, query_wire(5)),
+               net::TimeoutError);
+  EXPECT_EQ(hedged.hedges_fired(), 1u);
+  EXPECT_EQ(hedged.both_failed(), 1u);
+  EXPECT_EQ(hedged.rescued(), 0u);
+}
+
+TEST_F(HedgeFixture, SameBytesSameFate) {
+  // Hedging decisions are pure functions of (seed, exchange bytes): two
+  // decorators over identical fabrics agree on every tally.
+  FaultProfile profile;
+  profile.timeout_prob = 0.3;
+  FaultyTransport faulty_a(&network, 7, profile);
+  FaultyTransport faulty_b(&network, 7, profile);
+  HedgedTransport a(&faulty_a, always_fires());
+  HedgedTransport b(&faulty_b, always_fires());
+  for (std::uint16_t id = 0; id < 96; ++id) {
+    const auto wire = query_wire(id);
+    std::vector<std::uint8_t> ra;
+    std::vector<std::uint8_t> rb;
+    bool ea = false;
+    bool eb = false;
+    try {
+      ra = a.exchange(client, server_addr, wire);
+    } catch (const net::TransientError&) {
+      ea = true;
+    }
+    try {
+      rb = b.exchange(client, server_addr, wire);
+    } catch (const net::TransientError&) {
+      eb = true;
+    }
+    EXPECT_EQ(ea, eb) << "diverged at id " << id;
+    EXPECT_EQ(ra, rb) << "diverged at id " << id;
+  }
+  EXPECT_EQ(a.hedges_fired(), b.hedges_fired());
+  EXPECT_EQ(a.hedge_wins(), b.hedge_wins());
+  EXPECT_EQ(a.hedge_losses(), b.hedge_losses());
+  EXPECT_EQ(a.rescued(), b.rescued());
+  EXPECT_EQ(a.both_failed(), b.both_failed());
+  EXPECT_DOUBLE_EQ(a.latency().quantile(95.0), b.latency().quantile(95.0));
+}
+
+TEST_F(HedgeFixture, AdaptiveModeWarmsUpBeforeHedging) {
+  HedgeConfig config;
+  config.enabled = true;
+  config.threshold_ms = 0.0;  // adaptive
+  config.min_samples = 8;
+  HedgedTransport hedged(&network, config);
+  EXPECT_TRUE(std::isinf(hedged.current_threshold_ms()));
+  for (std::uint16_t id = 0; id < 8; ++id) {
+    (void)hedged.exchange(client, server_addr, query_wire(id));
+  }
+  EXPECT_EQ(hedged.hedges_fired(), 0u) << "no hedges during warm-up";
+  const double threshold = hedged.current_threshold_ms();
+  EXPECT_TRUE(std::isfinite(threshold));
+  EXPECT_GE(threshold, config.min_threshold_ms);
+}
+
+TEST_F(HedgeFixture, ConstructionRejectsBadArguments) {
+  EXPECT_THROW(HedgedTransport(nullptr, HedgeConfig{}), net::InvalidArgument);
+  HedgeConfig bad = always_fires();
+  bad.threshold_ms = -1.0;
+  EXPECT_THROW(HedgedTransport(&network, bad), net::InvalidArgument);
+  bad = always_fires();
+  bad.quantile = 0.0;
+  EXPECT_THROW(HedgedTransport(&network, bad), net::InvalidArgument);
+  bad = always_fires();
+  bad.min_samples = 0;
+  EXPECT_THROW(HedgedTransport(&network, bad), net::InvalidArgument);
+  bad = always_fires();
+  bad.slow_prob = 1.5;
+  EXPECT_THROW(HedgedTransport(&network, bad), net::InvalidArgument);
+}
+
+/// setenv/unsetenv scope guard so a throwing assertion cannot leak a knob
+/// into later tests.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(HedgeEnv, WellFormedKnobsOverrideTheBase) {
+  const EnvGuard enable("DRONGO_HEDGE_ENABLE", "1");
+  const EnvGuard threshold("DRONGO_HEDGE_THRESHOLD_MS", "12.5");
+  const EnvGuard quantile("DRONGO_HEDGE_QUANTILE", "90");
+  const EnvGuard samples("DRONGO_HEDGE_MIN_SAMPLES", "25");
+  const HedgeConfig config = hedge_config_from_env();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_DOUBLE_EQ(config.threshold_ms, 12.5);
+  EXPECT_DOUBLE_EQ(config.quantile, 90.0);
+  EXPECT_EQ(config.min_samples, 25u);
+}
+
+TEST(HedgeEnv, MalformedKnobsFailLoudly) {
+  {
+    const EnvGuard g("DRONGO_HEDGE_ENABLE", "maybe");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_THRESHOLD_MS", "-3");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_QUANTILE", "banana");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_QUANTILE", "0");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_QUANTILE", "101");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_MIN_SAMPLES", "0");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+  {
+    const EnvGuard g("DRONGO_HEDGE_MIN_SAMPLES", "7.5");
+    EXPECT_THROW((void)hedge_config_from_env(), net::InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,104 @@
+// Regression (PR 7 satellite): outage windows crossed with TC→TCP fallback.
+// A truncated UDP answer forces the stub onto TCP; when the TCP path is
+// inside an injected outage window the attempt must surface as a typed
+// transient error (UnreachableError) and be retried/budgeted like any other
+// transient — never hang, never escape as an untyped failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dns/faults.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/stub_resolver.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+/// Answers every A query with one fixed address.
+class FixedServer : public DnsServer {
+ public:
+  Message handle(const Message& query, net::Ipv4Addr /*source*/) override {
+    Message response = Message::make_response(query, Rcode::kNoError, 24);
+    response.answers.push_back(
+        ResourceRecord::a(query.questions[0].name, net::Ipv4Addr(21, 0, 0, 1), 30));
+    return response;
+  }
+};
+
+class OutageFallbackFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { network.register_server(server_addr, &server); }
+
+  /// UDP always truncates; the server's TCP listener is dark for simulated
+  /// hours [1, 4). Every resolution is forced through the fallback, so the
+  /// outage window decides its fate.
+  StubResolver make_resolver() {
+    FaultProfile udp_profile;
+    udp_profile.truncate_prob = 1.0;
+    udp_ = std::make_unique<FaultyTransport>(&network, 11, udp_profile,
+                                             FaultyTransport::Channel::kUdp);
+    FaultProfile tcp_profile;
+    tcp_profile.outages.push_back({server_addr, 1.0, 4.0});
+    tcp_ = std::make_unique<FaultyTransport>(&network, 12, tcp_profile,
+                                             FaultyTransport::Channel::kTcp);
+    ResolverConfig config;
+    config.jitter_fraction = 0.0;
+    StubResolver resolver(udp_.get(), client, server_addr, /*seed=*/1, config);
+    resolver.set_fallback_transport(tcp_.get());
+    return resolver;
+  }
+
+  InMemoryDnsNetwork network;
+  FixedServer server;
+  std::unique_ptr<FaultyTransport> udp_;
+  std::unique_ptr<FaultyTransport> tcp_;
+  const net::Ipv4Addr server_addr{net::Ipv4Addr(9, 9, 9, 9)};
+  const net::Ipv4Addr client{net::Ipv4Addr(20, 1, 36, 10)};
+};
+
+TEST_F(OutageFallbackFixture, TruncationBeforeTheWindowFallsBackAndSucceeds) {
+  StubResolver resolver = make_resolver();
+  const ScopedFaultTime clock(0.5);
+  const ResolutionResult result = resolver.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.used_tcp);
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(udp_->truncations(), 1u);
+  EXPECT_EQ(tcp_->outage_hits(), 0u);
+}
+
+TEST_F(OutageFallbackFixture, TruncationInsideTheWindowIsATypedTransientFailure) {
+  StubResolver resolver = make_resolver();
+  const ScopedFaultTime clock(2.0);
+  EXPECT_THROW((void)resolver.resolve("img.cdn.sim"), net::UnreachableError);
+  // Every attempt ran the full TC→TCP→outage gauntlet and was counted as a
+  // transient, so the retry budget — not a hang or an untyped error — ended
+  // the query.
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 3u);
+  EXPECT_EQ(resolver.stats().unreachable, 3u);
+  EXPECT_EQ(resolver.stats().failed_queries, 1u);
+  EXPECT_EQ(udp_->truncations(), 3u);
+  EXPECT_EQ(tcp_->outage_hits(), 3u);
+}
+
+TEST_F(OutageFallbackFixture, AfterTheWindowServiceRecovers) {
+  StubResolver resolver = make_resolver();
+  const ScopedFaultTime clock(4.0);  // end_hours is exclusive
+  const ResolutionResult result = resolver.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.used_tcp);
+  EXPECT_EQ(tcp_->outage_hits(), 0u);
+}
+
+TEST_F(OutageFallbackFixture, NoTrialClockMeansNoOutage) {
+  // Outside any trial (no ScopedFaultTime) the clock reads NaN and outage
+  // windows never match — setup traffic is exempt by design.
+  StubResolver resolver = make_resolver();
+  const ResolutionResult result = resolver.resolve("img.cdn.sim");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(tcp_->outage_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace drongo::dns

@@ -1,0 +1,75 @@
+// Pins the retry-deadline edge semantics (PR 7 satellite): the deadline
+// check is strict — a retry whose cumulative backoff lands EXACTLY on
+// query_deadline_ms is still allowed; only exceeding the deadline trips
+// deadline_exceeded. With jitter_fraction = 0 the backoff sequence is
+// exact, so the boundary is testable to the last bit.
+#include <gtest/gtest.h>
+
+#include "dns/faults.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/stub_resolver.hpp"
+#include "net/error.hpp"
+
+namespace drongo::dns {
+namespace {
+
+class RetryDeadlineFixture : public ::testing::Test {
+ protected:
+  /// A resolver over a 100%-loss transport: every attempt times out, so the
+  /// retry/backoff/deadline ladder is the only control flow exercised.
+  StubResolver lossy_resolver(double deadline_ms) {
+    ResolverConfig config;
+    config.max_attempts = 3;
+    config.base_backoff_ms = 100.0;
+    config.backoff_factor = 2.0;
+    config.jitter_fraction = 0.0;  // exact backoffs: 100, then 200
+    config.query_deadline_ms = deadline_ms;
+    return StubResolver(&faulty, client, server_addr, /*seed=*/1, config);
+  }
+
+  InMemoryDnsNetwork network;
+  FaultyTransport faulty{&network, 3, [] {
+                           FaultProfile profile;
+                           profile.loss_prob = 1.0;
+                           return profile;
+                         }()};
+  const net::Ipv4Addr server_addr{net::Ipv4Addr(9, 9, 9, 9)};
+  const net::Ipv4Addr client{net::Ipv4Addr(20, 1, 36, 10)};
+};
+
+TEST_F(RetryDeadlineFixture, BackoffExactlyAtDeadlineStillRetries) {
+  // First retry charges exactly 100 ms against a 100 ms deadline. The check
+  // is strict (>), so "spent the whole budget" is not "over budget": the
+  // retry proceeds. The second retry would charge 200 more (300 > 100) and
+  // is correctly refused.
+  StubResolver resolver = lossy_resolver(100.0);
+  EXPECT_THROW((void)resolver.resolve("img.cdn.sim"), net::TimeoutError);
+  EXPECT_EQ(resolver.stats().queries, 2u);
+  EXPECT_EQ(resolver.stats().retries, 1u);
+  EXPECT_EQ(resolver.stats().timeouts, 2u);
+  EXPECT_EQ(resolver.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(resolver.stats().failed_queries, 1u);
+}
+
+TEST_F(RetryDeadlineFixture, BackoffJustPastDeadlineIsRefused) {
+  StubResolver resolver = lossy_resolver(99.9);
+  EXPECT_THROW((void)resolver.resolve("img.cdn.sim"), net::TimeoutError);
+  EXPECT_EQ(resolver.stats().queries, 1u);
+  EXPECT_EQ(resolver.stats().retries, 0u);
+  EXPECT_EQ(resolver.stats().timeouts, 1u);
+  EXPECT_EQ(resolver.stats().deadline_exceeded, 1u);
+}
+
+TEST_F(RetryDeadlineFixture, CumulativeBudgetCoversTheWholeLadder) {
+  // 100 + 200 = 300: the second retry lands exactly on the deadline too,
+  // so all max_attempts run and the deadline counter never trips.
+  StubResolver resolver = lossy_resolver(300.0);
+  EXPECT_THROW((void)resolver.resolve("img.cdn.sim"), net::TimeoutError);
+  EXPECT_EQ(resolver.stats().queries, 3u);
+  EXPECT_EQ(resolver.stats().retries, 2u);
+  EXPECT_EQ(resolver.stats().timeouts, 3u);
+  EXPECT_EQ(resolver.stats().deadline_exceeded, 0u);
+}
+
+}  // namespace
+}  // namespace drongo::dns

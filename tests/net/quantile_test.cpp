@@ -1,0 +1,117 @@
+// StreamingQuantile tests: agreement with the exact sorted-sample
+// percentile, clamping, and the serial-vs-threaded determinism contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "measure/stats.hpp"
+#include "net/error.hpp"
+#include "net/quantile.hpp"
+#include "net/rng.hpp"
+
+namespace drongo::net {
+namespace {
+
+TEST(StreamingQuantile, EmptyReportsZero) {
+  StreamingQuantile q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.quantile(50.0), 0.0);
+  EXPECT_EQ(q.observed_min(), 0.0);
+  EXPECT_EQ(q.observed_max(), 0.0);
+}
+
+TEST(StreamingQuantile, SingleValueIsEveryQuantile) {
+  StreamingQuantile q;
+  q.observe(12.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 12.5);
+  EXPECT_DOUBLE_EQ(q.quantile(50.0), 12.5);
+  EXPECT_DOUBLE_EQ(q.quantile(100.0), 12.5);
+}
+
+TEST(StreamingQuantile, AgreesWithExactPercentileOnFixedSamples) {
+  // The sketch promises agreement with measure::percentile bounded by one
+  // bucket width (~5% relative at 48 buckets/decade) plus the even-spread
+  // assumption within a bucket.
+  net::Rng rng(2024);
+  std::vector<double> samples;
+  StreamingQuantile q;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.uniform_real(0.5, 200.0);
+    if (rng.chance(0.05)) v += 400.0;  // a tail, like slow exchanges
+    samples.push_back(v);
+    q.observe(v);
+  }
+  for (double p : {5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    const double exact = measure::percentile(samples, p);
+    const double sketch = q.quantile(p);
+    EXPECT_NEAR(sketch, exact, 0.08 * exact + 0.5)
+        << "p" << p << ": sketch " << sketch << " vs exact " << exact;
+  }
+}
+
+TEST(StreamingQuantile, ExtremesClampToObservedMinMax) {
+  StreamingQuantile q;
+  q.observe(3.7);
+  q.observe(41.9);
+  q.observe(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 3.7);
+  EXPECT_DOUBLE_EQ(q.quantile(100.0), 41.9);
+  EXPECT_DOUBLE_EQ(q.observed_min(), 3.7);
+  EXPECT_DOUBLE_EQ(q.observed_max(), 41.9);
+}
+
+TEST(StreamingQuantile, NegativesClampToZero) {
+  StreamingQuantile q;
+  q.observe(-5.0);
+  EXPECT_EQ(q.count(), 1u);
+  EXPECT_DOUBLE_EQ(q.observed_min(), 0.0);
+}
+
+TEST(StreamingQuantile, RejectsBadConstruction) {
+  EXPECT_THROW(StreamingQuantile(0.0, 100.0), InvalidArgument);
+  EXPECT_THROW(StreamingQuantile(10.0, 5.0), InvalidArgument);
+  EXPECT_THROW(StreamingQuantile(0.05, 100.0, 0), InvalidArgument);
+}
+
+TEST(StreamingQuantile, ThreadedObservationMatchesSerialGolden) {
+  // The whole reason the sketch exists: after the same multiset of
+  // observations the state — and therefore every quantile — must be
+  // identical whether one thread observed or eight raced.
+  const int kPerThread = 4000;
+  const int kThreads = 8;
+
+  StreamingQuantile serial;
+  for (int t = 0; t < kThreads; ++t) {
+    net::Rng rng = net::Rng::derive(99, static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.observe(rng.uniform_real(0.1, 500.0));
+    }
+  }
+
+  StreamingQuantile threaded;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&threaded, t] {
+        net::Rng rng = net::Rng::derive(99, static_cast<std::uint64_t>(t));
+        for (int i = 0; i < kPerThread; ++i) {
+          threaded.observe(rng.uniform_real(0.1, 500.0));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  ASSERT_EQ(threaded.count(), serial.count());
+  EXPECT_DOUBLE_EQ(threaded.observed_min(), serial.observed_min());
+  EXPECT_DOUBLE_EQ(threaded.observed_max(), serial.observed_max());
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    EXPECT_DOUBLE_EQ(threaded.quantile(p), serial.quantile(p)) << "at p" << p;
+  }
+}
+
+}  // namespace
+}  // namespace drongo::net

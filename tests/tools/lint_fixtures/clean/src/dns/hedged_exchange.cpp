@@ -1,0 +1,29 @@
+// Fixture: the hedged-exchange idiom done right — the duplicate's failure
+// is swallowed only after the winner is known (a typed net error, never a
+// raw throw), the abandoned loser is discarded without blocking, and every
+// tally goes through the obs registry.
+#include <cstdint>
+#include <vector>
+
+#include "net/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace drongo::dns {
+
+std::vector<std::uint8_t> first_of(const std::vector<std::uint8_t>& primary,
+                                   const std::vector<std::uint8_t>& hedge,
+                                   bool primary_failed, bool hedge_failed,
+                                   obs::Registry* registry) {
+  if (primary_failed && hedge_failed) {
+    throw net::TimeoutError("both exchanges failed");
+  }
+  if (primary_failed) {
+    if (registry != nullptr) registry->add("dns.resolver.hedge.rescued");
+    return hedge;
+  }
+  // The hedge lost (or failed): abandon it — its error dies with it.
+  if (registry != nullptr) registry->add("dns.resolver.hedge.losses");
+  return primary;
+}
+
+}  // namespace drongo::dns

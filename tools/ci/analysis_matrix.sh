@@ -3,13 +3,13 @@
 #
 #   stage 1  drongo_lint        invariant checker over src/ tools/ bench/
 #   stage 2  asan               AddressSanitizer build, ctest
-#   stage 3  tsan               ThreadSanitizer build, concurrency|faults|obs|serving|lpm|sharing
+#   stage 3  tsan               ThreadSanitizer build, concurrency|faults|obs|serving|lpm|sharing|hedging
 #   stage 4  ubsan              UBSan (-fno-sanitize-recover) build, ctest
 #
 # Usage: tools/ci/analysis_matrix.sh [--short] [--jobs N]
 #
 #   --short   tier-1 time budget: every sanitizer stage runs only the
-#             concurrency|faults|static|obs|serving|lpm|sharing labels
+#             concurrency|faults|static|obs|serving|lpm|sharing|hedging labels
 #             instead of the full suite.
 #   --jobs N  parallel build/test jobs (default: nproc).
 #
@@ -41,11 +41,11 @@ cmake --build --preset default --target drongo_lint -j "$JOBS" >/dev/null
 ./build/tools/lint/drongo_lint --root "$ROOT"
 
 # Stages 2-4: sanitizer builds. In --short mode each runs only the
-# concurrency/faults/static/obs/serving/lpm/sharing label slice so the whole matrix fits a
+# concurrency/faults/static/obs/serving/lpm/sharing/hedging label slice so the whole matrix fits a
 # tier-1 budget; the full suite is the default for nightly/deep runs.
 LABEL_ARGS=()
 if [[ "$SHORT" -eq 1 ]]; then
-  LABEL_ARGS=(-L 'concurrency|faults|static|obs|serving|lpm|sharing')
+  LABEL_ARGS=(-L 'concurrency|faults|static|obs|serving|lpm|sharing|hedging')
 fi
 
 banner "stage 2/4: AddressSanitizer"
@@ -53,10 +53,10 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS" >/dev/null
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" "${LABEL_ARGS[@]}"
 
-banner "stage 3/4: ThreadSanitizer (concurrency|faults|obs|serving|lpm|sharing)"
+banner "stage 3/4: ThreadSanitizer (concurrency|faults|obs|serving|lpm|sharing|hedging)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" >/dev/null
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'concurrency|faults|obs|serving|lpm|sharing'
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'concurrency|faults|obs|serving|lpm|sharing|hedging'
 
 banner "stage 4/4: UndefinedBehaviorSanitizer"
 cmake --preset ubsan >/dev/null

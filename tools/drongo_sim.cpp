@@ -21,6 +21,7 @@
 #include "core/probe.hpp"
 #include "core/valley_store.hpp"
 #include "dns/faults.hpp"
+#include "dns/hedge.hpp"
 #include "dns/proxy.hpp"
 #include "dns/udp.hpp"
 #include "measure/campaign.hpp"
@@ -56,6 +57,25 @@ measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
     config.serving.shards = static_cast<std::size_t>(shards);
   }
   config.serving.coalesce = options.get_flag("coalesce");
+  // Hedged upstream exchanges: --hedge arms the decorator; DRONGO_HEDGE_*
+  // env knobs can also enable it or refine the thresholds (malformed values
+  // fail loudly here, before any campaign time is spent).
+  dns::HedgeConfig hedge;
+  hedge.enabled = options.get_flag("hedge");
+  hedge.threshold_ms = options.get_double("hedge-threshold-ms");
+  if (hedge.threshold_ms < 0) {
+    throw net::InvalidArgument("--hedge-threshold-ms must be >= 0");
+  }
+  config.hedge = dns::hedge_config_from_env(hedge);
+  // CoDel admission control: --codel-target-ms > 0 arms overload shedding
+  // in front of the resolver's serving path.
+  const double codel_target = options.get_double("codel-target-ms");
+  if (codel_target < 0) throw net::InvalidArgument("--codel-target-ms must be >= 0");
+  if (codel_target > 0) {
+    config.serving.overload.enabled = true;
+    config.serving.overload.target_ms = codel_target;
+    config.serving.overload.interval_ms = options.get_double("codel-interval-ms");
+  }
   return config;
 }
 
@@ -69,6 +89,14 @@ void add_common(tools::OptionSet& options) {
                      "resolver serving cache: N lock-striped shards (0 = cache off)");
   options.add_flag("coalesce",
                    "coalesce concurrent identical resolver queries (singleflight)");
+  options.add_flag("hedge",
+                   "hedge the resolver's upstream exchanges "
+                   "(also DRONGO_HEDGE_ENABLE=1)");
+  options.add_option("hedge-threshold-ms", "0",
+                     "pinned hedge threshold in ms (0 = adaptive rolling quantile)");
+  options.add_option("codel-target-ms", "0",
+                     "CoDel admission target sojourn in ms (0 = admission off)");
+  options.add_option("codel-interval-ms", "100", "CoDel admission interval in ms");
 }
 
 int cmd_world(const std::vector<std::string>& args) {
@@ -136,6 +164,9 @@ int cmd_campaign(const std::vector<std::string>& args) {
   options.add_option("metrics-prom", "",
                      "write obs telemetry in Prometheus text format to this file");
   options.add_flag("downloads", "also measure download times (Fig. 4b/4c)");
+  options.add_option("gwtw-k", "0",
+                     "Go-With-The-Winner: race the first k replicas per trial "
+                     "(0 = off, needs k >= 2 to race)");
   options.add_flag("valley-share",
                    "fold the campaign into a crowd-shared valley store "
                    "(also DRONGO_VALLEY_SHARE=1)");
@@ -150,6 +181,9 @@ int cmd_campaign(const std::vector<std::string>& args) {
   measure::Testbed testbed(testbed_config(options));
   measure::TrialConfig trial_config;
   trial_config.measure_downloads = options.get_flag("downloads");
+  const auto gwtw_k = options.get_int("gwtw-k");
+  if (gwtw_k < 0) throw net::InvalidArgument("--gwtw-k must be >= 0");
+  trial_config.gwtw_k = static_cast<int>(gwtw_k);
   measure::TrialRunner runner(&testbed,
                               static_cast<std::uint64_t>(options.get_int("seed")) ^ 0xCA,
                               trial_config);
@@ -243,6 +277,44 @@ int cmd_campaign(const std::vector<std::string>& args) {
               << rf.ecs_strips() << ", scope zeros " << cf.scope_zeros() << "/"
               << rf.scope_zeros() << ", outage hits " << cf.outage_hits() << "/"
               << rf.outage_hits() << "\n";
+  }
+  if (trial_config.gwtw_k >= 2) {
+    std::uint64_t races = 0;
+    std::uint64_t switched = 0;
+    double first_sum = 0.0;
+    double winner_sum = 0.0;
+    for (const auto& r : records) {
+      if (r.race.empty()) continue;
+      ++races;
+      if (r.race_winner() != 0) ++switched;
+      first_sum += r.race.front().rtt_ms;
+      winner_sum += r.race_winner_rtt_ms();
+    }
+    std::cout << "gwtw racing (k=" << trial_config.gwtw_k << "): " << races
+              << " races, " << switched << " switched winners";
+    if (races > 0) {
+      std::cout << ", mean first replica "
+                << analysis::fmt(first_sum / static_cast<double>(races), 2)
+                << " ms -> winner "
+                << analysis::fmt(winner_sum / static_cast<double>(races), 2) << " ms";
+    }
+    std::cout << "\n";
+  }
+  if (const auto* hedged = testbed.hedged_upstream()) {
+    std::cout << "hedged upstream: " << hedged->exchanges() << " exchanges, "
+              << hedged->hedges_fired() << " hedges (" << hedged->hedge_wins()
+              << " wins, " << hedged->hedge_losses() << " losses, "
+              << hedged->rescued() << " rescued, " << hedged->both_failed()
+              << " dual failures), effective p95 "
+              << analysis::fmt(hedged->latency().quantile(95.0), 2) << " ms\n";
+  }
+  if (testbed.config().serving.overload.enabled) {
+    const auto& admission = testbed.resolver().admission();
+    const auto codel = admission.stats();
+    std::cout << "codel admission: " << codel.offered << " offered, "
+              << codel.admitted << " admitted, " << codel.dropped << " shed ("
+              << codel.sloughed << " sloughed), max sojourn "
+              << analysis::fmt(admission.max_sojourn_ms(), 2) << " ms\n";
   }
   return 0;
 }
@@ -387,7 +459,12 @@ int cmd_help() {
                "  --fault-profile none|lossy|flaky|ecs-hostile|chaos (DNS fault\n"
                "  injection; fine-tune with DRONGO_FAULT_* env knobs),\n"
                "  --resolver-shards N (serving cache, 0 = off), --coalesce\n"
-               "  (singleflight for concurrent identical queries)\n"
+               "  (singleflight for concurrent identical queries),\n"
+               "  --hedge + --hedge-threshold-ms MS (hedged upstream exchanges;\n"
+               "  DRONGO_HEDGE_* env knobs refine), --codel-target-ms MS +\n"
+               "  --codel-interval-ms MS (CoDel overload shedding, 0 = off)\n"
+               "campaign racing: --gwtw-k K races the first K replicas per trial\n"
+               "  (Go-With-The-Winner; race standings land in the dataset)\n"
                "campaign telemetry: --metrics-out FILE (JSON-lines) and\n"
                "  --metrics-prom FILE (Prometheus text); see docs/OBSERVABILITY.md\n"
                "campaign sharing: --valley-share (or DRONGO_VALLEY_SHARE=1) folds\n"
