@@ -30,8 +30,7 @@ namespace {
 /// DRONGO_HEADLINE_CLIENTS overrides the campaign size (CI runs a small
 /// fixed population so the report check stays fast); empty falls back to
 /// the DRONGO_FULL_SCALE-scaled default.
-int headline_clients() {
-  const char* value = std::getenv("DRONGO_HEADLINE_CLIENTS");
+int parse_headline_clients(const char* value) {
   if (value == nullptr || value[0] == '\0') return bench::scaled(429, 160);
   const std::string v(value);
   std::size_t consumed = 0;
@@ -46,6 +45,10 @@ int headline_clients() {
                                v + "\"");
   }
   return parsed;
+}
+
+int headline_clients() {
+  return parse_headline_clients(std::getenv("DRONGO_HEADLINE_CLIENTS"));
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+// Lint throughput bench: how fast does drongo_lint's multi-pass analyzer
+// chew through the repo it polices?
+//
+// The corpus is the real source tree (DRONGO_LINT_BENCH_ROOT, baked in at
+// configure time; argv[1] overrides for ad-hoc runs). All files are read
+// into memory FIRST so the timings measure analysis, not disk. Three
+// figures land in BENCH_lint.json:
+//
+//   * full-scan wall time and files/sec with every rule at error severity
+//     (the configuration lint_repo_invariants runs under),
+//   * a tokenize-only floor (every rule off — the shared token stream is
+//     built either way, so this is the fixed cost all passes amortize),
+//   * per-rule wall time with only that rule enabled. Each figure includes
+//     the tokenize floor; subtract `tokenize_ms` for a rule's own cost.
+//
+// Timings are wall-clock and machine-dependent (informational); the file
+// and finding counts are deterministic for a given tree.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+#include "net/clock.hpp"
+#include "obs/bench_report.hpp"
+
+namespace fs = std::filesystem;
+namespace lint = drongo::lint;
+
+namespace {
+
+constexpr int kReps = 3;  // best-of-N to shake scheduler noise
+
+/// Mirrors run()'s enumeration: every C++ source under root/{src,tools,bench},
+/// sorted, root-relative with '/' separators.
+std::vector<lint::SourceFile> load_corpus(const std::string& root) {
+  const std::set<std::string> extensions = {".cpp", ".hpp", ".h", ".cc"};
+  std::vector<std::string> paths;
+  for (const char* subdir : {"src", "tools", "bench"}) {
+    const fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (extensions.count(entry.path().extension().string()) == 0) continue;
+      paths.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<lint::SourceFile> corpus;
+  corpus.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(fs::path(root) / path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    corpus.push_back({path, buffer.str()});
+  }
+  return corpus;
+}
+
+double best_of(const std::string& root, const std::vector<lint::SourceFile>& corpus,
+               const lint::Config& config, std::size_t* findings_out = nullptr) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    drongo::net::Stopwatch clock;
+    const auto findings = lint::scan_tree(root, corpus, config);
+    const double seconds = clock.seconds();
+    if (rep == 0 || seconds < best) best = seconds;
+    if (findings_out != nullptr) *findings_out = findings.size();
+  }
+  return best;
+}
+
+std::string rule_field(const std::string& rule) {
+  std::string field = "rule_" + rule + "_ms";
+  std::replace(field.begin(), field.end(), '-', '_');
+  return field;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : DRONGO_LINT_BENCH_ROOT;
+  const std::vector<lint::SourceFile> corpus = load_corpus(root);
+  if (corpus.empty()) {
+    std::cerr << "bench_lint: no sources under " << root << "\n";
+    return 1;
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& file : corpus) bytes += file.content.size();
+
+  // Full scan: the lint_repo_invariants configuration (defaults = all error).
+  lint::Config full;
+  std::size_t findings = 0;
+  const double full_seconds = best_of(root, corpus, full, &findings);
+  const double files_per_sec =
+      full_seconds > 0.0 ? static_cast<double>(corpus.size()) / full_seconds : 0.0;
+
+  // Tokenize floor: every rule off still lexes each TU once.
+  lint::Config off;
+  for (const std::string& rule : lint::all_rules()) {
+    off.severity[rule] = lint::Severity::kOff;
+  }
+  const double tokenize_seconds = best_of(root, corpus, off);
+
+  drongo::obs::BenchReport report("lint");
+  report.set_integer("files", static_cast<std::int64_t>(corpus.size()));
+  report.set_integer("bytes", static_cast<std::int64_t>(bytes));
+  report.set_integer("findings", static_cast<std::int64_t>(findings));
+  report.set_number("full_scan_ms", full_seconds * 1e3);
+  report.set_number("files_per_sec", files_per_sec);
+  report.set_number("tokenize_ms", tokenize_seconds * 1e3);
+
+  std::cout << "bench_lint: " << corpus.size() << " files, " << bytes
+            << " bytes from " << root << "\n";
+  std::cout << "  full scan   " << full_seconds * 1e3 << " ms  ("
+            << files_per_sec << " files/sec, " << findings << " finding(s))\n";
+  std::cout << "  tokenize    " << tokenize_seconds * 1e3 << " ms (all rules off)\n";
+
+  // Per-rule: only that rule on. Includes the tokenize floor.
+  for (const std::string& rule : lint::all_rules()) {
+    lint::Config solo = off;
+    solo.severity[rule] = lint::Severity::kError;
+    const double seconds = best_of(root, corpus, solo);
+    report.set_number(rule_field(rule), seconds * 1e3);
+    std::cout << "  " << rule << "  " << seconds * 1e3 << " ms\n";
+  }
+
+  const std::string out = report.default_path();
+  report.write_file(out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}

@@ -72,6 +72,7 @@ void BenchReport::write_file(const std::string& path) const {
 }
 
 std::string BenchReport::default_path() const {
+  // drongo-lint: allow(env-knob-drift) — any non-empty string is a valid path; nothing to parse
   if (const char* env = std::getenv("DRONGO_BENCH_OUT"); env != nullptr && *env != '\0') {
     return env;
   }

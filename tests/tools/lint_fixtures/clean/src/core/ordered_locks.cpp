@@ -1,0 +1,27 @@
+// Disciplined concurrency: both paths take index_ before spill_, and the
+// condition wait carries its predicate.
+#include <condition_variable>
+#include <mutex>
+
+class StripedIndex {
+  std::mutex index_;
+  std::mutex spill_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+
+ public:
+  void fold() {
+    std::lock_guard<std::mutex> index(index_);
+    std::lock_guard<std::mutex> spill(spill_);
+  }
+
+  void merge() {
+    std::lock_guard<std::mutex> index(index_);
+    std::lock_guard<std::mutex> spill(spill_);
+  }
+
+  void wait_ready() {
+    std::unique_lock<std::mutex> lk(index_);
+    cv_.wait(lk, [this] { return ready_; });
+  }
+};

@@ -1,0 +1,7 @@
+// Mini schema for the clean fixture tree: every counter the tree's sources
+// tally under a schema-owned prefix is declared here.
+#pragma once
+
+#define DRONGO_OBS_VALLEY_STORE_COUNTERS(X) \
+  X(contributions)                          \
+  X(lookups)

@@ -1,0 +1,16 @@
+// The documented, fail-loudly way to read an env knob: a parse_* wrapper
+// around getenv, plus a README knob-table row.
+#include <cstdlib>
+#include <stdexcept>
+
+int parse_fixture_scale(const char* value) {
+  if (value == nullptr || value[0] == '\0') return 1;
+  if (value[0] < '1' || value[0] > '9' || value[1] != '\0') {
+    throw std::invalid_argument("DRONGO_FIXTURE_SCALE must be a digit 1-9");
+  }
+  return value[0] - '0';
+}
+
+int fixture_scale() {
+  return parse_fixture_scale(std::getenv("DRONGO_FIXTURE_SCALE"));
+}

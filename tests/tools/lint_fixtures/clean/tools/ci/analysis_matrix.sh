@@ -1,0 +1,3 @@
+#!/bin/sh
+# Mini matrix for the clean fixture tree: its one label is wired in.
+ctest -L 'fixturelabel'

@@ -1,0 +1,15 @@
+// A bare cv.wait(lock): spurious wakeups return with the condition false
+// and a notify that raced the lock is lost forever.
+#include <condition_variable>
+#include <mutex>
+
+class WorkQueue {
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+ public:
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);
+  }
+};

@@ -1,0 +1,15 @@
+// One half of a cross-TU lock-order inversion: this TU folds stripes_ then
+// ledger_; lock_cycle_b.cpp snapshots them the other way round. Neither file
+// has a cycle on its own — only the merged acquired-while-held graph does.
+#include <mutex>
+
+class CrowdLedger {
+  std::mutex stripes_;
+  std::mutex ledger_;
+
+ public:
+  void fold() {
+    std::lock_guard<std::mutex> stripes(stripes_);
+    std::lock_guard<std::mutex> ledger(ledger_);
+  }
+};

@@ -1,0 +1,13 @@
+// The other half of the cross-TU inversion seeded in lock_cycle_a.cpp.
+#include <mutex>
+
+class CrowdLedger {
+  std::mutex stripes_;
+  std::mutex ledger_;
+
+ public:
+  void snapshot() {
+    std::lock_guard<std::mutex> ledger(ledger_);
+    std::lock_guard<std::mutex> stripes(stripes_);
+  }
+};

@@ -1,0 +1,25 @@
+// Blocking work under a shard mutex: a sleep and an upstream exchange, each
+// made while an RAII guard is live.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+struct Transport {
+  void exchange(const void* query);
+};
+
+class HedgeShard {
+  std::mutex mu_;
+  Transport* upstream_ = nullptr;
+
+ public:
+  void settle() {
+    std::lock_guard<std::mutex> guard(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  void probe() {
+    std::lock_guard<std::mutex> guard(mu_);
+    upstream_->exchange(nullptr);
+  }
+};

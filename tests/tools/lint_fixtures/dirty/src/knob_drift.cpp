@@ -1,0 +1,8 @@
+// An env knob with no README row and no fail-loudly parse wrapper: a typo'd
+// value silently runs a different scenario.
+#include <cstdlib>
+
+int rogue_scale() {
+  const char* value = std::getenv("DRONGO_ROGUE_SCALE");
+  return value == nullptr ? 1 : value[0] - '0';
+}

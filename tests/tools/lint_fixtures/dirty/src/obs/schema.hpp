@@ -1,0 +1,6 @@
+// Mini schema for the dirty fixture tree: RESOLVER declares one counter,
+// so anything else under dns.resolver.* is schema drift.
+#pragma once
+
+#define DRONGO_OBS_RESOLVER_COUNTERS(X) \
+  X(queries)

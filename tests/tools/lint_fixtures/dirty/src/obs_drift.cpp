@@ -1,0 +1,8 @@
+// A counter the schema and the catalog have never heard of.
+struct Registry {
+  void add(const char* name);
+};
+
+void tally(Registry* registry) {
+  registry->add("dns.resolver.mystery_spins");
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Mini matrix for the dirty fixture tree: runs one label, so any other
+# LABELS value in the tree is drift.
+ctest -L 'concurrency|faults'

@@ -1,0 +1,36 @@
+// Every concurrency hazard here is deliberate and carries an allow-comment
+// with its justification — the suppressed tree must lint clean.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+class MigrationLedger {
+  std::mutex front_;
+  std::mutex back_;
+  std::condition_variable cv_;
+
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(front_);
+    // drongo-lint: allow(lock-order) — migration window: backward() is reader-only and is deleted next PR
+    std::lock_guard<std::mutex> b(back_);
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> b(back_);
+    std::lock_guard<std::mutex> a(front_);
+  }
+
+  void settle() {
+    std::lock_guard<std::mutex> a(front_);
+    // drongo-lint: allow(lock-held-blocking) — 1ms settle nap on a single-caller init path, measured
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  void wait_bare() {
+    std::unique_lock<std::mutex> lk(front_);
+    // drongo-lint: allow(cv-wait-predicate) — sole caller re-checks the predicate in its own loop
+    cv_.wait(lk);
+  }
+};

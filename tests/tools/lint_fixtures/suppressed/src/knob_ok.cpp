@@ -1,0 +1,8 @@
+// A path-valued knob: there is nothing to parse, so the parse-wrap half of
+// env-knob-drift is suppressed with a reason instead of wrapped.
+#include <cstdlib>
+
+const char* trace_path() {
+  // drongo-lint: allow(env-knob-drift) — path-valued knob, any non-empty string is valid
+  return std::getenv("DRONGO_TRACE_PATH");
+}

@@ -1,0 +1,6 @@
+// Mini schema for the suppressed fixture tree: experimental_spins is NOT
+// declared, so obs_tally.cpp needs its allow-comment.
+#pragma once
+
+#define DRONGO_OBS_RESOLVER_COUNTERS(X) \
+  X(queries)

@@ -1,0 +1,10 @@
+// An undeclared counter, acknowledged: the schema/catalog rows land with
+// the exporter change this fixture pretends to precede.
+struct Registry {
+  void add(const char* name);
+};
+
+void tally(Registry* registry) {
+  // drongo-lint: allow(obs-drift) — experimental counter; schema + catalog rows land with the exporter PR
+  registry->add("dns.resolver.experimental_spins");
+}

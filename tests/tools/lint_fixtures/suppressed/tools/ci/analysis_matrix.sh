@@ -1,0 +1,3 @@
+#!/bin/sh
+# Mini matrix for the suppressed fixture tree.
+ctest -L 'static'

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -218,6 +219,201 @@ TEST(ObsBypass, CallerStreamsAndMembersAreFine) {
 }
 
 // ---------------------------------------------------------------------------
+// Concurrency pass (inline sources)
+
+TEST(LockOrder, InversionWithinOneFile) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void fwd() {\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "  }\n"
+      "  void rev() {\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "  }\n"
+      "};\n";
+  const auto findings = scan("src/x.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::kRuleLockOrder);
+  EXPECT_NE(findings[0].message.find("S::a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("S::b_"), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void one() {\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "  }\n"
+      "  void two() {\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(scan("src/x.cpp", source).size(), 0u);
+}
+
+TEST(LockOrder, ReacquireIsSelfDeadlock) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex a_;\n"
+      "  void twice() {\n"
+      "    std::lock_guard<std::mutex> g1(a_);\n"
+      "    std::lock_guard<std::mutex> g2(a_);\n"
+      "  }\n"
+      "};\n";
+  const auto findings = scan("src/x.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::kRuleLockOrder);
+  EXPECT_NE(findings[0].message.find("self-deadlock"), std::string::npos);
+}
+
+TEST(LockOrder, ScopedLockMultiArgIsDeadlockFree) {
+  // std::scoped_lock's deadlock-avoidance algorithm makes argument order
+  // irrelevant, so opposite orders must NOT create cycle edges.
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void one() { std::scoped_lock both(a_, b_); }\n"
+      "  void two() { std::scoped_lock both(b_, a_); }\n"
+      "};\n";
+  EXPECT_EQ(scan("src/x.cpp", source).size(), 0u);
+}
+
+TEST(LockOrder, GuardScopeEndsReleaseHeldLocks) {
+  // a_ is released when its block closes, so acquiring b_ afterwards — even
+  // in the reverse function order — creates no edge.
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void seq() {\n"
+      "    { std::lock_guard<std::mutex> ga(a_); }\n"
+      "    { std::lock_guard<std::mutex> gb(b_); }\n"
+      "  }\n"
+      "  void rev() {\n"
+      "    { std::lock_guard<std::mutex> gb(b_); }\n"
+      "    { std::lock_guard<std::mutex> ga(a_); }\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(scan("src/x.cpp", source).size(), 0u);
+}
+
+TEST(LockHeldBlocking, SleepAndUpstreamExchangeUnderGuard) {
+  const std::string source =
+      "#include <mutex>\n"
+      "#include <thread>\n"
+      "class S {\n"
+      "  std::mutex mu_;\n"
+      "  Transport* upstream_;\n"
+      "  void nap() {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "  }\n"
+      "  void probe() {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    upstream_->exchange(nullptr);\n"
+      "  }\n"
+      "};\n";
+  const auto findings = scan("src/x.cpp", source);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, lint::kRuleLockHeldBlocking);
+  EXPECT_EQ(findings[1].rule, lint::kRuleLockHeldBlocking);
+}
+
+TEST(LockHeldBlocking, ExchangeOutsideTheGuardIsFine) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex mu_;\n"
+      "  Transport* upstream_;\n"
+      "  void probe() {\n"
+      "    { std::lock_guard<std::mutex> g(mu_); }\n"
+      "    upstream_->exchange(nullptr);\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(scan("src/x.cpp", source).size(), 0u);
+}
+
+TEST(CvWaitPredicate, BareWaitFlaggedPredicateFine) {
+  const std::string bare =
+      "#include <condition_variable>\n"
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "  void drain() {\n"
+      "    std::unique_lock<std::mutex> lk(mu_);\n"
+      "    cv_.wait(lk);\n"
+      "  }\n"
+      "};\n";
+  const std::string with_predicate =
+      "#include <condition_variable>\n"
+      "#include <mutex>\n"
+      "class S {\n"
+      "  std::mutex mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "  bool ready_ = false;\n"
+      "  void drain() {\n"
+      "    std::unique_lock<std::mutex> lk(mu_);\n"
+      "    cv_.wait(lk, [this] { return ready_; });\n"
+      "  }\n"
+      "};\n";
+  const auto findings = scan("src/x.cpp", bare);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::kRuleCvWaitPredicate);
+  EXPECT_EQ(scan("src/x.cpp", with_predicate).size(), 0u);
+}
+
+TEST(ScanTree, LockOrderCyclesMergeAcrossTranslationUnits) {
+  // Neither file alone has a cycle — only the merged graph does, keyed by
+  // the shared class name.
+  const std::string forward =
+      "#include <mutex>\n"
+      "class Ledger {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void f() {\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "  }\n"
+      "};\n";
+  const std::string backward =
+      "#include <mutex>\n"
+      "class Ledger {\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "  void g() {\n"
+      "    std::lock_guard<std::mutex> gb(b_);\n"
+      "    std::lock_guard<std::mutex> ga(a_);\n"
+      "  }\n"
+      "};\n";
+  // Each file is clean on its own...
+  EXPECT_EQ(scan("src/fwd.cpp", forward).size(), 0u);
+  EXPECT_EQ(scan("src/bwd.cpp", backward).size(), 0u);
+  // ...but the tree scan sees the inversion.
+  const auto findings = lint::scan_tree(
+      LINT_FIXTURE_DIR,
+      {{"src/fwd.cpp", forward}, {"src/bwd.cpp", backward}}, lint::Config{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, lint::kRuleLockOrder);
+  EXPECT_NE(findings[0].message.find("Ledger::a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/bwd.cpp"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 
 TEST(Suppression, SameLineAndLineAboveSilence) {
@@ -294,7 +490,9 @@ TEST(FixtureTree, DirtyTreeFailsWithEveryRuleRepresented) {
   for (const char* rule :
        {lint::kRuleNondeterminism, lint::kRuleUnorderedSerial, lint::kRuleRawThrow,
         lint::kRuleMutableStatic, lint::kRuleFaultWindow, lint::kRuleObsBypass,
-        lint::kRuleBadSuppression}) {
+        lint::kRuleBadSuppression, lint::kRuleLockOrder, lint::kRuleLockHeldBlocking,
+        lint::kRuleCvWaitPredicate, lint::kRuleObsDrift, lint::kRuleEnvKnobDrift,
+        lint::kRuleLabelDrift}) {
     EXPECT_NE(result.out.find(rule), std::string::npos) << "rule missing: " << rule;
   }
   // The non-violations stay silent: ordered-map serialization, guarded
@@ -367,6 +565,89 @@ TEST(FixtureTree, JsonMessagesEscapeQuotes) {
   EXPECT_NE(json.find("\\\"no\\\""), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(FixtureTree, OutputIsDeterministicAndSorted) {
+  const RunResult first = run_on_fixture("dirty");
+  const RunResult second = run_on_fixture("dirty");
+  EXPECT_EQ(first.out, second.out);
+
+  // file → line → column → rule ordering, parsed back from the text form.
+  std::istringstream lines(first.out);
+  std::string line;
+  std::string prev_file;
+  std::size_t prev_line = 0;
+  std::size_t prev_column = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t c1 = line.find(':');
+    const std::size_t c2 = line.find(':', c1 + 1);
+    const std::size_t c3 = line.find(':', c2 + 1);
+    ASSERT_NE(c3, std::string::npos) << line;
+    const std::string file = line.substr(0, c1);
+    const std::size_t line_no = std::stoul(line.substr(c1 + 1, c2 - c1 - 1));
+    const std::size_t column = std::stoul(line.substr(c2 + 1, c3 - c2 - 1));
+    if (file == prev_file) {
+      EXPECT_TRUE(line_no > prev_line ||
+                  (line_no == prev_line && column >= prev_column))
+          << line;
+    } else {
+      EXPECT_LT(prev_file, file) << line;
+    }
+    prev_file = file;
+    prev_line = line_no;
+    prev_column = column;
+  }
+}
+
+TEST(Sarif, ReportCarriesRulesResultsAndRegions) {
+  const std::string path = testing::TempDir() + "/drongo_lint_test.sarif";
+  lint::Options options;
+  options.sarif_path = path;
+  const RunResult result = run_on_fixture("dirty", options);
+  EXPECT_EQ(result.exit_code, 1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string sarif = buffer.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"drongo_lint\""), std::string::npos);
+  for (const std::string& rule : lint::all_rules()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\"}"), std::string::npos) << rule;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": "), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\": "), std::string::npos);
+  EXPECT_NE(sarif.find("src/core/cv_nopred.cpp"), std::string::npos);
+}
+
+TEST(Baseline, RoundTripTurnsTheDirtyTreeGreen) {
+  const std::string path = testing::TempDir() + "/drongo_lint_baseline.txt";
+  lint::Options write;
+  write.baseline_path = path;
+  write.write_baseline = true;
+  EXPECT_EQ(run_on_fixture("dirty", write).exit_code, 0);
+
+  lint::Options read;
+  read.baseline_path = path;
+  const RunResult result = run_on_fixture("dirty", read);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.out, "");
+  EXPECT_NE(result.err.find("baselined"), std::string::npos);
+
+  // A finding NOT in the baseline still fails the run: the clean tree's
+  // baseline contains nothing, so the dirty tree stays red with it.
+  const std::string empty_path = testing::TempDir() + "/drongo_lint_empty.txt";
+  {
+    lint::Options write_clean;
+    write_clean.baseline_path = empty_path;
+    write_clean.write_baseline = true;
+    EXPECT_EQ(run_on_fixture("clean", write_clean).exit_code, 0);
+  }
+  lint::Options read_empty;
+  read_empty.baseline_path = empty_path;
+  EXPECT_EQ(run_on_fixture("dirty", read_empty).exit_code, 1);
 }
 
 TEST(Run, MissingRootIsUsageError) {

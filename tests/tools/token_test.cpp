@@ -1,0 +1,181 @@
+// Golden tests for the shared lint tokenizer: the tricky corners of the
+// lexical grammar — raw strings (including fake closers and embedded
+// splices), digraphs and the <:: disambiguation, backslash-newline line
+// continuations, non-nesting block comments, pp-numbers, and encoding
+// prefixes — each pinned by an explicit expectation.
+#include "token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lint = drongo::lint;
+
+namespace {
+
+std::vector<lint::Token> lex(const std::string& source) {
+  return lint::tokenize(source);
+}
+
+const lint::Token* find_text(const std::vector<lint::Token>& tokens,
+                             const std::string& text) {
+  for (const auto& t : tokens) {
+    if (t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+const lint::Token* find_kind(const std::vector<lint::Token>& tokens,
+                             lint::TokKind kind) {
+  for (const auto& t : tokens) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(Tokenize, RawStringSwallowsQuotesAndFakeClosers) {
+  // The )" inside the body is not the closer — only )x" is.
+  const std::string source =
+      "auto r = R\"x(no \" end )\" here)x\";\nint y = 1;\n";
+  const auto tokens = lex(source);
+  const lint::Token* raw = find_kind(tokens, lint::TokKind::kString);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_NE(raw->text.find("no \" end )\" here"), std::string::npos);
+  const lint::Token* y = find_text(tokens, "y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->line, 2u);
+}
+
+TEST(Tokenize, RawStringBodyKeepsLineSplicesLiteral) {
+  // Inside a raw string, backslash-newline is CONTENT (phase-2 reversal),
+  // not a splice; the token spans both physical lines and later tokens
+  // keep correct line numbers.
+  const std::string source = "auto r = R\"(line\\\nstill)\";\nint z = 2;\n";
+  const auto tokens = lex(source);
+  const lint::Token* raw = find_kind(tokens, lint::TokKind::kString);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_NE(raw->text.find("\\\nstill"), std::string::npos);
+  const lint::Token* z = find_text(tokens, "z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->line, 3u);
+}
+
+TEST(Tokenize, LineContinuationJoinsIdentifiers) {
+  // a\<newline>b is the single identifier `ab`; its physical length spans
+  // the splice bytes.
+  const std::string source = "int a\\\nb = 1;\n";
+  const auto tokens = lex(source);
+  const lint::Token* ab = find_text(tokens, "ab");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->kind, lint::TokKind::kIdent);
+  EXPECT_EQ(ab->line, 1u);
+  EXPECT_EQ(ab->length, 4u);  // 'a' '\' '\n' 'b'
+}
+
+TEST(Tokenize, LineContinuationExtendsLineComments) {
+  const std::string source =
+      "// swallowed \\\nint x = 1;\nint y = 2;\n";
+  const auto tokens = lex(source);
+  EXPECT_EQ(find_text(tokens, "x"), nullptr);  // still inside the comment
+  const lint::Token* y = find_text(tokens, "y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->line, 3u);
+}
+
+TEST(Tokenize, DigraphsNormalizeToPrimarySpelling) {
+  const std::string source = "int a<:3:> = <%1, 2, 3%>;\n";
+  const auto tokens = lex(source);
+  EXPECT_NE(find_text(tokens, "["), nullptr);
+  EXPECT_NE(find_text(tokens, "]"), nullptr);
+  EXPECT_NE(find_text(tokens, "{"), nullptr);
+  EXPECT_NE(find_text(tokens, "}"), nullptr);
+}
+
+TEST(Tokenize, DigraphHashIntroducesPreprocessorLine) {
+  const std::string source = "%:define FIXTURE 1\nint b = 2;\n";
+  const auto tokens = lex(source);
+  const lint::Token* define = find_text(tokens, "define");
+  ASSERT_NE(define, nullptr);
+  EXPECT_TRUE(define->preprocessor);
+  const lint::Token* b = find_text(tokens, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->preprocessor);
+}
+
+TEST(Tokenize, LtColonColonLexesAsLessThanScope) {
+  // <:: followed by neither ':' nor '>' is "<" "::" ([lex.pptoken]/3.2),
+  // so std::vector<::Foo> never grows a stray '['.
+  const std::string source = "std::vector<::Foo> v;\n";
+  const auto tokens = lex(source);
+  EXPECT_NE(find_text(tokens, "<"), nullptr);
+  EXPECT_NE(find_text(tokens, "Foo"), nullptr);
+  EXPECT_EQ(find_text(tokens, "["), nullptr);
+}
+
+TEST(Tokenize, BlockCommentsDoNotNest) {
+  const std::string source = "/* outer /* inner */ int x = 1;\nint y = 2;\n";
+  const auto tokens = lex(source);
+  EXPECT_NE(find_text(tokens, "x"), nullptr);  // first */ ended the comment
+  EXPECT_NE(find_text(tokens, "y"), nullptr);
+}
+
+TEST(Tokenize, PpNumbersKeepSeparatorsAndSignedExponents) {
+  const std::string source =
+      "long big = 1'000'000; double d = 1.5e+3; double h = 0x1p-3;\n";
+  const auto tokens = lex(source);
+  for (const char* number : {"1'000'000", "1.5e+3", "0x1p-3"}) {
+    const lint::Token* t = find_text(tokens, number);
+    ASSERT_NE(t, nullptr) << number;
+    EXPECT_EQ(t->kind, lint::TokKind::kNumber) << number;
+  }
+}
+
+TEST(Tokenize, EncodingPrefixesFoldIntoTheLiteral) {
+  const std::string source = "auto s = u8\"x\"; auto t = L\"y\"; auto c = U'z';\n";
+  const auto tokens = lex(source);
+  const lint::Token* s = find_text(tokens, "u8\"x\"");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, lint::TokKind::kString);
+  const lint::Token* t = find_text(tokens, "L\"y\"");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, lint::TokKind::kString);
+  const lint::Token* c = find_text(tokens, "U'z'");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, lint::TokKind::kChar);
+}
+
+TEST(Tokenize, PreprocessorFlagCoversSplicedMacroBodies) {
+  // A backslash-continued #define is ONE logical line: the X(a) on the
+  // physical second line is still preprocessor, the code after is not.
+  const std::string source = "#define TALLY(X) \\\n  X(a)\nint b = 1;\n";
+  const auto tokens = lex(source);
+  const lint::Token* a = find_text(tokens, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->preprocessor);
+  const lint::Token* b = find_text(tokens, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->preprocessor);
+}
+
+TEST(Tokenize, UnterminatedLiteralClosesAtNewline) {
+  const std::string source = "const char* s = \"oops\nint live = 1;\n";
+  const auto tokens = lex(source);
+  EXPECT_NE(find_text(tokens, "live"), nullptr);
+}
+
+TEST(ScrubTokens, KeepCommentsVariantPreservesOnlyComments) {
+  const std::string source =
+      "int x = 1;  // a comment with rand() inside\n"
+      "const char* s = \"rand() in a string\";\n";
+  const auto tokens = lex(source);
+  const std::string with = lint::scrub_tokens(source, tokens, /*keep_comments=*/true);
+  const std::string without = lint::scrub_tokens(source, tokens);
+  EXPECT_NE(with.find("// a comment with rand() inside"), std::string::npos);
+  EXPECT_EQ(with.find("rand() in a string"), std::string::npos);
+  EXPECT_EQ(without.find("rand()"), std::string::npos);
+  EXPECT_EQ(with.size(), source.size());
+  EXPECT_EQ(without.size(), source.size());
+}
+
+}  // namespace

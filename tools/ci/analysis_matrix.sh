@@ -35,10 +35,13 @@ banner() { printf '\n=== %s ===\n' "$1"; }
 
 # Stage 1: lint. Build just the checker in the default tree and run it
 # against the source tree. Runs first because it is by far the cheapest.
+# The SARIF artifact lands in build/ so CI uploaders (and code-scanning
+# importers — see docs/ANALYSIS.md) can pick it up even on a red run.
 banner "stage 1/4: drongo_lint"
 cmake --preset default >/dev/null
 cmake --build --preset default --target drongo_lint -j "$JOBS" >/dev/null
-./build/tools/lint/drongo_lint --root "$ROOT"
+./build/tools/lint/drongo_lint --root "$ROOT" --sarif "$ROOT/build/drongo_lint.sarif"
+echo "SARIF artifact: build/drongo_lint.sarif"
 
 # Stages 2-4: sanitizer builds. In --short mode each runs only the
 # concurrency/faults/static/obs/serving/lpm/sharing/hedging label slice so the whole matrix fits a

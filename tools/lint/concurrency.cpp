@@ -1,0 +1,525 @@
+#include "concurrency.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace drongo::lint {
+
+namespace {
+
+bool is_guard_type(const std::string& text) {
+  return text == "lock_guard" || text == "unique_lock" || text == "scoped_lock" ||
+         text == "shared_lock";
+}
+
+bool is_control_keyword(const std::string& text) {
+  return text == "if" || text == "for" || text == "while" || text == "switch" ||
+         text == "catch" || text == "return" || text == "sizeof" ||
+         text == "decltype" || text == "noexcept" || text == "alignof";
+}
+
+std::string file_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+std::string to_lower(std::string text) {
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return text;
+}
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;
+};
+
+struct Held {
+  std::string identity;
+  std::string var;     // guard variable name ("" for temporaries)
+  std::size_t depth;   // scope-stack size at declaration
+};
+
+/// Guard/wait argument expression, normalized so the same mutex spells the
+/// same way at every site: `std::`/`this->` stripped, `->` folded to `.`,
+/// parens/deref/index expressions dropped.
+std::string normalize_expr(const std::vector<const Token*>& toks, std::size_t begin,
+                           std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = toks[i]->text;
+    if (t == "std" && i + 1 < end && toks[i + 1]->text == "::") {
+      ++i;
+      continue;
+    }
+    if (t == "this" && i + 1 < end && toks[i + 1]->text == "->") {
+      ++i;
+      continue;
+    }
+    if (t == "*" || t == "&" || t == "(" || t == ")" || t == "const") continue;
+    if (t == "[") {
+      int depth = 1;
+      while (++i < end && depth > 0) {
+        if (toks[i]->text == "[") ++depth;
+        if (toks[i]->text == "]") --depth;
+      }
+      --i;
+      continue;
+    }
+    if (t == "->") {
+      out += ".";
+      continue;
+    }
+    out += t;
+  }
+  return out;
+}
+
+/// Splits the argument list opened at `toks[open]` ('(' or '{') into
+/// top-level comma-separated token ranges. Returns false when unbalanced;
+/// `*past` lands one past the closing token.
+bool parse_args(const std::vector<const Token*>& toks, std::size_t open,
+                std::vector<std::pair<std::size_t, std::size_t>>* args,
+                std::size_t* past) {
+  int depth = 0;
+  std::size_t arg_begin = open + 1;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i]->text;
+    if (t == "(" || t == "{" || t == "[") {
+      ++depth;
+    } else if (t == ")" || t == "}" || t == "]") {
+      --depth;
+      if (depth == 0) {
+        if (i > arg_begin) args->emplace_back(arg_begin, i);
+        *past = i + 1;
+        return true;
+      }
+    } else if (t == "," && depth == 1) {
+      args->emplace_back(arg_begin, i);
+      arg_begin = i + 1;
+    }
+  }
+  return false;
+}
+
+struct Walker {
+  const std::string& path;
+  const std::vector<const Token*>& toks;
+  const Config& config;
+  ConcurrencyScan* out;
+
+  std::vector<Scope> scopes;
+  std::vector<Held> held;
+  std::vector<std::size_t> stmt;  // token indices since the last ; { }
+
+  Severity sev_blocking;
+  Severity sev_cv;
+  Severity sev_order;
+
+  std::string owner() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass && !it->name.empty()) return it->name;
+    }
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kFunction) {
+        const std::size_t sep = it->name.find("::");
+        if (sep != std::string::npos) return it->name.substr(0, sep);
+      }
+    }
+    return file_stem(path);
+  }
+
+  Scope classify_brace() const {
+    Scope scope;
+    // namespace N { ... }
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      if (toks[stmt[k]]->text == "namespace") {
+        scope.kind = ScopeKind::kNamespace;
+        for (std::size_t j = stmt.size(); j-- > k;) {
+          if (toks[stmt[j]]->kind == TokKind::kIdent &&
+              toks[stmt[j]]->text != "namespace") {
+            scope.name = toks[stmt[j]]->text;
+            break;
+          }
+        }
+        return scope;
+      }
+    }
+    // class/struct/union (no parens in the head => not a function returning one)
+    bool has_paren = false;
+    for (std::size_t k : stmt) {
+      if (toks[k]->text == "(") has_paren = true;
+    }
+    if (!has_paren) {
+      for (std::size_t k = 0; k < stmt.size(); ++k) {
+        const std::string& t = toks[stmt[k]]->text;
+        if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+          scope.kind = ScopeKind::kClass;
+          for (std::size_t j = k + 1; j < stmt.size(); ++j) {
+            if (toks[stmt[j]]->kind == TokKind::kIdent &&
+                toks[stmt[j]]->text != "class" && toks[stmt[j]]->text != "struct" &&
+                toks[stmt[j]]->text != "final" && toks[stmt[j]]->text != "alignas") {
+              scope.name = toks[stmt[j]]->text;
+              break;
+            }
+            if (toks[stmt[j]]->text == ":") break;  // anonymous with bases
+          }
+          return scope;
+        }
+      }
+    }
+    // function: first '(' preceded by a non-control identifier; the chain of
+    // `ident ::` before it is the qualified name.
+    for (std::size_t k = 1; k < stmt.size(); ++k) {
+      if (toks[stmt[k]]->text != "(") continue;
+      const Token* prev = toks[stmt[k - 1]];
+      if (prev->kind != TokKind::kIdent || is_control_keyword(prev->text)) break;
+      std::string name = prev->text;
+      std::size_t j = k - 1;
+      while (j >= 2 && toks[stmt[j - 1]]->text == "::" &&
+             toks[stmt[j - 2]]->kind == TokKind::kIdent) {
+        name = toks[stmt[j - 2]]->text + "::" + name;
+        j -= 2;
+      }
+      scope.kind = ScopeKind::kFunction;
+      scope.name = name;
+      return scope;
+    }
+    return scope;  // kBlock
+  }
+
+  void finding(const Token& at, const char* rule, Severity sev, std::string message) {
+    Finding f;
+    f.file = path;
+    f.line = at.line;
+    f.column = at.column;
+    f.rule = rule;
+    f.severity = sev;
+    f.message = std::move(message);
+    out->findings.push_back(std::move(f));
+  }
+
+  /// Handles a guard declaration at token index i (a guard-type identifier).
+  /// Returns the index to resume scanning from.
+  std::size_t handle_guard(std::size_t i) {
+    std::size_t j = i + 1;
+    // Skip template arguments.
+    if (j < toks.size() && toks[j]->text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j]->text == "<") ++depth;
+        if (toks[j]->text == ">") --depth;
+        if (toks[j]->text == ">>") depth -= 2;
+        if (depth <= 0 && j > i + 1) {
+          ++j;
+          break;
+        }
+      }
+    }
+    std::string var;
+    if (j < toks.size() && toks[j]->kind == TokKind::kIdent) {
+      var = toks[j]->text;
+      ++j;
+    }
+    if (j >= toks.size() || (toks[j]->text != "(" && toks[j]->text != "{")) {
+      return i + 1;  // using-declaration, member type, etc.
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t past = j + 1;
+    if (!parse_args(toks, j, &args, &past)) return i + 1;
+
+    std::vector<std::string> mutexes;
+    for (const auto& [begin, end] : args) {
+      const std::string expr = normalize_expr(toks, begin, end);
+      if (expr == "defer_lock") return past;  // deferred: nothing acquired
+      if (expr == "adopt_lock" || expr == "try_to_lock" || expr.empty()) continue;
+      mutexes.push_back(expr);
+    }
+    const std::string prefix = owner() + "::";
+    const Token& at = *toks[i];
+    // Edges only from locks held BEFORE this statement: a multi-mutex
+    // scoped_lock acquires its arguments atomically with deadlock
+    // avoidance, so its own arguments must not order against each other.
+    const std::size_t pre = held.size();
+    for (const std::string& expr : mutexes) {
+      const std::string identity = prefix + expr;
+      bool reacquired = false;
+      for (std::size_t h = 0; h < held.size(); ++h) {
+        if (held[h].identity == identity) {
+          reacquired = true;
+        } else if (h < pre) {
+          out->edges.push_back({held[h].identity, identity,
+                                {path, at.line, at.column}});
+        }
+      }
+      if (reacquired && sev_order != Severity::kOff) {
+        finding(at, kRuleLockOrder, sev_order,
+                "mutex '" + identity +
+                    "' acquired while already held — self-deadlock with a "
+                    "non-recursive mutex");
+      }
+      held.push_back({identity, var, scopes.size()});
+    }
+    return past;
+  }
+
+  /// Handles `.wait/.wait_for/.wait_until(` at token index i.
+  std::size_t handle_wait(std::size_t i) {
+    const std::string& name = toks[i]->text;
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t past = i + 2;
+    if (!parse_args(toks, i + 1, &args, &past)) return i + 1;
+    std::string arg0;
+    if (!args.empty()) arg0 = normalize_expr(toks, args[0].first, args[0].second);
+    bool guard_arg = false;
+    for (const Held& h : held) {
+      if (!h.var.empty() && h.var == arg0) guard_arg = true;
+    }
+    const Token& at = *toks[i];
+    if (guard_arg) {
+      const bool missing_predicate =
+          (name == "wait" && args.size() == 1) ||
+          ((name == "wait_for" || name == "wait_until") && args.size() == 2);
+      if (missing_predicate && sev_cv != Severity::kOff) {
+        finding(at, kRuleCvWaitPredicate, sev_cv,
+                "cv." + name +
+                    " without a predicate — spurious wakeups and lost notifies "
+                    "make the wait return with the condition false; pass the "
+                    "condition as a lambda");
+      }
+    } else if (!held.empty() && sev_blocking != Severity::kOff) {
+      finding(at, kRuleLockHeldBlocking, sev_blocking,
+              "blocking '" + name + "' call while '" + held.back().identity +
+                  "' is held — waiting without releasing the mutex stalls every "
+                  "other thread on this lock");
+    }
+    return past;
+  }
+
+  void run() {
+    sev_blocking = config.severity_of(kRuleLockHeldBlocking);
+    sev_cv = config.severity_of(kRuleCvWaitPredicate);
+    sev_order = config.severity_of(kRuleLockOrder);
+    const bool track = sev_blocking != Severity::kOff || sev_cv != Severity::kOff ||
+                       sev_order != Severity::kOff;
+    if (!track) return;
+
+    std::size_t i = 0;
+    while (i < toks.size()) {
+      const Token& tok = *toks[i];
+      const std::string& t = tok.text;
+      if (t == "{") {
+        scopes.push_back(classify_brace());
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      if (t == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        const std::size_t depth = scopes.size();
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [depth](const Held& h) { return h.depth > depth; }),
+                   held.end());
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      if (t == ";") {
+        stmt.clear();
+        ++i;
+        continue;
+      }
+
+      if (tok.kind == TokKind::kIdent) {
+        const bool member = i > 0 && (toks[i - 1]->text == "." || toks[i - 1]->text == "->");
+        const bool called = i + 1 < toks.size() && toks[i + 1]->text == "(";
+
+        if (is_guard_type(t) && !member) {
+          const std::size_t next = handle_guard(i);
+          if (next > i) {
+            stmt.push_back(i);
+            i = next;
+            continue;
+          }
+        }
+        if (member && called &&
+            (t == "wait" || t == "wait_for" || t == "wait_until")) {
+          const std::size_t next = handle_wait(i);
+          stmt.push_back(i);
+          i = next;
+          continue;
+        }
+        if (!held.empty() && called && sev_blocking != Severity::kOff) {
+          if (t == "sleep_for" || t == "sleep_until" || t == "usleep" ||
+              t == "nanosleep" || (t == "system" && !member)) {
+            finding(tok, kRuleLockHeldBlocking, sev_blocking,
+                    "blocking '" + t + "' call while '" + held.back().identity +
+                        "' is held — sleeping under a mutex serializes every "
+                        "waiter behind the nap");
+          } else if (t == "join" && member) {
+            finding(tok, kRuleLockHeldBlocking, sev_blocking,
+                    "'join' while '" + held.back().identity +
+                        "' is held — joining a thread that needs this lock "
+                        "deadlocks");
+          } else if (t == "exchange" && member && i >= 2 &&
+                     toks[i - 2]->kind == TokKind::kIdent) {
+            const std::string receiver = to_lower(toks[i - 2]->text);
+            if (receiver.find("transport") != std::string::npos ||
+                receiver.find("upstream") != std::string::npos ||
+                receiver.find("inner") != std::string::npos ||
+                receiver.find("channel") != std::string::npos) {
+              finding(tok, kRuleLockHeldBlocking, sev_blocking,
+                      "upstream exchange through '" + toks[i - 2]->text +
+                          "' while '" + held.back().identity +
+                          "' is held — network latency under a shard mutex "
+                          "stalls the whole stripe; copy what you need and "
+                          "exchange outside the lock");
+            }
+          }
+        }
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+  }
+};
+
+bool site_less(const LockSite& a, const LockSite& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  return a.column < b.column;
+}
+
+}  // namespace
+
+ConcurrencyScan scan_concurrency(const std::string& path,
+                                 const std::vector<Token>& tokens,
+                                 const Config& config) {
+  ConcurrencyScan scan;
+  std::vector<const Token*> toks;
+  toks.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kComment || t.preprocessor) continue;
+    toks.push_back(&t);
+  }
+  Walker walker{path, toks, config, &scan, {}, {}, {}, Severity::kError,
+                Severity::kError, Severity::kError};
+  walker.run();
+  return scan;
+}
+
+std::vector<Finding> lock_order_findings(const std::vector<LockEdge>& edges,
+                                         const Config& config) {
+  const Severity sev = config.severity_of(kRuleLockOrder);
+  if (sev == Severity::kOff) return {};
+
+  // Dedup parallel edges, keeping the lexicographically smallest site.
+  std::map<std::pair<std::string, std::string>, LockSite> edge_sites;
+  for (const LockEdge& e : edges) {
+    const auto key = std::make_pair(e.held, e.acquired);
+    auto it = edge_sites.find(key);
+    if (it == edge_sites.end() || site_less(e.site, it->second)) {
+      edge_sites[key] = e.site;
+    }
+  }
+
+  std::map<std::string, std::vector<std::string>> adjacency;
+  std::set<std::string> nodes;
+  for (const auto& [key, site] : edge_sites) {
+    adjacency[key.first].push_back(key.second);
+    nodes.insert(key.first);
+    nodes.insert(key.second);
+  }
+
+  // Tarjan SCC, visiting nodes in sorted order for determinism.
+  std::map<std::string, std::size_t> index;
+  std::map<std::string, std::size_t> lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> components;
+  std::size_t counter = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = lowlink[v] = counter++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        auto adj = adjacency.find(v);
+        if (adj != adjacency.end()) {
+          for (const std::string& w : adj->second) {
+            if (index.find(w) == index.end()) {
+              strongconnect(w);
+              lowlink[v] = std::min(lowlink[v], lowlink[w]);
+            } else if (on_stack.count(w) != 0) {
+              lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> component;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            component.push_back(w);
+            if (w == v) break;
+          }
+          components.push_back(std::move(component));
+        }
+      };
+  for (const std::string& v : nodes) {
+    if (index.find(v) == index.end()) strongconnect(v);
+  }
+
+  std::vector<Finding> findings;
+  for (std::vector<std::string>& component : components) {
+    const bool self_loop =
+        component.size() == 1 &&
+        edge_sites.count({component.front(), component.front()}) != 0;
+    if (component.size() < 2 && !self_loop) continue;
+    std::sort(component.begin(), component.end());
+    const std::set<std::string> members(component.begin(), component.end());
+
+    std::string cycle_text;
+    const LockSite* anchor = nullptr;
+    for (const auto& [key, site] : edge_sites) {
+      if (members.count(key.first) == 0 || members.count(key.second) == 0) continue;
+      if (!cycle_text.empty()) cycle_text += ", ";
+      cycle_text += key.first + " -> " + key.second + " (" + site.file + ":" +
+                    std::to_string(site.line) + ")";
+      if (anchor == nullptr || site_less(site, *anchor)) anchor = &site;
+    }
+    if (anchor == nullptr) continue;
+
+    std::string member_list;
+    for (const std::string& m : component) {
+      if (!member_list.empty()) member_list += ", ";
+      member_list += m;
+    }
+    Finding f;
+    f.file = anchor->file;
+    f.line = anchor->line;
+    f.column = anchor->column;
+    f.rule = kRuleLockOrder;
+    f.severity = sev;
+    f.message = "lock-order inversion among {" + member_list + "}: " + cycle_text +
+                " — two threads taking these edges concurrently deadlock; pick "
+                "one global acquisition order";
+    findings.push_back(std::move(f));
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.column < b.column;
+  });
+  return findings;
+}
+
+}  // namespace drongo::lint

@@ -1,0 +1,62 @@
+// Pass A — concurrency. Extracts a per-class lock-site model from RAII
+// guards (lock_guard / unique_lock / scoped_lock / shared_lock) and
+// condition_variable waits, walking the token stream with a lightweight
+// scope tracker. Produces:
+//
+//   * acquired-while-held edges (for the cross-translation-unit lock-order
+//     graph assembled in lint_core::run / scan_tree),
+//   * lock-held-blocking findings: sleeps, joins, upstream/transport
+//     exchanges, or foreign waits made while a mutex is held,
+//   * cv-wait-predicate findings: cv.wait(lock) with no predicate (and
+//     wait_for/wait_until without one), which is lost-wakeup bait.
+//
+// Lock identity is `Owner::expr` where Owner is the innermost enclosing
+// class (or the class qualifying an out-of-line method, or the file stem
+// for free functions) and expr is the normalized guard argument
+// (`this->`/`std::` stripped, `->` folded to `.`, index expressions
+// dropped). That makes `shard.mutex` in ShardedDnsCache::lookup and
+// ShardedDnsCache::publish the same lock, and keeps two different
+// classes' `mutex_` members distinct.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+#include "token.hpp"
+
+namespace drongo::lint {
+
+struct LockSite {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// `acquired` was locked while `held` was already held, at `site`.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  LockSite site;
+};
+
+struct ConcurrencyScan {
+  std::vector<LockEdge> edges;
+  std::vector<Finding> findings;  // lock-held-blocking + cv-wait-predicate
+};
+
+/// Walks one translation unit's tokens. Findings come back unfiltered
+/// (suppressions are lint_core's job).
+ConcurrencyScan scan_concurrency(const std::string& path,
+                                 const std::vector<Token>& tokens,
+                                 const Config& config);
+
+/// Cycle detection over the merged acquired-while-held graph: one
+/// lock-order finding per strongly connected component (anchored at the
+/// lexicographically smallest member edge site), plus self-edges
+/// (re-acquiring a held mutex). Deterministic output order.
+std::vector<Finding> lock_order_findings(const std::vector<LockEdge>& edges,
+                                         const Config& config);
+
+}  // namespace drongo::lint

@@ -1,0 +1,545 @@
+#include "drift.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace drongo::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Registry prefixes owned by a schema.hpp X-macro. A counter literal
+/// `<prefix><field>` (single trailing segment, no further dots) must name
+/// a field of DRONGO_OBS_<MACRO>_COUNTERS.
+const std::vector<std::pair<std::string, std::string>>& schema_prefixes() {
+  static const std::vector<std::pair<std::string, std::string>> kPrefixes = {
+      {"dns.resolver.", "RESOLVER"},
+      {"dns.cache.", "CACHE"},
+      {"dns.lpm.", "LPM"},
+      {"core.valley_store.", "VALLEY_STORE"},
+      {"cdn.serving.codel.", "CODEL"},
+  };
+  return kPrefixes;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+std::string strip_quotes(const std::string& literal) {
+  // Token text includes encoding prefix + quotes: "name", u8"name", ...
+  const std::size_t open = literal.find('"');
+  if (open == std::string::npos) return literal;
+  std::size_t close = literal.rfind('"');
+  if (close <= open) return literal;
+  return literal.substr(open + 1, close - open - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Collection
+
+struct Frame {
+  std::string callee;  // identifier directly before the '(' ("" otherwise)
+};
+
+bool literal_at(const std::vector<const Token*>& toks, std::size_t i) {
+  return i < toks.size() && toks[i]->kind == TokKind::kString;
+}
+
+/// Joins adjacent string literals; returns false when the argument is not a
+/// pure literal (identifier, macro, concatenation with non-literals...).
+bool literal_arg(const std::vector<const Token*>& toks, std::size_t begin,
+                 std::string* value) {
+  if (!literal_at(toks, begin)) return false;
+  std::string joined;
+  std::size_t i = begin;
+  while (literal_at(toks, i)) {
+    joined += strip_quotes(toks[i]->text);
+    ++i;
+  }
+  // The literal must end the argument: next token is ',' or ')'.
+  if (i >= toks.size() || (toks[i]->text != "," && toks[i]->text != ")")) {
+    return false;
+  }
+  *value = joined;
+  return true;
+}
+
+}  // namespace
+
+void collect_drift(const std::string& path, const std::vector<Token>& tokens,
+                   DriftInputs* inputs) {
+  std::vector<const Token*> toks;
+  toks.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kComment || t.preprocessor) continue;
+    toks.push_back(&t);
+  }
+
+  std::vector<Frame> frames;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = *toks[i];
+    const std::string& t = tok.text;
+    if (t == "(") {
+      Frame frame;
+      if (i > 0 && toks[i - 1]->kind == TokKind::kIdent) frame.callee = toks[i - 1]->text;
+      frames.push_back(std::move(frame));
+      continue;
+    }
+    if (t == ")") {
+      if (!frames.empty()) frames.pop_back();
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+
+    // getenv("DRONGO_…")
+    if (t == "getenv" && i + 2 < toks.size() && toks[i + 1]->text == "(" &&
+        literal_at(toks, i + 2)) {
+      const std::string name = strip_quotes(toks[i + 2]->text);
+      if (starts_with(name, "DRONGO_")) {
+        bool wrapped = false;
+        for (const Frame& f : frames) {
+          if (starts_with(f.callee, "parse")) wrapped = true;
+        }
+        inputs->knobs.push_back({path, tok.line, tok.column, name, wrapped});
+      }
+      continue;
+    }
+
+    // registry->add / observe_ms / gauge / declare_histogram with a literal
+    // first argument; the receiver must look like a registry so arbitrary
+    // containers' add() members stay out of scope.
+    const bool member = i > 0 && (toks[i - 1]->text == "." || toks[i - 1]->text == "->");
+    const bool called = i + 1 < toks.size() && toks[i + 1]->text == "(";
+    if (member && called &&
+        (t == "add" || t == "observe_ms" || t == "gauge" || t == "declare_histogram")) {
+      if (i < 2 || toks[i - 2]->kind != TokKind::kIdent) continue;
+      std::string receiver = toks[i - 2]->text;
+      for (char& c : receiver) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+      if (receiver.find("registry") == std::string::npos &&
+          receiver.find("metrics") == std::string::npos) {
+        continue;
+      }
+      const std::size_t arg0 = i + 2;
+      std::string name;
+      if (literal_arg(toks, arg0, &name)) {
+        inputs->metrics.push_back({path, tok.line, tok.column, name,
+                                   /*is_prefix=*/false, /*is_counter=*/t == "add"});
+      } else if (arg0 + 2 < toks.size() &&
+                 ((toks[arg0]->text == "counter_name" &&
+                   toks[arg0 + 1]->text == "(") ||
+                  (toks[arg0]->text == "obs" && toks[arg0 + 1]->text == "::" &&
+                   arg0 + 3 < toks.size() && toks[arg0 + 2]->text == "counter_name" &&
+                   toks[arg0 + 3]->text == "("))) {
+        const std::size_t open = toks[arg0]->text == "obs" ? arg0 + 3 : arg0 + 1;
+        if (literal_at(toks, open + 1)) {
+          inputs->metrics.push_back({path, tok.line, tok.column,
+                                     strip_quotes(toks[open + 1]->text),
+                                     /*is_prefix=*/true, /*is_counter=*/t == "add"});
+        }
+      }
+      continue;
+    }
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference artifacts
+
+/// DRONGO_OBS_<NAME>_COUNTERS(X) X-macro field lists from schema.hpp,
+/// with one level of nested macro expansion (HEALTH includes RESOLVER).
+std::map<std::string, std::set<std::string>> parse_schema(const std::string& text) {
+  std::map<std::string, std::set<std::string>> fields;
+  std::map<std::string, std::vector<std::string>> includes;
+  const std::vector<std::string> lines = split_lines(text);
+  const std::string define = "#define DRONGO_OBS_";
+  const std::string suffix = "_COUNTERS(X)";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t at = lines[i].find(define);
+    if (at == std::string::npos) continue;
+    const std::size_t name_begin = at + define.size();
+    const std::size_t name_end = lines[i].find(suffix, name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::string macro = lines[i].substr(name_begin, name_end - name_begin);
+    // The macro body: this line plus backslash-continued followers.
+    std::string body = lines[i].substr(name_end + suffix.size());
+    std::size_t j = i;
+    while (j < lines.size() && !lines[j].empty() && lines[j].back() == '\\') {
+      ++j;
+      if (j < lines.size()) body += " " + lines[j];
+    }
+    // X(field) entries.
+    for (std::size_t pos = body.find("X("); pos != std::string::npos;
+         pos = body.find("X(", pos + 1)) {
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(body[pos - 1])) != 0 ||
+                      body[pos - 1] == '_')) {
+        continue;  // part of a longer identifier
+      }
+      const std::size_t close = body.find(')', pos);
+      if (close == std::string::npos) break;
+      const std::string field = body.substr(pos + 2, close - pos - 2);
+      if (!field.empty()) fields[macro].insert(field);
+    }
+    // Nested DRONGO_OBS_<OTHER>_COUNTERS(X) references.
+    const std::string nested = "DRONGO_OBS_";
+    for (std::size_t pos = body.find(nested); pos != std::string::npos;
+         pos = body.find(nested, pos + 1)) {
+      const std::size_t end = body.find(suffix, pos);
+      if (end == std::string::npos) continue;
+      const std::string other = body.substr(pos + nested.size(),
+                                            end - pos - nested.size());
+      if (other.find(' ') == std::string::npos && other != macro) {
+        includes[macro].push_back(other);
+      }
+    }
+  }
+  // One expansion round is enough for the flat hierarchy we allow.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [macro, others] : includes) {
+      for (const std::string& other : others) {
+        auto it = fields.find(other);
+        if (it != fields.end()) {
+          fields[macro].insert(it->second.begin(), it->second.end());
+        }
+      }
+    }
+  }
+  return fields;
+}
+
+/// Backtick-quoted spans of the metric catalog, brace sets expanded
+/// (`a.{x,y}` -> a.x, a.y) and `<...>` placeholders kept as wildcards.
+struct Catalog {
+  std::set<std::string> exact;
+  std::vector<std::vector<std::string>> wildcards;  // literal parts between <…>
+};
+
+void catalog_add(Catalog* catalog, const std::string& entry) {
+  const std::size_t open = entry.find('{');
+  if (open != std::string::npos) {
+    const std::size_t close = entry.find('}', open);
+    if (close != std::string::npos) {
+      const std::string head = entry.substr(0, open);
+      const std::string tail = entry.substr(close + 1);
+      std::string option;
+      std::istringstream options(entry.substr(open + 1, close - open - 1));
+      while (std::getline(options, option, ',')) {
+        catalog_add(catalog, head + option + tail);
+      }
+      return;
+    }
+  }
+  if (entry.find('<') != std::string::npos) {
+    std::vector<std::string> parts;
+    std::string part;
+    bool in_placeholder = false;
+    for (char c : entry) {
+      if (c == '<') {
+        parts.push_back(part);
+        part.clear();
+        in_placeholder = true;
+      } else if (c == '>' && in_placeholder) {
+        in_placeholder = false;
+      } else if (!in_placeholder) {
+        part.push_back(c);
+      }
+    }
+    parts.push_back(part);
+    catalog->wildcards.push_back(std::move(parts));
+    return;
+  }
+  catalog->exact.insert(entry);
+}
+
+Catalog parse_catalog(const std::string& text) {
+  Catalog catalog;
+  std::size_t open = text.find('`');
+  while (open != std::string::npos) {
+    const std::size_t close = text.find('`', open + 1);
+    if (close == std::string::npos) break;
+    const std::string span = text.substr(open + 1, close - open - 1);
+    // Only metric-shaped spans: dotted lowercase words, no spaces.
+    if (span.find('.') != std::string::npos && span.find(' ') == std::string::npos) {
+      catalog_add(&catalog, span);
+    }
+    open = text.find('`', close + 1);
+  }
+  return catalog;
+}
+
+bool catalog_matches(const Catalog& catalog, const std::string& name) {
+  if (catalog.exact.count(name) != 0) return true;
+  for (const std::vector<std::string>& parts : catalog.wildcards) {
+    // Parts must appear in order; first anchors the start, last the end;
+    // each placeholder matches at least one character.
+    std::size_t pos = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const std::string& part = parts[i];
+      if (i == 0) {
+        if (!starts_with(name, part)) {
+          ok = false;
+          break;
+        }
+        pos = part.size();
+      } else {
+        const std::size_t at = name.find(part, pos + 1);  // placeholder >= 1 char
+        if (at == std::string::npos) {
+          ok = false;
+          break;
+        }
+        pos = at + part.size();
+      }
+    }
+    if (ok && (parts.empty() || parts.back().empty() || pos == name.size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// README knob-table rows: markdown table lines whose first cell carries a
+/// backticked `DRONGO_*` name.
+std::set<std::string> parse_knob_table(const std::string& text) {
+  std::set<std::string> knobs;
+  for (const std::string& line : split_lines(text)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '|') continue;
+    std::size_t at = line.find("`DRONGO_");
+    while (at != std::string::npos) {
+      const std::size_t close = line.find('`', at + 1);
+      if (close == std::string::npos) break;
+      knobs.insert(line.substr(at + 1, close - at - 1));
+      at = line.find("`DRONGO_", close + 1);
+    }
+  }
+  return knobs;
+}
+
+/// Labels referenced by `-L '<alternation>'` arguments in the matrix script.
+std::set<std::string> parse_matrix_labels(const std::string& text) {
+  std::set<std::string> labels;
+  const std::string flag = "-L '";
+  for (std::size_t at = text.find(flag); at != std::string::npos;
+       at = text.find(flag, at + 1)) {
+    const std::size_t begin = at + flag.size();
+    const std::size_t end = text.find('\'', begin);
+    if (end == std::string::npos) break;
+    std::string label;
+    std::istringstream alternation(text.substr(begin, end - begin));
+    while (std::getline(alternation, label, '|')) {
+      if (!label.empty()) labels.insert(label);
+    }
+  }
+  return labels;
+}
+
+struct LabelSite {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string label;
+};
+
+/// LABELS values assigned in one CMake file. Comments stripped first so a
+/// prose mention of LABELS never counts.
+void collect_cmake_labels(const std::string& rel_path, const std::string& text,
+                          std::vector<LabelSite>* sites) {
+  const std::vector<std::string> lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    // Strip a # comment that is not inside a quoted string.
+    bool in_string = false;
+    for (std::size_t j = 0; j < line.size(); ++j) {
+      if (line[j] == '"') in_string = !in_string;
+      if (line[j] == '#' && !in_string) {
+        line.resize(j);
+        break;
+      }
+    }
+    const std::string keyword = "LABELS";
+    for (std::size_t at = line.find(keyword); at != std::string::npos;
+         at = line.find(keyword, at + 1)) {
+      const bool word =
+          (at == 0 || std::isalnum(static_cast<unsigned char>(line[at - 1])) == 0) &&
+          (at + keyword.size() >= line.size() ||
+           std::isalnum(static_cast<unsigned char>(line[at + keyword.size()])) == 0);
+      if (!word) continue;
+      std::size_t j = at + keyword.size();
+      while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+      if (j >= line.size()) break;
+      std::string value;
+      if (line[j] == '"') {
+        const std::size_t close = line.find('"', j + 1);
+        if (close == std::string::npos) break;
+        value = line.substr(j + 1, close - j - 1);
+      } else {
+        while (j < line.size() && line[j] != ' ' && line[j] != ')' &&
+               line[j] != '\t') {
+          value.push_back(line[j]);
+          ++j;
+        }
+      }
+      std::string label;
+      std::istringstream labels(value);
+      while (std::getline(labels, label, ';')) {
+        if (label.empty() || label.find('$') != std::string::npos) continue;
+        sites->push_back({rel_path, i + 1, at + 1, label});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> drift_findings(const std::string& root, const DriftInputs& inputs,
+                                    const Config& config) {
+  std::vector<Finding> findings;
+  const fs::path root_path(root);
+
+  // --- obs-drift -----------------------------------------------------------
+  const Severity sev_obs = config.severity_of(kRuleObsDrift);
+  if (sev_obs != Severity::kOff && !inputs.metrics.empty()) {
+    const fs::path schema_path = root_path / "src" / "obs" / "schema.hpp";
+    const fs::path doc_path = root_path / "docs" / "OBSERVABILITY.md";
+    const bool have_schema = fs::is_regular_file(schema_path);
+    const bool have_doc = fs::is_regular_file(doc_path);
+    std::map<std::string, std::set<std::string>> schema;
+    Catalog catalog;
+    if (have_schema) schema = parse_schema(read_file(schema_path));
+    if (have_doc) catalog = parse_catalog(read_file(doc_path));
+
+    for (const MetricUse& use : inputs.metrics) {
+      if (use.is_prefix) continue;  // fields come from the X-macro by construction
+      if (have_schema && use.is_counter) {
+        for (const auto& [prefix, macro] : schema_prefixes()) {
+          if (!starts_with(use.name, prefix)) continue;
+          const std::string field = use.name.substr(prefix.size());
+          if (field.empty() || field.find('.') != std::string::npos) continue;
+          auto it = schema.find(macro);
+          if (it != schema.end() && it->second.count(field) == 0) {
+            findings.push_back(
+                {use.file, use.line, use.column, kRuleObsDrift, sev_obs,
+                 "counter '" + use.name + "' is not declared in the DRONGO_OBS_" +
+                     macro +
+                     "_COUNTERS X-macro (src/obs/schema.hpp) — exporters and "
+                     "snapshot tests only see declared fields"});
+          }
+        }
+      }
+      if (have_doc && !catalog_matches(catalog, use.name)) {
+        findings.push_back(
+            {use.file, use.line, use.column, kRuleObsDrift, sev_obs,
+             "metric '" + use.name +
+                 "' is not cataloged in docs/OBSERVABILITY.md — every name the "
+                 "registry exports must have a documented meaning"});
+      }
+    }
+  }
+
+  // --- env-knob-drift ------------------------------------------------------
+  const Severity sev_knob = config.severity_of(kRuleEnvKnobDrift);
+  if (sev_knob != Severity::kOff && !inputs.knobs.empty()) {
+    const fs::path readme_path = root_path / "README.md";
+    const bool have_readme = fs::is_regular_file(readme_path);
+    std::set<std::string> table;
+    if (have_readme) table = parse_knob_table(read_file(readme_path));
+    for (const KnobUse& use : inputs.knobs) {
+      if (have_readme && table.count(use.name) == 0) {
+        findings.push_back(
+            {use.file, use.line, use.column, kRuleEnvKnobDrift, sev_knob,
+             "env knob '" + use.name +
+                 "' has no README knob-table row — operators discover knobs "
+                 "from the table, not from grepping getenv"});
+      }
+      if (!use.parse_wrapped) {
+        findings.push_back(
+            {use.file, use.line, use.column, kRuleEnvKnobDrift, sev_knob,
+             "getenv(\"" + use.name +
+                 "\") is not wrapped in a parse_* helper — malformed values "
+                 "must fail loudly (net::InvalidArgument), not silently run a "
+                 "different scenario"});
+      }
+    }
+  }
+
+  // --- label-drift ---------------------------------------------------------
+  const Severity sev_label = config.severity_of(kRuleLabelDrift);
+  if (sev_label != Severity::kOff) {
+    const fs::path matrix_path = root_path / "tools" / "ci" / "analysis_matrix.sh";
+    if (fs::is_regular_file(matrix_path)) {
+      const std::set<std::string> wired = parse_matrix_labels(read_file(matrix_path));
+      std::vector<LabelSite> sites;
+      std::vector<fs::path> cmake_files;
+      for (const char* dir : {"tests", "tools", "bench", "src"}) {
+        const fs::path base = root_path / dir;
+        if (!fs::is_directory(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+          if (!entry.is_regular_file()) continue;
+          // Fixture trees are test *data*: their CMake files drift on purpose.
+          // Only the root-relative path counts, so a fixture tree scanned AS
+          // the root still checks its own labels.
+          const std::string rel =
+              fs::relative(entry.path(), root_path).generic_string();
+          if (rel.find("lint_fixtures") != std::string::npos) continue;
+          const std::string name = entry.path().filename().string();
+          if (name == "CMakeLists.txt" ||
+              entry.path().extension().string() == ".cmake") {
+            cmake_files.push_back(entry.path());
+          }
+        }
+      }
+      std::sort(cmake_files.begin(), cmake_files.end());
+      for (const fs::path& file : cmake_files) {
+        collect_cmake_labels(fs::relative(file, root_path).generic_string(),
+                             read_file(file), &sites);
+      }
+      for (const LabelSite& site : sites) {
+        if (wired.count(site.label) != 0) continue;
+        findings.push_back(
+            {site.file, site.line, site.column, kRuleLabelDrift, sev_label,
+             "CTest label '" + site.label +
+                 "' is not wired into any -L alternation in "
+                 "tools/ci/analysis_matrix.sh — this slice silently drops out "
+                 "of the sanitizer matrix"});
+      }
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace drongo::lint

@@ -1,0 +1,67 @@
+// Pass B — drift. Cross-file consistency between code and its contracts:
+//
+//   obs-drift        every metric-name literal reaching the obs registry
+//                    (`registry->add/observe_ms/gauge/declare_histogram`)
+//                    must be cataloged in docs/OBSERVABILITY.md, and
+//                    counter names under a schema-owned prefix
+//                    (dns.resolver., dns.cache., dns.lpm.,
+//                    core.valley_store., cdn.serving.codel.) must be
+//                    declared in the matching src/obs/schema.hpp X-macro.
+//   env-knob-drift   every getenv("DRONGO_…") site must have a README
+//                    knob-table row AND sit inside a parse_* helper so a
+//                    malformed value fails loudly instead of silently
+//                    running a different scenario.
+//   label-drift      every CTest LABELS value set in a CMakeLists.txt /
+//                    *.cmake must be wired into a `-L` alternation in
+//                    tools/ci/analysis_matrix.sh, so no slice silently
+//                    drops out of the sanitizer matrix.
+//
+// Collection happens per translation unit over the shared token stream;
+// resolution happens once per tree against the reference artifacts. A
+// missing artifact (no README, no docs/, no matrix) skips its leg rather
+// than failing — bare fixture trees and partial checkouts stay quiet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+#include "token.hpp"
+
+namespace drongo::lint {
+
+struct MetricUse {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string name;        // full literal, or prefix when is_prefix
+  bool is_prefix = false;  // counter_name("dns.cache.", field) style
+  bool is_counter = false; // reached the registry through .add()
+};
+
+struct KnobUse {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string name;  // the DRONGO_* literal
+  bool parse_wrapped = false;
+};
+
+struct DriftInputs {
+  std::vector<MetricUse> metrics;
+  std::vector<KnobUse> knobs;
+};
+
+/// Scans one translation unit's tokens for metric-name literals that reach
+/// the registry and for getenv("DRONGO_…") sites.
+void collect_drift(const std::string& path, const std::vector<Token>& tokens,
+                   DriftInputs* inputs);
+
+/// Resolves collected uses against the tree's reference artifacts under
+/// `root` and scans the tree's CMake/label surface. Findings come back
+/// unfiltered (suppressions are lint_core's job).
+std::vector<Finding> drift_findings(const std::string& root, const DriftInputs& inputs,
+                                    const Config& config);
+
+}  // namespace drongo::lint

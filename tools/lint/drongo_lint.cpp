@@ -2,7 +2,7 @@
 // repro's determinism and failure-taxonomy invariants. Registered as the
 // `static`-labelled CTest; also runnable by hand:
 //
-//   drongo_lint --root . [--json] [--severity raw-throw=warning] [--dir src]
+//   drongo_lint --root . [--json] [--sarif out.sarif] [--severity raw-throw=warning]
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -18,11 +18,17 @@ void usage(std::ostream& out) {
          "  --dir SUB              subdirectory to scan, repeatable\n"
          "                         (default: src tools bench)\n"
          "  --json                 one JSON object per finding, one per line\n"
+         "  --sarif FILE           also write findings as SARIF 2.1.0 to FILE\n"
+         "  --baseline FILE        drop findings whose file|line|rule key is in FILE\n"
+         "  --write-baseline FILE  write the current findings' keys to FILE and exit 0\n"
          "  --severity RULE=LEVEL  off|warning|error (default: error), repeatable\n"
          "  --allow-file PATH      extra path suffix exempt from nondeterminism\n"
          "  --list-rules           print rule names and exit\n"
          "  --help                 this text\n"
-         "exit status: 0 clean, 1 error-severity findings, 2 usage/IO error\n";
+         "exit status:\n"
+         "  0  clean (warning-severity findings and baselined findings allowed)\n"
+         "  1  at least one error-severity finding survived suppressions/baseline\n"
+         "  2  usage error or unreadable/unwritable tree, baseline, or SARIF path\n";
 }
 
 }  // namespace
@@ -60,6 +66,19 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return 2;
       dirs.emplace_back(value);
+    } else if (arg == "--sarif") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      options.sarif_path = value;
+    } else if (arg == "--baseline") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      options.baseline_path = value;
+    } else if (arg == "--write-baseline") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      options.baseline_path = value;
+      options.write_baseline = true;
     } else if (arg == "--allow-file") {
       const char* value = next();
       if (value == nullptr) return 2;

@@ -8,6 +8,11 @@
 #include <set>
 #include <sstream>
 
+#include "concurrency.hpp"
+#include "drift.hpp"
+#include "sarif.hpp"
+#include "token.hpp"
+
 namespace drongo::lint {
 
 namespace {
@@ -88,14 +93,16 @@ Suppressions collect_suppressions(const std::string& path,
     while (pos < line.size() && line[pos] == ' ') ++pos;
     const std::string allow = "allow(";
     if (line.compare(pos, allow.size(), allow) != 0) {
-      result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+      result.malformed.push_back({path, line_no, at + 1, kRuleBadSuppression,
+                                  Severity::kError,
                                   "malformed drongo-lint comment: expected 'allow(<rule>)'"});
       continue;
     }
     const std::size_t open = pos + allow.size();
     const std::size_t close = line.find(')', open);
     if (close == std::string::npos) {
-      result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+      result.malformed.push_back({path, line_no, at + 1, kRuleBadSuppression,
+                                  Severity::kError,
                                   "malformed drongo-lint comment: unterminated allow("});
       continue;
     }
@@ -106,13 +113,15 @@ Suppressions collect_suppressions(const std::string& path,
       const char c = line[j];
       if (c == ',' || c == ')') {
         if (name.empty()) {
-          result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+          result.malformed.push_back({path, line_no, at + 1, kRuleBadSuppression,
+                                      Severity::kError,
                                       "empty rule list in allow(...)"});
           ok = false;
           break;
         }
         if (known.count(name) == 0) {
-          result.malformed.push_back({path, line_no, kRuleBadSuppression, Severity::kError,
+          result.malformed.push_back({path, line_no, at + 1, kRuleBadSuppression,
+                                      Severity::kError,
                                       "unknown rule '" + name + "' in suppression"});
           ok = false;
           break;
@@ -130,7 +139,7 @@ Suppressions collect_suppressions(const std::string& path,
     });
     if (!has_reason) {
       result.malformed.push_back(
-          {path, line_no, kRuleBadSuppression, Severity::kError,
+          {path, line_no, at + 1, kRuleBadSuppression, Severity::kError,
            "suppression without a reason: write 'allow(rule) — why it is safe'"});
       continue;
     }
@@ -183,8 +192,9 @@ void scan_nondeterminism(const std::string& path,
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
     // steady_clock::now / system_clock::now / high_resolution_clock::now.
-    if (line.find("_clock::now") != std::string::npos) {
-      findings->push_back({path, i + 1, kRuleNondeterminism, severity,
+    const std::size_t clock_pos = line.find("_clock::now");
+    if (clock_pos != std::string::npos) {
+      findings->push_back({path, i + 1, clock_pos + 1, kRuleNondeterminism, severity,
                            "direct std::chrono clock read — wall-clock timing only "
                            "via the net/clock.hpp shim (net::Stopwatch)"});
     }
@@ -197,7 +207,7 @@ void scan_nondeterminism(const std::string& path,
           while (after < line.size() && line[after] == ' ') ++after;
           if (after >= line.size() || line[after] != '(') continue;
         }
-        findings->push_back({path, i + 1, kRuleNondeterminism, severity,
+        findings->push_back({path, i + 1, pos + 1, kRuleNondeterminism, severity,
                              std::string("banned nondeterminism API '") + api.token +
                                  "' — " + api.hint});
       }
@@ -249,7 +259,7 @@ void scan_raw_throw(const std::string& path, const std::vector<std::string>& lin
       const std::string base =
           last_sep == std::string::npos ? name : name.substr(last_sep + 1);
       if (base.empty() || taxonomy_types().count(base) != 0) continue;
-      findings->push_back({path, i + 1, kRuleRawThrow, severity,
+      findings->push_back({path, i + 1, pos + 1, kRuleRawThrow, severity,
                            "throw of non-taxonomy type '" + name +
                                "' on the resolution path — use the net::Error "
                                "hierarchy (net/error.hpp) so retry logic can "
@@ -359,7 +369,7 @@ void scan_unordered_serial(const std::string& path, const std::string& scrubbed,
             const std::string body = scrubbed.substr(body_begin, j - body_begin);
             if (body_serializes(body)) {
               findings->push_back(
-                  {path, i + 1, kRuleUnorderedSerial, severity,
+                  {path, i + 1, pos + 1, kRuleUnorderedSerial, severity,
                    "range-for over unordered container feeds serialized output — "
                    "iteration order is unspecified; sort keys or use an ordered "
                    "container so datasets stay byte-identical"});
@@ -446,7 +456,7 @@ void scan_mutable_static(const std::string& path, const std::string& scrubbed,
     while (name_begin > 0 && is_ident(line[name_begin - 1])) --name_begin;
     const std::string name = line.substr(name_begin, name_end - name_begin);
     if (name.empty() || name == "static") continue;
-    findings->push_back({path, i + 1, kRuleMutableStatic, severity,
+    findings->push_back({path, i + 1, start + 1, kRuleMutableStatic, severity,
                          "mutable file-scope static '" + name +
                              "' — campaigns run on a pool; guard it with a mutex, "
                              "make it std::atomic/thread_local, or make it const"});
@@ -472,7 +482,10 @@ void scan_fault_window(const std::string& path, const std::string& scrubbed,
   if (find_token(scrubbed, "ScopedFaultTime") != std::string::npos) return;
   const std::size_t line = 1 + static_cast<std::size_t>(std::count(
                                    scrubbed.begin(), scrubbed.begin() + static_cast<std::ptrdiff_t>(use), '\n'));
-  findings->push_back({path, line, kRuleFaultWindow, severity,
+  const std::size_t line_begin = scrubbed.rfind('\n', use);
+  const std::size_t column =
+      use - (line_begin == std::string::npos ? 0 : line_begin + 1) + 1;
+  findings->push_back({path, line, column, kRuleFaultWindow, severity,
                        "file drives exchanges through FaultyTransport but never "
                        "establishes ScopedFaultTime — outage windows would see NaN "
                        "time and silently never fire"});
@@ -504,7 +517,7 @@ void scan_obs_bypass(const std::string& path, const std::vector<std::string>& li
       for (std::size_t pos = find_token(line, token); pos != std::string::npos;
            pos = find_token(line, token, pos + 1)) {
         if (pos > 0 && line[pos - 1] == '.') continue;  // member, not stdio
-        findings->push_back({path, i + 1, kRuleObsBypass, severity,
+        findings->push_back({path, i + 1, pos + 1, kRuleObsBypass, severity,
                              std::string("console output '") + token +
                                  "' in library code — tally through obs::Registry "
                                  "(src/obs) or write to a caller-supplied stream so "
@@ -536,12 +549,71 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+void sort_findings(std::vector<Finding>* findings) {
+  std::stable_sort(findings->begin(), findings->end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.column != b.column) return a.column < b.column;
+                     return a.rule < b.rule;
+                   });
+}
+
+/// Everything one translation unit contributes before cross-file passes.
+struct FileScan {
+  std::vector<Finding> findings;  // per-file findings, suppression-filtered
+  Suppressions suppressions;      // kept for filtering cross-file findings
+  std::vector<LockEdge> edges;
+  DriftInputs drift;
+};
+
+FileScan scan_file(const std::string& path, const std::string& content,
+                   const Config& config) {
+  FileScan result;
+  const std::vector<Token> tokens = tokenize(content);
+  const std::string scrubbed = scrub_tokens(content, tokens);
+  const std::vector<std::string> lines = split_lines(scrubbed);
+
+  // Suppressions are read from a view with string literals blanked but
+  // comments intact: the marker only counts inside a comment, so a checker
+  // (or test) naming it in a string cannot accidentally suppress or trip.
+  result.suppressions = collect_suppressions(
+      path, split_lines(scrub_tokens(content, tokens, /*keep_comments=*/true)));
+
+  std::vector<Finding> candidates;
+  scan_nondeterminism(path, lines, config, &candidates);
+  scan_raw_throw(path, lines, config, &candidates);
+  scan_unordered_serial(path, scrubbed, lines, config, &candidates);
+  scan_mutable_static(path, scrubbed, lines, config, &candidates);
+  scan_fault_window(path, scrubbed, config, &candidates);
+  scan_obs_bypass(path, lines, config, &candidates);
+
+  ConcurrencyScan concurrency = scan_concurrency(path, tokens, config);
+  result.edges = std::move(concurrency.edges);
+  candidates.insert(candidates.end(), concurrency.findings.begin(),
+                    concurrency.findings.end());
+
+  collect_drift(path, tokens, &result.drift);
+
+  for (Finding& f : candidates) {
+    if (!is_suppressed(result.suppressions, f.line, f.rule)) {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  // Suppression syntax errors are never themselves suppressible.
+  result.findings.insert(result.findings.end(), result.suppressions.malformed.begin(),
+                         result.suppressions.malformed.end());
+  return result;
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      kRuleNondeterminism, kRuleUnorderedSerial, kRuleRawThrow, kRuleMutableStatic,
-      kRuleFaultWindow,    kRuleObsBypass};
+      kRuleNondeterminism, kRuleUnorderedSerial, kRuleRawThrow,
+      kRuleMutableStatic,  kRuleFaultWindow,     kRuleObsBypass,
+      kRuleLockOrder,      kRuleLockHeldBlocking, kRuleCvWaitPredicate,
+      kRuleObsDrift,       kRuleEnvKnobDrift,    kRuleLabelDrift};
   return kRules;
 }
 
@@ -572,166 +644,85 @@ Severity Config::severity_of(const std::string& rule) const {
   return it == severity.end() ? Severity::kError : it->second;
 }
 
-namespace {
-
-std::string scrub_impl(const std::string& source, bool keep_comments) {
-  std::string out;
-  out.reserve(source.size());
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const char c = source[i];
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
-          state = State::kLineComment;
-          out += keep_comments ? "//" : "  ";
-          ++i;
-        } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
-          state = State::kBlockComment;
-          out += keep_comments ? "/*" : "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string? Look back over an optional encoding prefix for 'R'.
-          std::size_t p = i;
-          bool raw = p > 0 && source[p - 1] == 'R' &&
-                     (p < 2 || !is_ident(source[p - 2]) || source[p - 2] == '8' ||
-                      source[p - 2] == 'u' || source[p - 2] == 'U' || source[p - 2] == 'L');
-          if (raw) {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < source.size() && source[j] != '(') {
-              raw_delim.push_back(source[j]);
-              ++j;
-            }
-            state = State::kRawString;
-            out.push_back('"');
-            // Blank the delimiter and opening paren region.
-            for (std::size_t k = i + 1; k <= j && k < source.size(); ++k) out.push_back(' ');
-            i = j;
-          } else {
-            state = State::kString;
-            out.push_back('"');
-          }
-        } else if (c == '\'') {
-          // Digit separator (1'000) stays; character literal is blanked.
-          const bool separator = i > 0 && i + 1 < source.size() &&
-                                 std::isdigit(static_cast<unsigned char>(source[i - 1])) != 0 &&
-                                 std::isxdigit(static_cast<unsigned char>(source[i + 1])) != 0;
-          if (separator) {
-            out.push_back('\'');
-          } else {
-            state = State::kChar;
-            out.push_back('\'');
-          }
-        } else {
-          out.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out.push_back('\n');
-        } else {
-          out.push_back(keep_comments ? c : ' ');
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < source.size() && source[i + 1] == '/') {
-          state = State::kCode;
-          out += keep_comments ? "*/" : "  ";
-          ++i;
-        } else if (c == '\n') {
-          out.push_back('\n');
-        } else {
-          out.push_back(keep_comments ? c : ' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < source.size()) {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          out.push_back('"');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < source.size()) {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out.push_back('\'');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kRawString: {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (source.compare(i, closer.size(), closer) == 0) {
-          state = State::kCode;
-          for (std::size_t k = 0; k < closer.size(); ++k) out.push_back(' ');
-          out.back() = '"';
-          i += closer.size() - 1;
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      }
-    }
-  }
-  return out;
+std::string scrub(const std::string& source) {
+  return scrub_tokens(source, tokenize(source));
 }
-
-}  // namespace
-
-std::string scrub(const std::string& source) { return scrub_impl(source, false); }
 
 std::vector<Finding> scan_source(const std::string& path, const std::string& content,
                                  const Config& config) {
-  const std::string scrubbed = scrub(content);
-  const std::vector<std::string> lines = split_lines(scrubbed);
-
-  // Suppressions are read from a view with string literals blanked but
-  // comments intact: the marker only counts inside a comment, so a checker
-  // (or test) naming it in a string cannot accidentally suppress or trip.
-  const Suppressions suppressions =
-      collect_suppressions(path, split_lines(scrub_impl(content, true)));
-
-  std::vector<Finding> candidates;
-  scan_nondeterminism(path, lines, config, &candidates);
-  scan_raw_throw(path, lines, config, &candidates);
-  scan_unordered_serial(path, scrubbed, lines, config, &candidates);
-  scan_mutable_static(path, scrubbed, lines, config, &candidates);
-  scan_fault_window(path, scrubbed, config, &candidates);
-  scan_obs_bypass(path, lines, config, &candidates);
-
-  std::vector<Finding> findings;
-  for (Finding& f : candidates) {
-    if (!is_suppressed(suppressions, f.line, f.rule)) findings.push_back(std::move(f));
+  FileScan scan = scan_file(path, content, config);
+  // Lock-order cycles local to this translation unit. (Tree scans merge
+  // edges across files instead — see scan_tree.)
+  for (Finding& f : lock_order_findings(scan.edges, config)) {
+    if (!is_suppressed(scan.suppressions, f.line, f.rule)) {
+      scan.findings.push_back(std::move(f));
+    }
   }
-  // Suppression syntax errors are never themselves suppressible.
-  findings.insert(findings.end(), suppressions.malformed.begin(),
-                  suppressions.malformed.end());
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+  sort_findings(&scan.findings);
+  return scan.findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<SourceFile>& files,
+                               const Config& config) {
+  std::vector<Finding> findings;
+  std::map<std::string, Suppressions> suppressions_by_file;
+  std::vector<LockEdge> edges;
+  DriftInputs drift;
+  for (const SourceFile& file : files) {
+    FileScan scan = scan_file(file.path, file.content, config);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(scan.findings.begin()),
+                    std::make_move_iterator(scan.findings.end()));
+    edges.insert(edges.end(), scan.edges.begin(), scan.edges.end());
+    drift.metrics.insert(drift.metrics.end(), scan.drift.metrics.begin(),
+                         scan.drift.metrics.end());
+    drift.knobs.insert(drift.knobs.end(), scan.drift.knobs.begin(),
+                       scan.drift.knobs.end());
+    suppressions_by_file[file.path] = std::move(scan.suppressions);
+  }
+
+  std::vector<Finding> cross;
+  for (Finding& f : lock_order_findings(edges, config)) cross.push_back(std::move(f));
+  for (Finding& f : drift_findings(root, drift, config)) cross.push_back(std::move(f));
+
+  for (Finding& f : cross) {
+    auto it = suppressions_by_file.find(f.file);
+    if (it == suppressions_by_file.end()) {
+      // Finding in a non-scanned artifact (CMakeLists, matrix script):
+      // honor allow-markers written in its `#` comments.
+      const std::filesystem::path path = std::filesystem::path(root) / f.file;
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      Suppressions raw = collect_suppressions(f.file, split_lines(buffer.str()));
+      raw.malformed.clear();  // resource files only opt out, never trip
+      it = suppressions_by_file.emplace(f.file, std::move(raw)).first;
+    }
+    if (!is_suppressed(it->second, f.line, f.rule)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  sort_findings(&findings);
   return findings;
 }
 
 std::string to_json_line(const Finding& finding) {
   std::ostringstream out;
   out << "{\"file\":\"" << json_escape(finding.file) << "\",\"line\":" << finding.line
-      << ",\"rule\":\"" << json_escape(finding.rule) << "\",\"severity\":\""
-      << severity_name(finding.severity) << "\",\"message\":\""
+      << ",\"column\":" << finding.column << ",\"rule\":\"" << json_escape(finding.rule)
+      << "\",\"severity\":\"" << severity_name(finding.severity) << "\",\"message\":\""
       << json_escape(finding.message) << "\"}";
   return out.str();
 }
+
+namespace {
+
+std::string baseline_key(const Finding& finding) {
+  return finding.file + "|" + std::to_string(finding.line) + "|" + finding.rule;
+}
+
+}  // namespace
 
 int run(const Options& options, std::ostream& out, std::ostream& err) {
   namespace fs = std::filesystem;
@@ -740,7 +731,7 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
     err << "drongo_lint: root '" << options.root << "' is not a directory\n";
     return 2;
   }
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const std::string& subdir : options.subdirs) {
     const fs::path dir = root / subdir;
     if (!fs::is_directory(dir)) continue;
@@ -748,15 +739,15 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
-        files.push_back(entry.path());
+        paths.push_back(entry.path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::size_t errors = 0;
-  std::size_t warnings = 0;
-  for (const fs::path& file : files) {
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& file : paths) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
       err << "drongo_lint: cannot read " << file.generic_string() << "\n";
@@ -764,26 +755,79 @@ int run(const Options& options, std::ostream& out, std::ostream& err) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string rel = fs::relative(file, root).generic_string();
-    const std::vector<Finding> findings =
-        scan_source(rel, buffer.str(), options.config);
-    for (const Finding& f : findings) {
-      if (f.severity == Severity::kError) {
-        ++errors;
+    files.push_back({fs::relative(file, root).generic_string(), buffer.str()});
+  }
+
+  std::vector<Finding> findings = scan_tree(options.root, files, options.config);
+
+  if (!options.baseline_path.empty() && options.write_baseline) {
+    std::ofstream baseline(options.baseline_path, std::ios::trunc);
+    if (!baseline) {
+      err << "drongo_lint: cannot write baseline '" << options.baseline_path << "'\n";
+      return 2;
+    }
+    std::set<std::string> keys;
+    for (const Finding& f : findings) keys.insert(baseline_key(f));
+    for (const std::string& key : keys) baseline << key << "\n";
+    err << "drongo_lint: wrote " << keys.size() << " baseline key(s) to "
+        << options.baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t baselined = 0;
+  if (!options.baseline_path.empty()) {
+    std::ifstream baseline(options.baseline_path);
+    if (!baseline) {
+      err << "drongo_lint: cannot read baseline '" << options.baseline_path << "'\n";
+      return 2;
+    }
+    std::set<std::string> keys;
+    std::string line;
+    while (std::getline(baseline, line)) {
+      if (!line.empty()) keys.insert(line);
+    }
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      if (keys.count(baseline_key(f)) != 0) {
+        ++baselined;
       } else {
-        ++warnings;
-      }
-      if (options.json) {
-        out << to_json_line(f) << "\n";
-      } else {
-        out << f.file << ":" << f.line << ": [" << severity_name(f.severity) << "] "
-            << f.rule << ": " << f.message << "\n";
+        kept.push_back(std::move(f));
       }
     }
+    findings = std::move(kept);
   }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+    if (options.json) {
+      out << to_json_line(f) << "\n";
+    } else {
+      out << f.file << ":" << f.line << ":" << f.column << ": ["
+          << severity_name(f.severity) << "] " << f.rule << ": " << f.message << "\n";
+    }
+  }
+
+  if (!options.sarif_path.empty()) {
+    std::ofstream sarif(options.sarif_path, std::ios::trunc);
+    if (!sarif) {
+      err << "drongo_lint: cannot write SARIF '" << options.sarif_path << "'\n";
+      return 2;
+    }
+    sarif << sarif_report(findings, all_rules());
+  }
+
   if (!options.json) {
     err << "drongo_lint: scanned " << files.size() << " files: " << errors
-        << " error(s), " << warnings << " warning(s)\n";
+        << " error(s), " << warnings << " warning(s)";
+    if (baselined > 0) err << ", " << baselined << " baselined";
+    err << "\n";
   }
   return errors > 0 ? 1 : 0;
 }

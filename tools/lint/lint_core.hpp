@@ -4,28 +4,47 @@
 // streams); PR 2 routed every failure through the `net::Error` taxonomy.
 // Those are load-bearing properties for every number this repo reproduces,
 // and both die silently to one stray `std::random_device` or raw `throw`.
-// This checker scans src/, tools/, and bench/ line-by-line (comments and
-// string literals scrubbed first) and reports violations of:
+// PRs 5–7 added five lock-striped concurrent subsystems whose deadlock-
+// and blocking-under-lock hazards no per-line regex can see, so v2 rebuilt
+// the checker as a multi-pass analyzer over a shared C++ tokenizer
+// (token.hpp): the token stream owns comments, string/raw-string literals,
+// and preprocessor lines once, and every pass reads from it.
 //
-//   nondeterminism   banned wall-clock / ambient-entropy APIs outside the
-//                    allowlisted clock shim (src/net/clock.*)
-//   unordered-serial range-for over an unordered container whose body feeds
-//                    serialized output (iteration order is unspecified)
-//   raw-throw        `throw` of a non-taxonomy type in net/, dns/, measure/
-//   mutable-static   mutable file-scope static without mutex/atomic/
-//                    thread_local protection
-//   fault-window     driving exchanges through FaultyTransport without ever
-//                    establishing ScopedFaultTime (outage windows see NaN)
-//   obs-bypass       console output (std::cerr/printf/...) in library code
-//                    under dns/, measure/, or core/ — telemetry belongs in
-//                    the obs registry, not on a stream CI cannot diff
-//   bad-suppression  an allow-comment with no reason or an unknown rule name
+// Per-file rules:
+//
+//   nondeterminism     banned wall-clock / ambient-entropy APIs outside the
+//                      allowlisted clock shim (src/net/clock.*)
+//   unordered-serial   range-for over an unordered container whose body
+//                      feeds serialized output (iteration order unspecified)
+//   raw-throw          `throw` of a non-taxonomy type in net/, dns/, measure/
+//   mutable-static     mutable file-scope static without mutex/atomic/
+//                      thread_local protection
+//   fault-window       driving exchanges through FaultyTransport without
+//                      ever establishing ScopedFaultTime
+//   obs-bypass         console output in library code under dns/, measure/,
+//                      core/ — telemetry belongs in the obs registry
+//   lock-held-blocking sleeps, joins, or upstream/transport exchanges made
+//                      while an RAII mutex guard is live
+//   cv-wait-predicate  cv.wait(lock) with no predicate (lost-wakeup bait)
+//   bad-suppression    an allow-comment with no reason or an unknown rule
+//
+// Cross-file passes (run over the whole tree):
+//
+//   lock-order         cycles in the acquired-while-held graph merged
+//                      across translation units
+//   obs-drift          metric literals missing from the schema.hpp X-macro
+//                      or the docs/OBSERVABILITY.md catalog
+//   env-knob-drift     getenv("DRONGO_…") without a README knob-table row
+//                      or a fail-loudly parse_* wrapper
+//   label-drift        CTest LABELS values not wired into
+//                      tools/ci/analysis_matrix.sh
 //
 // Findings are suppressed inline with a comment on the offending line or the
 // line directly above, naming the rule(s) and a mandatory reason, e.g.
 //   drongo-lint: allow(nondeterminism) — documentation example, not a real site
 // Suppressions only count inside comments; the marker in a string literal is
-// inert.
+// inert. Findings in CMake/shell/markdown artifacts (label-drift) accept the
+// same marker in a `#` comment.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +62,12 @@ inline constexpr const char* kRuleMutableStatic = "mutable-static";
 inline constexpr const char* kRuleFaultWindow = "fault-window";
 inline constexpr const char* kRuleObsBypass = "obs-bypass";
 inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+inline constexpr const char* kRuleLockOrder = "lock-order";
+inline constexpr const char* kRuleLockHeldBlocking = "lock-held-blocking";
+inline constexpr const char* kRuleCvWaitPredicate = "cv-wait-predicate";
+inline constexpr const char* kRuleObsDrift = "obs-drift";
+inline constexpr const char* kRuleEnvKnobDrift = "env-knob-drift";
+inline constexpr const char* kRuleLabelDrift = "label-drift";
 
 /// All checkable rule names (excludes bad-suppression, which is the checker
 /// policing its own suppression syntax and is always an error).
@@ -57,7 +82,8 @@ bool parse_severity(const std::string& text, Severity* severity);
 
 struct Finding {
   std::string file;
-  std::size_t line = 0;  // 1-based
+  std::size_t line = 0;    // 1-based
+  std::size_t column = 1;  // 1-based; 1 when a rule only resolves lines
   std::string rule;
   Severity severity = Severity::kError;
   std::string message;
@@ -74,19 +100,44 @@ struct Config {
 };
 
 /// Blanks comments and string/char literal *contents* while preserving line
-/// structure, so token scans never fire inside prose or data. Handles //,
-/// /* */, escapes, and R"(...)" raw strings.
+/// structure, so token scans never fire inside prose or data. Built on the
+/// shared tokenizer (token.hpp): raw strings, encoding prefixes, digit
+/// separators, and line continuations all resolve there.
 std::string scrub(const std::string& source);
 
-/// Scans one translation unit. `path` should be root-relative with '/'
-/// separators — the raw-throw and fault-window rules match on it.
+/// Scans one translation unit: every per-file rule plus the concurrency
+/// pass (including lock-order cycles local to this file). `path` should be
+/// root-relative with '/' separators — several rules match on it.
 std::vector<Finding> scan_source(const std::string& path, const std::string& content,
                                  const Config& config);
+
+/// A preloaded source file for scan_tree (path root-relative, '/' separators).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// The full multi-pass analysis over a set of translation units: per-file
+/// rules, the cross-TU lock-order graph, and the drift pass resolved
+/// against the reference artifacts under `root`. Suppressions applied,
+/// output sorted file→line→column→rule. This is run()'s engine, exposed so
+/// bench_lint can time passes without re-reading files.
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<SourceFile>& files,
+                               const Config& config);
 
 struct Options {
   std::string root = ".";
   std::vector<std::string> subdirs = {"src", "tools", "bench"};
   bool json = false;
+  /// When non-empty, also serialize the findings as SARIF 2.1.0 to this path.
+  std::string sarif_path;
+  /// When non-empty, read a baseline file (one `file|line|rule` key per
+  /// line) and drop matching findings — staged adoption for a dirty tree.
+  std::string baseline_path;
+  /// With baseline_path: write the current findings as the new baseline
+  /// (and report nothing). Exit code 0 unless the tree cannot be scanned.
+  bool write_baseline = false;
   Config config;
 };
 

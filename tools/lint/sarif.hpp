@@ -1,0 +1,20 @@
+// SARIF 2.1.0 serialization of a finding set — the interchange format CI
+// annotators (GitHub code scanning, VS Code SARIF viewer, sarif-tools)
+// consume. One run, driver "drongo_lint", one result per finding with a
+// physicalLocation region anchored at the finding's line/column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace drongo::lint {
+
+/// The complete SARIF 2.1.0 document (pretty-printed, trailing newline).
+/// `rules` populates the driver's rule metadata array; findings reference
+/// rules by id. Output is deterministic for a given input.
+std::string sarif_report(const std::vector<Finding>& findings,
+                         const std::vector<std::string>& rules);
+
+}  // namespace drongo::lint

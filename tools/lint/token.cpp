@@ -1,0 +1,411 @@
+#include "token.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace drongo::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// The source with backslash-newline splices removed (translation phase 2)
+/// plus a map from every view byte back to its original offset. Tokens are
+/// recognized over the view; positions are reported in original bytes.
+struct View {
+  std::string text;
+  std::vector<std::size_t> map;
+};
+
+View make_view(const std::string& source) {
+  View view;
+  view.text.reserve(source.size());
+  view.map.reserve(source.size());
+  std::size_t i = 0;
+  while (i < source.size()) {
+    if (source[i] == '\\') {
+      if (i + 1 < source.size() && source[i + 1] == '\n') {
+        i += 2;
+        continue;
+      }
+      if (i + 2 < source.size() && source[i + 1] == '\r' && source[i + 2] == '\n') {
+        i += 3;
+        continue;
+      }
+    }
+    view.text.push_back(source[i]);
+    view.map.push_back(i);
+    ++i;
+  }
+  return view;
+}
+
+/// 1-based line and column for every original byte offset (plus one past
+/// the end, for empty-token safety).
+struct LineTable {
+  std::vector<std::size_t> line;
+  std::vector<std::size_t> column;
+};
+
+LineTable make_line_table(const std::string& source) {
+  LineTable table;
+  table.line.resize(source.size() + 1);
+  table.column.resize(source.size() + 1);
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i <= source.size(); ++i) {
+    table.line[i] = line;
+    table.column[i] = column;
+    if (i < source.size()) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  }
+  return table;
+}
+
+/// Punctuators, longest first so greedy matching is correct. Digraphs map
+/// to their primary spelling via `normalized`.
+struct Punct {
+  const char* spelling;
+  const char* normalized;
+};
+
+constexpr std::array<Punct, 48> kPuncts = {{
+    {"%:%:", "##"},
+    {"...", "..."},
+    {"<<=", "<<="},
+    {">>=", ">>="},
+    {"->*", "->*"},
+    {"<%", "{"},
+    {"%>", "}"},
+    {"<:", "["},
+    {":>", "]"},
+    {"%:", "#"},
+    {"::", "::"},
+    {"->", "->"},
+    {"##", "##"},
+    {".*", ".*"},
+    {"<<", "<<"},
+    {">>", ">>"},
+    {"<=", "<="},
+    {">=", ">="},
+    {"==", "=="},
+    {"!=", "!="},
+    {"&&", "&&"},
+    {"||", "||"},
+    {"+=", "+="},
+    {"-=", "-="},
+    {"*=", "*="},
+    {"/=", "/="},
+    {"%=", "%="},
+    {"^=", "^="},
+    {"&=", "&="},
+    {"|=", "|="},
+    {"++", "++"},
+    {"--", "--"},
+    {"{", "{"},
+    {"}", "}"},
+    {"[", "["},
+    {"]", "]"},
+    {"(", "("},
+    {")", ")"},
+    {";", ";"},
+    {":", ":"},
+    {",", ","},
+    {".", "."},
+    {"?", "?"},
+    {"~", "~"},
+    {"#", "#"},
+    {"@", "@"},
+    {"$", "$"},
+    {"`", "`"},
+}};
+
+bool is_string_prefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+bool is_raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  const View view = make_view(source);
+  const LineTable lines = make_line_table(source);
+  const std::string& text = view.text;
+  const std::size_t n = text.size();
+
+  std::vector<Token> tokens;
+  bool in_pp = false;       // inside a preprocessor directive
+  bool line_start = true;   // nothing but whitespace since the last newline
+
+  auto original_begin = [&](std::size_t vpos) {
+    return vpos < view.map.size() ? view.map[vpos] : source.size();
+  };
+  auto original_end = [&](std::size_t vbegin, std::size_t vend) {
+    // End offset = one past the last byte of the token (splices included).
+    if (vend <= vbegin) return original_begin(vbegin);
+    return view.map[vend - 1] + 1;
+  };
+  auto push = [&](TokKind kind, std::size_t vbegin, std::size_t vend,
+                  std::string normalized) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(normalized);
+    token.offset = original_begin(vbegin);
+    token.length = original_end(vbegin, vend) - token.offset;
+    token.line = lines.line[token.offset];
+    token.column = lines.column[token.offset];
+    token.preprocessor = in_pp;
+    tokens.push_back(std::move(token));
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      in_pp = false;
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      push(TokKind::kComment, i, j, text.substr(i, j - i));
+      i = j;
+      line_start = false;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      // Block comments do not nest: the first */ ends the comment.
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) ++j;
+      j = (j + 1 < n) ? j + 2 : n;
+      push(TokKind::kComment, i, j, text.substr(i, j - i));
+      i = j;
+      line_start = false;
+      continue;
+    }
+
+    // Identifiers — and the encoding-prefixed literals that start like one.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(text[j])) ++j;
+      const std::string ident = text.substr(i, j - i);
+      if (j < n && text[j] == '"' && is_raw_string_prefix(ident)) {
+        // Raw string. The body reverses line splicing, so the closer is
+        // located in the ORIGINAL source bytes.
+        std::size_t delim_begin = j + 1;
+        std::size_t k = delim_begin;
+        while (k < n && text[k] != '(' && text[k] != '\n' &&
+               k - delim_begin < 16) {
+          ++k;
+        }
+        if (k >= n || text[k] != '(') {
+          // Malformed raw string: treat "R" as an identifier and move on.
+          push(TokKind::kIdent, i, j, ident);
+          i = j;
+          line_start = false;
+          continue;
+        }
+        const std::string delim = text.substr(delim_begin, k - delim_begin);
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body_begin = original_begin(k) + 1;
+        std::size_t close_at = source.find(closer, body_begin);
+        std::size_t token_end_offset;  // one past the final '"'
+        if (close_at == std::string::npos) {
+          token_end_offset = source.size();
+        } else {
+          token_end_offset = close_at + closer.size();
+        }
+        const std::size_t token_begin_offset = original_begin(i);
+        Token token;
+        token.kind = TokKind::kString;
+        token.text = source.substr(token_begin_offset,
+                                   token_end_offset - token_begin_offset);
+        token.offset = token_begin_offset;
+        token.length = token_end_offset - token_begin_offset;
+        token.line = lines.line[token.offset];
+        token.column = lines.column[token.offset];
+        token.preprocessor = in_pp;
+        tokens.push_back(std::move(token));
+        // Re-sync the view cursor past the raw string.
+        while (i < n && original_begin(i) < token_end_offset) ++i;
+        line_start = false;
+        continue;
+      }
+      if (j < n && text[j] == '"' && is_string_prefix(ident)) {
+        // Prefixed ordinary string: fall through to the string scanner
+        // with the prefix folded into the token.
+        std::size_t k = j + 1;
+        while (k < n && text[k] != '"' && text[k] != '\n') {
+          if (text[k] == '\\' && k + 1 < n) ++k;
+          ++k;
+        }
+        k = (k < n && text[k] == '"') ? k + 1 : k;
+        push(TokKind::kString, i, k, text.substr(i, k - i));
+        i = k;
+        line_start = false;
+        continue;
+      }
+      if (j < n && text[j] == '\'' && is_string_prefix(ident)) {
+        std::size_t k = j + 1;
+        while (k < n && text[k] != '\'' && text[k] != '\n') {
+          if (text[k] == '\\' && k + 1 < n) ++k;
+          ++k;
+        }
+        k = (k < n && text[k] == '\'') ? k + 1 : k;
+        push(TokKind::kChar, i, k, text.substr(i, k - i));
+        i = k;
+        line_start = false;
+        continue;
+      }
+      push(TokKind::kIdent, i, j, ident);
+      i = j;
+      line_start = false;
+      continue;
+    }
+
+    // pp-numbers: digit, or '.' followed by a digit. Consumes digit
+    // separators (1'000'000) and signed exponents (1e+9, 0x1p-3).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(text[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        const char prev = text[j - 1];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && is_ident_char(text[j + 1]) &&
+                   is_ident_char(prev)) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, i, j, text.substr(i, j - i));
+      i = j;
+      line_start = false;
+      continue;
+    }
+
+    // Plain string and char literals.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != '"' && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = (j < n && text[j] == '"') ? j + 1 : j;
+      push(TokKind::kString, i, j, text.substr(i, j - i));
+      i = j;
+      line_start = false;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != '\'' && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = (j < n && text[j] == '\'') ? j + 1 : j;
+      push(TokKind::kChar, i, j, text.substr(i, j - i));
+      i = j;
+      line_start = false;
+      continue;
+    }
+
+    // Punctuators (greedy longest match, digraphs normalized).
+    {
+      // <:: followed by neither ':' nor '>' lexes as "<" "::", not "<:" ":"
+      // ([lex.pptoken]/3.2) — so `std::vector<::Foo>` parses as intended.
+      const bool lt_colon_colon =
+          c == '<' && i + 2 < n && text[i + 1] == ':' && text[i + 2] == ':' &&
+          (i + 3 >= n || (text[i + 3] != ':' && text[i + 3] != '>'));
+      std::size_t matched_len = 0;
+      const char* normalized = nullptr;
+      if (lt_colon_colon) {
+        matched_len = 1;
+        normalized = "<";
+      } else {
+        for (const Punct& p : kPuncts) {
+          const std::size_t len = std::char_traits<char>::length(p.spelling);
+          if (text.compare(i, len, p.spelling) == 0) {
+            matched_len = len;
+            normalized = p.normalized;
+            break;
+          }
+        }
+      }
+      if (matched_len == 0) {
+        // Single-char operator not in the table (e.g. + - * / < > = ! & | ^ %).
+        matched_len = 1;
+        const bool starts_pp = false;
+        (void)starts_pp;
+        push(TokKind::kPunct, i, i + 1, std::string(1, c));
+        i += 1;
+        line_start = false;
+        continue;
+      }
+      const bool is_hash = std::string(normalized) == "#";
+      if (is_hash && line_start) in_pp = true;
+      push(TokKind::kPunct, i, i + matched_len, normalized);
+      i += matched_len;
+      line_start = false;
+      continue;
+    }
+  }
+  return tokens;
+}
+
+std::string scrub_tokens(const std::string& source, const std::vector<Token>& tokens,
+                         bool keep_comments) {
+  std::string out = source;
+  for (const Token& token : tokens) {
+    if (token.kind == TokKind::kComment) {
+      if (keep_comments) continue;
+      const std::size_t end = std::min(token.offset + token.length, out.size());
+      for (std::size_t i = token.offset; i < end; ++i) {
+        if (out[i] != '\n') out[i] = ' ';
+      }
+    } else if (token.kind == TokKind::kString || token.kind == TokKind::kChar) {
+      const std::size_t end = std::min(token.offset + token.length, out.size());
+      for (std::size_t i = token.offset; i < end; ++i) {
+        if (out[i] != '\n') out[i] = ' ';
+      }
+      // Keep the delimiters so boundaries stay visible (and a digit
+      // separator never gets confused with a dangling quote).
+      const char quote = token.kind == TokKind::kString ? '"' : '\'';
+      if (token.offset < out.size()) out[token.offset] = quote;
+      if (end > token.offset + 1) out[end - 1] = quote;
+    }
+  }
+  return out;
+}
+
+}  // namespace drongo::lint

@@ -1,0 +1,59 @@
+// Shared C++ tokenizer for drongo_lint's analysis passes.
+//
+// One pass owns the lexical grammar — comments, string/char literals
+// (including raw strings, whose bodies un-splice per [lex.pptoken]),
+// encoding prefixes, digraphs, backslash-newline line continuations,
+// digit separators, and preprocessor directives — so no rule ever has to
+// re-derive "am I inside a string?" with its own ad-hoc state machine.
+//
+// Tokens carry their physical position in the ORIGINAL source (1-based
+// line/column plus byte offset/length), so findings anchored on a token
+// survive line splices, and `scrub_tokens` can blank literal/comment
+// bytes in place without disturbing line structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drongo::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers (incl. digit separators, exponent signs)
+  kString,   // string literals, raw or not, with any encoding prefix
+  kChar,     // character literals, with any encoding prefix
+  kPunct,    // operators and punctuators (digraphs normalized in `text`)
+  kComment,  // // and /* */ comments (block comments do not nest)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  /// Normalized spelling: line splices removed, digraphs mapped to their
+  /// primary form (<% -> {, %: -> #, ...). Raw-string text keeps its
+  /// original bytes (splices included), per the standard's phase reversal.
+  std::string text;
+  std::size_t line = 0;    // 1-based physical line of the first byte
+  std::size_t column = 0;  // 1-based physical column of the first byte
+  std::size_t offset = 0;  // byte offset of the first byte in the source
+  std::size_t length = 0;  // byte length in the source (splices included)
+  /// Token is part of a preprocessor directive (from the introducing '#'
+  /// through the end of the logical, splice-joined line).
+  bool preprocessor = false;
+};
+
+/// Lexes `source` into a best-effort token stream. Never throws on
+/// malformed input: unterminated literals close at the next newline (or
+/// end of file), unterminated comments run to end of file.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Rebuilds the legacy "scrubbed" view from the token stream: same byte
+/// length and line structure as `source`, with comment bytes and
+/// string/char literal *contents* blanked (the delimiting quotes are kept
+/// so literal boundaries stay visible). When `keep_comments` is true,
+/// comment bytes are preserved — the view used to parse suppression
+/// comments while keeping string-literal markers inert.
+std::string scrub_tokens(const std::string& source, const std::vector<Token>& tokens,
+                         bool keep_comments = false);
+
+}  // namespace drongo::lint
