@@ -1,0 +1,379 @@
+// Daemon serving bench: what does the epoll + recvmmsg/sendmmsg front end
+// buy over the naive one-datagram-per-syscall UDP server?
+//
+// Both arms serve the SAME workload from the SAME resolver configuration
+// (sharded cache on, coalescing on, frozen serving time) over real loopback
+// sockets, driven by a pipelined load generator that keeps a window of
+// queries outstanding and itself batches syscalls (the client must not
+// steal the server's core with per-datagram overhead):
+//
+//   arm A  dns::UdpDnsServer    blocking thread, one recvfrom/sendto pair
+//                               and a fresh 64 KB buffer per datagram
+//   arm B  dns::DaemonServer    event loop, SO_REUSEPORT listeners,
+//                               recvmmsg/sendmmsg batches, reused buffers
+//
+// The bench FAILS (exit 1) when arm B falls below DRONGO_DAEMON_MIN_QPS
+// (default 50k) or below DRONGO_DAEMON_MIN_SPEEDUP x arm A (default 2x) —
+// the gate that keeps the front end honest. Latency (p50/p99 over every
+// response) and sustained QPS land in BENCH_daemon.json.
+#include <netinet/in.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "cdn/authoritative.hpp"
+#include "cdn/deploy.hpp"
+#include "cdn/resolver.hpp"
+#include "dns/daemon_server.hpp"
+#include "dns/inmemory.hpp"
+#include "dns/udp.hpp"
+#include "net/clock.hpp"
+#include "net/error.hpp"
+#include "netio/socket.hpp"
+#include "obs/bench_report.hpp"
+#include "topology/as_gen.hpp"
+#include "topology/world.hpp"
+
+using namespace drongo;
+
+namespace {
+
+// ---- Environment knobs (fail loudly; see the README knob table) -----------
+
+long parse_env_long(const char* name, const char* value, long fallback, long min_value) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min_value) {
+    throw net::InvalidArgument(std::string(name) + " must be an integer >= " +
+                               std::to_string(min_value) + ", got '" + value + "'");
+  }
+  return parsed;
+}
+
+double parse_env_double(const char* name, const char* value, double fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed < 0.0) {
+    throw net::InvalidArgument(std::string(name) + " must be a number >= 0, got '" +
+                               value + "'");
+  }
+  return parsed;
+}
+
+double parse_min_qps() {
+  return parse_env_double("DRONGO_DAEMON_MIN_QPS",
+                          std::getenv("DRONGO_DAEMON_MIN_QPS"), 50'000.0);
+}
+
+double parse_min_speedup() {
+  return parse_env_double("DRONGO_DAEMON_MIN_SPEEDUP",
+                          std::getenv("DRONGO_DAEMON_MIN_SPEEDUP"), 2.0);
+}
+
+std::size_t parse_daemon_listeners() {
+  const long v = parse_env_long("DRONGO_DAEMON_LISTENERS",
+                                std::getenv("DRONGO_DAEMON_LISTENERS"), 0, 0);
+  if (v > 0) return static_cast<std::size_t>(v);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t parse_daemon_batch() {
+  return static_cast<std::size_t>(parse_env_long(
+      "DRONGO_DAEMON_BATCH", std::getenv("DRONGO_DAEMON_BATCH"), 64, 1));
+}
+
+double parse_bench_seconds() {
+  return parse_env_double("DRONGO_DAEMON_BENCH_SECONDS",
+                          std::getenv("DRONGO_DAEMON_BENCH_SECONDS"), 1.2);
+}
+
+std::size_t parse_window() {
+  return static_cast<std::size_t>(parse_env_long(
+      "DRONGO_DAEMON_WINDOW", std::getenv("DRONGO_DAEMON_WINDOW"), 128, 1));
+}
+
+// ---- World (mirrors bench_serving) ----------------------------------------
+
+struct World {
+  World() {
+    topology::AsGenConfig as_config;
+    as_config.tier1_count = 4;
+    as_config.tier2_count = 8;
+    as_config.stub_count = 30;
+    as_config.seed = 2026;
+    auto graph = topology::generate_as_graph(as_config);
+    net::Rng rng(2027);
+    const auto plan = cdn::plan_cdn(graph, cdn::google_like(), rng);
+    world = std::make_unique<topology::World>(std::move(graph));
+    provider = std::make_unique<cdn::CdnProvider>(cdn::deploy_cdn(*world, plan));
+    auth = std::make_unique<cdn::CdnAuthoritative>(provider.get());
+    const auto auth_addr =
+        world->add_host(provider->as_index(), topology::HostKind::kServer, 0);
+    network.register_server(auth_addr, auth.get());
+
+    std::size_t t1 = 0;
+    for (std::size_t v = 0; v < world->graph().node_count(); ++v) {
+      if (world->graph().node(v).tier == topology::AsTier::kTier1) {
+        t1 = v;
+        break;
+      }
+    }
+    resolver_addr = world->add_host(t1, topology::HostKind::kServer, 0);
+    auth_address = auth_addr;
+    for (std::size_t v = 0; v < world->graph().node_count(); ++v) {
+      if (world->graph().node(v).tier == topology::AsTier::kStub) {
+        client = world->add_host(v, topology::HostKind::kClient);
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<cdn::PublicResolver> make_resolver() {
+    cdn::ServingConfig serving;
+    serving.enable_cache = true;
+    serving.shards = 8;
+    serving.coalesce = true;
+    auto resolver =
+        std::make_unique<cdn::PublicResolver>(&network, resolver_addr, serving);
+    resolver->register_zone(dns::DnsName::must_parse(provider->profile().zone),
+                            auth_address);
+    // Serving time is frozen before any socket traffic: set_time_ms is
+    // setup-phase only and must never race concurrent handle() calls.
+    resolver->set_time_ms(0);
+    return resolver;
+  }
+
+  std::unique_ptr<topology::World> world;
+  std::unique_ptr<cdn::CdnProvider> provider;
+  std::unique_ptr<cdn::CdnAuthoritative> auth;
+  dns::InMemoryDnsNetwork network;
+  net::Ipv4Addr auth_address;
+  net::Ipv4Addr resolver_addr;
+  net::Ipv4Addr client;
+};
+
+// ---- Load generator -------------------------------------------------------
+
+struct LoadResult {
+  std::uint64_t responses = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_samples.size() - 1);
+  const std::size_t index = static_cast<std::size_t>(rank);
+  return sorted_samples[std::min(index, sorted_samples.size() - 1)];
+}
+
+/// Keeps `window` queries outstanding against 127.0.0.1:`port` for
+/// `duration` seconds. Each window slot owns one pre-encoded query (its DNS
+/// id IS the slot index, so a response maps back without decoding); every
+/// response immediately re-arms its slot. Client syscalls are batched with
+/// the same UdpBatch machinery the daemon uses — on a shared core the
+/// client's own syscall count is part of the measurement budget.
+LoadResult run_load(World& env, std::uint16_t port, double duration,
+                    std::size_t window, std::size_t batch) {
+  dns::UdpSocket socket(0);  // blocking: the client parks while the server runs
+  socket.set_receive_timeout(50);
+  netio::UdpBatch io(batch, 4096);
+
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(port);
+  dest.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  const auto names = env.auth->content_names();
+  std::vector<std::vector<std::uint8_t>> queries;
+  queries.reserve(window);
+  for (std::size_t slot = 0; slot < window; ++slot) {
+    const auto& name = names[slot % names.size()];
+    // A distinct /24 per slot spreads cache entries across scopes/shards.
+    const net::Prefix subnet(
+        net::Ipv4Addr(20, static_cast<std::uint8_t>(slot >> 8),
+                      static_cast<std::uint8_t>(slot & 0xFF), 0),
+        24);
+    queries.push_back(
+        dns::Message::make_query(static_cast<std::uint16_t>(slot), name, subnet)
+            .encode());
+  }
+
+  std::vector<double> sent_at(window, -1.0);
+  std::vector<double> samples;
+  samples.reserve(1u << 18);
+  std::uint64_t responses = 0;
+
+  const net::Stopwatch watch;
+  auto stage_slot = [&](std::size_t slot, double now) {
+    if (io.staged() == io.batch_size()) io.flush(socket.fd());
+    io.stage(dest, queries[slot]);
+    sent_at[slot] = now;
+  };
+  for (std::size_t slot = 0; slot < window; ++slot) stage_slot(slot, watch.seconds());
+  io.flush(socket.fd());
+
+  while (true) {
+    const std::size_t count = io.receive(socket.fd(), /*wait_for_one=*/true);
+    const double now = watch.seconds();
+    if (now >= duration) break;
+    if (count == 0) {
+      // Timeout tick: re-arm slots whose query or response was dropped.
+      for (std::size_t slot = 0; slot < window; ++slot) {
+        if (now - sent_at[slot] > 0.25) stage_slot(slot, now);
+      }
+      io.flush(socket.fd());
+      continue;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto payload = io.payload(i);
+      if (payload.size() < 2) continue;
+      const std::size_t slot =
+          (static_cast<std::size_t>(payload[0]) << 8) | payload[1];
+      if (slot >= window || sent_at[slot] < 0.0) continue;
+      samples.push_back((now - sent_at[slot]) * 1000.0);
+      ++responses;
+      stage_slot(slot, now);
+    }
+    io.flush(socket.fd());
+  }
+
+  LoadResult result;
+  result.responses = responses;
+  result.seconds = watch.seconds();
+  std::sort(samples.begin(), samples.end());
+  result.p50_ms = percentile(samples, 0.50);
+  result.p99_ms = percentile(samples, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double min_qps = parse_min_qps();
+  const double min_speedup = parse_min_speedup();
+  const std::size_t listeners = parse_daemon_listeners();
+  const std::size_t batch = parse_daemon_batch();
+  const double duration = parse_bench_seconds();
+  const std::size_t kWindow = parse_window();
+
+  World env;
+  std::cout << "Daemon bench: " << listeners << " listener(s), batch " << batch
+            << ", " << duration << "s per arm, window " << kWindow << "...\n\n";
+
+  // Arm A: the naive blocking single-listener server.
+  LoadResult naive;
+  {
+    auto resolver = env.make_resolver();
+    dns::UdpDnsServer server(resolver.get(), 0);
+    naive = run_load(env, server.port(), duration, kWindow, batch);
+    server.stop();
+  }
+
+  // Arm B: the event-loop daemon, full configuration (packet cache on).
+  LoadResult daemon;
+  dns::DaemonStats daemon_stats;
+  {
+    auto resolver = env.make_resolver();
+    dns::DaemonServerConfig config;
+    config.listeners = listeners;
+    config.batch = batch;
+    config.pin_threads = listeners > 1;
+    config.enable_tcp = false;  // pure UDP throughput arm
+    dns::DaemonServer server(resolver.get(), config);
+    daemon = run_load(env, server.udp_port(), duration, kWindow, batch);
+    server.stop();
+    daemon_stats = server.stats();
+  }
+
+  // Arm B': daemon with the packet cache off — informational, isolating
+  // what batching + the event loop buy before the cache kicks in.
+  LoadResult no_pcache;
+  {
+    auto resolver = env.make_resolver();
+    dns::DaemonServerConfig config;
+    config.listeners = listeners;
+    config.batch = batch;
+    config.pin_threads = listeners > 1;
+    config.enable_tcp = false;
+    config.packet_cache_entries = 0;
+    dns::DaemonServer server(resolver.get(), config);
+    no_pcache = run_load(env, server.udp_port(), duration * 0.5, kWindow, batch);
+    server.stop();
+  }
+
+  const double qps_naive =
+      static_cast<double>(naive.responses) / std::max(naive.seconds, 1e-9);
+  const double qps_daemon =
+      static_cast<double>(daemon.responses) / std::max(daemon.seconds, 1e-9);
+  const double qps_no_pcache =
+      static_cast<double>(no_pcache.responses) / std::max(no_pcache.seconds, 1e-9);
+  const double speedup = qps_daemon / std::max(qps_naive, 1e-9);
+  const std::uint64_t pcache_lookups =
+      daemon_stats.pcache_hits + daemon_stats.pcache_misses;
+  const double pcache_hit_rate =
+      pcache_lookups == 0 ? 0.0
+                          : static_cast<double>(daemon_stats.pcache_hits) /
+                                static_cast<double>(pcache_lookups);
+  const double batch_fill =
+      daemon_stats.udp_batches == 0
+          ? 0.0
+          : static_cast<double>(daemon_stats.udp_queries) /
+                static_cast<double>(daemon_stats.udp_batches);
+
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back({"single-listener QPS (naive)", analysis::fmt(qps_naive, 0)});
+  cells.push_back({"daemon QPS", analysis::fmt(qps_daemon, 0)});
+  cells.push_back({"daemon QPS (packet cache off)", analysis::fmt(qps_no_pcache, 0)});
+  cells.push_back({"packet cache hit rate", analysis::fmt(pcache_hit_rate, 3)});
+  cells.push_back({"speedup", analysis::fmt(speedup, 2) + "x (need >= " +
+                                  analysis::fmt(min_speedup, 2) + "x)"});
+  cells.push_back({"daemon p50 latency (ms)", analysis::fmt(daemon.p50_ms, 3)});
+  cells.push_back({"daemon p99 latency (ms)", analysis::fmt(daemon.p99_ms, 3)});
+  cells.push_back({"recvmmsg batch fill", analysis::fmt(batch_fill, 1)});
+  std::cout << analysis::render_table("Daemon serving", {"Metric", "Value"}, cells);
+
+  obs::BenchReport report("daemon");
+  report.set_number("qps", qps_daemon);
+  report.set_number("qps_single_listener", qps_naive);
+  report.set_number("speedup", speedup);
+  report.set_number("p50_ms", daemon.p50_ms);
+  report.set_number("p99_ms", daemon.p99_ms);
+  report.set_integer("listeners", static_cast<std::int64_t>(listeners));
+  report.set_integer("batch", static_cast<std::int64_t>(batch));
+  report.set_integer("queries", static_cast<std::int64_t>(daemon.responses));
+  report.set_number("duration_seconds", daemon.seconds);
+  report.set_number("qps_packet_cache_off", qps_no_pcache);
+  report.set_number("packet_cache_hit_rate", pcache_hit_rate);
+  report.set_number("batch_fill", batch_fill);
+  report.set_integer("udp_batches", static_cast<std::int64_t>(daemon_stats.udp_batches));
+  report.set_number("min_qps", min_qps);
+  report.set_number("min_speedup", min_speedup);
+  const std::string out = report.default_path();
+  report.write_file(out);
+  std::cout << "\nwrote " << out << "\n";
+
+  bool failed = false;
+  if (qps_daemon < min_qps) {
+    std::cout << "FAIL: daemon sustained only " << analysis::fmt(qps_daemon, 0)
+              << " QPS (< " << analysis::fmt(min_qps, 0) << ")\n";
+    failed = true;
+  }
+  if (speedup < min_speedup) {
+    std::cout << "FAIL: daemon is only " << analysis::fmt(speedup, 2)
+              << "x the single-listener arm (< " << analysis::fmt(min_speedup, 2)
+              << "x)\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

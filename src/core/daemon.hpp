@@ -6,6 +6,12 @@
 // queries at any moment from whatever it has learned so far. This class is
 // that process, driven by an explicit simulated clock so it is fully
 // testable.
+//
+// Naming note: despite the word, this is NOT the network daemon. The
+// socket-facing DNS server is `dns::DaemonServer` (src/dns/daemon_server.hpp,
+// run by tools/drongo_daemond.cpp); `core::DrongoDaemon` here is the
+// client-side trial scheduler from the paper's pipeline and owns no socket.
+// Grep-friendly rule: `DaemonServer` listens, `DrongoDaemon` schedules.
 #pragma once
 
 #include <iosfwd>

@@ -37,31 +37,32 @@ Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
   return h;
 }
 
-/// Synthesizes the OPT pseudo-record from parsed EDNS state.
-ResourceRecord opt_record(const Edns& edns) {
-  net::ByteWriter rdata;
+/// Writes the OPT pseudo-record (RFC 6891) straight into the message
+/// writer — byte-identical to encoding it as a ResourceRecord, without
+/// materialising one (the serving hot path encodes an OPT per reply).
+void write_opt_record(net::ByteWriter& w, const Edns& edns) {
+  w.write_u8(0);  // root owner name
+  w.write_u16(static_cast<std::uint16_t>(RrType::kOpt));
+  w.write_u16(edns.udp_payload_size);  // CLASS carries the payload size
+  w.write_u32((std::uint32_t{edns.extended_rcode} << 24) |
+              (std::uint32_t{edns.version} << 16) | edns.flags);
+  const std::size_t rdlength_at = w.size();
+  w.write_u16(0);  // patched below
+  const std::size_t rdata_start = w.size();
   if (edns.client_subnet) {
-    rdata.write_u16(kOptionCodeClientSubnet);
-    const std::size_t len_at = rdata.size();
-    rdata.write_u16(0);
-    const std::size_t start = rdata.size();
-    edns.client_subnet->encode(rdata);
-    rdata.patch_u16(len_at, static_cast<std::uint16_t>(rdata.size() - start));
+    w.write_u16(kOptionCodeClientSubnet);
+    const std::size_t len_at = w.size();
+    w.write_u16(0);
+    const std::size_t start = w.size();
+    edns.client_subnet->encode(w);
+    w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
   }
   for (const auto& opt : edns.other_options) {
-    rdata.write_u16(opt.code);
-    rdata.write_u16(static_cast<std::uint16_t>(opt.payload.size()));
-    rdata.write_bytes(opt.payload);
+    w.write_u16(opt.code);
+    w.write_u16(static_cast<std::uint16_t>(opt.payload.size()));
+    w.write_bytes(opt.payload);
   }
-
-  ResourceRecord rr;
-  rr.name = DnsName();  // root
-  rr.type = RrType::kOpt;
-  rr.klass = static_cast<RrClass>(edns.udp_payload_size);
-  rr.ttl = (std::uint32_t{edns.extended_rcode} << 24) |
-           (std::uint32_t{edns.version} << 16) | edns.flags;
-  rr.rdata = RawRdata{rdata.take()};
-  return rr;
+  w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
 }
 
 Edns parse_opt(const ResourceRecord& rr) {
@@ -147,8 +148,14 @@ std::vector<net::Ipv4Addr> Message::answer_addresses() const {
 }
 
 std::vector<std::uint8_t> Message::encode() const {
-  net::ByteWriter w;
-  std::map<std::string, std::uint16_t> offsets;
+  std::vector<std::uint8_t> out;
+  encode_to(out);
+  return out;
+}
+
+void Message::encode_to(std::vector<std::uint8_t>& out) const {
+  net::ByteWriter w(std::move(out));
+  NameOffsets offsets;
 
   const std::size_t additional_count = additional.size() + (edns ? 1 : 0);
   w.write_u16(header.id);
@@ -166,8 +173,8 @@ std::vector<std::uint8_t> Message::encode() const {
   for (const auto& rr : answers) rr.encode(w, &offsets);
   for (const auto& rr : authority) rr.encode(w, &offsets);
   for (const auto& rr : additional) rr.encode(w, &offsets);
-  if (edns) opt_record(*edns).encode(w, &offsets);
-  return w.take();
+  if (edns) write_opt_record(w, *edns);
+  out = w.take();
 }
 
 Message Message::decode(std::span<const std::uint8_t> wire) {

@@ -76,6 +76,12 @@ struct Message {
   /// Serializes to wire format with name compression.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
+  /// encode() into `out`, reusing its capacity (the vector is cleared
+  /// first). The serving hot path encodes every reply through one
+  /// per-listener scratch vector so steady-state traffic allocates no
+  /// fresh wire buffer per message.
+  void encode_to(std::vector<std::uint8_t>& out) const;
+
   /// Parses wire format. Throws ParseError on malformed input.
   static Message decode(std::span<const std::uint8_t> wire);
 

@@ -1,6 +1,8 @@
 #include "dns/name.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <string_view>
 
 #include "net/error.hpp"
 #include "net/strings.hpp"
@@ -94,27 +96,43 @@ DnsName DnsName::decode(net::ByteReader& reader) {
   return DnsName(std::move(labels));
 }
 
-void DnsName::encode(net::ByteWriter& writer,
-                     std::map<std::string, std::uint16_t>* offsets) const {
+void DnsName::encode(net::ByteWriter& writer, NameOffsets* offsets) const {
+  if (offsets == nullptr) {
+    for (const auto& label : labels_) {
+      writer.write_u8(static_cast<std::uint8_t>(label.size()));
+      writer.write_string(label);
+    }
+    writer.write_u8(0);
+    return;
+  }
+  // Build the canonical (lowercase, dotted) form once; the suffix starting
+  // at label i is then a view into it, so each map probe allocates nothing.
+  // A key string is materialised only when a new suffix is recorded.
+  std::string canonical;
+  canonical.reserve(wire_length());
   for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (offsets != nullptr) {
-      // Suffix starting at label i, in canonical (lowercase) form.
-      std::string suffix;
-      for (std::size_t j = i; j < labels_.size(); ++j) {
-        if (!suffix.empty()) suffix.push_back('.');
-        suffix += net::to_lower(labels_[j]);
-      }
-      auto it = offsets->find(suffix);
-      if (it != offsets->end()) {
-        writer.write_u16(static_cast<std::uint16_t>(0xC000 | it->second));
-        return;
-      }
-      if (writer.size() < 0x4000) {
-        offsets->emplace(std::move(suffix), static_cast<std::uint16_t>(writer.size()));
-      }
+    if (i != 0) canonical.push_back('.');
+    for (const char c : labels_[i]) {
+      canonical.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  std::size_t suffix_start = 0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const std::string_view suffix =
+        std::string_view(canonical).substr(suffix_start);
+    auto it = offsets->find(suffix);
+    if (it != offsets->end()) {
+      writer.write_u16(static_cast<std::uint16_t>(0xC000 | it->second));
+      return;
+    }
+    if (writer.size() < 0x4000) {
+      offsets->emplace(std::string(suffix),
+                       static_cast<std::uint16_t>(writer.size()));
     }
     writer.write_u8(static_cast<std::uint8_t>(labels_[i].size()));
     writer.write_string(labels_[i]);
+    suffix_start += labels_[i].size() + 1;  // past this label and its dot
   }
   writer.write_u8(0);
 }

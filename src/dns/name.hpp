@@ -13,6 +13,12 @@
 
 namespace drongo::dns {
 
+/// Compression state threaded through one message encode: lowercased name
+/// suffix -> wire offset where it was first written. The transparent
+/// comparator lets the hot path probe with string_views (no key allocation
+/// on lookup; a std::string key is built only when a new suffix is stored).
+using NameOffsets = std::map<std::string, std::uint16_t, std::less<>>;
+
 /// A DNS domain name: an ordered sequence of labels.
 ///
 /// Invariants (enforced at construction): each label is 1..63 bytes, total
@@ -45,8 +51,7 @@ class DnsName {
   /// where that suffix was previously encoded. Pass nullptr to disable
   /// compression. Newly encoded suffixes at offsets < 0x4000 are added to the
   /// map.
-  void encode(net::ByteWriter& writer,
-              std::map<std::string, std::uint16_t>* offsets = nullptr) const;
+  void encode(net::ByteWriter& writer, NameOffsets* offsets = nullptr) const;
 
   [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
   [[nodiscard]] bool is_root() const { return labels_.empty(); }

@@ -29,8 +29,7 @@ ResourceRecord ResourceRecord::soa(DnsName zone, SoaRdata soa, std::uint32_t ttl
   return {std::move(zone), RrType::kSoa, RrClass::kIn, ttl, std::move(soa)};
 }
 
-void ResourceRecord::encode(net::ByteWriter& writer,
-                            std::map<std::string, std::uint16_t>* offsets) const {
+void ResourceRecord::encode(net::ByteWriter& writer, NameOffsets* offsets) const {
   name.encode(writer, offsets);
   writer.write_u16(static_cast<std::uint16_t>(type));
   writer.write_u16(static_cast<std::uint16_t>(klass));

@@ -83,8 +83,7 @@ struct ResourceRecord {
 
   /// Encodes name, type, class, TTL, RDLENGTH, and RDATA. Names inside RDATA
   /// participate in compression via `offsets` (nullptr disables).
-  void encode(net::ByteWriter& writer,
-              std::map<std::string, std::uint16_t>* offsets) const;
+  void encode(net::ByteWriter& writer, NameOffsets* offsets) const;
 
   /// Decodes one record. For unknown types the RDATA is kept raw.
   static ResourceRecord decode(net::ByteReader& reader);

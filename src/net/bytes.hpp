@@ -58,6 +58,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `reuse` as the backing store, clearing its contents but keeping
+  /// its capacity — hot encode paths hand the same vector back and forth via
+  /// take() so steady-state serving allocates nothing per message.
+  explicit ByteWriter(std::vector<std::uint8_t> reuse) : out_(std::move(reuse)) {
+    out_.clear();
+  }
+
   [[nodiscard]] std::size_t size() const { return out_.size(); }
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }

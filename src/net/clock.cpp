@@ -14,4 +14,10 @@ double Stopwatch::seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
 }
 
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
 }  // namespace drongo::net

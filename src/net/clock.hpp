@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace drongo::net {
 
@@ -28,5 +29,12 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Monotonic milliseconds since an arbitrary epoch, for *operational*
+/// deadlines only: event-loop timers, connection idle timeouts, drain
+/// grace periods. Like Stopwatch, nothing simulated may depend on it —
+/// simulated time still flows from campaign schedules. Lives here so the
+/// nondeterminism lint ban on raw clock reads stays enforceable.
+[[nodiscard]] std::uint64_t steady_now_ms();
 
 }  // namespace drongo::net

@@ -1,0 +1,182 @@
+#include "netio/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "net/clock.hpp"
+#include "net/error.hpp"
+
+namespace drongo::netio {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw net::Error(std::string("epoll_create1(): ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const int saved = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw net::Error(std::string("eventfd(): ") + std::strerror(saved));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const int saved = errno;
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    throw net::Error(std::string("epoll_ctl(ADD wakeup)): ") + std::strerror(saved));
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  if (!callback) throw net::InvalidArgument("EventLoop::add_fd: empty callback");
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw net::Error(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw net::Error(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  // The fd may already be closed by the caller; ENOENT/EBADF are then fine.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+std::uint64_t EventLoop::add_timer(std::uint64_t delay_ms,
+                                   std::function<void()> callback) {
+  if (!callback) throw net::InvalidArgument("EventLoop::add_timer: empty callback");
+  const std::uint64_t id = next_timer_id_++;
+  timer_heap_.push(TimerEntry{net::steady_now_ms() + delay_ms, id});
+  timer_callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t timer_id) {
+  // The heap entry stays behind as a tombstone; dispatch skips ids with no
+  // surviving callback.
+  timer_callbacks_.erase(timer_id);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(std::move(task));
+  }
+  wakeup();
+}
+
+void EventLoop::wakeup() {
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is saturated — the loop is already signalled.
+  (void)::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+void EventLoop::run() {
+  stop_requested_ = false;
+  std::vector<epoll_event> events(64);
+  while (true) {
+    run_posted_tasks();
+    if (stop_requested_) break;
+    fire_due_timers(net::steady_now_ms());
+    if (stop_requested_) break;
+    const int timeout = next_timeout_ms(net::steady_now_ms());
+    const int ready =
+        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), timeout);
+    if (registry_ != nullptr) registry_->add("netio.polls", 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw net::Error(std::string("epoll_wait(): ") + std::strerror(errno));
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        drain_wakeup_fd();
+        continue;
+      }
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // removed by an earlier callback
+      if (registry_ != nullptr) registry_->add("netio.events", 1);
+      // Dispatch through a copy so a callback may remove_fd() itself.
+      FdCallback callback = it->second;
+      callback(events[static_cast<std::size_t>(i)].events);
+    }
+  }
+}
+
+void EventLoop::drain_wakeup_fd() {
+  std::uint64_t value = 0;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+    if (registry_ != nullptr) registry_->add("netio.wakeups", 1);
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<std::function<void()>> local;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    local.swap(pending_);
+  }
+  for (auto& task : local) {
+    if (registry_ != nullptr) registry_->add("netio.tasks", 1);
+    task();
+  }
+}
+
+void EventLoop::fire_due_timers(std::uint64_t now_ms) {
+  while (!timer_heap_.empty()) {
+    const TimerEntry top = timer_heap_.top();
+    auto it = timer_callbacks_.find(top.id);
+    if (it == timer_callbacks_.end()) {
+      timer_heap_.pop();  // cancelled tombstone
+      continue;
+    }
+    if (top.deadline_ms > now_ms) break;
+    timer_heap_.pop();
+    std::function<void()> callback = std::move(it->second);
+    timer_callbacks_.erase(it);
+    if (registry_ != nullptr) registry_->add("netio.timers", 1);
+    callback();
+  }
+}
+
+int EventLoop::next_timeout_ms(std::uint64_t now_ms) const {
+  if (timer_heap_.empty()) return -1;
+  const std::uint64_t deadline = timer_heap_.top().deadline_ms;
+  if (deadline <= now_ms) return 0;
+  const std::uint64_t delta = deadline - now_ms;
+  return delta > static_cast<std::uint64_t>(INT_MAX) ? INT_MAX : static_cast<int>(delta);
+}
+
+}  // namespace drongo::netio

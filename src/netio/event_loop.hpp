@@ -1,0 +1,115 @@
+// Per-core epoll event loop: edge-triggered fds, deadline timers, wakeups.
+//
+// One EventLoop runs on one thread. Readiness callbacks are registered per
+// fd with EPOLLET semantics — a callback must drain its fd to EAGAIN before
+// returning, or it will not be called again. Deadline timers ride the
+// epoll_wait timeout (no timerfd per timer), keyed off net::steady_now_ms()
+// so the nondeterminism lint's clock ban stays intact. Cross-thread input
+// arrives only through post()/wakeup()/stop(), which poke an eventfd; all
+// other methods belong to the loop thread (or to setup before run()).
+//
+// The lock discipline the concurrency lint now enforces repo-wide is
+// visible in the implementation: the pending-task mutex is held only to
+// swap the queue, never across epoll_wait, recvmmsg/sendmmsg, accept, or a
+// user callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace drongo::netio {
+
+/// Readiness callback; receives the epoll event mask (EPOLLIN|EPOLLOUT|...).
+using FdCallback = std::function<void(std::uint32_t)>;
+
+class EventLoop {
+ public:
+  /// Creates the epoll instance and its wakeup eventfd. Throws net::Error
+  /// if the kernel refuses either.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` edge-triggered for `events`. The fd is borrowed: the
+  /// caller still owns and closes it (after remove_fd). Loop thread or
+  /// pre-run only.
+  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+
+  /// Re-arms `fd` with a new interest mask (e.g. adding EPOLLOUT while a
+  /// write is short). Loop thread only.
+  void modify_fd(int fd, std::uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside its own callback. Loop
+  /// thread only.
+  void remove_fd(int fd);
+
+  /// Arms a one-shot timer `delay_ms` from now; returns an id for
+  /// cancel_timer(). Timers fire on the loop thread between fd dispatches.
+  /// Loop thread or pre-run only.
+  std::uint64_t add_timer(std::uint64_t delay_ms, std::function<void()> callback);
+
+  /// Cancels a pending timer; firing an unknown/expired id is a no-op.
+  void cancel_timer(std::uint64_t timer_id);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Thread-safe; the only sanctioned way to reach a running loop from
+  /// another thread.
+  void post(std::function<void()> task);
+
+  /// Pokes the wakeup eventfd so a blocked epoll_wait returns. Thread-safe.
+  void wakeup();
+
+  /// Runs until stop(). Dispatch order within one iteration: posted tasks,
+  /// due timers, then fd readiness callbacks.
+  void run();
+
+  /// Asks the loop to exit after the current iteration. Thread-safe.
+  void stop();
+
+  /// Mirrors loop activity into `netio.*` counters (may be null).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+
+  /// Number of registered fds (loop thread only; for tests/drain logic).
+  [[nodiscard]] std::size_t fd_count() const { return callbacks_.size(); }
+
+ private:
+  struct TimerEntry {
+    std::uint64_t deadline_ms;
+    std::uint64_t id;
+    bool operator>(const TimerEntry& other) const {
+      return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms
+                                              : id > other.id;
+    }
+  };
+
+  void drain_wakeup_fd();
+  void run_posted_tasks();
+  void fire_due_timers(std::uint64_t now_ms);
+  [[nodiscard]] int next_timeout_ms(std::uint64_t now_ms) const;
+  void count(const char* name, std::uint64_t delta);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stop_requested_ = false;  // loop thread reads; set via posted task
+  std::unordered_map<int, FdCallback> callbacks_;
+
+  std::uint64_t next_timer_id_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
+      timer_heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> timer_callbacks_;
+
+  std::mutex pending_mutex_;  // guards pending_ only — never held across I/O
+  std::vector<std::function<void()>> pending_;
+
+  obs::Registry* registry_ = nullptr;
+};
+
+}  // namespace drongo::netio

@@ -1,0 +1,189 @@
+#include "netio/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "net/error.hpp"
+
+namespace drongo::netio {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+[[noreturn]] void throw_errno(const char* what, int err) {
+  throw net::Error(std::string(what) + ": " + std::strerror(err));
+}
+
+std::uint16_t bound_port_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("getsockname()", saved);
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(O_NONBLOCK)", errno);
+  }
+}
+
+int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw_errno("socket(SOCK_DGRAM)", errno);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("setsockopt(SO_REUSEPORT)", saved);
+  }
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("bind()", saved);
+  }
+  if (bound_port != nullptr) *bound_port = bound_port_of(fd);
+  return fd;
+}
+
+int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw_errno("socket(SOCK_STREAM)", errno);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("setsockopt(SO_REUSEADDR)", saved);
+  }
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("bind()", saved);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("listen()", saved);
+  }
+  if (bound_port != nullptr) *bound_port = bound_port_of(fd);
+  return fd;
+}
+
+int accept_nonblocking(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd >= 0) return fd;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNABORTED || errno == EINTR) continue;
+    throw_errno("accept4()", errno);
+  }
+}
+
+bool pin_thread_to_cpu(unsigned cpu) {
+  const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (online <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % static_cast<unsigned>(online), &set);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+}
+
+UdpBatch::UdpBatch(std::size_t batch_size, std::size_t datagram_capacity)
+    : batch_(batch_size),
+      capacity_(datagram_capacity),
+      recv_arena_(batch_size * datagram_capacity),
+      recv_iov_(batch_size),
+      recv_msgs_(batch_size),
+      recv_addrs_(batch_size),
+      send_arena_(batch_size * datagram_capacity),
+      send_iov_(batch_size),
+      send_msgs_(batch_size),
+      send_addrs_(batch_size) {
+  if (batch_ == 0 || capacity_ == 0) {
+    throw net::InvalidArgument("UdpBatch needs batch_size >= 1 and capacity >= 1");
+  }
+  for (std::size_t i = 0; i < batch_; ++i) {
+    recv_iov_[i].iov_base = recv_arena_.data() + i * capacity_;
+    recv_msgs_[i].msg_hdr.msg_iov = &recv_iov_[i];
+    recv_msgs_[i].msg_hdr.msg_iovlen = 1;
+    recv_msgs_[i].msg_hdr.msg_name = &recv_addrs_[i];
+    send_iov_[i].iov_base = send_arena_.data() + i * capacity_;
+    send_msgs_[i].msg_hdr.msg_iov = &send_iov_[i];
+    send_msgs_[i].msg_hdr.msg_iovlen = 1;
+    send_msgs_[i].msg_hdr.msg_name = &send_addrs_[i];
+    send_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+}
+
+std::size_t UdpBatch::receive(int fd, bool wait_for_one) {
+  // The kernel rewrites iov_len/namelen per call, so re-arm every slot.
+  for (std::size_t i = 0; i < batch_; ++i) {
+    recv_iov_[i].iov_len = capacity_;
+    recv_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+  const int n = ::recvmmsg(fd, recv_msgs_.data(), static_cast<unsigned>(batch_),
+                           wait_for_one ? MSG_WAITFORONE : MSG_DONTWAIT, nullptr);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    throw net::Error(std::string("recvmmsg(): ") + std::strerror(errno));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::span<const std::uint8_t> UdpBatch::payload(std::size_t i) const {
+  return {recv_arena_.data() + i * capacity_, recv_msgs_[i].msg_len};
+}
+
+const sockaddr_in& UdpBatch::source(std::size_t i) const { return recv_addrs_[i]; }
+
+void UdpBatch::stage(const sockaddr_in& destination, std::span<const std::uint8_t> data) {
+  if (staged_ >= batch_) throw net::BoundsError("UdpBatch::stage: batch full");
+  if (data.size() > capacity_) {
+    throw net::BoundsError("UdpBatch::stage: datagram exceeds capacity");
+  }
+  send_addrs_[staged_] = destination;
+  std::memcpy(send_arena_.data() + staged_ * capacity_, data.data(), data.size());
+  send_iov_[staged_].iov_len = data.size();
+  ++staged_;
+}
+
+std::size_t UdpBatch::flush(int fd) {
+  std::size_t sent = 0;
+  while (sent < staged_) {
+    const int n = ::sendmmsg(fd, send_msgs_.data() + sent,
+                             static_cast<unsigned>(staged_ - sent), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      staged_ = 0;
+      throw net::Error(std::string("sendmmsg(): ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  staged_ = 0;
+  return sent;
+}
+
+}  // namespace drongo::netio

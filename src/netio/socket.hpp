@@ -1,0 +1,104 @@
+// Nonblocking socket helpers and recvmmsg/sendmmsg batch buffers.
+//
+// Everything here is loopback-oriented plumbing for the serving front end:
+// SO_REUSEPORT UDP sockets so several listener threads can share one port
+// (the kernel hashes flows across them), a nonblocking TCP listener for
+// truncation fallback, and `UdpBatch` — preallocated scatter/gather state
+// that turns one syscall into up to `batch_size` datagrams in either
+// direction. On a single core the batch is where the daemon's throughput
+// comes from: syscall count per query drops by the batch fill factor, and
+// no buffer is allocated (or zeroed) per datagram.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drongo::netio {
+
+/// Switches an fd to O_NONBLOCK. Throws net::Error on fcntl failure.
+void set_nonblocking(int fd);
+
+/// Opens a nonblocking UDP socket bound to 127.0.0.1:`port` with
+/// SO_REUSEPORT set, so multiple listeners can bind the same port and
+/// split inbound load kernel-side. Port 0 picks an ephemeral port; the
+/// chosen port is written to `bound_port`. Returns the fd (caller owns).
+int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Opens a nonblocking loopback TCP listener (SO_REUSEADDR, `backlog`).
+/// Port 0 picks an ephemeral port, written to `bound_port`.
+int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog = 128);
+
+/// Accepts one pending connection as a nonblocking fd, or returns -1 when
+/// the accept queue is drained (EAGAIN). Transient kernel hiccups
+/// (ECONNABORTED, EINTR) are retried internally; real failures throw.
+int accept_nonblocking(int listener_fd);
+
+/// Best-effort pin of the calling thread to `cpu` (mod the online count).
+/// Returns false (without throwing) where affinity is unsupported.
+bool pin_thread_to_cpu(unsigned cpu);
+
+/// Preallocated state for batched UDP I/O via recvmmsg/sendmmsg.
+///
+/// One instance serves one direction at a time on one thread: `receive()`
+/// fills up to `batch_size` inbound datagrams in a single syscall; then
+/// replies are `stage()`d and `flush()`ed out in a single syscall. All
+/// buffers are allocated once at construction and reused — the receive
+/// path performs zero allocations per datagram.
+class UdpBatch {
+ public:
+  /// `datagram_capacity` bounds each datagram; inbound bytes beyond it are
+  /// truncated by the kernel, so keep it at or above the EDNS payload
+  /// ceiling the daemon advertises.
+  explicit UdpBatch(std::size_t batch_size, std::size_t datagram_capacity = 4096);
+
+  [[nodiscard]] std::size_t batch_size() const { return batch_; }
+  [[nodiscard]] std::size_t datagram_capacity() const { return capacity_; }
+
+  /// One recvmmsg: returns the number of datagrams read (0 when the socket
+  /// is drained). Throws net::Error on real socket failures.
+  ///
+  /// With `wait_for_one` on a *blocking* socket, the call parks until at
+  /// least one datagram arrives (MSG_WAITFORONE) and then grabs whatever
+  /// else is queued — the right shape for a load-generator client that
+  /// must yield the core to the server between bursts. A receive timeout
+  /// on the socket still bounds the wait (returns 0 on expiry).
+  std::size_t receive(int fd, bool wait_for_one = false);
+
+  /// Payload and source address of received datagram `i` (valid until the
+  /// next receive()).
+  [[nodiscard]] std::span<const std::uint8_t> payload(std::size_t i) const;
+  [[nodiscard]] const sockaddr_in& source(std::size_t i) const;
+
+  /// Queues one outbound datagram. Throws net::BoundsError if the batch is
+  /// already full (callers flush() when staged() == batch_size()) or the
+  /// payload exceeds the datagram capacity.
+  void stage(const sockaddr_in& destination, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::size_t staged() const { return staged_; }
+
+  /// Sends every staged datagram via sendmmsg, looping over partial sends.
+  /// Returns the number actually sent; on EAGAIN the remainder is dropped
+  /// (UDP semantics: under backpressure the client retries). Resets the
+  /// staging area either way.
+  std::size_t flush(int fd);
+
+ private:
+  std::size_t batch_;
+  std::size_t capacity_;
+  // Receive side: one contiguous arena, one iovec/mmsghdr/sockaddr per slot.
+  std::vector<std::uint8_t> recv_arena_;
+  std::vector<iovec> recv_iov_;
+  std::vector<mmsghdr> recv_msgs_;
+  std::vector<sockaddr_in> recv_addrs_;
+  // Send side mirrors it, plus per-slot staged lengths.
+  std::vector<std::uint8_t> send_arena_;
+  std::vector<iovec> send_iov_;
+  std::vector<mmsghdr> send_msgs_;
+  std::vector<sockaddr_in> send_addrs_;
+  std::size_t staged_ = 0;
+};
+
+}  // namespace drongo::netio

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "net/error.hpp"
@@ -88,8 +89,10 @@ class ReportScanner {
  public:
   explicit ReportScanner(const std::string& text) : text_(text) {}
 
-  /// Returns "" on success, else the first problem. Fills schema/bench.
-  std::string scan(std::string* schema, std::string* bench) {
+  /// Returns "" on success, else the first problem. Fills schema/bench and,
+  /// when `keys` is non-null, the full set of keys seen.
+  std::string scan(std::string* schema, std::string* bench,
+                   std::set<std::string>* keys = nullptr) {
     skip_ws();
     if (!eat('{')) return err("expected '{'");
     skip_ws();
@@ -107,6 +110,7 @@ class ReportScanner {
         if (!scan_value(&string_value, &was_string)) {
           return err("bad value for key '" + key + "'");
         }
+        if (keys != nullptr) keys->insert(key);
         if (was_string && key == "schema") *schema = string_value;
         if (was_string && key == "bench") *bench = string_value;
         skip_ws();
@@ -207,6 +211,12 @@ class ReportScanner {
 }  // namespace
 
 std::string validate_bench_report_file(const std::string& path) {
+  return validate_bench_report_file(path, {});
+}
+
+std::string validate_bench_report_file(
+    const std::string& path,
+    const std::map<std::string, std::vector<std::string>>& required_by_bench) {
   std::ifstream in(path);
   if (!in) return "cannot open: " + path;
   std::ostringstream buffer;
@@ -216,8 +226,9 @@ std::string validate_bench_report_file(const std::string& path) {
 
   std::string schema;
   std::string bench;
+  std::set<std::string> keys;
   ReportScanner scanner(text);
-  if (std::string problem = scanner.scan(&schema, &bench); !problem.empty()) {
+  if (std::string problem = scanner.scan(&schema, &bench, &keys); !problem.empty()) {
     return problem;
   }
   if (schema != kBenchReportSchema) {
@@ -225,6 +236,14 @@ std::string validate_bench_report_file(const std::string& path) {
            "', got '" + schema + "'";
   }
   if (bench.empty()) return "missing or empty 'bench' field";
+  if (const auto it = required_by_bench.find(bench); it != required_by_bench.end()) {
+    for (const std::string& required : it->second) {
+      if (keys.count(required) == 0) {
+        return "bench '" + bench + "' report is missing required field '" + required +
+               "'";
+      }
+    }
+  }
   return "";
 }
 

@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace drongo::obs {
 
@@ -62,5 +63,15 @@ class BenchReport {
 /// non-empty "bench" field. Returns an empty string on success, else a
 /// human-readable description of the first problem found.
 std::string validate_bench_report_file(const std::string& path);
+
+/// As above, but additionally enforces per-bench key schemas: when the
+/// report's "bench" field has an entry in `required_by_bench`, every listed
+/// key must be present in the report. Benches without an entry validate
+/// structurally only — the map is how check_bench_report knows, e.g., that
+/// a BENCH_daemon.json without a `qps` field is trend-data rot, not just an
+/// unusual run.
+std::string validate_bench_report_file(
+    const std::string& path,
+    const std::map<std::string, std::vector<std::string>>& required_by_bench);
 
 }  // namespace drongo::obs

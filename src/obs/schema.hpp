@@ -86,6 +86,39 @@ namespace drongo::obs {
   X(dropped)                         \
   X(sloughed)
 
+/// What a netio::EventLoop tallies: one X(field) per counter. The loop
+/// names each `netio.<field>` in its registry mirror. `polls` counts
+/// epoll_wait returns, `events` readiness callbacks dispatched, `timers`
+/// deadline timers fired, `wakeups` eventfd cross-thread pokes drained,
+/// and `tasks` posted closures executed on the loop thread.
+#define DRONGO_OBS_NETIO_COUNTERS(X) \
+  X(polls)                           \
+  X(events)                          \
+  X(timers)                          \
+  X(wakeups)                         \
+  X(tasks)
+
+/// What the socket-facing DNS daemon tallies: one X(field) per counter.
+/// dns::DaemonStats declares its fields from this list and the obs mirror
+/// names each `dns.server.<field>`. `udp_batches` counts recvmmsg calls
+/// that returned at least one datagram, so udp_queries/udp_batches is the
+/// observable syscall-amortization ratio the batching exists to maximize;
+/// pcache_hits/pcache_misses track the per-listener whole-packet cache
+/// (hits never reach the resolver at all).
+#define DRONGO_OBS_DNS_SERVER_COUNTERS(X) \
+  X(udp_queries)                          \
+  X(udp_responses)                        \
+  X(udp_batches)                          \
+  X(tcp_connections)                      \
+  X(tcp_queries)                          \
+  X(tcp_responses)                        \
+  X(truncated)                            \
+  X(malformed)                            \
+  X(handler_failures)                     \
+  X(pcache_hits)                          \
+  X(pcache_misses)                        \
+  X(drained)
+
 /// Declares the schema fields inside a struct body.
 #define DRONGO_OBS_DECLARE_FIELD(field) std::uint64_t field = 0;
 

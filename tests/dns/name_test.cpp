@@ -64,7 +64,7 @@ TEST(DnsNameTest, WireRoundTripWithoutCompression) {
 }
 
 TEST(DnsNameTest, CompressionReusesSuffixes) {
-  std::map<std::string, std::uint16_t> offsets;
+  NameOffsets offsets;
   net::ByteWriter w;
   DnsName::must_parse("www.example.com").encode(w, &offsets);
   const std::size_t first = w.size();
@@ -80,7 +80,7 @@ TEST(DnsNameTest, CompressionReusesSuffixes) {
 }
 
 TEST(DnsNameTest, CompressionIsCaseInsensitive) {
-  std::map<std::string, std::uint16_t> offsets;
+  NameOffsets offsets;
   net::ByteWriter w;
   DnsName::must_parse("a.EXAMPLE.com").encode(w, &offsets);
   const std::size_t first = w.size();

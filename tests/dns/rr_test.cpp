@@ -9,7 +9,7 @@ namespace {
 
 ResourceRecord round_trip(const ResourceRecord& rr) {
   net::ByteWriter w;
-  std::map<std::string, std::uint16_t> offsets;
+  NameOffsets offsets;
   rr.encode(w, &offsets);
   const auto bytes = w.take();
   net::ByteReader r(bytes);
@@ -119,7 +119,7 @@ TEST(ResourceRecordTest, ToStringIsHumanReadable) {
 TEST(ResourceRecordTest, CompressionInsideRdata) {
   // Owner and CNAME target share a suffix; RDATA should use a pointer.
   net::ByteWriter w;
-  std::map<std::string, std::uint16_t> offsets;
+  NameOffsets offsets;
   const auto rr = ResourceRecord::cname(DnsName::must_parse("a.example.com"),
                                         DnsName::must_parse("b.example.com"));
   rr.encode(w, &offsets);

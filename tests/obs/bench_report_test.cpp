@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "net/error.hpp"
 
@@ -108,6 +110,28 @@ TEST(Validator, RejectsBadInputs) {
   const TempFile trailing(
       "{\"schema\":\"drongo-bench-report-v1\",\"bench\":\"x\"}\nextra\n");
   EXPECT_NE(obs::validate_bench_report_file(trailing.path()), "");
+}
+
+TEST(Validator, EnforcesPerBenchRequiredFields) {
+  const std::map<std::string, std::vector<std::string>> required = {
+      {"daemon", {"qps", "p99_ms"}}};
+
+  const TempFile complete(
+      "{\"schema\":\"drongo-bench-report-v1\",\"bench\":\"daemon\","
+      "\"p99_ms\":0.4,\"qps\":120000}\n");
+  EXPECT_EQ(obs::validate_bench_report_file(complete.path(), required), "");
+
+  const TempFile missing_qps(
+      "{\"schema\":\"drongo-bench-report-v1\",\"bench\":\"daemon\","
+      "\"p99_ms\":0.4}\n");
+  const std::string error =
+      obs::validate_bench_report_file(missing_qps.path(), required);
+  EXPECT_NE(error.find("qps"), std::string::npos) << error;
+
+  // Benches without a schema entry still validate structurally only.
+  const TempFile other_bench(
+      "{\"schema\":\"drongo-bench-report-v1\",\"bench\":\"unlisted\"}\n");
+  EXPECT_EQ(obs::validate_bench_report_file(other_bench.path(), required), "");
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+// Fixture: socket syscalls while a mutex guard is live — each call parks
+// every other thread on the lock for a kernel (or network) wait. The
+// concurrency pass must fire lock-held-blocking on all four.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <mutex>
+
+class StripedListener {
+  std::mutex mu_;
+  int epoll_fd_ = -1;
+  int udp_fd_ = -1;
+  int listen_fd_ = -1;
+
+ public:
+  int poll_under_lock(epoll_event* events, int cap) {
+    std::lock_guard<std::mutex> guard(mu_);
+    return ::epoll_wait(epoll_fd_, events, cap, -1);
+  }
+
+  int batch_under_lock(mmsghdr* msgs, unsigned count) {
+    std::lock_guard<std::mutex> guard(mu_);
+    const int received = ::recvmmsg(udp_fd_, msgs, count, 0, nullptr);
+    ::sendmmsg(udp_fd_, msgs, count, 0);
+    return received;
+  }
+
+  int accept_under_lock() {
+    std::lock_guard<std::mutex> guard(mu_);
+    return ::accept4(listen_fd_, nullptr, nullptr, 0);
+  }
+};

@@ -347,6 +347,47 @@ TEST(LockHeldBlocking, ExchangeOutsideTheGuardIsFine) {
   EXPECT_EQ(scan("src/x.cpp", source).size(), 0u);
 }
 
+TEST(LockHeldBlocking, SocketSyscallsUnderGuard) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class Listener {\n"
+      "  std::mutex mu_;\n"
+      "  int fd_;\n"
+      "  void pump(epoll_event* ev, mmsghdr* msgs) {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    ::epoll_wait(fd_, ev, 64, -1);\n"
+      "    ::recvmmsg(fd_, msgs, 64, 0, nullptr);\n"
+      "    ::sendmmsg(fd_, msgs, 64, 0);\n"
+      "    ::accept4(fd_, nullptr, nullptr, 0);\n"
+      "  }\n"
+      "};\n";
+  const auto findings = scan("src/netio/x.cpp", source);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, lint::kRuleLockHeldBlocking);
+    EXPECT_EQ(f.severity, lint::Severity::kError);
+  }
+}
+
+TEST(LockHeldBlocking, SocketSyscallsOutsideGuardAndVisitorAcceptAreFine) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class Listener {\n"
+      "  std::mutex mu_;\n"
+      "  int fd_;\n"
+      "  void pump(epoll_event* ev, mmsghdr* msgs) {\n"
+      "    { std::lock_guard<std::mutex> g(mu_); }\n"
+      "    ::epoll_wait(fd_, ev, 64, -1);\n"
+      "    ::recvmmsg(fd_, msgs, 64, 0, nullptr);\n"
+      "  }\n"
+      "  void visit(Visitor& v) {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    v.accept(*this);\n"  // a method named accept is not the syscall
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(scan("src/netio/x.cpp", source).size(), 0u);
+}
+
 TEST(CvWaitPredicate, BareWaitFlaggedPredicateFine) {
   const std::string bare =
       "#include <condition_variable>\n"

@@ -364,6 +364,22 @@ struct Walker {
                     "blocking '" + t + "' call while '" + held.back().identity +
                         "' is held — sleeping under a mutex serializes every "
                         "waiter behind the nap");
+          } else if (!member &&
+                     (t == "recvmmsg" || t == "sendmmsg" || t == "recvfrom" ||
+                      t == "accept" || t == "accept4" || t == "epoll_wait" ||
+                      t == "epoll_pwait" || t == "poll" || t == "ppoll")) {
+            // The netio event-loop contract: socket readiness/batch syscalls
+            // never run under a lock. Even on a nonblocking fd the call is a
+            // kernel round-trip serialized behind the mutex, and a blocking
+            // fd parks every waiter for a full network wait. A method named
+            // `accept` (visitor.accept(...)) is not a syscall and is exempt
+            // via the !member test.
+            finding(tok, kRuleLockHeldBlocking, sev_blocking,
+                    "socket syscall '" + t + "' while '" + held.back().identity +
+                        "' is held — event-loop I/O under a mutex stalls every "
+                        "thread on this lock for a kernel (or network) wait; "
+                        "swap shared state out under the lock and do the I/O "
+                        "outside");
           } else if (t == "join" && member) {
             finding(tok, kRuleLockHeldBlocking, sev_blocking,
                     "'join' while '" + held.back().identity +

@@ -27,6 +27,8 @@ const std::vector<std::pair<std::string, std::string>>& schema_prefixes() {
       {"dns.resolver.", "RESOLVER"},
       {"dns.cache.", "CACHE"},
       {"dns.lpm.", "LPM"},
+      {"dns.server.", "DNS_SERVER"},
+      {"netio.", "NETIO"},
       {"core.valley_store.", "VALLEY_STORE"},
       {"cdn.serving.codel.", "CODEL"},
   };

@@ -23,8 +23,9 @@
 //                      ever establishing ScopedFaultTime
 //   obs-bypass         console output in library code under dns/, measure/,
 //                      core/ — telemetry belongs in the obs registry
-//   lock-held-blocking sleeps, joins, or upstream/transport exchanges made
-//                      while an RAII mutex guard is live
+//   lock-held-blocking sleeps, joins, socket syscalls (epoll_wait, recvmmsg/
+//                      sendmmsg, accept, poll), or upstream/transport
+//                      exchanges made while an RAII mutex guard is live
 //   cv-wait-predicate  cv.wait(lock) with no predicate (lost-wakeup bait)
 //   bad-suppression    an allow-comment with no reason or an unknown rule
 //
