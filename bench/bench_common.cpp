@@ -34,10 +34,12 @@ PlanetLabDataset planetlab_campaign(int trials_per_client, bool measure_download
   return dataset;
 }
 
-RipeEvaluation ripe_campaign(std::uint64_t seed, int client_count, int threads) {
+RipeEvaluation ripe_campaign(std::uint64_t seed, int client_count, int threads,
+                             dns::EcsFamilyPolicy ecs_policy) {
   measure::TestbedConfig config = measure::TestbedConfig::ripe_atlas();
   config.seed = seed;
   config.client_count = client_count;
+  config.ecs_policy = ecs_policy;
   RipeEvaluation out;
   out.testbed = std::make_unique<measure::Testbed>(config);
   analysis::EvaluationConfig eval_config;

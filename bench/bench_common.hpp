@@ -35,8 +35,11 @@ struct RipeEvaluation {
   std::unique_ptr<measure::Testbed> testbed;
   std::unique_ptr<analysis::Evaluation> evaluation;
 };
+/// `ecs_policy` selects the wire family every stub announces ECS in
+/// (default: the historical family-1/IPv4 campaign; family 2 runs the same
+/// subnets through the sim's v4-in-v6 embedding).
 RipeEvaluation ripe_campaign(std::uint64_t seed = 1729, int client_count = 429,
-                             int threads = -1);
+                             int threads = -1, dns::EcsFamilyPolicy ecs_policy = {});
 
 /// The (vf, vt) grids the paper sweeps in §5.1.
 const std::vector<double>& sweep_vf_values();

@@ -51,16 +51,38 @@ int headline_clients() {
   return parse_headline_clients(std::getenv("DRONGO_HEADLINE_CLIENTS"));
 }
 
+/// DRONGO_HEADLINE_ECS_FAMILY runs the same headline campaign with the
+/// stubs announcing family-2 (v4-in-v6) ECS — the dual-stack regression
+/// check that the embedding changes no result. 1 or 2; garbage throws.
+dns::EcsFamilyPolicy parse_headline_ecs(const char* value) {
+  dns::EcsFamilyPolicy policy;
+  if (value == nullptr || value[0] == '\0') return policy;
+  const std::string v(value);
+  if (v == "1") return policy;
+  if (v == "2") {
+    policy.family = 2;
+    return policy;
+  }
+  throw net::InvalidArgument("DRONGO_HEADLINE_ECS_FAMILY must be 1 or 2, got \"" + v +
+                             "\"");
+}
+
+dns::EcsFamilyPolicy headline_ecs_policy() {
+  return parse_headline_ecs(std::getenv("DRONGO_HEADLINE_ECS_FAMILY"));
+}
+
 }  // namespace
 
 int main() {
   const int clients = headline_clients();
   const int threads = bench::thread_count();
+  const dns::EcsFamilyPolicy ecs_policy = headline_ecs_policy();
   std::cout << "Running RIPE-style campaign: " << clients
-            << " clients x 6 providers x 10 trials (threads=" << threads << ")...\n\n";
+            << " clients x 6 providers x 10 trials (threads=" << threads
+            << ", ecs family=" << ecs_policy.family << ")...\n\n";
 
   const net::Stopwatch parallel_watch;
-  auto ripe = bench::ripe_campaign(1729, clients, threads);
+  auto ripe = bench::ripe_campaign(1729, clients, threads, ecs_policy);
   const double campaign_seconds = parallel_watch.seconds();
 
   const double vf = 1.0;

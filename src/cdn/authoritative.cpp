@@ -1,6 +1,9 @@
 #include "cdn/authoritative.hpp"
 
+#include <algorithm>
+
 #include "net/error.hpp"
+#include "net/ipaddr.hpp"
 
 namespace drongo::cdn {
 
@@ -47,14 +50,37 @@ dns::Message CdnAuthoritative::handle(const dns::Message& query, net::Ipv4Addr s
   // Tailoring subnet: the ECS option, unless this provider restricts ECS
   // (Akamai-like, §2.2), in which case the resolver's own address is used —
   // which is exactly why such providers are unusable for assimilation.
+  // Family-2 options tailor through the sim's v4-in-v6 embedding: the
+  // effective v4 subnet drives replica selection and the reply scope is the
+  // v4 mapping granularity re-expressed at the option's bit offset, so a
+  // /56 announcement earns exactly the coverage a /24 one would.
   net::Prefix subnet(source, 24);
+  int reply_scope = profile.mapping_granularity;
   if (!profile.ecs_restricted && query.edns && query.edns->client_subnet &&
-      query.edns->client_subnet->family == 1) {
-    subnet = query.edns->client_subnet->source_prefix();
+      query.edns->client_subnet->is_representable()) {
+    const net::IpPrefix announced = query.edns->client_subnet->source_prefix();
+    if (const auto v4 = net::effective_v4_subnet(announced)) {
+      subnet = *v4;
+      if (announced.family() == net::IpFamily::kV6) {
+        // Capped at the announced source length: a /48 announcement only
+        // carries 48 bits of signal, so the answer must not claim /56
+        // specificity — and a scope longer than the source could never be
+        // served back to this client under the §7.3.1 containment rule.
+        const int offset =
+            net::is_embedded_v4(announced.network().v6()) ? 32 : 96;
+        reply_scope = std::min(profile.mapping_granularity + offset,
+                               announced.length());
+      }
+    } else if (announced.family() == net::IpFamily::kV6) {
+      // A v6 subnet outside the sim's embedding carries no tailoring
+      // signal: serve the resolver-source mapping but admit scope 0 so
+      // caches never generalize it across unrelated v6 clients.
+      reply_scope = 0;
+    }
   }
 
-  dns::Message response = dns::Message::make_response(
-      query, dns::Rcode::kNoError, profile.mapping_granularity);
+  dns::Message response =
+      dns::Message::make_response(query, dns::Rcode::kNoError, reply_scope);
   // The query id seeds the load-balancing rotation: per-query variation
   // without cross-query shared state, so concurrent campaigns stay
   // deterministic (ids come from each stub's own derived RNG stream).

@@ -82,18 +82,36 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   }
   const dns::Question& q = query.questions[0];
 
-  // Determine the ECS subnet to forward: the client's option if present,
-  // else the client's /24 (Google Public DNS behaviour).
-  net::Prefix ecs = net::Prefix(source, 24);
+  // Determine the ECS subnet to forward: the client's option if present
+  // (either family), else the client's /24 (Google Public DNS behaviour).
+  net::IpPrefix ecs = net::Prefix(source, 24);
   bool client_sent_ecs = false;
-  if (query.edns && query.edns->client_subnet && query.edns->client_subnet->family == 1) {
-    ecs = query.edns->client_subnet->source_prefix();
-    client_sent_ecs = true;
+  bool foreign_family = false;
+  if (query.edns && query.edns->client_subnet) {
+    const dns::ClientSubnet& cs = *query.edns->client_subnet;
+    if (cs.is_representable()) {
+      ecs = cs.source_prefix();
+      client_sent_ecs = true;
+    } else {
+      // A family the cache cannot represent. The answer is still served
+      // (tailored to the transport source /24), but it must never be
+      // cached — under the old v4-only decode these queries collapsed to
+      // the generic 0.0.0.0 scope and poisoned every uncovered client. The
+      // client still sent ECS, so the option is echoed back (§7.1.2, with
+      // scope forced to 0) rather than stripped.
+      foreign_family = true;
+      client_sent_ecs = true;
+    }
   }
 
-  const bool serving = serving_.enable_cache && q.type == dns::RrType::kA;
+  const bool serving =
+      serving_.enable_cache && q.type == dns::RrType::kA && !foreign_family;
+  if (foreign_family && serving_.enable_cache && q.type == dns::RrType::kA) {
+    cache_.note_foreign_family_drop(q.name);
+  }
   if (!serving) {
-    return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
+    return resolve_upstream(query, q, ecs, client_sent_ecs, foreign_family,
+                            /*flight=*/nullptr);
   }
 
   if (const auto hit = cache_.lookup(q.name, ecs, now_ms_)) {
@@ -102,12 +120,13 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   }
 
   if (!serving_.coalesce) {
-    return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
+    return resolve_upstream(query, q, ecs, client_sent_ecs, foreign_family,
+                            /*flight=*/nullptr);
   }
 
   auto flight = cache_.join(q.name, ecs);
   if (flight.leader()) {
-    return resolve_upstream(query, q, ecs, client_sent_ecs, &flight);
+    return resolve_upstream(query, q, ecs, client_sent_ecs, foreign_family, &flight);
   }
   const auto outcome = flight.wait();
   if (outcome.usable) {
@@ -116,13 +135,15 @@ dns::Message PublicResolver::handle(const dns::Message& query, net::Ipv4Addr sou
   }
   // The leader died before producing a shareable answer; resolve alone
   // rather than re-queueing (one failed flight must not cascade).
-  return resolve_upstream(query, q, ecs, client_sent_ecs, /*flight=*/nullptr);
+  return resolve_upstream(query, q, ecs, client_sent_ecs, foreign_family,
+                          /*flight=*/nullptr);
 }
 
 dns::Message PublicResolver::resolve_upstream(const dns::Message& query,
                                               const dns::Question& q,
-                                              const net::Prefix& ecs,
+                                              const net::IpPrefix& ecs,
                                               bool client_sent_ecs,
+                                              bool foreign_family,
                                               dns::ShardedDnsCache::Flight* flight) {
   // Shares the final answer with coalesced followers on every exit path.
   const auto publish = [&](dns::Rcode rcode, std::vector<net::Ipv4Addr> addresses,
@@ -195,17 +216,30 @@ dns::Message PublicResolver::resolve_upstream(const dns::Message& query,
 
   std::optional<int> scope;
   if (upstream_reply.edns && upstream_reply.edns->client_subnet) {
-    scope = upstream_reply.edns->client_subnet->scope_prefix_length;
+    // Only adopt the upstream scope when it speaks the family we asked in:
+    // a mismatched-family scope length is meaningless for our ecs prefix
+    // (decode already bounds it to its own family's bit width).
+    const dns::ClientSubnet& upstream_ecs = *upstream_reply.edns->client_subnet;
+    const std::uint16_t asked_family =
+        ecs.family() == net::IpFamily::kV4 ? 1 : 2;
+    if (upstream_ecs.family == asked_family &&
+        upstream_ecs.scope_prefix_length <= net::family_bits(ecs.family())) {
+      scope = upstream_ecs.scope_prefix_length;
+    }
   }
-  dns::Message response =
-      dns::Message::make_response(query, upstream_reply.header.rcode, scope);
+  // RFC 7871 §7.1.2: an option in a family we did not use for tailoring is
+  // echoed with scope 0, never with a scope derived from another family.
+  dns::Message response = dns::Message::make_response(
+      query, upstream_reply.header.rcode,
+      foreign_family ? std::optional<int>(0) : scope);
   response.header.ra = true;
   response.answers = std::move(chain);
   for (const auto& rr : upstream_reply.answers) response.answers.push_back(rr);
 
   const auto addresses = response.answer_addresses();
-  if (serving_.enable_cache && q.type == dns::RrType::kA) {
-    const net::Prefix cache_scope = scope ? net::Prefix(ecs.network(), *scope) : ecs;
+  if (serving_.enable_cache && q.type == dns::RrType::kA && !foreign_family) {
+    const net::IpPrefix cache_scope =
+        scope ? net::IpPrefix(ecs.network(), *scope) : ecs;
     if (response.header.rcode == dns::Rcode::kNoError && !addresses.empty()) {
       std::uint32_t ttl = UINT32_MAX;
       for (const auto& rr : response.answers) ttl = std::min(ttl, rr.ttl);
@@ -213,14 +247,16 @@ dns::Message PublicResolver::resolve_upstream(const dns::Message& query,
     } else if (serving_.negative_cache &&
                (response.header.rcode == dns::Rcode::kNxDomain ||
                 (response.header.rcode == dns::Rcode::kNoError && addresses.empty()))) {
-      // NXDOMAIN / NODATA: cached scope-zero (a name that does not exist
-      // does not exist for anyone, RFC 2308-style), so the longest-match
-      // lookup still prefers any tailored positive entry.
-      cache_.insert_negative(q.name, net::Prefix(), response.header.rcode,
-                             serving_.negative_ttl_seconds, now_ms_);
+      // NXDOMAIN / NODATA: cached scope-zero in the asking family (a name
+      // that does not exist does not exist for anyone, RFC 2308-style), so
+      // the longest-match lookup still prefers any tailored positive entry.
+      cache_.insert_negative(q.name, net::IpPrefix::zero(ecs.family()),
+                             response.header.rcode, serving_.negative_ttl_seconds,
+                             now_ms_);
     }
   }
-  publish(response.header.rcode, addresses, scope.value_or(ecs.length()));
+  publish(response.header.rcode, addresses,
+          foreign_family ? 0 : scope.value_or(ecs.length()));
 
   // When the client sent no ECS, strip the option we added on its behalf
   // (the client never asked to see it).

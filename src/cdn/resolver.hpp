@@ -94,9 +94,13 @@ class PublicResolver : public dns::DnsServer {
 
   /// Full recursive resolution (zone routing, CNAME chase, caching). When
   /// `flight` is non-null this caller is the singleflight leader and the
-  /// shareable outcome is published for every waiting follower.
+  /// shareable outcome is published for every waiting follower. When
+  /// `foreign_family` the client sent an ECS family the cache cannot
+  /// represent: the answer is served but never cached, and the echoed
+  /// option carries scope 0.
   dns::Message resolve_upstream(const dns::Message& query, const dns::Question& q,
-                                const net::Prefix& ecs, bool client_sent_ecs,
+                                const net::IpPrefix& ecs, bool client_sent_ecs,
+                                bool foreign_family,
                                 dns::ShardedDnsCache::Flight* flight);
 
   /// Synthesizes a client response from a cache entry or flight outcome

@@ -22,7 +22,7 @@ void DnsCache::bump_lpm(std::uint64_t LpmStats::* field, const char* name,
 #define DRONGO_LPM_BUMP(field, ...) bump_lpm(&LpmStats::field, #field, ##__VA_ARGS__)
 
 void DnsCache::erase_from_trie(const std::string& canonical_qname,
-                               const net::Prefix& scope) {
+                               const net::IpPrefix& scope) {
   const auto it = names_.find(canonical_qname);
   it->second.erase(scope);
   DRONGO_LPM_BUMP(erases);
@@ -31,7 +31,7 @@ void DnsCache::erase_from_trie(const std::string& canonical_qname,
 }
 
 std::optional<DnsCache::Entry> DnsCache::lookup(const std::string& canonical_qname,
-                                                const net::Prefix& client_subnet,
+                                                const net::IpPrefix& client_subnet,
                                                 std::uint64_t now_ms) {
   const auto nit = names_.find(canonical_qname);
   if (nit == names_.end()) {
@@ -93,7 +93,7 @@ void DnsCache::store(Key key, Entry entry, std::uint64_t now_ms) {
   ++size_;
 }
 
-void DnsCache::insert(std::string canonical_qname, const net::Prefix& scope,
+void DnsCache::insert(std::string canonical_qname, const net::IpPrefix& scope,
                       std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
                       std::uint64_t now_ms) {
   Entry e;
@@ -104,7 +104,7 @@ void DnsCache::insert(std::string canonical_qname, const net::Prefix& scope,
   store({std::move(canonical_qname), scope}, std::move(e), now_ms);
 }
 
-void DnsCache::insert_negative(std::string canonical_qname, const net::Prefix& scope,
+void DnsCache::insert_negative(std::string canonical_qname, const net::IpPrefix& scope,
                                Rcode rcode, std::uint32_t ttl_seconds,
                                std::uint64_t now_ms) {
   Entry e;
@@ -116,12 +116,16 @@ void DnsCache::insert_negative(std::string canonical_qname, const net::Prefix& s
   store({std::move(canonical_qname), scope}, std::move(e), now_ms);
 }
 
+void DnsCache::note_foreign_family_drop() {
+  DRONGO_CACHE_BUMP(foreign_family_drops);
+}
+
 void DnsCache::purge(std::uint64_t now_ms) {
   for (auto nit = names_.begin(); nit != names_.end();) {
     // Collect-then-erase: walk() iterates the trie, so erasing mid-walk is
     // off the table; the lru iterator is snapshotted alongside.
-    std::vector<std::pair<net::Prefix, std::list<Key>::iterator>> dead;
-    nit->second.walk([&](const net::Prefix& scope, const Stored& stored) {
+    std::vector<std::pair<net::IpPrefix, std::list<Key>::iterator>> dead;
+    nit->second.walk([&](const net::IpPrefix& scope, const Stored& stored) {
       if (stored.entry.expiry_ms <= now_ms) dead.emplace_back(scope, stored.lru_position);
     });
     for (const auto& [scope, lru_position] : dead) {

@@ -11,6 +11,7 @@
 #include "dns/name.hpp"
 #include "dns/types.hpp"
 #include "net/ip.hpp"
+#include "net/ipaddr.hpp"
 #include "net/lpm.hpp"
 #include "net/prefix.hpp"
 #include "obs/metrics.hpp"
@@ -81,7 +82,7 @@ class DnsCache {
  public:
   struct Entry {
     std::vector<net::Ipv4Addr> addresses;
-    net::Prefix scope;              ///< scope prefix the server returned.
+    net::IpPrefix scope;            ///< scope prefix the server returned.
     std::uint64_t expiry_ms = 0;
     bool negative = false;          ///< NXDOMAIN/NODATA marker (addresses empty)
     Rcode rcode = Rcode::kNoError;  ///< kNxDomain, or kNoError for NODATA
@@ -93,36 +94,41 @@ class DnsCache {
   /// `now_ms`. Entries whose `expiry_ms <= now_ms` are dead: they miss (an
   /// entry expiring exactly now is already unusable) and are erased as the
   /// descent passes over them.
-  std::optional<Entry> lookup(const DnsName& name, const net::Prefix& client_subnet,
+  std::optional<Entry> lookup(const DnsName& name, const net::IpPrefix& client_subnet,
                               std::uint64_t now_ms) {
     return lookup(name.canonical(), client_subnet, now_ms);
   }
   /// As above for a qname already in DnsName::canonical() form (lowercase
   /// dotted); the boundary entry point for callers that canonicalize once.
   std::optional<Entry> lookup(const std::string& canonical_qname,
-                              const net::Prefix& client_subnet, std::uint64_t now_ms);
+                              const net::IpPrefix& client_subnet, std::uint64_t now_ms);
 
   /// Inserts a positive answer with the server-provided scope and TTL.
-  void insert(const DnsName& name, const net::Prefix& scope,
+  void insert(const DnsName& name, const net::IpPrefix& scope,
               std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
               std::uint64_t now_ms) {
     insert(name.canonical(), scope, std::move(addresses), ttl_seconds, now_ms);
   }
-  void insert(std::string canonical_qname, const net::Prefix& scope,
+  void insert(std::string canonical_qname, const net::IpPrefix& scope,
               std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
               std::uint64_t now_ms);
 
   /// Inserts a negative answer (NXDOMAIN, or NODATA via kNoError) under
   /// `scope` with its own TTL.
-  void insert_negative(const DnsName& name, const net::Prefix& scope, Rcode rcode,
+  void insert_negative(const DnsName& name, const net::IpPrefix& scope, Rcode rcode,
                        std::uint32_t ttl_seconds, std::uint64_t now_ms) {
     insert_negative(name.canonical(), scope, rcode, ttl_seconds, now_ms);
   }
-  void insert_negative(std::string canonical_qname, const net::Prefix& scope,
+  void insert_negative(std::string canonical_qname, const net::IpPrefix& scope,
                        Rcode rcode, std::uint32_t ttl_seconds, std::uint64_t now_ms);
 
   /// Drops expired entries (also invoked opportunistically on insert).
   void purge(std::uint64_t now_ms);
+
+  /// Tallies an ECS scope the cache cannot represent (a family other than
+  /// IPv4/IPv6): the resolver bypasses the cache for such queries instead
+  /// of mis-filing the tailored answer under a generic v4 scope.
+  void note_foreign_family_drop();
 
   /// Attaches an obs registry (borrowed; nullptr detaches): every stats_
   /// bump is mirrored as a `dns.cache.<field>` counter.
@@ -134,7 +140,7 @@ class DnsCache {
   [[nodiscard]] std::uint64_t misses() const { return stats_.misses; }
 
  private:
-  using Key = std::pair<std::string, net::Prefix>;  // canonical name + scope net
+  using Key = std::pair<std::string, net::IpPrefix>;  // canonical name + scope net
 
   struct Stored {
     Entry entry;
@@ -142,12 +148,12 @@ class DnsCache {
     std::list<Key>::iterator lru_position;
   };
   /// One radix trie of cached scopes per canonical qname.
-  using ScopeTrie = net::LpmTrie<Stored>;
+  using ScopeTrie = net::IpLpmTrie<Stored>;
 
   void store(Key key, Entry entry, std::uint64_t now_ms);
   /// Removes (name, scope) from its trie (erasing the trie when it empties)
   /// and decrements size_. The caller has already unlinked the lru node.
-  void erase_from_trie(const std::string& canonical_qname, const net::Prefix& scope);
+  void erase_from_trie(const std::string& canonical_qname, const net::IpPrefix& scope);
   void bump(std::uint64_t CacheStats::* field, const char* name);
   void bump_lpm(std::uint64_t LpmStats::* field, const char* name, std::uint64_t delta = 1);
 

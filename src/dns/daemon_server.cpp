@@ -74,7 +74,7 @@ DaemonServer::DaemonServer(DnsServer* handler, DaemonServerConfig config,
     std::uint16_t bound = 0;
     // Listener 0 resolves an ephemeral request; the rest join its port.
     listener->udp_fd = netio::open_udp_reuseport(
-        i == 0 ? config_.udp_port : udp_port_, &bound);
+        i == 0 ? config_.udp_port : udp_port_, &bound, config_.dual_stack);
     if (i == 0) udp_port_ = bound;
     listener->loop.set_registry(registry_);
     Listener* raw = listener.get();
@@ -85,7 +85,8 @@ DaemonServer::DaemonServer(DnsServer* handler, DaemonServerConfig config,
 
   if (config_.enable_tcp) {
     Listener* first = listeners_.front().get();
-    first->tcp_listen_fd = netio::open_tcp_listener(config_.tcp_port, &tcp_port_);
+    first->tcp_listen_fd = netio::open_tcp_listener(config_.tcp_port, &tcp_port_,
+                                                    /*backlog=*/128, config_.dual_stack);
     first->loop.add_fd(first->tcp_listen_fd, EPOLLIN,
                        [this, first](std::uint32_t) { on_tcp_accept(*first); });
     arm_idle_sweep(*first);
@@ -248,7 +249,8 @@ void DaemonServer::process_datagrams(Listener& listener, std::size_t count) {
       stats_.udp_responses.fetch_add(sent, std::memory_order_relaxed);
       served_.fetch_add(sent, std::memory_order_relaxed);
     }
-    listener.batch.stage(listener.batch.source(i), listener.scratch);
+    listener.batch.stage(listener.batch.source(i), listener.batch.source_len(i),
+                         listener.scratch);
   }
   const std::size_t sent = listener.batch.flush(listener.udp_fd);
   stats_.udp_responses.fetch_add(sent, std::memory_order_relaxed);

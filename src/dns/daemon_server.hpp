@@ -50,6 +50,12 @@ struct DaemonServerConfig {
   std::size_t max_datagram_bytes = 4096;
   /// Serve the TC→TCP retry path on listener 0.
   bool enable_tcp = true;
+  /// Bind AF_INET6 sockets on [::] with IPV6_V6ONLY cleared instead of
+  /// 127.0.0.1-only v4 sockets: v6 clients are answered natively (their
+  /// family-2 ECS flows through the resolver unchanged) and v4 clients
+  /// arrive v4-mapped on the same fd. Off by default — the historical
+  /// loopback-v4 daemon.
+  bool dual_stack = false;
   /// Pin listener i to CPU i (mod online CPUs); best-effort.
   bool pin_threads = false;
   /// Whole-packet cache capacity per listener; 0 disables it. The cache

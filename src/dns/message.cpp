@@ -88,7 +88,7 @@ Edns parse_opt(const ResourceRecord& rr) {
 }  // namespace
 
 Message Message::make_query(std::uint16_t id, const DnsName& name,
-                            std::optional<net::Prefix> ecs_subnet, RrType type) {
+                            std::optional<net::IpPrefix> ecs_subnet, RrType type) {
   Message m;
   m.header.id = id;
   m.header.qr = false;

@@ -52,7 +52,7 @@ struct Message {
   /// Builds an A-record query for `name`, optionally carrying an ECS subnet.
   /// This is the only query shape Drongo sends.
   static Message make_query(std::uint16_t id, const DnsName& name,
-                            std::optional<net::Prefix> ecs_subnet = std::nullopt,
+                            std::optional<net::IpPrefix> ecs_subnet = std::nullopt,
                             RrType type = RrType::kA);
 
   /// Builds a response skeleton echoing the query's id, question, and (per

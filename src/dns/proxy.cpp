@@ -23,8 +23,14 @@ Message LdnsProxy::handle(const Message& query, net::Ipv4Addr source) {
   // RFC's privacy guidance.
   net::Prefix client_subnet = net::Prefix(source, 24);
   if (query.edns && query.edns->client_subnet &&
-      query.edns->client_subnet->family == 1) {
-    client_subnet = query.edns->client_subnet->source_prefix();
+      query.edns->client_subnet->is_representable()) {
+    // Family 1 passes through; a family-2 subnet participates when it has a
+    // v4 meaning (v4-mapped or the sim embedding), else the source /24
+    // stands in — never a zeroed generic scope.
+    if (const auto v4 = net::effective_v4_subnet(
+            query.edns->client_subnet->source_prefix())) {
+      client_subnet = *v4;
+    }
   }
 
   net::Prefix announce = client_subnet;

@@ -49,7 +49,7 @@ ShardedDnsCache::Shard& ShardedDnsCache::shard_of(const std::string& canonical) 
 }
 
 std::optional<DnsCache::Entry> ShardedDnsCache::lookup(const DnsName& name,
-                                                       const net::Prefix& client_subnet,
+                                                       const net::IpPrefix& client_subnet,
                                                        std::uint64_t now_ms) {
   // Canonicalize exactly once at the serving boundary: the same lowercase
   // form picks the shard AND keys the shard's cache, so mixed-case queries
@@ -61,7 +61,7 @@ std::optional<DnsCache::Entry> ShardedDnsCache::lookup(const DnsName& name,
   return shard.cache.lookup(canonical, client_subnet, now_ms);
 }
 
-void ShardedDnsCache::insert(const DnsName& name, const net::Prefix& scope,
+void ShardedDnsCache::insert(const DnsName& name, const net::IpPrefix& scope,
                              std::vector<net::Ipv4Addr> addresses,
                              std::uint32_t ttl_seconds, std::uint64_t now_ms) {
   std::string canonical = name.canonical();
@@ -71,13 +71,21 @@ void ShardedDnsCache::insert(const DnsName& name, const net::Prefix& scope,
                      now_ms);
 }
 
-void ShardedDnsCache::insert_negative(const DnsName& name, const net::Prefix& scope,
+void ShardedDnsCache::insert_negative(const DnsName& name, const net::IpPrefix& scope,
                                       Rcode rcode, std::uint32_t ttl_seconds,
                                       std::uint64_t now_ms) {
   std::string canonical = name.canonical();
   Shard& shard = shard_of(canonical);
   std::lock_guard lock(shard.mutex);
   shard.cache.insert_negative(std::move(canonical), scope, rcode, ttl_seconds, now_ms);
+}
+
+void ShardedDnsCache::note_foreign_family_drop(const DnsName& name) {
+  // Charged to the shard that would have owned the entry, so per-shard
+  // stats stay meaningful under aggregation.
+  Shard& shard = shard_of(name.canonical());
+  std::lock_guard lock(shard.mutex);
+  shard.cache.note_foreign_family_drop();
 }
 
 void ShardedDnsCache::purge(std::uint64_t now_ms) {
@@ -88,7 +96,7 @@ void ShardedDnsCache::purge(std::uint64_t now_ms) {
 }
 
 ShardedDnsCache::Flight ShardedDnsCache::join(const DnsName& name,
-                                              const net::Prefix& ecs) {
+                                              const net::IpPrefix& ecs) {
   const std::string canonical = name.canonical();
   const std::size_t index = shard_index_of(canonical);
   Shard& shard = *shards_[index];

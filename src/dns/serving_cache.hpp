@@ -93,24 +93,28 @@ class ShardedDnsCache {
 
   /// DnsCache::lookup under the owning shard's lock.
   std::optional<DnsCache::Entry> lookup(const DnsName& name,
-                                        const net::Prefix& client_subnet,
+                                        const net::IpPrefix& client_subnet,
                                         std::uint64_t now_ms);
 
   /// DnsCache::insert under the owning shard's lock.
-  void insert(const DnsName& name, const net::Prefix& scope,
+  void insert(const DnsName& name, const net::IpPrefix& scope,
               std::vector<net::Ipv4Addr> addresses, std::uint32_t ttl_seconds,
               std::uint64_t now_ms);
 
   /// DnsCache::insert_negative under the owning shard's lock.
-  void insert_negative(const DnsName& name, const net::Prefix& scope, Rcode rcode,
+  void insert_negative(const DnsName& name, const net::IpPrefix& scope, Rcode rcode,
                        std::uint32_t ttl_seconds, std::uint64_t now_ms);
 
   /// Purges expired entries in every shard.
   void purge(std::uint64_t now_ms);
 
+  /// Tallies an uncacheable foreign-family ECS scope for `name` (see
+  /// DnsCache::note_foreign_family_drop) on the shard that owns the name.
+  void note_foreign_family_drop(const DnsName& name);
+
   /// Joins the singleflight for (name, ecs). The first caller becomes the
   /// leader and must publish(); later callers become followers and wait().
-  [[nodiscard]] Flight join(const DnsName& name, const net::Prefix& ecs);
+  [[nodiscard]] Flight join(const DnsName& name, const net::IpPrefix& ecs);
 
   /// Attaches an obs registry to every shard and to the coalescing counters
   /// (borrowed; nullptr detaches). Setup-phase only, like register_zone.

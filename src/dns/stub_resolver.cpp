@@ -67,8 +67,22 @@ const char* outcome_metric(const ResolutionResult& result) {
     if (registry_ != nullptr) registry_->add("dns.resolver." #field); \
   } while (0)
 
+std::optional<net::IpPrefix> StubResolver::wire_announce(
+    std::optional<net::IpPrefix> ecs_subnet) const {
+  if (!ecs_subnet || ecs_policy_.family != 2 ||
+      ecs_subnet->family() != net::IpFamily::kV4) {
+    return ecs_subnet;
+  }
+  // Family-2 policy over a v4 subnet: announce its v6 embedding, capped at
+  // the configured source length (a /24 becomes a /56; a /48 cap keeps only
+  // the top 16 v4 bits).
+  const net::IpPrefix embedded = net::embed_v4_prefix(*ecs_subnet->to_v4());
+  return embedded.truncated(
+      std::min(embedded.length(), ecs_policy_.v6_source_length));
+}
+
 ResolutionResult StubResolver::attempt(const DnsName& name,
-                                       std::optional<net::Prefix> ecs_subnet) {
+                                       const std::optional<net::IpPrefix>& ecs_subnet) {
   const auto id = static_cast<std::uint16_t>(rng_.uniform(0x10000));
   const DnsName sent_name =
       randomize_case_ ? randomize_name_case(name, rng_) : name;
@@ -122,7 +136,8 @@ ResolutionResult StubResolver::attempt(const DnsName& name,
 }
 
 ResolutionResult StubResolver::resolve(const DnsName& name,
-                                       std::optional<net::Prefix> ecs_subnet) {
+                                       std::optional<net::IpPrefix> ecs_subnet) {
+  ecs_subnet = wire_announce(std::move(ecs_subnet));
   double elapsed_ms = 0.0;
   std::exception_ptr last_error;
   std::optional<ResolutionResult> last_failure;
@@ -186,7 +201,7 @@ ResolutionResult StubResolver::resolve(const DnsName& name,
 }
 
 ResolutionResult StubResolver::resolve(const std::string& name,
-                                       std::optional<net::Prefix> ecs_subnet) {
+                                       std::optional<net::IpPrefix> ecs_subnet) {
   return resolve(DnsName::must_parse(name), ecs_subnet);
 }
 

@@ -8,6 +8,7 @@
 
 #include "dns/message.hpp"
 #include "dns/server.hpp"
+#include "net/ipaddr.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
 #include "obs/metrics.hpp"
@@ -31,8 +32,9 @@ struct ResolutionResult {
   std::vector<net::Ipv4Addr> addresses;
   /// Minimum TTL across answer records (0 when there are none).
   std::uint32_t ttl = 0;
-  /// ECS scope returned by the server, when it echoed the option.
-  std::optional<net::Prefix> ecs_scope;
+  /// ECS scope returned by the server, when it echoed the option. Carries
+  /// the reply's address family (a v6 announce comes back as a v6 scope).
+  std::optional<net::IpPrefix> ecs_scope;
   /// How many attempts this resolution took (1 = first try succeeded).
   int attempts = 1;
   /// Whether the final answer came over the TCP fallback path.
@@ -52,6 +54,22 @@ struct ResolutionResult {
   [[nodiscard]] bool server_failure() const {
     return rcode == Rcode::kServFail || rcode == Rcode::kRefused;
   }
+};
+
+/// Which address family a stub announces its ECS subnets in.
+///
+/// The dual-stack campaign flips this to family 2: every v4 subnet handed
+/// to resolve() (the client's own /24 or an assimilation target) is first
+/// mapped to its v6 face via the sim embedding and truncated to
+/// `v6_source_length` — /56 reproduces the v4 /24 exactly, while the
+/// coarser real-world /48 collapses to a v4 /16, which is the granularity
+/// loss the paper's valley question must survive.
+struct EcsFamilyPolicy {
+  /// 1 = announce subnets as given (IPv4). 2 = announce the v6 embedding.
+  std::uint16_t family = 1;
+  /// Source prefix length cap for family-2 announcements (RFC 7871
+  /// recommends /56 or shorter; real resolvers commonly use /48).
+  int v6_source_length = net::default_ecs_scope(net::IpFamily::kV6);
 };
 
 /// Retry/deadline policy for a StubResolver.
@@ -134,6 +152,12 @@ class StubResolver {
   /// spoofing (draft-vixie-dnsext-dns0x20).
   void set_case_randomization(bool enabled) { randomize_case_ = enabled; }
 
+  /// Sets the wire family policy for announced subnets (default: family 1,
+  /// announce as given). See EcsFamilyPolicy.
+  void set_ecs_family(EcsFamilyPolicy policy) { ecs_policy_ = policy; }
+
+  [[nodiscard]] const EcsFamilyPolicy& ecs_family() const { return ecs_policy_; }
+
   /// Sets the transport used to retry truncated (TC=1) UDP answers, per
   /// RFC 1035 §4.2.2. Borrowed; nullptr disables the fallback (a truncated
   /// answer is then returned as-is, addresses empty).
@@ -143,11 +167,11 @@ class StubResolver {
   /// present; otherwise no ECS option is attached (the server then falls back
   /// to the transport source address).
   ResolutionResult resolve(const DnsName& name,
-                           std::optional<net::Prefix> ecs_subnet = std::nullopt);
+                           std::optional<net::IpPrefix> ecs_subnet = std::nullopt);
 
   /// Convenience overload for string names.
   ResolutionResult resolve(const std::string& name,
-                           std::optional<net::Prefix> ecs_subnet = std::nullopt);
+                           std::optional<net::IpPrefix> ecs_subnet = std::nullopt);
 
   /// Resolves announcing the client's own subnet truncated to /24, the
   /// default privacy-preserving behaviour of ECS (RFC 7871 §11.1).
@@ -179,7 +203,12 @@ class StubResolver {
  private:
   /// One send/validate round; throws net::TransientError subclasses on
   /// transport trouble or suspect replies.
-  ResolutionResult attempt(const DnsName& name, std::optional<net::Prefix> ecs_subnet);
+  ResolutionResult attempt(const DnsName& name,
+                           const std::optional<net::IpPrefix>& ecs_subnet);
+
+  /// Applies the ECS family policy to a subnet about to go on the wire.
+  [[nodiscard]] std::optional<net::IpPrefix> wire_announce(
+      std::optional<net::IpPrefix> ecs_subnet) const;
 
   DnsTransport* transport_;
   DnsTransport* fallback_ = nullptr;
@@ -187,6 +216,7 @@ class StubResolver {
   net::Ipv4Addr server_;
   net::Rng rng_;
   ResolverConfig config_;
+  EcsFamilyPolicy ecs_policy_;
   bool randomize_case_ = true;
   ResolverStats stats_;
   obs::Registry* registry_ = nullptr;  // borrowed; optional telemetry mirror

@@ -154,6 +154,7 @@ dns::StubResolver Testbed::make_stub(net::Ipv4Addr client, std::uint64_t seed) {
   dns::StubResolver stub(client_faults_.get(), client, resolver_address_, seed,
                          config_.resolver_config);
   stub.set_fallback_transport(client_tcp_faults_.get());
+  stub.set_ecs_family(config_.ecs_policy);
   return stub;
 }
 

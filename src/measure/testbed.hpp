@@ -54,6 +54,11 @@ struct TestbedConfig {
   /// answer wins). Defaults off — the un-hedged upstream every existing
   /// experiment assumes.
   dns::HedgeConfig hedge;
+  /// Wire family every stub announces ECS in (family 1 = the historical
+  /// v4-only behaviour; family 2 announces the same subnets through the
+  /// sim's v4-in-v6 embedding at ecs_policy.v6_source_length bits). Handed
+  /// to every stub this testbed creates.
+  dns::EcsFamilyPolicy ecs_policy;
 
   /// PlanetLab-scale setup (95 nodes, §3.1).
   static TestbedConfig planetlab();

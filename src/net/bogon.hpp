@@ -1,0 +1,80 @@
+// Constexpr bogon/private-range tables for both address families.
+//
+// The §3.1 hop filter must reject hops that cannot be public-path routers.
+// For v4 this predicate has always been Ipv4Addr::is_global_unicast(); the
+// table below spells the same ranges out data-style (lokinet
+// net/bogon_ranges.hpp idiom) so the v6 side can share the mechanism, and a
+// test pins the v4 table to the predicate it mirrors.
+//
+// Deliberate omissions, mirroring the v4 policy: the simulated world lives
+// in plausible-but-synthetic global space (20.0.0.0/8, anycast in
+// 198.18.0.0/16, v6 embedding in documentation space 2001:db8::/32), so
+// benchmark/documentation ranges are NOT treated as bogons — only ranges
+// that can never appear as a public traceroute hop are.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip.hpp"
+#include "net/ip6.hpp"
+
+namespace drongo::net {
+
+struct BogonRangeV4 {
+  std::uint32_t bits;
+  int length;
+};
+
+struct BogonRangeV6 {
+  std::uint64_t hi;
+  std::uint64_t lo;
+  int length;
+};
+
+inline constexpr BogonRangeV4 kBogonRangesV4[] = {
+    {0x00000000u, 32},  // 0.0.0.0/32 unspecified
+    {0x0A000000u, 8},   // 10.0.0.0/8 RFC 1918
+    {0x7F000000u, 8},   // 127.0.0.0/8 loopback
+    {0xA9FE0000u, 16},  // 169.254.0.0/16 link-local
+    {0xAC100000u, 12},  // 172.16.0.0/12 RFC 1918
+    {0xC0A80000u, 16},  // 192.168.0.0/16 RFC 1918
+    {0xE0000000u, 3},   // 224.0.0.0/3 multicast + class E reserved
+};
+
+inline constexpr BogonRangeV6 kBogonRangesV6[] = {
+    {0, 0, 127},                              // ::/127 unspecified + loopback
+    {0, std::uint64_t{0xFFFF} << 32, 96},     // ::ffff:0:0/96 v4-mapped
+    {std::uint64_t{0x0100} << 48, 0, 64},     // 100::/64 discard-only
+    {std::uint64_t{0xFC00} << 48, 0, 7},      // fc00::/7 unique local
+    {std::uint64_t{0xFE80} << 48, 0, 10},     // fe80::/10 link-local
+    {std::uint64_t{0xFF00} << 48, 0, 8},      // ff00::/8 multicast
+};
+
+[[nodiscard]] constexpr bool is_bogon(Ipv4Addr addr) {
+  for (const auto& range : kBogonRangesV4) {
+    const std::uint32_t mask =
+        range.length == 0 ? 0 : ~std::uint32_t{0} << (32 - range.length);
+    if ((addr.to_uint() & mask) == range.bits) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] constexpr bool is_bogon(const Ipv6Addr& addr) {
+  for (const auto& range : kBogonRangesV6) {
+    const std::uint64_t hi_mask =
+        range.length >= 64
+            ? ~std::uint64_t{0}
+            : (range.length == 0 ? 0 : ~std::uint64_t{0} << (64 - range.length));
+    const std::uint64_t lo_mask =
+        range.length <= 64 ? 0
+        : range.length >= 128
+            ? ~std::uint64_t{0}
+            : ~std::uint64_t{0} << (128 - range.length);
+    if ((addr.hi() & hi_mask) == range.hi && (addr.lo() & lo_mask) == range.lo) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace drongo::net

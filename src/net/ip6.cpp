@@ -1,0 +1,138 @@
+#include "net/ip6.hpp"
+
+#include <vector>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Parses one side of a `::` split into 16-bit groups. A dotted-quad tail
+/// (two groups) is only legal as the final token when `allow_v4_tail`.
+bool parse_groups(std::string_view part, bool allow_v4_tail,
+                  std::vector<std::uint16_t>& out) {
+  if (part.empty()) return true;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t colon = part.find(':', pos);
+    const std::string_view token =
+        part.substr(pos, colon == std::string_view::npos ? std::string_view::npos
+                                                         : colon - pos);
+    if (token.empty()) return false;
+    if (colon == std::string_view::npos &&
+        token.find('.') != std::string_view::npos) {
+      if (!allow_v4_tail) return false;
+      const auto v4 = Ipv4Addr::parse(token);
+      if (!v4) return false;
+      out.push_back(static_cast<std::uint16_t>(v4->to_uint() >> 16));
+      out.push_back(static_cast<std::uint16_t>(v4->to_uint()));
+      return true;
+    }
+    if (token.size() > 4) return false;
+    std::uint32_t value = 0;
+    for (const char c : token) {
+      const int digit = hex_value(c);
+      if (digit < 0) return false;
+      value = value * 16 + static_cast<std::uint32_t>(digit);
+    }
+    out.push_back(static_cast<std::uint16_t>(value));
+    if (colon == std::string_view::npos) return true;
+    pos = colon + 1;
+    if (pos >= part.size()) return false;  // trailing single ':'
+  }
+}
+
+void append_hex(std::string& out, std::uint16_t group) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  bool started = false;
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    const int nibble = (group >> shift) & 0xF;
+    if (nibble != 0 || started || shift == 0) {
+      out.push_back(kDigits[nibble]);
+      started = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  if (text.size() < 2 || text.size() > 45) return std::nullopt;
+  const std::size_t compress = text.find("::");
+  std::vector<std::uint16_t> left;
+  std::vector<std::uint16_t> right;
+  if (compress == std::string_view::npos) {
+    if (!parse_groups(text, /*allow_v4_tail=*/true, left)) return std::nullopt;
+    if (left.size() != 8) return std::nullopt;
+  } else {
+    const std::string_view lpart = text.substr(0, compress);
+    const std::string_view rpart = text.substr(compress + 2);
+    if (rpart.find("::") != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(lpart, /*allow_v4_tail=*/false, left) ||
+        !parse_groups(rpart, /*allow_v4_tail=*/true, right)) {
+      return std::nullopt;
+    }
+    // `::` stands for at least one zero group.
+    if (left.size() + right.size() > 7) return std::nullopt;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < left.size(); ++i) groups[i] = left[i];
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    groups[8 - right.size() + i] = right[i];
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = hi << 16 | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = lo << 16 | groups[static_cast<std::size_t>(i)];
+  return Ipv6Addr(hi, lo);
+}
+
+Ipv6Addr Ipv6Addr::must_parse(std::string_view text) {
+  const auto addr = parse(text);
+  if (!addr) throw ParseError("bad IPv6 address: " + std::string(text));
+  return *addr;
+}
+
+std::string Ipv6Addr::to_string() const {
+  if (is_v4_mapped()) return "::ffff:" + mapped_v4().to_string();
+  // RFC 5952: compress the longest run of two-or-more zero groups
+  // (leftmost on ties).
+  int best_start = -1;
+  int best_length = 0;
+  int run_start = -1;
+  for (int i = 0; i <= 8; ++i) {
+    if (i < 8 && group(i) == 0) {
+      if (run_start < 0) run_start = i;
+    } else if (run_start >= 0) {
+      const int run_length = i - run_start;
+      if (run_length >= 2 && run_length > best_length) {
+        best_start = run_start;
+        best_length = run_length;
+      }
+      run_start = -1;
+    }
+  }
+  std::string out;
+  out.reserve(39);
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out.append("::");
+      i += best_length - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    append_hex(out, group(i));
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace drongo::net

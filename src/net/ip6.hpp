@@ -1,0 +1,114 @@
+// IPv6 address value type.
+//
+// Same philosophy as Ipv4Addr: a tiny value type with canonical text forms
+// and classification predicates, no socket headers. The 128 bits live in two
+// host-order words (hi = groups 0..3, lo = groups 4..7), so comparison,
+// masking, and the LPM trie's bit arithmetic are plain integer ops.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+
+namespace drongo::net {
+
+class Ipv6Addr {
+ public:
+  /// The unspecified address `::`.
+  constexpr Ipv6Addr() = default;
+
+  /// From the two big-endian 64-bit halves (host-order words).
+  constexpr Ipv6Addr(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// From 16 network-order bytes.
+  static constexpr Ipv6Addr from_bytes(const std::array<std::uint8_t, 16>& b) {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    for (int i = 0; i < 8; ++i) hi = hi << 8 | b[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) lo = lo << 8 | b[static_cast<std::size_t>(i)];
+    return {hi, lo};
+  }
+
+  /// The v4-mapped form `::ffff:a.b.c.d` (RFC 4291 §2.5.5.2).
+  static constexpr Ipv6Addr v4_mapped(Ipv4Addr v4) {
+    return {0, (std::uint64_t{0xFFFF} << 32) | v4.to_uint()};
+  }
+
+  /// Parses RFC 4291 text (full, `::`-compressed, optional dotted-quad
+  /// tail). Returns nullopt on malformed input.
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+
+  /// Like parse() but throws ParseError.
+  static Ipv6Addr must_parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  /// Byte `i` (0 = most significant) of the network-order representation.
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(
+        i < 8 ? hi_ >> (8 * (7 - i)) : lo_ >> (8 * (15 - i)));
+  }
+
+  /// 16-bit group `i` (0..7) as written in colon-hex text.
+  [[nodiscard]] constexpr std::uint16_t group(int i) const {
+    return static_cast<std::uint16_t>(
+        i < 4 ? hi_ >> (16 * (3 - i)) : lo_ >> (16 * (7 - i)));
+  }
+
+  [[nodiscard]] constexpr std::array<std::uint8_t, 16> to_bytes() const {
+    std::array<std::uint8_t, 16> b{};
+    for (int i = 0; i < 16; ++i) b[static_cast<std::size_t>(i)] = octet(i);
+    return b;
+  }
+
+  [[nodiscard]] constexpr bool is_unspecified() const { return hi_ == 0 && lo_ == 0; }
+  [[nodiscard]] constexpr bool is_loopback() const { return hi_ == 0 && lo_ == 1; }
+  /// `::ffff:0:0/96` (RFC 4291 §2.5.5.2).
+  [[nodiscard]] constexpr bool is_v4_mapped() const {
+    return hi_ == 0 && (lo_ >> 32) == 0xFFFF;
+  }
+  /// The embedded IPv4 address of a v4-mapped address (callers check
+  /// is_v4_mapped() first; for other addresses this is just the low word).
+  [[nodiscard]] constexpr Ipv4Addr mapped_v4() const {
+    return Ipv4Addr(static_cast<std::uint32_t>(lo_));
+  }
+  /// `fe80::/10`.
+  [[nodiscard]] constexpr bool is_link_local() const { return (hi_ >> 54) == 0x3FA; }
+  /// `fc00::/7` (RFC 4193 unique local).
+  [[nodiscard]] constexpr bool is_unique_local() const { return (hi_ >> 57) == 0x7E; }
+  /// `ff00::/8`.
+  [[nodiscard]] constexpr bool is_multicast() const { return (hi_ >> 56) == 0xFF; }
+  /// `2001:db8::/32` (RFC 3849 documentation space — where drongo's
+  /// simulated dual-stack world lives, mirroring the v4 plan's use of the
+  /// 198.18.0.0/15 benchmark range).
+  [[nodiscard]] constexpr bool is_documentation() const {
+    return (hi_ >> 32) == 0x20010DB8;
+  }
+
+  /// RFC 5952 canonical text (lowercase, longest zero run compressed,
+  /// v4-mapped printed with a dotted-quad tail).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace drongo::net
+
+template <>
+struct std::hash<drongo::net::Ipv6Addr> {
+  std::size_t operator()(const drongo::net::Ipv6Addr& a) const noexcept {
+    const std::uint64_t h = a.hi() * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h ^ (a.lo() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+  }
+};

@@ -1,0 +1,108 @@
+#include "net/ipaddr.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace drongo::net {
+
+namespace {
+
+/// Clears everything past the first `length` bits of a 128-bit value.
+constexpr Ipv6Addr mask_v6(const Ipv6Addr& bits, int length) {
+  const std::uint64_t hi_mask =
+      length >= 64 ? ~std::uint64_t{0}
+                   : (length == 0 ? 0 : ~std::uint64_t{0} << (64 - length));
+  const std::uint64_t lo_mask =
+      length <= 64 ? 0
+                   : (length >= 128 ? ~std::uint64_t{0}
+                                    : ~std::uint64_t{0} << (128 - length));
+  return {bits.hi() & hi_mask, bits.lo() & lo_mask};
+}
+
+}  // namespace
+
+Ipv4Addr IpAddr::v4() const {
+  if (!is_v4()) {
+    throw InvalidArgument("v4() on IPv6 address " + bits_.to_string());
+  }
+  return bits_.mapped_v4();
+}
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    const auto v6 = Ipv6Addr::parse(text);
+    if (!v6) return std::nullopt;
+    return IpAddr(*v6);
+  }
+  const auto v4 = Ipv4Addr::parse(text);
+  if (!v4) return std::nullopt;
+  return IpAddr(*v4);
+}
+
+IpAddr IpAddr::must_parse(std::string_view text) {
+  const auto addr = parse(text);
+  if (!addr) throw ParseError("bad IP address: " + std::string(text));
+  return *addr;
+}
+
+IpPrefix::IpPrefix(const IpAddr& addr, int length) : length_(length) {
+  if (length < 0 || length > family_bits(addr.family())) {
+    throw InvalidArgument("prefix length out of range for family: " +
+                          std::to_string(length));
+  }
+  if (addr.is_v4()) {
+    // Reuse Prefix's canonicalization so v4 semantics match bit-for-bit.
+    network_ = IpAddr(Prefix(addr.v4(), length).network());
+  } else {
+    network_ = IpAddr(mask_v6(addr.v6(), length));
+  }
+}
+
+bool IpPrefix::contains(const IpAddr& addr) const {
+  if (addr.family() != family()) return false;
+  const int effective =
+      family() == IpFamily::kV4 ? 96 + length_ : length_;  // v4 is mapped
+  return mask_v6(addr.v6(), effective) == network_.v6();
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto addr = IpAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = 0;
+  for (const char c : text.substr(slash + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + (c - '0');
+    if (length > 128) return std::nullopt;
+  }
+  if (length > family_bits(addr->family())) return std::nullopt;
+  return IpPrefix(*addr, length);
+}
+
+IpPrefix IpPrefix::must_parse(std::string_view text) {
+  const auto prefix = parse(text);
+  if (!prefix) throw ParseError("bad IP prefix: " + std::string(text));
+  return *prefix;
+}
+
+IpPrefix embed_v4_prefix(const Prefix& v4) {
+  return IpPrefix(IpAddr(embed_v4(v4.network())), v4.length() + 32);
+}
+
+std::optional<Prefix> effective_v4_subnet(const IpPrefix& prefix) {
+  if (prefix.family() == IpFamily::kV4) return prefix.to_v4();
+  const Ipv6Addr v6 = prefix.network().v6();
+  if (v6.is_v4_mapped() && prefix.length() >= 96) {
+    return Prefix(v6.mapped_v4(), prefix.length() - 96);
+  }
+  if (is_embedded_v4(v6) && prefix.length() >= 32) {
+    return Prefix(*extract_embedded_v4(v6), std::min(32, prefix.length() - 32));
+  }
+  return std::nullopt;
+}
+
+}  // namespace drongo::net

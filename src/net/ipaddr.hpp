@@ -1,0 +1,224 @@
+// Dual-stack address and prefix value types.
+//
+// `IpAddr`/`IpPrefix` are the compact family-tagged counterparts of
+// Ipv4Addr/Prefix: one word of family plus 128 bits of address, with v4
+// stored internally in v4-mapped form so comparison and masking are shared
+// integer ops. Both convert implicitly FROM the v4 types — existing v4 call
+// sites keep compiling as the dual-stack plumbing replaces `Prefix`
+// parameters — but conversion back to v4 is always explicit and checked.
+//
+// Canonicalization follows the nano-node subnet-mapping idiom: a v4-mapped
+// v6 address (`::ffff:a.b.c.d`) canonicalizes to family v4, and the default
+// ECS scope is /24 for v4 and /56 for v6.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+#include "net/ip6.hpp"
+#include "net/prefix.hpp"
+
+namespace drongo::net {
+
+/// Address family tag. The enumerator values deliberately match the IANA
+/// address-family numbers used on the ECS wire (RFC 7871 §6).
+enum class IpFamily : std::uint8_t { kV4 = 1, kV6 = 2 };
+
+[[nodiscard]] constexpr int family_bits(IpFamily family) {
+  return family == IpFamily::kV4 ? 32 : 128;
+}
+
+/// Default ECS announce scope per family (/24 v4, /56 v6), per the
+/// nano-node mapping idiom and RFC 7871 operational practice.
+[[nodiscard]] constexpr int default_ecs_scope(IpFamily family) {
+  return family == IpFamily::kV4 ? 24 : 56;
+}
+
+/// A dual-stack address: family tag + 128 bits (v4 held v4-mapped).
+class IpAddr {
+ public:
+  /// Defaults to IPv4 0.0.0.0 — the same "generic" value net::Prefix()
+  /// defaults to, so zero-scope semantics carry over unchanged.
+  constexpr IpAddr() : bits_(Ipv6Addr::v4_mapped(Ipv4Addr{})) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): v4 call sites convert freely.
+  constexpr IpAddr(Ipv4Addr v4) : bits_(Ipv6Addr::v4_mapped(v4)) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr IpAddr(const Ipv6Addr& v6) : family_(IpFamily::kV6), bits_(v6) {}
+
+  [[nodiscard]] constexpr IpFamily family() const { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const { return family_ == IpFamily::kV4; }
+  [[nodiscard]] constexpr bool is_v6() const { return family_ == IpFamily::kV6; }
+
+  /// The v4 address; throws InvalidArgument when family is v6 (a programming
+  /// error — wire-facing code goes through checked conversions instead).
+  [[nodiscard]] Ipv4Addr v4() const;
+
+  /// The v6 address; for a v4 IpAddr this is the v4-mapped form.
+  [[nodiscard]] constexpr Ipv6Addr v6() const { return bits_; }
+
+  /// Folds a v4-mapped v6 address into family v4; identity otherwise.
+  [[nodiscard]] constexpr IpAddr canonical() const {
+    if (family_ == IpFamily::kV6 && bits_.is_v4_mapped()) {
+      return IpAddr(bits_.mapped_v4());
+    }
+    return *this;
+  }
+
+  [[nodiscard]] constexpr bool is_unspecified() const {
+    return is_v4() ? bits_.mapped_v4().is_unspecified() : bits_.is_unspecified();
+  }
+  [[nodiscard]] constexpr bool is_loopback() const {
+    return is_v4() ? bits_.mapped_v4().is_loopback() : bits_.is_loopback();
+  }
+
+  /// Parses either dotted-quad (family v4) or colon-hex (family v6) text.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  /// Like parse() but throws ParseError.
+  static IpAddr must_parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const {
+    return is_v4() ? bits_.mapped_v4().to_string() : bits_.to_string();
+  }
+
+  /// Orders by (family, address): every v4 sorts before every v6, and
+  /// within a family by numeric address — IpPrefix map order depends on it.
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+ private:
+  IpFamily family_ = IpFamily::kV4;
+  Ipv6Addr bits_;
+};
+
+/// A dual-stack CIDR prefix: IpAddr + length (0..32 v4, 0..128 v6), with
+/// host bits cleared on construction, mirroring net::Prefix.
+class IpPrefix {
+ public:
+  /// The default prefix: IPv4 0.0.0.0/0 — identical in meaning to
+  /// net::Prefix{} so existing zero-scope call sites translate directly.
+  constexpr IpPrefix() = default;
+
+  /// Canonical prefix from any address in the network. Throws
+  /// InvalidArgument when `length` is outside the family's bit width (a
+  /// programming error; wire decoding validates lengths itself and throws
+  /// ParseError before ever constructing one of these).
+  IpPrefix(const IpAddr& addr, int length);
+
+  // NOLINTNEXTLINE(google-explicit-constructor): v4 call sites convert freely.
+  IpPrefix(const Prefix& v4) : IpPrefix(IpAddr(v4.network()), v4.length()) {}
+
+  /// The family's zero-length "generic" prefix (::/0 or 0.0.0.0/0).
+  static IpPrefix zero(IpFamily family) {
+    return family == IpFamily::kV4 ? IpPrefix(IpAddr(Ipv4Addr{}), 0)
+                                   : IpPrefix(IpAddr(Ipv6Addr{}), 0);
+  }
+
+  [[nodiscard]] constexpr IpFamily family() const { return network_.family(); }
+  [[nodiscard]] constexpr IpAddr network() const { return network_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// True when `addr` is the same family and falls inside this prefix.
+  [[nodiscard]] bool contains(const IpAddr& addr) const;
+
+  /// True when `other` is the same family and fully contained here.
+  [[nodiscard]] bool contains(const IpPrefix& other) const {
+    return other.family() == family() && other.length_ >= length_ &&
+           contains(other.network_);
+  }
+
+  /// The /`new_length` prefix containing this network (RFC 7871 source
+  /// truncation). Throws InvalidArgument when out of family range.
+  [[nodiscard]] IpPrefix truncated(int new_length) const {
+    return IpPrefix(network_, new_length);
+  }
+
+  /// The v4 view; nullopt when family is v6.
+  [[nodiscard]] std::optional<Prefix> to_v4() const {
+    if (family() != IpFamily::kV4) return std::nullopt;
+    return Prefix(network_.v4(), length_);
+  }
+
+  /// Parses "a.b.c.d/len" or "h:h::h/len". Returns nullopt when malformed
+  /// (including a length outside the family's range).
+  static std::optional<IpPrefix> parse(std::string_view text);
+
+  /// Like parse() but throws ParseError.
+  static IpPrefix must_parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const {
+    return network_.to_string() + "/" + std::to_string(length_);
+  }
+
+  /// Orders by (family, network, length) — the canonical walk order the
+  /// dual-stack LPM trie reproduces (all v4 entries before all v6).
+  friend constexpr auto operator<=>(const IpPrefix&, const IpPrefix&) = default;
+
+ private:
+  IpAddr network_{};
+  int length_ = 0;
+};
+
+// --- Simulated-world dual-stack address plan -------------------------------
+//
+// The topology's address plan is IPv4 (AS i owns a /16 under 20.0.0.0/8).
+// Its v6 face embeds that v4 address into documentation space 2001:db8::/32
+// at bits 32..63:
+//
+//   20.1.2.3  ->  2001:db8:1401:203::
+//
+// so a v4 /n corresponds to a v6 /(n+32): the default v6 announce /56 is
+// exactly the v4 /24, and the coarser real-world v6 granularity /48 maps to
+// a v4 /16 — the granularity question the dual-stack campaign measures.
+
+inline constexpr std::uint32_t kSimV6PrefixHi32 = 0x20010DB8;
+
+/// The v6 face of a simulated v4 host.
+[[nodiscard]] constexpr Ipv6Addr embed_v4(Ipv4Addr v4) {
+  return Ipv6Addr((std::uint64_t{kSimV6PrefixHi32} << 32) | v4.to_uint(), 0);
+}
+
+/// True when `v6` lies in the sim's embedding space.
+[[nodiscard]] constexpr bool is_embedded_v4(const Ipv6Addr& v6) {
+  return (v6.hi() >> 32) == kSimV6PrefixHi32;
+}
+
+/// Recovers the embedded v4 address; nullopt outside the embedding space.
+[[nodiscard]] constexpr std::optional<Ipv4Addr> extract_embedded_v4(
+    const Ipv6Addr& v6) {
+  if (!is_embedded_v4(v6)) return std::nullopt;
+  return Ipv4Addr(static_cast<std::uint32_t>(v6.hi()));
+}
+
+/// The v6 prefix corresponding to a sim v4 prefix (length shifts by 32).
+[[nodiscard]] IpPrefix embed_v4_prefix(const Prefix& v4);
+
+/// The v4 subnet a dual-stack prefix effectively selects: identity for v4,
+/// the mapped tail for v4-mapped prefixes at /96 or longer, the embedded
+/// prefix for sim-space v6 at /32 or longer (lengths clamp to /32).
+/// nullopt for v6 prefixes with no v4 meaning.
+[[nodiscard]] std::optional<Prefix> effective_v4_subnet(const IpPrefix& prefix);
+
+}  // namespace drongo::net
+
+template <>
+struct std::hash<drongo::net::IpAddr> {
+  std::size_t operator()(const drongo::net::IpAddr& a) const noexcept {
+    const std::size_t h = std::hash<drongo::net::Ipv6Addr>{}(a.v6());
+    return h ^ (static_cast<std::size_t>(a.family()) * 0xFF51AFD7ED558CCDULL);
+  }
+};
+
+template <>
+struct std::hash<drongo::net::IpPrefix> {
+  std::size_t operator()(const drongo::net::IpPrefix& p) const noexcept {
+    const std::size_t h = std::hash<drongo::net::IpAddr>{}(p.network());
+    return h ^ (static_cast<std::size_t>(p.length()) * 0xFF51AFD7ED558CCDULL);
+  }
+};

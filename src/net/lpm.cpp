@@ -9,41 +9,53 @@ namespace drongo::net::detail {
 
 namespace {
 
-constexpr std::uint32_t mask_of(int length) {
-  return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+constexpr std::uint64_t word_mask(int length) {
+  return length <= 0 ? 0
+         : length >= 64 ? ~std::uint64_t{0}
+                        : ~std::uint64_t{0} << (64 - length);
 }
 
-constexpr std::uint32_t canonical(std::uint32_t bits, int length) {
-  return bits & mask_of(length);
+constexpr LpmBits canonical(LpmBits bits, int length) {
+  return {bits.hi & word_mask(length), bits.lo & word_mask(length - 64)};
 }
 
-/// Bit `i` of `bits`, counting from the most significant (i in [0, 32)).
-constexpr int bit_at(std::uint32_t bits, int i) {
-  return static_cast<int>((bits >> (31 - i)) & 1U);
+/// Bit `i` of `bits`, counting from the most significant (i in [0, 128)).
+constexpr int bit_at(LpmBits bits, int i) {
+  return static_cast<int>(
+      i < 64 ? (bits.hi >> (63 - i)) & 1U : (bits.lo >> (127 - i)) & 1U);
+}
+
+constexpr int clz64(std::uint64_t value) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_clzll(value);
+#else
+  int count = 0;
+  for (std::uint64_t probe = std::uint64_t{1} << 63; probe != 0 && (value & probe) == 0;
+       probe >>= 1) {
+    ++count;
+  }
+  return count;
+#endif
 }
 
 /// Length of the common prefix of `a` and `b`, capped at `cap`.
-int common_prefix_length(std::uint32_t a, std::uint32_t b, int cap) {
-  const std::uint32_t diff = a ^ b;
-  if (diff == 0) return cap;
-#if defined(__GNUC__) || defined(__clang__)
-  const int first_diff = __builtin_clz(diff);
-#else
-  int first_diff = 0;
-  while (first_diff < 32 && bit_at(diff, first_diff) == 0) ++first_diff;
-#endif
-  return std::min(cap, first_diff);
+int common_prefix_length(LpmBits a, LpmBits b, int cap) {
+  const std::uint64_t diff_hi = a.hi ^ b.hi;
+  if (diff_hi != 0) return std::min(cap, clz64(diff_hi));
+  const std::uint64_t diff_lo = a.lo ^ b.lo;
+  if (diff_lo != 0) return std::min(cap, 64 + clz64(diff_lo));
+  return cap;
 }
 
 void check_length(int length) {
-  if (length < 0 || length > 32) {
+  if (length < 0 || length > LpmCore::kMaxBits) {
     throw InvalidArgument("prefix length out of range: " + std::to_string(length));
   }
 }
 
 }  // namespace
 
-std::uint32_t LpmCore::find(std::uint32_t bits, int length,
+std::uint32_t LpmCore::find(LpmBits bits, int length,
                             std::uint64_t* visited) const {
   check_length(length);
   bits = canonical(bits, length);
@@ -63,7 +75,7 @@ std::uint32_t LpmCore::find(std::uint32_t bits, int length,
   return kNoSlot;
 }
 
-std::uint32_t LpmCore::insert(std::uint32_t bits, int length, std::uint32_t slot) {
+std::uint32_t LpmCore::insert(LpmBits bits, int length, std::uint32_t slot) {
   check_length(length);
   bits = canonical(bits, length);
   if (root_ == kNil) {
@@ -127,7 +139,7 @@ std::uint32_t LpmCore::insert(std::uint32_t bits, int length, std::uint32_t slot
   }
 }
 
-std::uint32_t LpmCore::erase(std::uint32_t bits, int length) {
+std::uint32_t LpmCore::erase(LpmBits bits, int length) {
   check_length(length);
   bits = canonical(bits, length);
   std::int32_t cur = root_;
@@ -149,7 +161,7 @@ std::uint32_t LpmCore::erase(std::uint32_t bits, int length) {
   return kNoSlot;
 }
 
-std::optional<LpmCore::Match> LpmCore::longest_match(std::uint32_t bits, int max_length,
+std::optional<LpmCore::Match> LpmCore::longest_match(LpmBits bits, int max_length,
                                                      std::uint64_t* visited) const {
   check_length(max_length);
   std::optional<Match> best;
@@ -163,13 +175,13 @@ std::optional<LpmCore::Match> LpmCore::longest_match(std::uint32_t bits, int max
     if (node.slot != kNoSlot) {
       best = Match{node.bits, node.length, node.slot};
     }
-    if (node.length == 32) break;
+    if (node.length == kMaxBits) break;
     cur = node.child[bit_at(bits, node.length)];
   }
   return best;
 }
 
-void LpmCore::match_chain(std::uint32_t bits, int max_length, std::vector<Match>& out,
+void LpmCore::match_chain(LpmBits bits, int max_length, std::vector<Match>& out,
                           std::uint64_t* visited) const {
   check_length(max_length);
   const std::size_t first = out.size();
@@ -183,14 +195,14 @@ void LpmCore::match_chain(std::uint32_t bits, int max_length, std::vector<Match>
     if (node.slot != kNoSlot) {
       out.push_back(Match{node.bits, node.length, node.slot});
     }
-    if (node.length == 32) break;
+    if (node.length == kMaxBits) break;
     cur = node.child[bit_at(bits, node.length)];
   }
   std::reverse(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
 }
 
-void LpmCore::walk(const std::function<void(std::uint32_t, int, std::uint32_t)>& fn) const {
-  // Iterative pre-order with an explicit stack (depth is bounded by 33 but
+void LpmCore::walk(const std::function<void(LpmBits, int, std::uint32_t)>& fn) const {
+  // Iterative pre-order with an explicit stack (depth is bounded by 129 but
   // the iterative form keeps walk() usable from any stack budget). Pushing
   // the one-branch before the zero-branch pops zero first, giving ascending
   // network order with shorter prefixes ahead of their subtrees.
@@ -215,7 +227,7 @@ void LpmCore::clear() {
   size_ = 0;
 }
 
-std::int32_t LpmCore::new_node(std::uint32_t bits, int length) {
+std::int32_t LpmCore::new_node(LpmBits bits, int length) {
   std::int32_t index;
   if (!free_.empty()) {
     index = free_.back();

@@ -25,19 +25,64 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
+sockaddr_in6 any6(std::uint16_t port) {
+  sockaddr_in6 addr{};
+  addr.sin6_family = AF_INET6;
+  addr.sin6_port = htons(port);
+  addr.sin6_addr = in6addr_any;  // [::] — only a wildcard bind is dual-stack
+  return addr;
+}
+
 [[noreturn]] void throw_errno(const char* what, int err) {
   throw net::Error(std::string(what) + ": " + std::strerror(err));
 }
 
 std::uint16_t bound_port_of(int fd) {
-  sockaddr_in addr{};
+  sockaddr_storage addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     const int saved = errno;
     ::close(fd);
     throw_errno("getsockname()", saved);
   }
-  return ntohs(addr.sin_port);
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6&>(addr).sin6_port);
+  }
+  return ntohs(reinterpret_cast<const sockaddr_in&>(addr).sin_port);
+}
+
+/// Creates the socket and (for dual-stack) clears IPV6_V6ONLY so v4
+/// clients arrive v4-mapped. Throws (closing nothing) on socket(),
+/// closes + throws on setsockopt failure.
+int open_socket(int type, bool dual_stack) {
+  const int fd = ::socket(dual_stack ? AF_INET6 : AF_INET, type | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw_errno("socket()", errno);
+  if (dual_stack) {
+    const int zero = 0;
+    if (::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &zero, sizeof(zero)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw_errno("setsockopt(IPV6_V6ONLY)", saved);
+    }
+  }
+  return fd;
+}
+
+/// Binds `fd` to loopback v4 or [::] according to `dual_stack`.
+void bind_serving_address(int fd, std::uint16_t port, bool dual_stack) {
+  int rc = 0;
+  if (dual_stack) {
+    sockaddr_in6 addr = any6(port);
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr = loopback(port);
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_errno("bind()", saved);
+  }
 }
 
 }  // namespace
@@ -49,40 +94,29 @@ void set_nonblocking(int fd) {
   }
 }
 
-int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port) {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) throw_errno("socket(SOCK_DGRAM)", errno);
+int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port, bool dual_stack) {
+  const int fd = open_socket(SOCK_DGRAM, dual_stack);
   const int one = 1;
   if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
     const int saved = errno;
     ::close(fd);
     throw_errno("setsockopt(SO_REUSEPORT)", saved);
   }
-  sockaddr_in addr = loopback(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    throw_errno("bind()", saved);
-  }
+  bind_serving_address(fd, port, dual_stack);
   if (bound_port != nullptr) *bound_port = bound_port_of(fd);
   return fd;
 }
 
-int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) throw_errno("socket(SOCK_STREAM)", errno);
+int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog,
+                      bool dual_stack) {
+  const int fd = open_socket(SOCK_STREAM, dual_stack);
   const int one = 1;
   if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
     const int saved = errno;
     ::close(fd);
     throw_errno("setsockopt(SO_REUSEADDR)", saved);
   }
-  sockaddr_in addr = loopback(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    throw_errno("bind()", saved);
-  }
+  bind_serving_address(fd, port, dual_stack);
   if (::listen(fd, backlog) != 0) {
     const int saved = errno;
     ::close(fd);
@@ -134,7 +168,7 @@ UdpBatch::UdpBatch(std::size_t batch_size, std::size_t datagram_capacity)
     send_msgs_[i].msg_hdr.msg_iov = &send_iov_[i];
     send_msgs_[i].msg_hdr.msg_iovlen = 1;
     send_msgs_[i].msg_hdr.msg_name = &send_addrs_[i];
-    send_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    send_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_storage);
   }
 }
 
@@ -142,7 +176,7 @@ std::size_t UdpBatch::receive(int fd, bool wait_for_one) {
   // The kernel rewrites iov_len/namelen per call, so re-arm every slot.
   for (std::size_t i = 0; i < batch_; ++i) {
     recv_iov_[i].iov_len = capacity_;
-    recv_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    recv_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_storage);
   }
   const int n = ::recvmmsg(fd, recv_msgs_.data(), static_cast<unsigned>(batch_),
                            wait_for_one ? MSG_WAITFORONE : MSG_DONTWAIT, nullptr);
@@ -157,17 +191,29 @@ std::span<const std::uint8_t> UdpBatch::payload(std::size_t i) const {
   return {recv_arena_.data() + i * capacity_, recv_msgs_[i].msg_len};
 }
 
-const sockaddr_in& UdpBatch::source(std::size_t i) const { return recv_addrs_[i]; }
+const sockaddr_storage& UdpBatch::source(std::size_t i) const { return recv_addrs_[i]; }
 
-void UdpBatch::stage(const sockaddr_in& destination, std::span<const std::uint8_t> data) {
+socklen_t UdpBatch::source_len(std::size_t i) const {
+  return recv_msgs_[i].msg_hdr.msg_namelen;
+}
+
+void UdpBatch::stage(const sockaddr_storage& destination, socklen_t destination_len,
+                     std::span<const std::uint8_t> data) {
   if (staged_ >= batch_) throw net::BoundsError("UdpBatch::stage: batch full");
   if (data.size() > capacity_) {
     throw net::BoundsError("UdpBatch::stage: datagram exceeds capacity");
   }
   send_addrs_[staged_] = destination;
+  send_msgs_[staged_].msg_hdr.msg_namelen = destination_len;
   std::memcpy(send_arena_.data() + staged_ * capacity_, data.data(), data.size());
   send_iov_[staged_].iov_len = data.size();
   ++staged_;
+}
+
+void UdpBatch::stage(const sockaddr_in& destination, std::span<const std::uint8_t> data) {
+  sockaddr_storage storage{};
+  std::memcpy(&storage, &destination, sizeof(destination));
+  stage(storage, sizeof(destination), data);
 }
 
 std::size_t UdpBatch::flush(int fd) {

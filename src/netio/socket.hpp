@@ -11,6 +11,7 @@
 #pragma once
 
 #include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <cstdint>
 #include <span>
@@ -21,15 +22,23 @@ namespace drongo::netio {
 /// Switches an fd to O_NONBLOCK. Throws net::Error on fcntl failure.
 void set_nonblocking(int fd);
 
-/// Opens a nonblocking UDP socket bound to 127.0.0.1:`port` with
-/// SO_REUSEPORT set, so multiple listeners can bind the same port and
-/// split inbound load kernel-side. Port 0 picks an ephemeral port; the
-/// chosen port is written to `bound_port`. Returns the fd (caller owns).
-int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port);
+/// Opens a nonblocking UDP socket with SO_REUSEPORT set, so multiple
+/// listeners can bind the same port and split inbound load kernel-side.
+/// Default (`dual_stack` false): bound to 127.0.0.1:`port`, exactly the
+/// historical v4 behaviour. With `dual_stack` true: an AF_INET6 socket
+/// with IPV6_V6ONLY cleared bound to [::]:`port`, so v6 clients reach it
+/// natively and v4 clients arrive as ::ffff:a.b.c.d — one fd, both
+/// families. Port 0 picks an ephemeral port; the chosen port is written
+/// to `bound_port`. Returns the fd (caller owns).
+int open_udp_reuseport(std::uint16_t port, std::uint16_t* bound_port,
+                       bool dual_stack = false);
 
-/// Opens a nonblocking loopback TCP listener (SO_REUSEADDR, `backlog`).
-/// Port 0 picks an ephemeral port, written to `bound_port`.
-int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog = 128);
+/// Opens a nonblocking TCP listener (SO_REUSEADDR, `backlog`); same
+/// address semantics as open_udp_reuseport (`dual_stack` false = loopback
+/// v4, true = [::] with IPV6_V6ONLY cleared). Port 0 picks an ephemeral
+/// port, written to `bound_port`.
+int open_tcp_listener(std::uint16_t port, std::uint16_t* bound_port, int backlog = 128,
+                      bool dual_stack = false);
 
 /// Accepts one pending connection as a nonblocking fd, or returns -1 when
 /// the accept queue is drained (EAGAIN). Transient kernel hiccups
@@ -68,13 +77,19 @@ class UdpBatch {
   std::size_t receive(int fd, bool wait_for_one = false);
 
   /// Payload and source address of received datagram `i` (valid until the
-  /// next receive()).
+  /// next receive()). Addresses are sockaddr_storage so one batch serves
+  /// v4 and v6 sockets alike; `source_len` is the kernel-reported length
+  /// (sizeof(sockaddr_in) or sizeof(sockaddr_in6)).
   [[nodiscard]] std::span<const std::uint8_t> payload(std::size_t i) const;
-  [[nodiscard]] const sockaddr_in& source(std::size_t i) const;
+  [[nodiscard]] const sockaddr_storage& source(std::size_t i) const;
+  [[nodiscard]] socklen_t source_len(std::size_t i) const;
 
   /// Queues one outbound datagram. Throws net::BoundsError if the batch is
   /// already full (callers flush() when staged() == batch_size()) or the
   /// payload exceeds the datagram capacity.
+  void stage(const sockaddr_storage& destination, socklen_t destination_len,
+             std::span<const std::uint8_t> data);
+  /// v4 convenience overload (load generators that build sockaddr_in).
   void stage(const sockaddr_in& destination, std::span<const std::uint8_t> data);
 
   [[nodiscard]] std::size_t staged() const { return staged_; }
@@ -92,12 +107,12 @@ class UdpBatch {
   std::vector<std::uint8_t> recv_arena_;
   std::vector<iovec> recv_iov_;
   std::vector<mmsghdr> recv_msgs_;
-  std::vector<sockaddr_in> recv_addrs_;
+  std::vector<sockaddr_storage> recv_addrs_;
   // Send side mirrors it, plus per-slot staged lengths.
   std::vector<std::uint8_t> send_arena_;
   std::vector<iovec> send_iov_;
   std::vector<mmsghdr> send_msgs_;
-  std::vector<sockaddr_in> send_addrs_;
+  std::vector<sockaddr_storage> send_addrs_;
   std::size_t staged_ = 0;
 };
 

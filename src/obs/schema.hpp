@@ -50,7 +50,8 @@ namespace drongo::obs {
   X(evictions)                       \
   X(expired)                         \
   X(coalesced)                       \
-  X(coalesce_leaders)
+  X(coalesce_leaders)                \
+  X(foreign_family_drops)
 
 /// What the radix LPM scope index underneath the answer cache tallies: one
 /// X(field) per counter. dns::LpmStats declares its fields from this list

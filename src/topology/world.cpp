@@ -103,6 +103,28 @@ net::Asn World::asn_of(net::Ipv4Addr ip) const {
   return index ? graph_.node(*index).asn : net::Asn(0);
 }
 
+std::optional<net::Ipv4Addr> World::plan_v4_of(const net::IpAddr& ip) {
+  if (ip.is_v4()) return ip.v4();
+  const net::Ipv6Addr v6 = ip.v6();
+  if (v6.is_v4_mapped()) return v6.mapped_v4();
+  return net::extract_embedded_v4(v6);
+}
+
+std::optional<std::size_t> World::as_index_of(const net::IpAddr& ip) const {
+  const auto v4 = plan_v4_of(ip);
+  return v4 ? as_index_of(*v4) : std::nullopt;
+}
+
+net::Asn World::asn_of(const net::IpAddr& ip) const {
+  const auto v4 = plan_v4_of(ip);
+  return v4 ? asn_of(*v4) : net::Asn(0);
+}
+
+std::string World::rdns_of(const net::IpAddr& ip) const {
+  const auto v4 = plan_v4_of(ip);
+  return v4 ? rdns_of(*v4) : std::string();
+}
+
 std::string World::rdns_of(net::Ipv4Addr ip) const {
   if (auto it = hosts_.find(ip); it != hosts_.end()) {
     const Host& h = it->second;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/ip.hpp"
+#include "net/ipaddr.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
 #include "net/types.hpp"
@@ -134,6 +135,26 @@ class World {
 
   /// Reverse-DNS name for hosts and routers; empty when unknown.
   [[nodiscard]] std::string rdns_of(net::Ipv4Addr ip) const;
+
+  // ---- Dual-stack identity ------------------------------------------------
+  // The world's address plan is v4; its v6 face is the sim embedding
+  // (2001:db8::/32 with the v4 identity at bits 32..63). These overloads
+  // resolve embedded and v4-mapped v6 addresses to their v4 identity; any
+  // other v6 space is outside the plan (nullopt / AS0 / empty rdns).
+
+  /// `ip`'s address in the sim's v6 embedding. Purely derived — no separate
+  /// allocation, so every host is dual-homed for free.
+  [[nodiscard]] static net::Ipv6Addr v6_of(net::Ipv4Addr ip) {
+    return net::embed_v4(ip);
+  }
+
+  /// The v4 identity behind a dual-stack address: v4 as-is, embedded or
+  /// v4-mapped v6 unwrapped, anything else nullopt.
+  [[nodiscard]] static std::optional<net::Ipv4Addr> plan_v4_of(const net::IpAddr& ip);
+
+  [[nodiscard]] std::optional<std::size_t> as_index_of(const net::IpAddr& ip) const;
+  [[nodiscard]] net::Asn asn_of(const net::IpAddr& ip) const;
+  [[nodiscard]] std::string rdns_of(const net::IpAddr& ip) const;
 
   /// Geographic location: hosts use their own spot, routers their PoP.
   /// For an anycast address this is the location of instance 0 (callers

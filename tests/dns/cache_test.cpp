@@ -70,6 +70,64 @@ TEST(DnsCacheScopeTest, NestedScopesResolveToMostSpecific) {
   EXPECT_FALSE(cache.lookup(kName, P("11.0.0.0/24"), 1).has_value());
 }
 
+TEST(DnsCacheScopeTest, ScopesServeOnlyTheirOwnFamily) {
+  DnsCache cache;
+  // A v6 scope — even ::/0, which "contains" every v6 client — must never
+  // answer a v4 subnet, and vice versa (RFC 7871 scopes are per-family).
+  cache.insert(kName, net::IpPrefix::must_parse("::/0"), {net::Ipv4Addr(6, 6, 6, 6)},
+               60, 0);
+  EXPECT_FALSE(cache.lookup(kName, P("10.1.2.0/24"), 1).has_value());
+  cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(4, 4, 4, 4)}, 60, 0);
+  const auto v4 = cache.lookup(kName, P("10.1.2.0/24"), 1);
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_EQ(v4->addresses.front(), net::Ipv4Addr(4, 4, 4, 4));
+  const auto v6 = cache.lookup(kName, net::IpPrefix::must_parse("2001:db8::/56"), 1);
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->addresses.front(), net::Ipv4Addr(6, 6, 6, 6));
+}
+
+TEST(DnsCacheScopeTest, V6ScopesNestLikeV4Ones) {
+  DnsCache cache;
+  const auto wide = net::IpPrefix::must_parse("2001:db8::/32");
+  const auto site = net::IpPrefix::must_parse("2001:db8:1401:200::/56");
+  cache.insert(kName, wide, {net::Ipv4Addr(1, 0, 0, 32)}, 60, 0);
+  cache.insert(kName, site, {net::Ipv4Addr(1, 0, 0, 56)}, 60, 0);
+
+  const auto tailored =
+      cache.lookup(kName, net::IpPrefix::must_parse("2001:db8:1401:200::/64"), 1);
+  ASSERT_TRUE(tailored.has_value());
+  EXPECT_EQ(tailored->addresses.front(), net::Ipv4Addr(1, 0, 0, 56));
+
+  const auto generic =
+      cache.lookup(kName, net::IpPrefix::must_parse("2001:db8:9999::/56"), 1);
+  ASSERT_TRUE(generic.has_value());
+  EXPECT_EQ(generic->addresses.front(), net::Ipv4Addr(1, 0, 0, 32));
+}
+
+TEST(DnsCacheScopeTest, V6ScopeLongerThanClientSourceNeverServes) {
+  DnsCache cache;
+  // Same §7.3.1 rule as v4 at v6 widths: an answer tailored to a /56 may
+  // not be reused for a client announcing only a /48.
+  cache.insert(kName, net::IpPrefix::must_parse("2001:db8:1401:200::/56"),
+               {net::Ipv4Addr(1, 0, 0, 56)}, 60, 0);
+  EXPECT_FALSE(
+      cache.lookup(kName, net::IpPrefix::must_parse("2001:db8:1401::/48"), 1)
+          .has_value());
+  EXPECT_TRUE(
+      cache.lookup(kName, net::IpPrefix::must_parse("2001:db8:1401:200::/64"), 1)
+          .has_value());
+}
+
+TEST(DnsCacheStatsTest, ForeignFamilyDropsAreCounted) {
+  obs::Registry registry;
+  DnsCache cache;
+  cache.set_registry(&registry);
+  cache.note_foreign_family_drop();
+  cache.note_foreign_family_drop();
+  EXPECT_EQ(cache.stats().foreign_family_drops, 2u);
+  EXPECT_EQ(registry.snapshot().counters.at("dns.cache.foreign_family_drops"), 2u);
+}
+
 TEST(DnsCacheLifecycleTest, ExpiryBoundaryMisses) {
   DnsCache cache;
   cache.insert(kName, P("0.0.0.0/0"), {net::Ipv4Addr(1, 1, 1, 1)}, 30, /*now_ms=*/0);

@@ -19,7 +19,7 @@ class EchoingServer : public DnsServer {
     last_ecs.reset();
     net::Prefix subnet(source, 24);
     if (query.edns && query.edns->client_subnet) {
-      last_ecs = query.edns->client_subnet->source_prefix();
+      last_ecs = *query.edns->client_subnet->source_prefix().to_v4();
       subnet = *last_ecs;
     }
     Message response = Message::make_response(query, Rcode::kNoError, 24);

@@ -3,13 +3,13 @@
 #
 #   stage 1  drongo_lint        invariant checker over src/ tools/ bench/
 #   stage 2  asan               AddressSanitizer build, ctest
-#   stage 3  tsan               ThreadSanitizer build, concurrency|faults|obs|serving|lpm|sharing|hedging|daemon
+#   stage 3  tsan               ThreadSanitizer build, concurrency|faults|obs|serving|lpm|sharing|hedging|daemon|ipv6
 #   stage 4  ubsan              UBSan (-fno-sanitize-recover) build, ctest
 #
 # Usage: tools/ci/analysis_matrix.sh [--short] [--jobs N]
 #
 #   --short   tier-1 time budget: every sanitizer stage runs only the
-#             concurrency|faults|static|obs|serving|lpm|sharing|hedging|daemon labels
+#             concurrency|faults|static|obs|serving|lpm|sharing|hedging|daemon|ipv6 labels
 #             instead of the full suite.
 #   --jobs N  parallel build/test jobs (default: nproc).
 #
@@ -44,11 +44,11 @@ cmake --build --preset default --target drongo_lint -j "$JOBS" >/dev/null
 echo "SARIF artifact: build/drongo_lint.sarif"
 
 # Stages 2-4: sanitizer builds. In --short mode each runs only the
-# concurrency/faults/static/obs/serving/lpm/sharing/hedging/daemon label slice so the whole
-# matrix fits a tier-1 budget; the full suite is the default for nightly/deep runs.
+# concurrency/faults/static/obs/serving/lpm/sharing/hedging/daemon/ipv6 label slice so
+# the whole matrix fits a tier-1 budget; the full suite is the default for nightly/deep runs.
 LABEL_ARGS=()
 if [[ "$SHORT" -eq 1 ]]; then
-  LABEL_ARGS=(-L 'concurrency|faults|static|obs|serving|lpm|sharing|hedging|daemon')
+  LABEL_ARGS=(-L 'concurrency|faults|static|obs|serving|lpm|sharing|hedging|daemon|ipv6')
 fi
 
 banner "stage 2/4: AddressSanitizer"
@@ -56,10 +56,10 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS" >/dev/null
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" "${LABEL_ARGS[@]}"
 
-banner "stage 3/4: ThreadSanitizer (concurrency|faults|obs|serving|lpm|sharing|hedging|daemon)"
+banner "stage 3/4: ThreadSanitizer (concurrency|faults|obs|serving|lpm|sharing|hedging|daemon|ipv6)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" >/dev/null
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'concurrency|faults|obs|serving|lpm|sharing|hedging|daemon'
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'concurrency|faults|obs|serving|lpm|sharing|hedging|daemon|ipv6'
 
 banner "stage 4/4: UndefinedBehaviorSanitizer"
 cmake --preset ubsan >/dev/null

@@ -94,6 +94,8 @@ dns::DaemonServerConfig config_from_env() {
       parse_env_bool("DRONGO_DAEMON_TCP", std::getenv("DRONGO_DAEMON_TCP"), true);
   config.pin_threads =
       parse_env_bool("DRONGO_DAEMON_PIN", std::getenv("DRONGO_DAEMON_PIN"), false);
+  config.dual_stack = parse_env_bool("DRONGO_DAEMON_DUAL_STACK",
+                                     std::getenv("DRONGO_DAEMON_DUAL_STACK"), false);
   config.packet_cache_entries = static_cast<std::size_t>(parse_env_long(
       "DRONGO_DAEMON_PCACHE", std::getenv("DRONGO_DAEMON_PCACHE"), 8192, 0));
   config.packet_cache_ttl_ms = static_cast<std::uint32_t>(parse_env_long(
@@ -202,7 +204,8 @@ int run() {
   std::cout << "udp port " << daemon.udp_port() << "\n";
   std::cout << "tcp port " << daemon.tcp_port() << "\n";
   std::cout << "listeners " << config.listeners << " batch " << config.batch
-            << " pcache " << config.packet_cache_entries << std::endl;
+            << " pcache " << config.packet_cache_entries << " dual_stack "
+            << (config.dual_stack ? 1 : 0) << std::endl;
 
   // Wait for SIGTERM/SIGINT — or, with DRONGO_DAEMON_DURATION_MS, for the
   // clock (smoke tests set it so the daemon exits without a supervisor).

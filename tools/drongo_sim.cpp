@@ -7,6 +7,7 @@
 // --seed, so outputs are reproducible and composable (campaign writes a
 // dataset file that analyze reads back).
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,6 +29,7 @@
 #include "measure/dataset.hpp"
 #include "measure/trial.hpp"
 #include "net/error.hpp"
+#include "net/ipaddr.hpp"
 #include "net/strings.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -35,6 +37,53 @@
 using namespace drongo;
 
 namespace {
+
+/// Integer env knob with loud failure: empty/unset yields `fallback`,
+/// anything unparsable or out of [min, max] throws (a typo'd value must
+/// never silently run a different campaign).
+int env_int(const char* name, int fallback, int min_value, int max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::string text(raw);
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != text.size() || value < min_value || value > max_value) {
+    throw net::InvalidArgument(std::string(name) + " must be an integer in [" +
+                               std::to_string(min_value) + ", " +
+                               std::to_string(max_value) + "], got \"" + text + "\"");
+  }
+  return value;
+}
+
+/// The ECS wire-family policy for every stub the testbed creates:
+/// --ecs-family / --ecs-v6-source-len, with DRONGO_ECS_FAMILY /
+/// DRONGO_ECS_V6_SOURCE_LEN filling in when the flag is left empty.
+dns::EcsFamilyPolicy ecs_policy_from(const tools::OptionSet& options) {
+  dns::EcsFamilyPolicy policy;
+  const std::string family = options.get("ecs-family");
+  const int parsed_family = family.empty()
+                                ? env_int("DRONGO_ECS_FAMILY", 1, 1, 2)
+                                : static_cast<int>(options.get_int("ecs-family"));
+  if (parsed_family != 1 && parsed_family != 2) {
+    throw net::InvalidArgument("--ecs-family must be 1 (IPv4) or 2 (IPv6)");
+  }
+  policy.family = static_cast<std::uint16_t>(parsed_family);
+  const std::string source_len = options.get("ecs-v6-source-len");
+  const int parsed_len =
+      source_len.empty() ? env_int("DRONGO_ECS_V6_SOURCE_LEN",
+                                   net::default_ecs_scope(net::IpFamily::kV6), 1, 128)
+                         : static_cast<int>(options.get_int("ecs-v6-source-len"));
+  if (parsed_len < 1 || parsed_len > 128) {
+    throw net::InvalidArgument("--ecs-v6-source-len must be in [1, 128]");
+  }
+  policy.v6_source_length = parsed_len;
+  return policy;
+}
 
 measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
   measure::TestbedConfig config = options.get("scale") == "ripe"
@@ -76,6 +125,7 @@ measure::TestbedConfig testbed_config(const tools::OptionSet& options) {
     config.serving.overload.target_ms = codel_target;
     config.serving.overload.interval_ms = options.get_double("codel-interval-ms");
   }
+  config.ecs_policy = ecs_policy_from(options);
   return config;
 }
 
@@ -97,6 +147,13 @@ void add_common(tools::OptionSet& options) {
   options.add_option("codel-target-ms", "0",
                      "CoDel admission target sojourn in ms (0 = admission off)");
   options.add_option("codel-interval-ms", "100", "CoDel admission interval in ms");
+  options.add_option("ecs-family", "",
+                     "ECS wire family stubs announce: 1 = IPv4, 2 = IPv6 via the "
+                     "sim's v4-in-v6 embedding (empty = DRONGO_ECS_FAMILY, default 1)");
+  options.add_option("ecs-v6-source-len", "",
+                     "announced v6 source prefix length with --ecs-family 2; /56 "
+                     "matches v4 /24, /48 coarsens to /16 "
+                     "(empty = DRONGO_ECS_V6_SOURCE_LEN, default 56)");
 }
 
 int cmd_world(const std::vector<std::string>& args) {
@@ -462,7 +519,11 @@ int cmd_help() {
                "  (singleflight for concurrent identical queries),\n"
                "  --hedge + --hedge-threshold-ms MS (hedged upstream exchanges;\n"
                "  DRONGO_HEDGE_* env knobs refine), --codel-target-ms MS +\n"
-               "  --codel-interval-ms MS (CoDel overload shedding, 0 = off)\n"
+               "  --codel-interval-ms MS (CoDel overload shedding, 0 = off),\n"
+               "  --ecs-family 1|2 + --ecs-v6-source-len N (dual-stack ECS: stubs\n"
+               "  announce family-2 v4-in-v6 subnets; /56 matches v4 /24, /48\n"
+               "  coarsens to /16; also DRONGO_ECS_FAMILY /\n"
+               "  DRONGO_ECS_V6_SOURCE_LEN)\n"
                "campaign racing: --gwtw-k K races the first K replicas per trial\n"
                "  (Go-With-The-Winner; race standings land in the dataset)\n"
                "campaign telemetry: --metrics-out FILE (JSON-lines) and\n"
